@@ -1,0 +1,239 @@
+// Package main_test hosts the benchmark harness: one testing.B benchmark
+// per table and figure in the paper's evaluation (each drives the
+// corresponding runner in internal/experiments and reports its rows), plus
+// component-level micro-benchmarks of the proxy/store core (§5's
+// component-level numbers and the ablations listed in DESIGN.md).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package main_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"proxystore/internal/bench"
+	"proxystore/internal/connectors/local"
+	"proxystore/internal/experiments"
+	"proxystore/internal/proxy"
+	"proxystore/internal/rudp"
+	"proxystore/internal/serial"
+	"proxystore/internal/store"
+)
+
+// benchConfig keeps the per-iteration cost of the figure benchmarks
+// bounded; psbench runs the fuller sweeps.
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: 5000, Repeats: 1, MaxPayload: 1 << 20}
+}
+
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	runner, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var report bench.Report
+	for i := 0; i < b.N; i++ {
+		report, err = runner(benchConfig())
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	b.ReportMetric(float64(len(report.Rows)), "rows")
+}
+
+func BenchmarkFig5(b *testing.B)         { runExperimentBench(b, "fig5") }
+func BenchmarkFig6(b *testing.B)         { runExperimentBench(b, "fig6") }
+func BenchmarkFig7(b *testing.B)         { runExperimentBench(b, "fig7") }
+func BenchmarkFig8(b *testing.B)         { runExperimentBench(b, "fig8") }
+func BenchmarkFig9(b *testing.B)         { runExperimentBench(b, "fig9") }
+func BenchmarkFig9Ablation(b *testing.B) { runExperimentBench(b, "fig9-ablation") }
+func BenchmarkTable2(b *testing.B)       { runExperimentBench(b, "table2") }
+func BenchmarkFig10(b *testing.B)        { runExperimentBench(b, "fig10") }
+func BenchmarkFig11(b *testing.B)        { runExperimentBench(b, "fig11") }
+
+// --- component-level micro-benchmarks ----------------------------------------
+
+func newBenchStore(b *testing.B, name string, opts ...store.Option) *store.Store {
+	b.Helper()
+	s, err := store.New(name, local.New(name+"-conn"), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Unregister(name) })
+	return s
+}
+
+// BenchmarkProxyCreate measures Store.proxy (put + factory + proxy mint).
+func BenchmarkProxyCreate(b *testing.B) {
+	s := newBenchStore(b, "bench-create", store.WithSerializer(serial.Raw()))
+	ctx := context.Background()
+	payload := make([]byte, 1<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.NewProxy(ctx, s, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProxyResolve measures first-touch resolution (cache disabled).
+func BenchmarkProxyResolve(b *testing.B) {
+	s := newBenchStore(b, "bench-resolve", store.WithSerializer(serial.Raw()), store.WithCacheSize(0))
+	ctx := context.Background()
+	payload := make([]byte, 1<<10)
+	proxies := make([]*proxy.Proxy[[]byte], b.N)
+	for i := range proxies {
+		p, err := store.NewProxy(ctx, s, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proxies[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxies[i].Value(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProxyResolvedAccess measures access to an already-resolved proxy
+// (the steady-state cost transparency adds).
+func BenchmarkProxyResolvedAccess(b *testing.B) {
+	p := proxy.FromValue(make([]byte, 1<<10))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Value(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProxySerializeVsValue quantifies DESIGN.md ablation #1:
+// factory-only proxy serialization against shipping the target by value.
+func BenchmarkProxySerializeVsValue(b *testing.B) {
+	s := newBenchStore(b, "bench-servs", store.WithSerializer(serial.Raw()))
+	ctx := context.Background()
+	for _, size := range []int{1 << 10, 1 << 20, 16 << 20} {
+		payload := make([]byte, size)
+		p, err := store.NewProxy(ctx, s, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("proxy-%s", bench.FormatBytes(size)), func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				blob, err := p.MarshalBinary()
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(blob)
+			}
+			b.ReportMetric(float64(n), "wire-bytes")
+		})
+		b.Run(fmt.Sprintf("value-%s", bench.FormatBytes(size)), func(b *testing.B) {
+			ser := serial.Default()
+			var n int
+			for i := 0; i < b.N; i++ {
+				blob, err := ser.Encode(payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(blob)
+			}
+			b.ReportMetric(float64(n), "wire-bytes")
+		})
+	}
+}
+
+// BenchmarkStoreCache quantifies DESIGN.md ablation #2: repeated gets with
+// and without the post-deserialization cache.
+func BenchmarkStoreCache(b *testing.B) {
+	ctx := context.Background()
+	payload := make([]byte, 64<<10)
+	for _, cached := range []bool{true, false} {
+		name := fmt.Sprintf("bench-cache-%v", cached)
+		size := 16
+		if !cached {
+			size = 0
+		}
+		s := newBenchStore(b, name, store.WithCacheSize(size), store.WithSerializer(serial.Raw()))
+		key, err := s.PutObject(ctx, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("cache=%v", cached), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.GetObject(ctx, key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSerializers compares the store's codecs.
+func BenchmarkSerializers(b *testing.B) {
+	payload := make([]byte, 256<<10)
+	for _, ser := range []serial.Serializer{serial.Default(), serial.Raw()} {
+		b.Run(ser.ID(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				blob, err := ser.Encode(payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ser.Decode(blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(payload)))
+		})
+	}
+}
+
+// BenchmarkRUDPCongestion compares the peer channel's congestion
+// controllers on a loopback pipe (ablation #5's transport component).
+func BenchmarkRUDPCongestion(b *testing.B) {
+	for _, mk := range []struct {
+		name string
+		cc   func() rudp.CongestionControl
+	}{
+		{"fixed", func() rudp.CongestionControl { return rudp.NewFixedWindow(0) }},
+		{"bbr", func() rudp.CongestionControl { return rudp.NewBBRLike(0) }},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			pa, err := rudp.NewUDPPipe("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			pb, err := rudp.NewUDPPipe("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			pa.SetPeer(pb.LocalAddr())
+			pb.SetPeer(pa.LocalAddr())
+			chA := rudp.NewChannel(pa, mk.cc())
+			chB := rudp.NewChannel(pb, mk.cc())
+			defer chA.Close()
+			defer chB.Close()
+
+			ctx := context.Background()
+			msg := make([]byte, 256<<10)
+			b.SetBytes(int64(len(msg)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := chA.Send(ctx, msg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := chB.Recv(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,36 @@
+// Command kvserver runs the mini Redis: a RESP2 key-value server usable by
+// the RedisConnector (or any Redis client speaking RESP2 GET/SET/DEL).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"proxystore/internal/kvstore"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6379", "listen address")
+	aof := flag.String("persist", "", "append-only persistence file (empty: memory only)")
+	flag.Parse()
+
+	var opts []kvstore.ServerOption
+	if *aof != "" {
+		opts = append(opts, kvstore.WithPersistence(*aof))
+	}
+	srv, err := kvstore.NewServer(*addr, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kvserver listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("kvserver shutting down (%d commands served)\n", srv.Commands())
+	srv.Close()
+}

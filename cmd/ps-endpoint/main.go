@@ -1,0 +1,36 @@
+// Command ps-endpoint runs a PS-endpoint: an in-memory object store that
+// serves local clients and peers with remote endpoints through a relay
+// server (paper §4.2.2). It is the Go analogue of the paper's
+// proxystore-endpoint CLI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"proxystore/internal/endpoint"
+)
+
+func main() {
+	apiAddr := flag.String("addr", "127.0.0.1:0", "client API listen address")
+	relayAddr := flag.String("relay", "127.0.0.1:8765", "relay server address")
+	uuid := flag.String("uuid", "", "endpoint UUID (empty: relay assigns one)")
+	flag.Parse()
+
+	ep, err := endpoint.Start(*apiAddr, *relayAddr, endpoint.Options{UUID: *uuid})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ps-endpoint:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ps-endpoint %s serving on %s (relay %s)\n", ep.UUID(), ep.Addr(), *relayAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("ps-endpoint shutting down (%d requests served, %d objects held)\n",
+		ep.Requests(), ep.Len())
+	ep.Close()
+}

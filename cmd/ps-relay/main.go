@@ -1,0 +1,31 @@
+// Command ps-relay runs the publicly accessible relay (signaling) server
+// that PS-endpoints use to establish peer connections (paper §4.2.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"proxystore/internal/relay"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8765", "listen address")
+	flag.Parse()
+
+	srv, err := relay.NewServer(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ps-relay:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ps-relay listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("ps-relay shutting down (%d messages forwarded)\n", srv.Forwarded())
+	srv.Close()
+}

@@ -1,0 +1,57 @@
+// Command psbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	psbench [-scale N] [-repeats N] [-max-payload BYTES] <experiment>|all
+//
+// Experiments: fig5 fig6 fig7 fig8 fig9 fig9-ablation table2 fig10 fig11.
+// Reports print as aligned tables matching the rows/series of the paper's
+// evaluation (§5); EXPERIMENTS.md records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"proxystore/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 500, "netsim time compression factor")
+	repeats := flag.Int("repeats", 3, "measurements per data point")
+	maxPayload := flag.Int("max-payload", 10<<20, "payload sweep cap in bytes")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: psbench [flags] <experiment>|all\nexperiments: %v\nflags:\n", experiments.Names())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Scale: *scale, Repeats: *repeats, MaxPayload: *maxPayload}
+
+	ids := []string{flag.Arg(0)}
+	if flag.Arg(0) == "all" {
+		ids = experiments.Names()
+	}
+	for _, id := range ids {
+		runner, err := experiments.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		report, err := runner(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psbench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		report.Print(os.Stdout)
+		fmt.Printf("(%s completed in %s)\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

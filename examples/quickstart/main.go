@@ -1,0 +1,70 @@
+// Quickstart: the Go equivalent of the paper's Listing 1 — create a Store
+// over a connector, proxy an object, and pass the proxy to a function that
+// resolves it just in time.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"proxystore/internal/connectors/local"
+	"proxystore/internal/proxy"
+	"proxystore/internal/store"
+)
+
+// myFunction consumes a proxy exactly where it would consume the value: the
+// first Value call resolves the target from the store transparently.
+func myFunction(ctx context.Context, p *proxy.Proxy[[]byte]) error {
+	data, err := p.Value(ctx) // resolved from "my-store" on first use
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resolved %d bytes: %q\n", len(data), data)
+	return nil
+}
+
+func main() {
+	ctx := context.Background()
+
+	// Store('my-store', Connector(...)) — dependency injection.
+	st, err := store.New("my-store", local.New("quickstart"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	// p = store.proxy(my_object)
+	myObject := []byte("hello, proxystore")
+	p, err := store.NewProxy(ctx, st, myObject)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proxy resolved before use? %v\n", p.Resolved())
+
+	// The proxy serializes to its factory only — a few hundred bytes no
+	// matter how large the target is.
+	wire, err := p.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialized proxy: %d bytes (target: %d bytes)\n", len(wire), len(myObject))
+
+	// A receiving process reconstructs the proxy and resolves it lazily.
+	var received proxy.Proxy[[]byte]
+	if err := received.UnmarshalBinary(wire); err != nil {
+		log.Fatal(err)
+	}
+	if err := myFunction(ctx, &received); err != nil {
+		log.Fatal(err)
+	}
+
+	// Evict-on-resolve for write-once/read-once intermediates.
+	ephemeral, err := store.NewProxy(ctx, st, []byte("read me once"), store.WithEvict())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ephemeral value: %q\n", ephemeral.MustValue())
+	conn := st.Connector().(*local.Connector)
+	fmt.Printf("objects left in connector after evict-on-resolve: %d\n", conn.Len()-1)
+}

@@ -1,0 +1,180 @@
+// Package main_test's integration tests exercise the full system across
+// package boundaries: proxies minted by one store resolving through
+// reconstructed stores, FaaS tasks consuming proxies backed by every major
+// connector family, and the MultiConnector routing a workflow's objects.
+package main_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"proxystore/internal/connectors/endpointc"
+	"proxystore/internal/connectors/local"
+	"proxystore/internal/connectors/multi"
+	"proxystore/internal/connectors/redisc"
+	"proxystore/internal/endpoint"
+	"proxystore/internal/faas"
+	"proxystore/internal/kvstore"
+	"proxystore/internal/netsim"
+	"proxystore/internal/proxy"
+	"proxystore/internal/relay"
+	"proxystore/internal/serial"
+	"proxystore/internal/store"
+)
+
+func init() {
+	proxy.RegisterGob[[]byte]()
+	faas.RegisterFunction("itest.len", func(ctx context.Context, args []any) (any, error) {
+		p := args[0].(*proxy.Proxy[[]byte])
+		data, err := p.Value(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return len(data), nil
+	})
+}
+
+// TestEndToEndRedisProxyThroughFaaS: produce via Redis-backed store, ship
+// the proxy through the FaaS fabric, resolve on the worker.
+func TestEndToEndRedisProxyThroughFaaS(t *testing.T) {
+	kv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("kvstore.NewServer: %v", err)
+	}
+	defer kv.Close()
+	st, err := store.New("itest-redis", redisc.New(kv.Addr()), store.WithSerializer(serial.Raw()))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	defer store.Unregister("itest-redis")
+
+	net := netsim.Testbed(2000)
+	cloud := faas.NewCloud(net, netsim.SiteCloud)
+	ep := faas.StartEndpoint(cloud, "itest-ep", netsim.SiteTheta, 2)
+	defer ep.Close()
+	exec := faas.NewExecutor(cloud, "itest-ep", netsim.SiteThetaLogin)
+
+	ctx := context.Background()
+	payload := bytes.Repeat([]byte("e2e"), 100_000)
+	p, err := store.NewProxy(ctx, st, payload)
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	fut, err := exec.Submit(ctx, "itest.len", p)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	v, err := fut.Result(ctx)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if v.(int) != len(payload) {
+		t.Fatalf("worker saw %v bytes, want %d", v, len(payload))
+	}
+}
+
+// TestEndToEndEndpointPeeringProxy: produce on one PS-endpoint, resolve a
+// proxy through another endpoint's peer connection.
+func TestEndToEndEndpointPeeringProxy(t *testing.T) {
+	r, err := relay.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("relay.NewServer: %v", err)
+	}
+	defer r.Close()
+	epA, err := endpoint.Start("127.0.0.1:0", r.Addr(), endpoint.Options{UUID: "itest-a"})
+	if err != nil {
+		t.Fatalf("endpoint.Start: %v", err)
+	}
+	defer epA.Close()
+	epB, err := endpoint.Start("127.0.0.1:0", r.Addr(), endpoint.Options{UUID: "itest-b"})
+	if err != nil {
+		t.Fatalf("endpoint.Start: %v", err)
+	}
+	defer epB.Close()
+
+	prod, err := store.New("itest-ep-prod", endpointc.New(epA.Addr(), epA.UUID(), "", ""),
+		store.WithSerializer(serial.Raw()))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	defer store.Unregister("itest-ep-prod")
+	cons, err := store.New("itest-ep-cons", endpointc.New(epB.Addr(), epB.UUID(), "", ""),
+		store.WithSerializer(serial.Raw()))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	defer store.Unregister("itest-ep-cons")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	payload := bytes.Repeat([]byte("peer"), 50_000)
+	key, err := prod.PutObject(ctx, payload)
+	if err != nil {
+		t.Fatalf("PutObject: %v", err)
+	}
+	p := store.ProxyFromKey[[]byte](cons, key)
+	got, err := p.Value(ctx)
+	if err != nil {
+		t.Fatalf("Value: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("peered proxy resolution corrupted the object")
+	}
+}
+
+// TestEndToEndMultiConnectorProxies: a single store routes small objects to
+// memory and large ones to Redis; proxies of both resolve after traveling.
+func TestEndToEndMultiConnectorProxies(t *testing.T) {
+	kv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("kvstore.NewServer: %v", err)
+	}
+	defer kv.Close()
+
+	router, err := multi.New(
+		multi.Child{Name: "mem", Connector: local.New("itest-multi-mem"),
+			Policy: multi.Policy{MaxSize: 1 << 10, Priority: 10}},
+		multi.Child{Name: "redis", Connector: redisc.New(kv.Addr()),
+			Policy: multi.Policy{Priority: 1}},
+	)
+	if err != nil {
+		t.Fatalf("multi.New: %v", err)
+	}
+	st, err := store.New("itest-multi", router, store.WithSerializer(serial.Raw()))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	defer store.Unregister("itest-multi")
+
+	ctx := context.Background()
+	for _, tc := range []struct {
+		size  int
+		child string
+	}{
+		{100, "mem"},
+		{100_000, "redis"},
+	} {
+		p, err := store.NewProxy(ctx, st, make([]byte, tc.size))
+		if err != nil {
+			t.Fatalf("NewProxy(%d): %v", tc.size, err)
+		}
+		// Serialize + deserialize the proxy (travel between "processes").
+		wire, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary: %v", err)
+		}
+		var travelled proxy.Proxy[[]byte]
+		if err := travelled.UnmarshalBinary(wire); err != nil {
+			t.Fatalf("UnmarshalBinary: %v", err)
+		}
+		got, err := travelled.Value(ctx)
+		if err != nil {
+			t.Fatalf("Value(%d): %v", tc.size, err)
+		}
+		if len(got) != tc.size {
+			t.Fatalf("resolved %d bytes, want %d", len(got), tc.size)
+		}
+	}
+}

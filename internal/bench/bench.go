@@ -1,0 +1,157 @@
+// Package bench provides the statistics and reporting helpers shared by the
+// experiment runners in internal/experiments: repeated-measurement summary
+// statistics and aligned-column report printing in the spirit of the
+// paper's tables and figure series.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary describes repeated duration measurements.
+type Summary struct {
+	N      int
+	Mean   time.Duration
+	Std    time.Duration
+	Median time.Duration
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// Summarize computes summary statistics for samples.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var sum float64
+	for _, s := range sorted {
+		sum += float64(s)
+	}
+	mean := sum / float64(len(sorted))
+
+	var varSum float64
+	for _, s := range sorted {
+		d := float64(s) - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum / float64(len(sorted)))
+
+	return Summary{
+		N:      len(sorted),
+		Mean:   time.Duration(mean),
+		Std:    time.Duration(std),
+		Median: sorted[len(sorted)/2],
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// Measure runs fn repeats times and summarizes the durations. A failing
+// iteration aborts the measurement.
+func Measure(repeats int, fn func() error) (Summary, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	samples := make([]time.Duration, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return Summary{}, err
+		}
+		samples = append(samples, time.Since(start))
+	}
+	return Summarize(samples), nil
+}
+
+// FormatDuration renders a duration compactly for tables.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", float64(d)/float64(time.Second))
+	}
+}
+
+// FormatBytes renders a byte count compactly (10B, 1KB, 100MB).
+func FormatBytes(n int) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.0fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.0fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Report is a printable experiment result: a titled table plus notes.
+type Report struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of cells.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a free-form note printed under the table.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print writes the report with aligned columns.
+func (r Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i < len(widths) {
+				b.WriteString(fmt.Sprintf("%-*s", widths[i]+2, c))
+			} else {
+				b.WriteString(c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(r.Headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range r.Rows {
+		printRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}

@@ -1,0 +1,119 @@
+// Package cache implements the thread-safe LRU cache that Store uses to
+// avoid repeated gets and deserializations of the same object (paper §3.5:
+// "caching performed after deserialization to avoid duplicate
+// deserializations").
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a fixed-capacity least-recently-used cache keyed by string.
+// A capacity of zero disables caching entirely.
+//
+// LRU is safe for concurrent use.
+type LRU struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+
+	hits   uint64
+	misses uint64
+}
+
+type entry struct {
+	key   string
+	value any
+}
+
+// New returns an LRU that holds at most capacity entries.
+func New(capacity int) *LRU {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRU{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Get returns the cached value for key and whether it was present,
+// promoting the entry to most recently used.
+func (c *LRU) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// Set stores value under key, evicting the least recently used entry when
+// the cache is full. Setting an existing key updates it in place.
+func (c *LRU) Set(key string, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity == 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*entry).key)
+		}
+	}
+	c.entries[key] = c.order.PushFront(&entry{key: key, value: value})
+}
+
+// Contains reports whether key is cached without promoting it.
+func (c *LRU) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Delete removes key from the cache if present.
+func (c *LRU) Delete(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *LRU) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Clear removes all entries but preserves hit/miss statistics.
+func (c *LRU) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+}

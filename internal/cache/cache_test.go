@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetMissingKey(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get("nope"); ok {
+		t.Fatal("Get returned ok for missing key")
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	c := New(4)
+	c.Set("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	c := New(2)
+	c.Set("a", 1)
+	c.Set("a", 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	v, _ := c.Get("a")
+	if v.(int) != 2 {
+		t.Fatalf("Get(a) = %v, want 2", v)
+	}
+}
+
+func TestEvictionOrderIsLRU(t *testing.T) {
+	c := New(2)
+	c.Set("a", 1)
+	c.Set("b", 2)
+	c.Get("a") // promote a; b is now least recently used
+	c.Set("c", 3)
+	if c.Contains("b") {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if !c.Contains("a") || !c.Contains("c") {
+		t.Fatal("expected entries a and c to remain")
+	}
+}
+
+func TestZeroCapacityDisablesCaching(t *testing.T) {
+	c := New(0)
+	c.Set("a", 1)
+	if c.Len() != 0 {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := New(4)
+	c.Set("a", 1)
+	c.Delete("a")
+	if c.Contains("a") {
+		t.Fatal("entry survived Delete")
+	}
+	c.Delete("a") // deleting absent key must not panic
+}
+
+func TestStatsCountHitsAndMisses(t *testing.T) {
+	c := New(4)
+	c.Set("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("b")
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("Stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+}
+
+func TestClearKeepsStats(t *testing.T) {
+	c := New(4)
+	c.Set("a", 1)
+	c.Get("a")
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatal("Clear left entries behind")
+	}
+	hits, _ := c.Stats()
+	if hits != 1 {
+		t.Fatalf("Clear reset stats; hits = %d", hits)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				c.Set(key, i)
+				c.Get(key)
+				if i%17 == 0 {
+					c.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPropertyNeverExceedsCapacity(t *testing.T) {
+	f := func(keys []string) bool {
+		c := New(8)
+		for _, k := range keys {
+			c.Set(k, k)
+			if c.Len() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMostRecentAlwaysPresent(t *testing.T) {
+	f := func(keys []string) bool {
+		c := New(4)
+		for _, k := range keys {
+			c.Set(k, true)
+			if !c.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

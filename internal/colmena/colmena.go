@@ -1,0 +1,177 @@
+// Package colmena implements a Colmena-like steering framework for
+// ensembles of simulations (paper §5.2): a Thinker submits tasks to a Task
+// Server, which dispatches them to a workflow engine's workers and streams
+// results back on a queue.
+//
+// ProxyStore integrates at the library level exactly as in the paper: a
+// Store and size threshold can be registered per task method; task inputs
+// and results larger than the threshold are replaced by proxies before they
+// enter the task server's data path, relieving the workflow system of the
+// heavy bytes.
+package colmena
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"proxystore/internal/proxy"
+	"proxystore/internal/store"
+	"proxystore/internal/workflow"
+)
+
+// Method is a task implementation registered with the server.
+type Method func(ctx context.Context, input any) (any, error)
+
+// Result is a completed task delivered to the Thinker.
+type Result struct {
+	// Method is the task type.
+	Method string
+	// Value is the task output (possibly a proxy when result proxying is
+	// enabled and the output was large).
+	Value any
+	// Err is the task error, if any.
+	Err error
+	// SubmittedAt and CompletedAt bracket the round trip.
+	SubmittedAt time.Time
+	CompletedAt time.Time
+	// Tag is the caller's correlation value.
+	Tag any
+}
+
+// RTT returns the task round-trip time as observed by the Thinker.
+func (r Result) RTT() time.Duration { return r.CompletedAt.Sub(r.SubmittedAt) }
+
+// StorePolicy attaches a ProxyStore store to a method.
+type StorePolicy struct {
+	// Store proxies inputs/results through this store.
+	Store *store.Store
+	// Threshold is the minimum serialized size (bytes) for proxying; the
+	// paper registers a threshold per task type.
+	Threshold int
+	// ProxyResults also proxies task outputs (the paper's "two additional
+	// lines of task code").
+	ProxyResults bool
+}
+
+// Server is the Colmena Task Server.
+//
+// A Server is safe for concurrent use.
+type Server struct {
+	engine  *workflow.Engine
+	results chan Result
+
+	mu       sync.RWMutex
+	methods  map[string]Method
+	policies map[string]StorePolicy
+}
+
+// NewServer wraps a workflow engine.
+func NewServer(engine *workflow.Engine, resultDepth int) *Server {
+	if resultDepth < 1 {
+		resultDepth = 4096
+	}
+	return &Server{
+		engine:   engine,
+		results:  make(chan Result, resultDepth),
+		methods:  make(map[string]Method),
+		policies: make(map[string]StorePolicy),
+	}
+}
+
+// RegisterMethod installs a task implementation.
+func (s *Server) RegisterMethod(name string, m Method) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.methods[name] = m
+}
+
+// RegisterStore attaches a proxying policy to a method (paper: "users can
+// register a Store and associated threshold for each task type").
+func (s *Server) RegisterStore(method string, p StorePolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policies[method] = p
+}
+
+// Results is the stream of completed tasks.
+func (s *Server) Results() <-chan Result { return s.results }
+
+// Submit schedules a task. Large inputs are proxied per the method's store
+// policy before entering the engine's data path. tag is returned with the
+// result for correlation.
+func (s *Server) Submit(ctx context.Context, method string, input any, tag any) error {
+	s.mu.RLock()
+	m, ok := s.methods[method]
+	policy, hasPolicy := s.policies[method]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("colmena: method %q not registered", method)
+	}
+	submitted := time.Now()
+
+	arg := input
+	if hasPolicy && policy.Store != nil {
+		if data, isBytes := input.([]byte); isBytes && len(data) >= policy.Threshold {
+			p, err := store.NewProxy(ctx, policy.Store, data)
+			if err != nil {
+				return fmt.Errorf("colmena: proxying input: %w", err)
+			}
+			arg = p
+		}
+	}
+
+	fut := s.engine.Submit(func(ctx context.Context, args []any) (any, error) {
+		in := args[0]
+		// Transparent resolution on the worker: a proxy argument resolves
+		// to its target before the method runs.
+		if p, isProxy := in.(*proxy.Proxy[[]byte]); isProxy {
+			data, err := p.Value(ctx)
+			if err != nil {
+				return nil, err
+			}
+			in = data
+		}
+		out, err := m(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		if hasPolicy && policy.ProxyResults && policy.Store != nil {
+			if data, isBytes := out.([]byte); isBytes && len(data) >= policy.Threshold {
+				p, err := store.NewProxy(ctx, policy.Store, data)
+				if err != nil {
+					return nil, fmt.Errorf("colmena: proxying result: %w", err)
+				}
+				return p, nil
+			}
+		}
+		return out, nil
+	}, arg)
+
+	go func() {
+		v, err := fut.Result(context.Background())
+		s.results <- Result{
+			Method:      method,
+			Value:       v,
+			Err:         err,
+			SubmittedAt: submitted,
+			CompletedAt: time.Now(),
+			Tag:         tag,
+		}
+	}()
+	return nil
+}
+
+// ResolveResult materializes a result value that may be a proxy.
+func ResolveResult(ctx context.Context, v any) (any, error) {
+	if p, ok := v.(*proxy.Proxy[[]byte]); ok {
+		return p.Value(ctx)
+	}
+	return v, nil
+}
+
+func init() {
+	// Byte-payload proxies travel through engine channels inside []any.
+	proxy.RegisterGob[[]byte]()
+}

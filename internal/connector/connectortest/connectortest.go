@@ -1,0 +1,229 @@
+// Package connectortest provides a conformance battery run against every
+// Connector implementation, checking the protocol contract from paper §3.4:
+// put returns a retrievable key, get round-trips bytes, exists tracks
+// lifecycle, evict is idempotent, and configs rebuild working connectors.
+package connectortest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"proxystore/internal/connector"
+)
+
+// Options tune the conformance run for backends with unusual properties.
+type Options struct {
+	// SkipConfigRebuild skips the FromConfig round-trip (for connectors
+	// whose config references live infrastructure not shared with the
+	// rebuilt instance).
+	SkipConfigRebuild bool
+	// MaxObjectSize caps the large-object test; zero means 1 MiB.
+	MaxObjectSize int
+	// SkipConcurrency skips the parallel put/get stress (for single-client
+	// backends).
+	SkipConcurrency bool
+}
+
+// Run exercises the full conformance battery against the connector returned
+// by newConn. newConn is called once; the connector is closed afterwards.
+func Run(t *testing.T, newConn func(t *testing.T) connector.Connector, opts Options) {
+	t.Helper()
+	conn := newConn(t)
+	t.Cleanup(func() { conn.Close() })
+	ctx := context.Background()
+
+	t.Run("PutGetRoundTrip", func(t *testing.T) {
+		data := []byte("conformance payload")
+		key, err := conn.Put(ctx, data)
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if key.ID == "" {
+			t.Fatal("Put returned key with empty ID")
+		}
+		got, err := conn.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("Get = %q, want %q", got, data)
+		}
+	})
+
+	t.Run("EmptyObject", func(t *testing.T) {
+		key, err := conn.Put(ctx, nil)
+		if err != nil {
+			t.Fatalf("Put(nil): %v", err)
+		}
+		got, err := conn.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("Get = %d bytes, want 0", len(got))
+		}
+	})
+
+	t.Run("LargeObject", func(t *testing.T) {
+		size := opts.MaxObjectSize
+		if size == 0 {
+			size = 1 << 20
+		}
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i * 31)
+		}
+		key, err := conn.Put(ctx, data)
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		got, err := conn.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("large object corrupted in round trip")
+		}
+	})
+
+	t.Run("ExistsLifecycle", func(t *testing.T) {
+		key, err := conn.Put(ctx, []byte("lifecycle"))
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		ok, err := conn.Exists(ctx, key)
+		if err != nil {
+			t.Fatalf("Exists: %v", err)
+		}
+		if !ok {
+			t.Fatal("Exists = false for live object")
+		}
+		if err := conn.Evict(ctx, key); err != nil {
+			t.Fatalf("Evict: %v", err)
+		}
+		ok, err = conn.Exists(ctx, key)
+		if err != nil {
+			t.Fatalf("Exists after evict: %v", err)
+		}
+		if ok {
+			t.Fatal("Exists = true after evict")
+		}
+	})
+
+	t.Run("GetEvictedIsNotFound", func(t *testing.T) {
+		key, err := conn.Put(ctx, []byte("soon gone"))
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if err := conn.Evict(ctx, key); err != nil {
+			t.Fatalf("Evict: %v", err)
+		}
+		if _, err := conn.Get(ctx, key); !errors.Is(err, connector.ErrNotFound) {
+			t.Fatalf("Get after evict = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("EvictIdempotent", func(t *testing.T) {
+		key, err := conn.Put(ctx, []byte("x"))
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if err := conn.Evict(ctx, key); err != nil {
+			t.Fatalf("first Evict: %v", err)
+		}
+		if err := conn.Evict(ctx, key); err != nil {
+			t.Fatalf("second Evict: %v", err)
+		}
+	})
+
+	t.Run("DistinctKeys", func(t *testing.T) {
+		k1, err := conn.Put(ctx, []byte("one"))
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		k2, err := conn.Put(ctx, []byte("two"))
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if k1.ID == k2.ID {
+			t.Fatal("two puts returned the same key ID")
+		}
+		v1, err := conn.Get(ctx, k1)
+		if err != nil {
+			t.Fatalf("Get k1: %v", err)
+		}
+		if string(v1) != "one" {
+			t.Fatalf("Get k1 = %q", v1)
+		}
+	})
+
+	t.Run("TypeMatchesKey", func(t *testing.T) {
+		key, err := conn.Put(ctx, []byte("typed"))
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if key.Type != conn.Type() {
+			t.Fatalf("key.Type = %q, connector.Type() = %q", key.Type, conn.Type())
+		}
+	})
+
+	if !opts.SkipConcurrency {
+		t.Run("ConcurrentPutGet", func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 8; i++ {
+						data := []byte(fmt.Sprintf("g%d-i%d", g, i))
+						key, err := conn.Put(ctx, data)
+						if err != nil {
+							errs <- fmt.Errorf("Put: %w", err)
+							return
+						}
+						got, err := conn.Get(ctx, key)
+						if err != nil {
+							errs <- fmt.Errorf("Get: %w", err)
+							return
+						}
+						if !bytes.Equal(got, data) {
+							errs <- fmt.Errorf("round trip mismatch: %q != %q", got, data)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+
+	if !opts.SkipConfigRebuild {
+		t.Run("ConfigRebuild", func(t *testing.T) {
+			key, err := conn.Put(ctx, []byte("visible to rebuilt connector"))
+			if err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			rebuilt, err := connector.FromConfig(conn.Config())
+			if err != nil {
+				t.Fatalf("FromConfig: %v", err)
+			}
+			defer rebuilt.Close()
+			got, err := rebuilt.Get(ctx, key)
+			if err != nil {
+				t.Fatalf("rebuilt Get: %v", err)
+			}
+			if string(got) != "visible to rebuilt connector" {
+				t.Fatalf("rebuilt Get = %q", got)
+			}
+		})
+	}
+}

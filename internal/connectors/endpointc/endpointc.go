@@ -1,0 +1,116 @@
+// Package endpointc provides the EndpointConnector: mediated communication
+// through PS-endpoints (paper §4.2.2). Keys are the tuple (object_id,
+// endpoint_id); a connector always talks to its local endpoint, which
+// forwards operations on foreign keys to the owning endpoint over peer
+// connections established via the relay server.
+package endpointc
+
+import (
+	"context"
+	"strconv"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/endpoint"
+	"proxystore/internal/netsim"
+)
+
+// Type is the registry name of the endpoint connector.
+const Type = "endpoint"
+
+// sharedNet is consulted when connectors are reconstructed from configs.
+var sharedNet *netsim.Network
+
+// SetNetwork installs the process-global network model used to shape
+// client-to-endpoint traffic for reconstructed connectors.
+func SetNetwork(n *netsim.Network) { sharedNet = n }
+
+// Connector stores objects on a local PS-endpoint.
+type Connector struct {
+	apiAddr    string
+	endpointID string
+	clientSite string
+	epSite     string
+	client     *endpoint.Client
+}
+
+// New returns a connector for the endpoint with identity endpointID serving
+// its API at apiAddr. clientSite/epSite shape the client hop when a global
+// network model is installed.
+func New(apiAddr, endpointID, clientSite, epSite string) *Connector {
+	var opts []endpoint.ClientOption
+	if sharedNet != nil && clientSite != "" {
+		opts = append(opts, endpoint.WithClientNetwork(sharedNet, clientSite, epSite))
+	}
+	return &Connector{
+		apiAddr:    apiAddr,
+		endpointID: endpointID,
+		clientSite: clientSite,
+		epSite:     epSite,
+		client:     endpoint.NewClient(apiAddr, opts...),
+	}
+}
+
+// Type implements connector.Connector.
+func (c *Connector) Type() string { return Type }
+
+// Config implements connector.Connector.
+func (c *Connector) Config() connector.Config {
+	return connector.Config{Type: Type, Params: map[string]string{
+		"addr":        c.apiAddr,
+		"endpoint":    c.endpointID,
+		"client_site": c.clientSite,
+		"ep_site":     c.epSite,
+	}}
+}
+
+// Put implements connector.Connector: the object lands on the local
+// endpoint and the key records its ownership.
+func (c *Connector) Put(ctx context.Context, data []byte) (connector.Key, error) {
+	id := connector.NewID()
+	if err := c.client.Set(ctx, id, data); err != nil {
+		return connector.Key{}, err
+	}
+	return connector.Key{
+		ID: id, Type: Type, Size: int64(len(data)),
+		Attrs: map[string]string{
+			"endpoint": c.endpointID,
+			"size":     strconv.Itoa(len(data)),
+		},
+	}, nil
+}
+
+// Get implements connector.Connector.
+func (c *Connector) Get(ctx context.Context, key connector.Key) ([]byte, error) {
+	data, found, err := c.client.Get(ctx, key.Attr("endpoint"), key.ID)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, connector.ErrNotFound
+	}
+	return data, nil
+}
+
+// Exists implements connector.Connector.
+func (c *Connector) Exists(ctx context.Context, key connector.Key) (bool, error) {
+	return c.client.Exists(ctx, key.Attr("endpoint"), key.ID)
+}
+
+// Evict implements connector.Connector.
+func (c *Connector) Evict(ctx context.Context, key connector.Key) error {
+	return c.client.Evict(ctx, key.Attr("endpoint"), key.ID)
+}
+
+// Close implements connector.Connector; the endpoint keeps running.
+func (c *Connector) Close() error { return c.client.Close() }
+
+func init() {
+	connector.Register(Type, func(cfg connector.Config) (connector.Connector, error) {
+		return New(
+			cfg.Param("addr", ""),
+			cfg.Param("endpoint", ""),
+			cfg.Param("client_site", ""),
+			cfg.Param("ep_site", ""),
+		), nil
+	})
+}

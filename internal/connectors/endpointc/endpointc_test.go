@@ -1,0 +1,101 @@
+package endpointc
+
+import (
+	"context"
+	"testing"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connector/connectortest"
+	"proxystore/internal/endpoint"
+	"proxystore/internal/relay"
+)
+
+func startInfra(t *testing.T, uuids ...string) (*relay.Server, []*endpoint.Endpoint) {
+	t.Helper()
+	r, err := relay.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("relay.NewServer: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	eps := make([]*endpoint.Endpoint, len(uuids))
+	for i, id := range uuids {
+		ep, err := endpoint.Start("127.0.0.1:0", r.Addr(), endpoint.Options{UUID: id})
+		if err != nil {
+			t.Fatalf("endpoint.Start: %v", err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		eps[i] = ep
+	}
+	return r, eps
+}
+
+func TestConformance(t *testing.T) {
+	_, eps := startInfra(t, "epc-conf")
+	connectortest.Run(t, func(t *testing.T) connector.Connector {
+		return New(eps[0].Addr(), eps[0].UUID(), "", "")
+	}, connectortest.Options{SkipConfigRebuild: true})
+}
+
+func TestKeysCarryEndpointIdentity(t *testing.T) {
+	_, eps := startInfra(t, "epc-id")
+	c := New(eps[0].Addr(), eps[0].UUID(), "", "")
+	defer c.Close()
+	key, err := c.Put(context.Background(), []byte("owned"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if key.Attr("endpoint") != "epc-id" {
+		t.Fatalf("key endpoint attr = %q", key.Attr("endpoint"))
+	}
+}
+
+func TestForeignKeyForwardedViaPeering(t *testing.T) {
+	// Producer and consumer connectors talk to different endpoints; the
+	// consumer's endpoint forwards the get over a peer connection.
+	_, eps := startInfra(t, "epc-prod", "epc-cons")
+	producer := New(eps[0].Addr(), eps[0].UUID(), "", "")
+	defer producer.Close()
+	consumer := New(eps[1].Addr(), eps[1].UUID(), "", "")
+	defer consumer.Close()
+
+	ctx := context.Background()
+	key, err := producer.Put(ctx, []byte("peer fetched"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := consumer.Get(ctx, key)
+	if err != nil {
+		t.Fatalf("consumer Get: %v", err)
+	}
+	if string(got) != "peer fetched" {
+		t.Fatalf("consumer Get = %q", got)
+	}
+	// The object lives only on the producer's endpoint.
+	if eps[0].Len() != 1 || eps[1].Len() != 0 {
+		t.Fatalf("object placement: producer=%d consumer=%d", eps[0].Len(), eps[1].Len())
+	}
+}
+
+func TestConfigRoundTripsParams(t *testing.T) {
+	_, eps := startInfra(t, "epc-cfg")
+	c := New(eps[0].Addr(), eps[0].UUID(), "midway2-login", "midway2-login")
+	defer c.Close()
+	cfg := c.Config()
+	rebuilt, err := connector.FromConfig(cfg)
+	if err != nil {
+		t.Fatalf("FromConfig: %v", err)
+	}
+	defer rebuilt.Close()
+	ctx := context.Background()
+	key, err := c.Put(ctx, []byte("cfg"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := rebuilt.Get(ctx, key)
+	if err != nil {
+		t.Fatalf("rebuilt Get: %v", err)
+	}
+	if string(got) != "cfg" {
+		t.Fatalf("rebuilt Get = %q", got)
+	}
+}

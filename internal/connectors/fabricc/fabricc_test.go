@@ -1,0 +1,115 @@
+package fabricc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connector/connectortest"
+	"proxystore/internal/netsim"
+	"proxystore/internal/rdma"
+)
+
+func setupFabric(t *testing.T, name string, profile rdma.Profile) {
+	t.Helper()
+	n := netsim.New(1)
+	n.AddSite("nodeA", true)
+	n.AddSite("nodeB", true)
+	n.SetLink("nodeA", "nodeB", netsim.Link{Latency: 50 * time.Microsecond, Bandwidth: 5e9})
+	RegisterFabric(name, rdma.NewFabric(n, profile))
+	t.Cleanup(ResetFabrics)
+}
+
+func TestConformanceMargo(t *testing.T) {
+	setupFabric(t, "conf-margo", rdma.MargoProfile())
+	connectortest.Run(t, func(t *testing.T) connector.Connector {
+		c, err := NewMargo("conf-margo", "nodeA-store", "nodeA")
+		if err != nil {
+			t.Fatalf("NewMargo: %v", err)
+		}
+		return c
+	}, connectortest.Options{})
+}
+
+func TestConformanceUCX(t *testing.T) {
+	setupFabric(t, "conf-ucx", rdma.UCXProfile())
+	connectortest.Run(t, func(t *testing.T) connector.Connector {
+		c, err := NewUCX("conf-ucx", "nodeA-store-ucx", "nodeA")
+		if err != nil {
+			t.Fatalf("NewUCX: %v", err)
+		}
+		return c
+	}, connectortest.Options{})
+}
+
+func TestCrossNodeFetch(t *testing.T) {
+	setupFabric(t, "cross", rdma.MargoProfile())
+	producer, err := NewMargo("cross", "prod-node", "nodeA")
+	if err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+	defer producer.Close()
+	consumer, err := NewMargo("cross", "cons-node", "nodeB")
+	if err != nil {
+		t.Fatalf("consumer: %v", err)
+	}
+	defer consumer.Close()
+
+	ctx := context.Background()
+	key, err := producer.Put(ctx, []byte("lives on prod-node"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if key.Attr("node") != "prod-node" {
+		t.Fatalf("key node = %q", key.Attr("node"))
+	}
+	// Consumer fetches directly from the producing node's server.
+	got, err := consumer.Get(ctx, key)
+	if err != nil {
+		t.Fatalf("consumer Get: %v", err)
+	}
+	if string(got) != "lives on prod-node" {
+		t.Fatalf("consumer Get = %q", got)
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	setupFabric(t, "types", rdma.MargoProfile())
+	if _, err := New("openmpi", "types", "n", "nodeA"); err == nil {
+		t.Fatal("unknown connector type accepted")
+	}
+}
+
+func TestUnregisteredFabricRejected(t *testing.T) {
+	if _, err := NewMargo("no-such-fabric", "n", "nodeA"); err == nil {
+		t.Fatal("connector created against unregistered fabric")
+	}
+}
+
+func TestServerSharedAcrossConnectorsOnSameNode(t *testing.T) {
+	setupFabric(t, "shared", rdma.MargoProfile())
+	a, err := NewMargo("shared", "same-node", "nodeA")
+	if err != nil {
+		t.Fatalf("a: %v", err)
+	}
+	defer a.Close()
+	b, err := NewMargo("shared", "same-node", "nodeA")
+	if err != nil {
+		t.Fatalf("b: %v", err)
+	}
+	defer b.Close()
+
+	ctx := context.Background()
+	key, err := a.Put(ctx, []byte("one server per node"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := b.Get(ctx, key)
+	if err != nil {
+		t.Fatalf("b.Get: %v", err)
+	}
+	if string(got) != "one server per node" {
+		t.Fatalf("b.Get = %q", got)
+	}
+}

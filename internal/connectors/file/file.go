@@ -1,0 +1,157 @@
+// Package file provides the FileConnector: mediated communication via a
+// shared file system (paper §4.1.1). Objects are written as files in a data
+// directory; any process that can see the directory can resolve proxies.
+// Optionally the connector routes through netsim to model a parallel file
+// system's latency and bandwidth.
+package file
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/netsim"
+)
+
+// Type is the registry name of the file connector.
+const Type = "file"
+
+// Connector stores each object as a file named by its object ID.
+//
+// A Connector is safe for concurrent use; distinct object IDs never collide
+// on the same file.
+type Connector struct {
+	dir string
+
+	// Optional file-system performance model.
+	net  *netsim.Network
+	site string
+	fs   string
+}
+
+// Option configures a Connector.
+type Option func(*Connector)
+
+// WithNetwork attaches a netsim model: every Put/Get pays the transfer time
+// between site and fsSite (the storage servers) for the object size.
+func WithNetwork(n *netsim.Network, site, fsSite string) Option {
+	return func(c *Connector) {
+		c.net = n
+		c.site = site
+		c.fs = fsSite
+	}
+}
+
+// New returns a file connector rooted at dir, creating dir if needed.
+func New(dir string, opts ...Option) (*Connector, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("file: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("file: creating data directory: %w", err)
+	}
+	c := &Connector{dir: dir}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Dir returns the connector's data directory.
+func (c *Connector) Dir() string { return c.dir }
+
+// Type implements connector.Connector.
+func (c *Connector) Type() string { return Type }
+
+// Config implements connector.Connector.
+func (c *Connector) Config() connector.Config {
+	return connector.Config{Type: Type, Params: map[string]string{"dir": c.dir}}
+}
+
+func (c *Connector) path(id string) string { return filepath.Join(c.dir, id) }
+
+func (c *Connector) delay(ctx context.Context, size int) error {
+	if c.net == nil {
+		return nil
+	}
+	return c.net.Delay(ctx, c.site, c.fs, size)
+}
+
+// Put implements connector.Connector. The write is atomic: data lands in a
+// temp file renamed into place, so concurrent readers never see a partial
+// object.
+func (c *Connector) Put(ctx context.Context, data []byte) (connector.Key, error) {
+	key := connector.Key{ID: connector.NewID(), Type: Type, Size: int64(len(data)),
+		Attrs: map[string]string{"dir": c.dir, "size": strconv.Itoa(len(data))}}
+	if err := c.delay(ctx, len(data)); err != nil {
+		return connector.Key{}, err
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return connector.Key{}, fmt.Errorf("file: creating temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return connector.Key{}, fmt.Errorf("file: writing object: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return connector.Key{}, fmt.Errorf("file: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key.ID)); err != nil {
+		os.Remove(tmp.Name())
+		return connector.Key{}, fmt.Errorf("file: publishing object: %w", err)
+	}
+	return key, nil
+}
+
+// Get implements connector.Connector.
+func (c *Connector) Get(ctx context.Context, key connector.Key) ([]byte, error) {
+	if err := c.delay(ctx, int(key.Size)); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(c.path(key.ID))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, connector.ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("file: reading object: %w", err)
+	}
+	return data, nil
+}
+
+// Exists implements connector.Connector.
+func (c *Connector) Exists(_ context.Context, key connector.Key) (bool, error) {
+	_, err := os.Stat(c.path(key.ID))
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("file: stat object: %w", err)
+	}
+	return true, nil
+}
+
+// Evict implements connector.Connector.
+func (c *Connector) Evict(_ context.Context, key connector.Key) error {
+	err := os.Remove(c.path(key.ID))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("file: removing object: %w", err)
+	}
+	return nil
+}
+
+// Close implements connector.Connector. Stored files persist.
+func (c *Connector) Close() error { return nil }
+
+func init() {
+	connector.Register(Type, func(cfg connector.Config) (connector.Connector, error) {
+		return New(cfg.Param("dir", ""))
+	})
+}

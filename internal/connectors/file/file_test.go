@@ -1,0 +1,107 @@
+package file
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connector/connectortest"
+	"proxystore/internal/netsim"
+)
+
+func TestConformance(t *testing.T) {
+	dir := t.TempDir()
+	connectortest.Run(t, func(t *testing.T) connector.Connector {
+		c, err := New(dir)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return c
+	}, connectortest.Options{})
+}
+
+func TestNewRejectsEmptyDir(t *testing.T) {
+	if _, err := New(""); err == nil {
+		t.Fatal("New accepted empty directory")
+	}
+}
+
+func TestNewCreatesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "data")
+	if _, err := New(dir); err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("data directory not created: %v", err)
+	}
+}
+
+func TestObjectsVisibleAcrossInstances(t *testing.T) {
+	// Two connectors sharing a directory model two processes sharing a
+	// file system — the FileConnector's whole reason to exist.
+	dir := t.TempDir()
+	producer, err := New(dir)
+	if err != nil {
+		t.Fatalf("New producer: %v", err)
+	}
+	consumer, err := New(dir)
+	if err != nil {
+		t.Fatalf("New consumer: %v", err)
+	}
+	ctx := context.Background()
+	key, err := producer.Put(ctx, []byte("shared fs object"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := consumer.Get(ctx, key)
+	if err != nil {
+		t.Fatalf("consumer Get: %v", err)
+	}
+	if string(got) != "shared fs object" {
+		t.Fatalf("consumer Get = %q", got)
+	}
+}
+
+func TestNoTempFilesLeftBehind(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Put(ctx, []byte("obj")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if err != nil {
+		t.Fatalf("Glob: %v", err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("%d temp files left behind", len(matches))
+	}
+}
+
+func TestNetworkModelAddsDelay(t *testing.T) {
+	n := netsim.New(1)
+	n.AddSite("compute", true)
+	n.AddSite("pfs", false)
+	if err := n.SetLink("compute", "pfs", netsim.Link{Latency: 20 * time.Millisecond}); err != nil {
+		t.Fatalf("SetLink: %v", err)
+	}
+	c, err := New(t.TempDir(), WithNetwork(n, "compute", "pfs"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	start := time.Now()
+	if _, err := c.Put(context.Background(), []byte("slow")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("Put took %v, expected >= 20ms of modeled PFS latency", elapsed)
+	}
+}

@@ -1,0 +1,108 @@
+// Package local provides an in-process, in-memory connector. It backs unit
+// tests and same-process pipelines; its config names a process-global
+// instance so factories resolving in the producing process find the data.
+package local
+
+import (
+	"context"
+	"sync"
+
+	"proxystore/internal/connector"
+)
+
+// Type is the registry name of the local connector.
+const Type = "local"
+
+var (
+	sharedMu sync.Mutex
+	shared   = make(map[string]*Connector)
+)
+
+// Connector stores byte strings in a process-local map.
+//
+// A Connector is safe for concurrent use.
+type Connector struct {
+	name string
+
+	mu      sync.RWMutex
+	objects map[string][]byte
+	closed  bool
+}
+
+// New returns the process-global local connector with the given instance
+// name, creating it on first use.
+func New(name string) *Connector {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if c, ok := shared[name]; ok {
+		return c
+	}
+	c := &Connector{name: name, objects: make(map[string][]byte)}
+	shared[name] = c
+	return c
+}
+
+// Type implements connector.Connector.
+func (c *Connector) Type() string { return Type }
+
+// Config implements connector.Connector.
+func (c *Connector) Config() connector.Config {
+	return connector.Config{Type: Type, Params: map[string]string{"name": c.name}}
+}
+
+// Put implements connector.Connector.
+func (c *Connector) Put(_ context.Context, data []byte) (connector.Key, error) {
+	key := connector.Key{ID: connector.NewID(), Type: Type, Size: int64(len(data))}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.mu.Lock()
+	c.objects[key.ID] = buf
+	c.mu.Unlock()
+	return key, nil
+}
+
+// Get implements connector.Connector.
+func (c *Connector) Get(_ context.Context, key connector.Key) ([]byte, error) {
+	c.mu.RLock()
+	data, ok := c.objects[key.ID]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, connector.ErrNotFound
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Exists implements connector.Connector.
+func (c *Connector) Exists(_ context.Context, key connector.Key) (bool, error) {
+	c.mu.RLock()
+	_, ok := c.objects[key.ID]
+	c.mu.RUnlock()
+	return ok, nil
+}
+
+// Evict implements connector.Connector.
+func (c *Connector) Evict(_ context.Context, key connector.Key) error {
+	c.mu.Lock()
+	delete(c.objects, key.ID)
+	c.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of stored objects.
+func (c *Connector) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.objects)
+}
+
+// Close implements connector.Connector. The shared instance keeps its data
+// so other holders of the same named connector continue to work.
+func (c *Connector) Close() error { return nil }
+
+func init() {
+	connector.Register(Type, func(cfg connector.Config) (connector.Connector, error) {
+		return New(cfg.Param("name", "default")), nil
+	})
+}

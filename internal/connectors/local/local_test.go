@@ -1,0 +1,50 @@
+package local
+
+import (
+	"context"
+	"testing"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connector/connectortest"
+)
+
+func TestConformance(t *testing.T) {
+	connectortest.Run(t, func(t *testing.T) connector.Connector {
+		return New("conformance")
+	}, connectortest.Options{})
+}
+
+func TestSharedInstanceByName(t *testing.T) {
+	a := New("shared-x")
+	b := New("shared-x")
+	if a != b {
+		t.Fatal("New returned distinct instances for the same name")
+	}
+	c := New("shared-y")
+	if a == c {
+		t.Fatal("distinct names shared an instance")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	c := New("copy-test")
+	ctx := context.Background()
+	data := []byte("mutable")
+	key, err := c.Put(ctx, data)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	data[0] = 'X' // caller mutates its buffer after Put
+	got, err := c.Get(ctx, key)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != "mutable" {
+		t.Fatalf("stored object aliased caller buffer: %q", got)
+	}
+	got[0] = 'Y' // caller mutates the returned buffer
+	again, _ := c.Get(ctx, key)
+	if string(again) != "mutable" {
+		t.Fatalf("returned buffer aliased stored object: %q", again)
+	}
+}

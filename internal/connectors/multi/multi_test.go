@@ -1,0 +1,181 @@
+package multi
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connector/connectortest"
+	"proxystore/internal/connectors/local"
+)
+
+func newMulti(t *testing.T) *Connector {
+	t.Helper()
+	c, err := New(
+		Child{
+			Name:      "small",
+			Connector: local.New("multi-small"),
+			Policy:    Policy{MaxSize: 1024, Priority: 10, Tags: []string{"intra-site"}},
+		},
+		Child{
+			Name:      "large",
+			Connector: local.New("multi-large"),
+			Policy:    Policy{MinSize: 1025, Priority: 10, Tags: []string{"intra-site", "bulk"}},
+		},
+		Child{
+			Name:      "fallback",
+			Connector: local.New("multi-fallback"),
+			Policy:    Policy{Priority: -1},
+		},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestConformance(t *testing.T) {
+	connectortest.Run(t, func(t *testing.T) connector.Connector {
+		return newMulti(t)
+	}, connectortest.Options{})
+}
+
+func TestRoutesBySize(t *testing.T) {
+	c := newMulti(t)
+	ctx := context.Background()
+
+	smallKey, err := c.Put(ctx, make([]byte, 100))
+	if err != nil {
+		t.Fatalf("Put small: %v", err)
+	}
+	if got := smallKey.Attr("multi_child"); got != "small" {
+		t.Fatalf("small object routed to %q", got)
+	}
+
+	largeKey, err := c.Put(ctx, make([]byte, 10_000))
+	if err != nil {
+		t.Fatalf("Put large: %v", err)
+	}
+	if got := largeKey.Attr("multi_child"); got != "large" {
+		t.Fatalf("large object routed to %q", got)
+	}
+}
+
+func TestTagConstraints(t *testing.T) {
+	c := newMulti(t)
+	ctx := context.Background()
+	key, err := c.PutTagged(ctx, make([]byte, 2000), []string{"bulk"})
+	if err != nil {
+		t.Fatalf("PutTagged: %v", err)
+	}
+	if got := key.Attr("multi_child"); got != "large" {
+		t.Fatalf("bulk-tagged object routed to %q", got)
+	}
+}
+
+func TestUnmatchedTagFallsBack(t *testing.T) {
+	c := newMulti(t)
+	// "persistent" matches no tagged policy; the untagged fallback (whose
+	// policy has no tags) does not satisfy a required tag either, so this
+	// must error.
+	_, err := c.PutTagged(context.Background(), make([]byte, 10), []string{"persistent"})
+	if !errors.Is(err, ErrNoPolicy) {
+		t.Fatalf("PutTagged = %v, want ErrNoPolicy", err)
+	}
+}
+
+func TestNoPolicyError(t *testing.T) {
+	c, err := New(Child{
+		Name:      "tiny-only",
+		Connector: local.New("multi-tiny"),
+		Policy:    Policy{MaxSize: 10},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := c.Put(context.Background(), make([]byte, 100)); !errors.Is(err, ErrNoPolicy) {
+		t.Fatalf("Put = %v, want ErrNoPolicy", err)
+	}
+}
+
+func TestPriorityBreaksTies(t *testing.T) {
+	c, err := New(
+		Child{Name: "low", Connector: local.New("prio-low"), Policy: Policy{Priority: 1}},
+		Child{Name: "high", Connector: local.New("prio-high"), Policy: Policy{Priority: 5}},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	key, err := c.Put(context.Background(), []byte("x"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if got := key.Attr("multi_child"); got != "high" {
+		t.Fatalf("object routed to %q, want high-priority child", got)
+	}
+}
+
+func TestDuplicateChildNamesRejected(t *testing.T) {
+	_, err := New(
+		Child{Name: "dup", Connector: local.New("dup-a")},
+		Child{Name: "dup", Connector: local.New("dup-b")},
+	)
+	if err == nil {
+		t.Fatal("New accepted duplicate child names")
+	}
+}
+
+func TestGetRoutesToStoringChild(t *testing.T) {
+	c := newMulti(t)
+	ctx := context.Background()
+	key, err := c.Put(ctx, make([]byte, 50))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// The object must only live on the chosen child.
+	small := local.New("multi-small")
+	if small.Len() == 0 {
+		t.Fatal("small child holds no objects")
+	}
+	got, err := c.Get(ctx, key)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("Get returned %d bytes", len(got))
+	}
+}
+
+func TestKeyWithoutRoutingAttr(t *testing.T) {
+	c := newMulti(t)
+	_, err := c.Get(context.Background(), connector.Key{ID: "x", Type: Type})
+	if err == nil {
+		t.Fatal("Get accepted key without routing attribute")
+	}
+}
+
+func TestPolicyMatches(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Policy
+		size int64
+		tags []string
+		want bool
+	}{
+		{"zero matches all", Policy{}, 123, nil, true},
+		{"below min", Policy{MinSize: 10}, 5, nil, false},
+		{"above max", Policy{MaxSize: 10}, 11, nil, false},
+		{"in range", Policy{MinSize: 10, MaxSize: 20}, 15, nil, true},
+		{"has tag", Policy{Tags: []string{"a", "b"}}, 1, []string{"a"}, true},
+		{"missing tag", Policy{Tags: []string{"a"}}, 1, []string{"z"}, false},
+		{"multiple required", Policy{Tags: []string{"a", "b"}}, 1, []string{"a", "b"}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Matches(tc.size, tc.tags); got != tc.want {
+				t.Fatalf("Matches(%d, %v) = %v, want %v", tc.size, tc.tags, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+// Package redisc provides the RedisConnector: mediated communication
+// through a (mini) Redis server (paper §4.1.2). The reference
+// implementation is 31 lines of Python; this one is comparably thin over
+// the kvstore client, demonstrating the ease of extending the proxy model
+// to new mediated channels.
+package redisc
+
+import (
+	"context"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/kvstore"
+	"proxystore/internal/netsim"
+)
+
+// Type is the registry name of the redis connector.
+const Type = "redis"
+
+// Connector stores objects on a RESP server.
+type Connector struct {
+	addr   string
+	client *kvstore.Client
+
+	// Net-model description, preserved in Config so reconstructed
+	// connectors keep the same timing behaviour within one process.
+	clientSite string
+	serverSite string
+}
+
+// Option configures a Connector.
+type Option func(*Connector)
+
+// WithSites records the client and server sites; combined with SetNetwork's
+// process-global model the client pays modeled WAN delays.
+func WithSites(clientSite, serverSite string) Option {
+	return func(c *Connector) {
+		c.clientSite = clientSite
+		c.serverSite = serverSite
+	}
+}
+
+// sharedNet is the process-global network model used when connectors are
+// reconstructed from configs (configs are string maps and cannot carry a
+// live *netsim.Network).
+var sharedNet *netsim.Network
+
+// SetNetwork installs the process-global network model consulted by
+// connectors that carry site labels.
+func SetNetwork(n *netsim.Network) { sharedNet = n }
+
+// New returns a connector talking to the RESP server at addr.
+func New(addr string, opts ...Option) *Connector {
+	c := &Connector{addr: addr}
+	for _, o := range opts {
+		o(c)
+	}
+	var copts []kvstore.ClientOption
+	if sharedNet != nil && c.clientSite != "" {
+		copts = append(copts, kvstore.WithClientNetwork(sharedNet, c.clientSite, c.serverSite))
+	}
+	c.client = kvstore.NewClient(addr, copts...)
+	return c
+}
+
+// Client exposes the underlying kvstore client (for diagnostics).
+func (c *Connector) Client() *kvstore.Client { return c.client }
+
+// Type implements connector.Connector.
+func (c *Connector) Type() string { return Type }
+
+// Config implements connector.Connector.
+func (c *Connector) Config() connector.Config {
+	return connector.Config{Type: Type, Params: map[string]string{
+		"addr":        c.addr,
+		"client_site": c.clientSite,
+		"server_site": c.serverSite,
+	}}
+}
+
+// Put implements connector.Connector.
+func (c *Connector) Put(ctx context.Context, data []byte) (connector.Key, error) {
+	key := connector.Key{ID: connector.NewID(), Type: Type, Size: int64(len(data))}
+	if err := c.client.Set(ctx, key.ID, data); err != nil {
+		return connector.Key{}, err
+	}
+	return key, nil
+}
+
+// Get implements connector.Connector.
+func (c *Connector) Get(ctx context.Context, key connector.Key) ([]byte, error) {
+	data, ok, err := c.client.Get(ctx, key.ID)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, connector.ErrNotFound
+	}
+	return data, nil
+}
+
+// Exists implements connector.Connector.
+func (c *Connector) Exists(ctx context.Context, key connector.Key) (bool, error) {
+	n, err := c.client.Exists(ctx, key.ID)
+	if err != nil {
+		return false, err
+	}
+	return n > 0, nil
+}
+
+// Evict implements connector.Connector.
+func (c *Connector) Evict(ctx context.Context, key connector.Key) error {
+	_, err := c.client.Del(ctx, key.ID)
+	return err
+}
+
+// Close implements connector.Connector. Server-side objects persist.
+func (c *Connector) Close() error { return c.client.Close() }
+
+func init() {
+	connector.Register(Type, func(cfg connector.Config) (connector.Connector, error) {
+		return New(cfg.Param("addr", "127.0.0.1:6379"),
+			WithSites(cfg.Param("client_site", ""), cfg.Param("server_site", ""))), nil
+	})
+}

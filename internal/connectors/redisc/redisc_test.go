@@ -1,0 +1,57 @@
+package redisc
+
+import (
+	"context"
+	"testing"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connector/connectortest"
+	"proxystore/internal/kvstore"
+)
+
+func newServer(t *testing.T) *kvstore.Server {
+	t.Helper()
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestConformance(t *testing.T) {
+	srv := newServer(t)
+	connectortest.Run(t, func(t *testing.T) connector.Connector {
+		return New(srv.Addr())
+	}, connectortest.Options{})
+}
+
+func TestObjectsSharedAcrossConnectors(t *testing.T) {
+	srv := newServer(t)
+	producer := New(srv.Addr())
+	defer producer.Close()
+	consumer := New(srv.Addr())
+	defer consumer.Close()
+
+	ctx := context.Background()
+	key, err := producer.Put(ctx, []byte("mediated"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := consumer.Get(ctx, key)
+	if err != nil {
+		t.Fatalf("consumer Get: %v", err)
+	}
+	if string(got) != "mediated" {
+		t.Fatalf("consumer Get = %q", got)
+	}
+}
+
+func TestConfigCarriesSites(t *testing.T) {
+	c := New("127.0.0.1:1", WithSites("midway2-login", "theta"))
+	defer c.Close()
+	cfg := c.Config()
+	if cfg.Param("client_site", "") != "midway2-login" || cfg.Param("server_site", "") != "theta" {
+		t.Fatalf("Config = %v", cfg.Params)
+	}
+}

@@ -1,0 +1,155 @@
+// Package zmqc provides the ZMQ connector: distributed in-memory storage
+// over framed TCP messaging, the compatibility fallback among the paper's
+// distributed in-memory connectors (§4.1.3). Unlike the fabric connectors
+// it runs over real sockets, so it works wherever TCP does.
+package zmqc
+
+import (
+	"context"
+	"strconv"
+	"sync"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/distmem"
+	"proxystore/internal/netsim"
+)
+
+// Type is the registry name of the zmq connector.
+const Type = "zmq"
+
+var (
+	serversMu sync.Mutex
+	servers   = make(map[string]*distmem.TCPServer) // by logical node name
+)
+
+// sharedNet mirrors redisc: configs cannot carry a live network model, so
+// connectors consult a process-global one.
+var sharedNet *netsim.Network
+
+// SetNetwork installs the process-global network model.
+func SetNetwork(n *netsim.Network) { sharedNet = n }
+
+// StartNodeServer spawns (or returns) the storage server for a logical
+// node, listening on an ephemeral loopback port.
+func StartNodeServer(node string) (*distmem.TCPServer, error) {
+	serversMu.Lock()
+	defer serversMu.Unlock()
+	if s, ok := servers[node]; ok {
+		return s, nil
+	}
+	s, err := distmem.StartTCPServer("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	servers[node] = s
+	return s, nil
+}
+
+// ResetServers stops all node servers. For tests.
+func ResetServers() {
+	serversMu.Lock()
+	defer serversMu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
+	servers = make(map[string]*distmem.TCPServer)
+}
+
+// Connector stores objects on per-node TCP storage servers.
+type Connector struct {
+	node   string
+	site   string
+	addr   string // this node's server address
+	client *distmem.TCPClient
+}
+
+// New creates a connector homed at the logical node (spawning its server on
+// first use) located at the given netsim site.
+func New(node, site string) (*Connector, error) {
+	srv, err := StartNodeServer(node)
+	if err != nil {
+		return nil, err
+	}
+	// Servers all listen on loopback; cross-site timing is modeled per-get
+	// from the producing key's site to this connector's site (see Get), so
+	// the raw msgnet client needs no shaping of its own.
+	c := &Connector{node: node, site: site, addr: srv.Addr(), client: distmem.NewTCPClient()}
+	return c, nil
+}
+
+// Type implements connector.Connector.
+func (c *Connector) Type() string { return Type }
+
+// Config implements connector.Connector.
+func (c *Connector) Config() connector.Config {
+	return connector.Config{Type: Type, Params: map[string]string{
+		"node": c.node,
+		"site": c.site,
+	}}
+}
+
+func (c *Connector) delay(ctx context.Context, producerSite string, size int) error {
+	if sharedNet == nil || c.site == "" || producerSite == "" {
+		return nil
+	}
+	return sharedNet.Delay(ctx, c.site, producerSite, size)
+}
+
+// Put implements connector.Connector.
+func (c *Connector) Put(ctx context.Context, data []byte) (connector.Key, error) {
+	id := connector.NewID()
+	if err := c.client.Put(ctx, c.addr, id, data); err != nil {
+		return connector.Key{}, err
+	}
+	return connector.Key{
+		ID: id, Type: Type, Size: int64(len(data)),
+		Attrs: map[string]string{
+			"addr": c.addr,
+			"node": c.node,
+			"site": c.site,
+			"size": strconv.Itoa(len(data)),
+		},
+	}, nil
+}
+
+func (c *Connector) target(key connector.Key) string {
+	if addr := key.Attr("addr"); addr != "" {
+		return addr
+	}
+	return c.addr
+}
+
+// Get implements connector.Connector, paying the modeled transfer time from
+// the producing node's site to this connector's site.
+func (c *Connector) Get(ctx context.Context, key connector.Key) ([]byte, error) {
+	if err := c.delay(ctx, key.Attr("site"), int(key.Size)); err != nil {
+		return nil, err
+	}
+	data, ok, err := c.client.Get(ctx, c.target(key), key.ID)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, connector.ErrNotFound
+	}
+	return data, nil
+}
+
+// Exists implements connector.Connector.
+func (c *Connector) Exists(ctx context.Context, key connector.Key) (bool, error) {
+	return c.client.Exists(ctx, c.target(key), key.ID)
+}
+
+// Evict implements connector.Connector.
+func (c *Connector) Evict(ctx context.Context, key connector.Key) error {
+	return c.client.Evict(ctx, c.target(key), key.ID)
+}
+
+// Close implements connector.Connector; the node server keeps running.
+func (c *Connector) Close() error { return c.client.Close() }
+
+func init() {
+	connector.Register(Type, func(cfg connector.Config) (connector.Connector, error) {
+		return New(cfg.Param("node", "node0"), cfg.Param("site", ""))
+	})
+}

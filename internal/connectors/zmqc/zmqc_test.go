@@ -1,0 +1,83 @@
+package zmqc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connector/connectortest"
+	"proxystore/internal/netsim"
+)
+
+func TestConformance(t *testing.T) {
+	t.Cleanup(ResetServers)
+	connectortest.Run(t, func(t *testing.T) connector.Connector {
+		c, err := New("conf-node", "")
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return c
+	}, connectortest.Options{})
+}
+
+func TestCrossNodeFetch(t *testing.T) {
+	t.Cleanup(ResetServers)
+	producer, err := New("zmq-prod", "")
+	if err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+	defer producer.Close()
+	consumer, err := New("zmq-cons", "")
+	if err != nil {
+		t.Fatalf("consumer: %v", err)
+	}
+	defer consumer.Close()
+
+	ctx := context.Background()
+	key, err := producer.Put(ctx, []byte("zmq payload"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := consumer.Get(ctx, key)
+	if err != nil {
+		t.Fatalf("consumer Get: %v", err)
+	}
+	if string(got) != "zmq payload" {
+		t.Fatalf("consumer Get = %q", got)
+	}
+}
+
+func TestSiteShapedGetDelay(t *testing.T) {
+	t.Cleanup(ResetServers)
+	n := netsim.New(1)
+	n.AddSite("p", true)
+	n.AddSite("c", true)
+	n.SetLink("p", "c", netsim.Link{Latency: 15 * time.Millisecond})
+	SetNetwork(n)
+	t.Cleanup(func() { SetNetwork(nil) })
+
+	producer, err := New("shaped-prod", "p")
+	if err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+	defer producer.Close()
+	consumer, err := New("shaped-cons", "c")
+	if err != nil {
+		t.Fatalf("consumer: %v", err)
+	}
+	defer consumer.Close()
+
+	ctx := context.Background()
+	key, err := producer.Put(ctx, []byte("cross-site"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	start := time.Now()
+	if _, err := consumer.Get(ctx, key); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("cross-site Get took %v, want >= 15ms", elapsed)
+	}
+}

@@ -1,0 +1,107 @@
+package dataspaces
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"proxystore/internal/netsim"
+	"proxystore/internal/rdma"
+)
+
+func newPair(t *testing.T, opts ClientOptions) (*Server, *Client) {
+	t.Helper()
+	n := netsim.New(100)
+	n.AddSite("n0", true)
+	n.AddSite("n1", true)
+	n.SetLink("n0", "n1", netsim.Link{Latency: 50 * time.Microsecond, Bandwidth: 4e9})
+	f := rdma.NewFabric(n, rdma.MargoProfile())
+	srv, err := StartServer(f, "staging", "n0")
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	if opts.Scale == 0 {
+		opts.Scale = 100
+	}
+	cli, err := NewClient(f, "ds-client", "n1", "staging", opts)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	_, cli := newPair(t, ClientOptions{})
+	ctx := context.Background()
+	data := bytes.Repeat([]byte("ds"), 10_000)
+	if err := cli.Put(ctx, "field", 1, data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := cli.Get(ctx, "field", 1)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("staged object corrupted")
+	}
+}
+
+func TestVersionsAreDistinct(t *testing.T) {
+	_, cli := newPair(t, ClientOptions{})
+	ctx := context.Background()
+	cli.Put(ctx, "var", 1, []byte("v1"))
+	cli.Put(ctx, "var", 2, []byte("v2"))
+	got1, err := cli.Get(ctx, "var", 1)
+	if err != nil || string(got1) != "v1" {
+		t.Fatalf("Get v1 = %q, %v", got1, err)
+	}
+	got2, err := cli.Get(ctx, "var", 2)
+	if err != nil || string(got2) != "v2" {
+		t.Fatalf("Get v2 = %q, %v", got2, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, cli := newPair(t, ClientOptions{})
+	if _, err := cli.Get(context.Background(), "ghost", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get = %v, want ErrNotFound", err)
+	}
+}
+
+func TestStartupCostPaidOnce(t *testing.T) {
+	_, cli := newPair(t, ClientOptions{StartupCost: 2 * time.Second, OpOverhead: time.Microsecond, Scale: 100})
+	ctx := context.Background()
+
+	start := time.Now()
+	if err := cli.Put(ctx, "first", 1, []byte("x")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	first := time.Since(start)
+
+	start = time.Now()
+	if err := cli.Put(ctx, "second", 1, []byte("x")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	second := time.Since(start)
+
+	if first < 20*time.Millisecond {
+		t.Fatalf("first op took %v, want >= 20ms startup", first)
+	}
+	if second > first/2 {
+		t.Fatalf("second op (%v) should be much cheaper than first (%v)", second, first)
+	}
+}
+
+func TestServerLen(t *testing.T) {
+	srv, cli := newPair(t, ClientOptions{})
+	ctx := context.Background()
+	cli.Put(ctx, "a", 1, []byte("1"))
+	cli.Put(ctx, "b", 1, []byte("2"))
+	if srv.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", srv.Len())
+	}
+}

@@ -1,0 +1,122 @@
+package defect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateSize(t *testing.T) {
+	im := Generate(256, 5, 1)
+	if im.Size != 256 || len(im.Pixels) != 256*256 {
+		t.Fatalf("image %dx%d with %d pixels", im.Size, im.Size, len(im.Pixels))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	im := Generate(128, 3, 2)
+	blob := im.Encode()
+	got, err := DecodeImage(blob)
+	if err != nil {
+		t.Fatalf("DecodeImage: %v", err)
+	}
+	if got.Size != im.Size {
+		t.Fatalf("size = %d", got.Size)
+	}
+	for i := range im.Pixels {
+		if got.Pixels[i] != im.Pixels[i] {
+			t.Fatal("pixels corrupted in round trip")
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeImage([]byte{1, 2}); err == nil {
+		t.Fatal("DecodeImage accepted short payload")
+	}
+	if _, err := DecodeImage(make([]byte, 100)); err == nil {
+		t.Fatal("DecodeImage accepted mismatched payload")
+	}
+}
+
+func TestSegmentCountsDefects(t *testing.T) {
+	// Defect blobs are bright and well separated with high probability;
+	// the count should be close to what was injected.
+	for _, want := range []int{0, 1, 5, 12} {
+		im := Generate(512, want, int64(want)+10)
+		res := Segment(im, false)
+		if want == 0 && res.Defects != 0 {
+			t.Fatalf("found %d defects in clean image", res.Defects)
+		}
+		if want > 0 && (res.Defects < want/2 || res.Defects > want*2) {
+			t.Fatalf("injected %d defects, segmented %d", want, res.Defects)
+		}
+	}
+}
+
+func TestSegmentMask(t *testing.T) {
+	im := Generate(128, 4, 3)
+	withMask := Segment(im, true)
+	if len(withMask.Mask) != len(im.Pixels) {
+		t.Fatalf("mask has %d entries", len(withMask.Mask))
+	}
+	without := Segment(im, false)
+	if without.Mask != nil {
+		t.Fatal("mask returned when not requested")
+	}
+	if withMask.Defects != without.Defects {
+		t.Fatal("defect count depends on mask flag")
+	}
+}
+
+func TestDamagedFraction(t *testing.T) {
+	clean := Generate(128, 0, 4)
+	damaged := Generate(128, 20, 4)
+	if Segment(damaged, false).DamagedFraction <= Segment(clean, false).DamagedFraction {
+		t.Fatal("damaged image has no higher damaged fraction than clean image")
+	}
+}
+
+func TestResultEncodeDecodeRoundTrip(t *testing.T) {
+	im := Generate(128, 6, 5)
+	res := Segment(im, true)
+	blob := EncodeResult(res)
+	got, err := DecodeResult(blob)
+	if err != nil {
+		t.Fatalf("DecodeResult: %v", err)
+	}
+	if got.Defects != res.Defects {
+		t.Fatalf("Defects = %d, want %d", got.Defects, res.Defects)
+	}
+	if len(got.Mask) != len(res.Mask) {
+		t.Fatalf("mask length = %d, want %d", len(got.Mask), len(res.Mask))
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Generate(64, 3, 42)
+	b := Generate(64, 3, 42)
+	for i := range a.Pixels {
+		if a.Pixels[i] != b.Pixels[i] {
+			t.Fatal("same seed produced different images")
+		}
+	}
+}
+
+func TestOneMegabytePayload(t *testing.T) {
+	// The paper's Table 2 uses ~1 MB images; 1024x1024 8-bit matches.
+	im := Generate(1024, 10, 1)
+	if n := len(im.Encode()); n < 1<<20 {
+		t.Fatalf("encoded image is %d bytes, want >= 1 MiB", n)
+	}
+}
+
+func TestPropertyEncodedImagesAlwaysDecode(t *testing.T) {
+	f := func(seed int64, defects uint8) bool {
+		im := Generate(64, int(defects%10), seed)
+		got, err := DecodeImage(im.Encode())
+		return err == nil && got.Size == 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

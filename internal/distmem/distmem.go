@@ -1,0 +1,364 @@
+// Package distmem implements the distributed in-memory object stores behind
+// the paper's Margo, UCX, and ZMQ connectors (§4.1.3). When one of those
+// connectors is first initialized on a node it spawns a storage server for
+// that node; the servers across nodes collectively form an elastic
+// distributed store, and keys remember their producing node so consumers
+// fetch directly from where data lives.
+//
+// Two transports are provided: fabric servers speak the Mercury-style RPC
+// layer over the simulated RDMA fabric (Margo/UCX), and TCP servers speak
+// framed msgnet messages (ZMQ fallback).
+package distmem
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"proxystore/internal/msgnet"
+	"proxystore/internal/rdma"
+	"proxystore/internal/rpc"
+)
+
+// storage is the node-local object map shared by both transports.
+type storage struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+func newStorage() *storage { return &storage{data: make(map[string][]byte)} }
+
+func (s *storage) put(id string, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	s.mu.Lock()
+	s.data[id] = buf
+	s.mu.Unlock()
+}
+
+func (s *storage) get(id string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[id]
+	return v, ok
+}
+
+func (s *storage) del(id string) {
+	s.mu.Lock()
+	delete(s.data, id)
+	s.mu.Unlock()
+}
+
+func (s *storage) len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Op names shared by both transports.
+const (
+	opPut    = "distmem.put"
+	opGet    = "distmem.get"
+	opExists = "distmem.exists"
+	opEvict  = "distmem.evict"
+)
+
+// ErrNotFound reports a missing object id.
+var ErrNotFound = fmt.Errorf("distmem: object not found")
+
+// --- Fabric transport (Margo/UCX) ----------------------------------------
+
+// FabricServer is a node storage server reachable over the RDMA fabric.
+type FabricServer struct {
+	store *storage
+	srv   *rpc.Server
+	addr  string
+}
+
+// StartFabricServer attaches a storage server to the fabric at addr/site.
+// Put requests carry "id\x00payload"; get/exists/evict carry the id.
+func StartFabricServer(f *rdma.Fabric, addr, site string) (*FabricServer, error) {
+	ep, err := f.NewEndpoint(addr, site)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FabricServer{store: newStorage(), srv: rpc.NewServer(ep), addr: addr}
+	fs.srv.Register(opPut, func(_ context.Context, arg []byte) ([]byte, error) {
+		id, payload, err := splitIDPayload(arg)
+		if err != nil {
+			return nil, err
+		}
+		fs.store.put(id, payload)
+		return []byte("ok"), nil
+	})
+	fs.srv.Register(opGet, func(_ context.Context, arg []byte) ([]byte, error) {
+		data, ok := fs.store.get(string(arg))
+		if !ok {
+			return nil, ErrNotFound
+		}
+		return data, nil
+	})
+	fs.srv.Register(opExists, func(_ context.Context, arg []byte) ([]byte, error) {
+		if _, ok := fs.store.get(string(arg)); ok {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	})
+	fs.srv.Register(opEvict, func(_ context.Context, arg []byte) ([]byte, error) {
+		fs.store.del(string(arg))
+		return []byte("ok"), nil
+	})
+	return fs, nil
+}
+
+// Addr returns the server's fabric address.
+func (fs *FabricServer) Addr() string { return fs.addr }
+
+// Len returns the number of stored objects.
+func (fs *FabricServer) Len() int { return fs.store.len() }
+
+// Close stops the server.
+func (fs *FabricServer) Close() error { return fs.srv.Close() }
+
+// FabricClient issues storage operations to fabric servers.
+type FabricClient struct {
+	c *rpc.Client
+}
+
+// NewFabricClient attaches a client endpoint to the fabric.
+func NewFabricClient(f *rdma.Fabric, addr, site string) (*FabricClient, error) {
+	ep, err := f.NewEndpoint(addr, site)
+	if err != nil {
+		return nil, err
+	}
+	return &FabricClient{c: rpc.NewClient(ep)}, nil
+}
+
+// Close detaches the client.
+func (c *FabricClient) Close() error { return c.c.Close() }
+
+// Put stores data under id on the server at target.
+func (c *FabricClient) Put(ctx context.Context, target, id string, data []byte) error {
+	arg := joinIDPayload(id, data)
+	_, err := c.c.Call(ctx, target, opPut, arg)
+	return err
+}
+
+// Get fetches id from the server at target.
+func (c *FabricClient) Get(ctx context.Context, target, id string) ([]byte, bool, error) {
+	data, err := c.c.Call(ctx, target, opGet, []byte(id))
+	if err != nil {
+		if isNotFound(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// Exists reports whether id exists on the server at target.
+func (c *FabricClient) Exists(ctx context.Context, target, id string) (bool, error) {
+	out, err := c.c.Call(ctx, target, opExists, []byte(id))
+	if err != nil {
+		return false, err
+	}
+	return len(out) == 1 && out[0] == 1, nil
+}
+
+// Evict removes id from the server at target.
+func (c *FabricClient) Evict(ctx context.Context, target, id string) error {
+	_, err := c.c.Call(ctx, target, opEvict, []byte(id))
+	return err
+}
+
+// --- TCP transport (ZMQ fallback) ----------------------------------------
+
+// TCPServer is a node storage server reachable over framed TCP messaging.
+type TCPServer struct {
+	store *storage
+	srv   *msgnet.Server
+}
+
+// StartTCPServer starts a storage server on a TCP address.
+// Request framing: 1-byte op, 1-byte id length, id, payload.
+func StartTCPServer(addr string) (*TCPServer, error) {
+	ts := &TCPServer{store: newStorage()}
+	srv, err := msgnet.NewServer(addr, ts.handle)
+	if err != nil {
+		return nil, err
+	}
+	ts.srv = srv
+	return ts, nil
+}
+
+// Addr returns the server's TCP address.
+func (ts *TCPServer) Addr() string { return ts.srv.Addr() }
+
+// Len returns the number of stored objects.
+func (ts *TCPServer) Len() int { return ts.store.len() }
+
+// Close stops the server.
+func (ts *TCPServer) Close() error { return ts.srv.Close() }
+
+const (
+	tcpOpPut    byte = 1
+	tcpOpGet    byte = 2
+	tcpOpExists byte = 3
+	tcpOpEvict  byte = 4
+)
+
+func (ts *TCPServer) handle(_ context.Context, req []byte) ([]byte, error) {
+	if len(req) < 2 {
+		return nil, fmt.Errorf("distmem: short request")
+	}
+	op := req[0]
+	idLen := int(req[1])
+	if len(req) < 2+idLen {
+		return nil, fmt.Errorf("distmem: truncated id")
+	}
+	id := string(req[2 : 2+idLen])
+	payload := req[2+idLen:]
+	switch op {
+	case tcpOpPut:
+		ts.store.put(id, payload)
+		return nil, nil
+	case tcpOpGet:
+		data, ok := ts.store.get(id)
+		if !ok {
+			return nil, ErrNotFound
+		}
+		return data, nil
+	case tcpOpExists:
+		if _, ok := ts.store.get(id); ok {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	case tcpOpEvict:
+		ts.store.del(id)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("distmem: unknown op %d", op)
+	}
+}
+
+// TCPClient issues storage operations to TCP servers, caching one msgnet
+// client per target address.
+type TCPClient struct {
+	opts []msgnet.ClientOption
+
+	mu      sync.Mutex
+	clients map[string]*msgnet.Client
+}
+
+// NewTCPClient returns a client; opts apply to every per-target connection
+// (e.g. a netsim model).
+func NewTCPClient(opts ...msgnet.ClientOption) *TCPClient {
+	return &TCPClient{opts: opts, clients: make(map[string]*msgnet.Client)}
+}
+
+// Close drops all per-target connections.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	c.clients = nil
+	return nil
+}
+
+func (c *TCPClient) client(target string) (*msgnet.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.clients == nil {
+		return nil, fmt.Errorf("distmem: client closed")
+	}
+	if cl, ok := c.clients[target]; ok {
+		return cl, nil
+	}
+	cl := msgnet.NewClient(target, c.opts...)
+	c.clients[target] = cl
+	return cl, nil
+}
+
+func (c *TCPClient) request(ctx context.Context, target string, op byte, id string, payload []byte) ([]byte, error) {
+	if len(id) > 255 {
+		return nil, fmt.Errorf("distmem: id too long")
+	}
+	cl, err := c.client(target)
+	if err != nil {
+		return nil, err
+	}
+	req := make([]byte, 0, 2+len(id)+len(payload))
+	req = append(req, op, byte(len(id)))
+	req = append(req, id...)
+	req = append(req, payload...)
+	return cl.Request(ctx, req)
+}
+
+// Put stores data under id on the server at target.
+func (c *TCPClient) Put(ctx context.Context, target, id string, data []byte) error {
+	_, err := c.request(ctx, target, tcpOpPut, id, data)
+	return err
+}
+
+// Get fetches id from the server at target.
+func (c *TCPClient) Get(ctx context.Context, target, id string) ([]byte, bool, error) {
+	data, err := c.request(ctx, target, tcpOpGet, id, nil)
+	if err != nil {
+		if isNotFound(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// Exists reports whether id exists on the server at target.
+func (c *TCPClient) Exists(ctx context.Context, target, id string) (bool, error) {
+	out, err := c.request(ctx, target, tcpOpExists, id, nil)
+	if err != nil {
+		return false, err
+	}
+	return len(out) == 1 && out[0] == 1, nil
+}
+
+// Evict removes id from the server at target.
+func (c *TCPClient) Evict(ctx context.Context, target, id string) error {
+	_, err := c.request(ctx, target, tcpOpEvict, id, nil)
+	return err
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func joinIDPayload(id string, payload []byte) []byte {
+	out := make([]byte, 0, len(id)+1+len(payload))
+	out = append(out, id...)
+	out = append(out, 0)
+	out = append(out, payload...)
+	return out
+}
+
+func splitIDPayload(arg []byte) (string, []byte, error) {
+	for i, b := range arg {
+		if b == 0 {
+			return string(arg[:i]), arg[i+1:], nil
+		}
+	}
+	return "", nil, fmt.Errorf("distmem: malformed put request")
+}
+
+func isNotFound(err error) bool {
+	// Errors cross transport boundaries as strings; match the message.
+	return err != nil && (err == ErrNotFound || containsNotFound(err.Error()))
+}
+
+func containsNotFound(s string) bool {
+	const needle = "object not found"
+	for i := 0; i+len(needle) <= len(s); i++ {
+		if s[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+package distmem
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"proxystore/internal/netsim"
+	"proxystore/internal/rdma"
+)
+
+func newFabric(t *testing.T) *rdma.Fabric {
+	t.Helper()
+	n := netsim.New(1)
+	n.AddSite("node0", true)
+	n.AddSite("node1", true)
+	n.SetLink("node0", "node1", netsim.Link{Latency: 100 * time.Microsecond, Bandwidth: 5e9})
+	return rdma.NewFabric(n, rdma.MargoProfile())
+}
+
+func TestFabricPutGet(t *testing.T) {
+	f := newFabric(t)
+	srv, err := StartFabricServer(f, "store0", "node0")
+	if err != nil {
+		t.Fatalf("StartFabricServer: %v", err)
+	}
+	defer srv.Close()
+	cli, err := NewFabricClient(f, "cli0", "node1")
+	if err != nil {
+		t.Fatalf("NewFabricClient: %v", err)
+	}
+	defer cli.Close()
+
+	ctx := context.Background()
+	if err := cli.Put(ctx, "store0", "obj1", []byte("fabric data")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := cli.Get(ctx, "store0", "obj1")
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v, %v", got, ok, err)
+	}
+	if string(got) != "fabric data" {
+		t.Fatalf("Get = %q", got)
+	}
+	if srv.Len() != 1 {
+		t.Fatalf("server Len = %d", srv.Len())
+	}
+}
+
+func TestFabricGetMissing(t *testing.T) {
+	f := newFabric(t)
+	srv, _ := StartFabricServer(f, "store-miss", "node0")
+	defer srv.Close()
+	cli, _ := NewFabricClient(f, "cli-miss", "node0")
+	defer cli.Close()
+	_, ok, err := cli.Get(context.Background(), "store-miss", "ghost")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if ok {
+		t.Fatal("Get found missing object")
+	}
+}
+
+func TestFabricExistsEvict(t *testing.T) {
+	f := newFabric(t)
+	srv, _ := StartFabricServer(f, "store-ee", "node0")
+	defer srv.Close()
+	cli, _ := NewFabricClient(f, "cli-ee", "node0")
+	defer cli.Close()
+	ctx := context.Background()
+	cli.Put(ctx, "store-ee", "k", []byte("v"))
+	ok, err := cli.Exists(ctx, "store-ee", "k")
+	if err != nil || !ok {
+		t.Fatalf("Exists = %v, %v", ok, err)
+	}
+	if err := cli.Evict(ctx, "store-ee", "k"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	ok, _ = cli.Exists(ctx, "store-ee", "k")
+	if ok {
+		t.Fatal("object survived evict")
+	}
+}
+
+func TestFabricLargeObjectUsesRendezvous(t *testing.T) {
+	f := newFabric(t)
+	srv, _ := StartFabricServer(f, "store-big", "node0")
+	defer srv.Close()
+	cli, _ := NewFabricClient(f, "cli-big", "node1")
+	defer cli.Close()
+	ctx := context.Background()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 3)
+	}
+	if err := cli.Put(ctx, "store-big", "big", big); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := cli.Get(ctx, "store-big", "big")
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("large object corrupted through bulk path")
+	}
+}
+
+func TestTCPPutGet(t *testing.T) {
+	srv, err := StartTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartTCPServer: %v", err)
+	}
+	defer srv.Close()
+	cli := NewTCPClient()
+	defer cli.Close()
+	ctx := context.Background()
+	if err := cli.Put(ctx, srv.Addr(), "tcp1", []byte("over tcp")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := cli.Get(ctx, srv.Addr(), "tcp1")
+	if err != nil || !ok || string(got) != "over tcp" {
+		t.Fatalf("Get = %q, %v, %v", got, ok, err)
+	}
+}
+
+func TestTCPGetMissing(t *testing.T) {
+	srv, _ := StartTCPServer("127.0.0.1:0")
+	defer srv.Close()
+	cli := NewTCPClient()
+	defer cli.Close()
+	_, ok, err := cli.Get(context.Background(), srv.Addr(), "nothing")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if ok {
+		t.Fatal("found missing object")
+	}
+}
+
+func TestTCPMultiServerRouting(t *testing.T) {
+	// Elastic store: two node servers, one client fetching from each.
+	s1, _ := StartTCPServer("127.0.0.1:0")
+	defer s1.Close()
+	s2, _ := StartTCPServer("127.0.0.1:0")
+	defer s2.Close()
+	cli := NewTCPClient()
+	defer cli.Close()
+	ctx := context.Background()
+	cli.Put(ctx, s1.Addr(), "on1", []byte("node one"))
+	cli.Put(ctx, s2.Addr(), "on2", []byte("node two"))
+
+	v1, _, _ := cli.Get(ctx, s1.Addr(), "on1")
+	v2, _, _ := cli.Get(ctx, s2.Addr(), "on2")
+	if string(v1) != "node one" || string(v2) != "node two" {
+		t.Fatalf("routing mixed up: %q %q", v1, v2)
+	}
+	if _, ok, _ := cli.Get(ctx, s1.Addr(), "on2"); ok {
+		t.Fatal("object leaked across node servers")
+	}
+}
+
+func TestTCPExistsEvict(t *testing.T) {
+	srv, _ := StartTCPServer("127.0.0.1:0")
+	defer srv.Close()
+	cli := NewTCPClient()
+	defer cli.Close()
+	ctx := context.Background()
+	cli.Put(ctx, srv.Addr(), "e", []byte("x"))
+	if ok, _ := cli.Exists(ctx, srv.Addr(), "e"); !ok {
+		t.Fatal("Exists = false")
+	}
+	cli.Evict(ctx, srv.Addr(), "e")
+	if ok, _ := cli.Exists(ctx, srv.Addr(), "e"); ok {
+		t.Fatal("object survived evict")
+	}
+}
+
+func TestSplitJoinIDPayload(t *testing.T) {
+	id, payload, err := splitIDPayload(joinIDPayload("abc", []byte{1, 0, 2}))
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if id != "abc" || !bytes.Equal(payload, []byte{1, 0, 2}) {
+		t.Fatalf("split = %q, %v", id, payload)
+	}
+	if _, _, err := splitIDPayload([]byte("no-separator")); err == nil {
+		t.Fatal("split accepted malformed input")
+	}
+}
+
+func TestConcurrentFabricClients(t *testing.T) {
+	f := newFabric(t)
+	srv, _ := StartFabricServer(f, "store-conc", "node0")
+	defer srv.Close()
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			cli, err := NewFabricClient(f, fmt.Sprintf("conc-cli-%d", i), "node1")
+			if err != nil {
+				done <- err
+				return
+			}
+			defer cli.Close()
+			ctx := context.Background()
+			for j := 0; j < 10; j++ {
+				id := fmt.Sprintf("c%d-%d", i, j)
+				if err := cli.Put(ctx, "store-conc", id, []byte(id)); err != nil {
+					done <- err
+					return
+				}
+				got, ok, err := cli.Get(ctx, "store-conc", id)
+				if err != nil || !ok || string(got) != id {
+					done <- fmt.Errorf("get %s = %q, %v, %v", id, got, ok, err)
+					return
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package endpoint
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+
+	"proxystore/internal/msgnet"
+	"proxystore/internal/netsim"
+)
+
+// Client talks to a (usually site-local) PS-endpoint over its TCP API.
+// Operations on keys owned by other endpoints are forwarded server-side
+// over peer connections, so the client never needs cross-site reachability.
+//
+// A Client is safe for concurrent use.
+type Client struct {
+	c *msgnet.Client
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	net        *netsim.Network
+	clientSite string
+	epSite     string
+}
+
+// WithClientNetwork shapes client-to-endpoint traffic with a netsim link.
+func WithClientNetwork(n *netsim.Network, clientSite, epSite string) ClientOption {
+	return func(c *clientConfig) {
+		c.net = n
+		c.clientSite = clientSite
+		c.epSite = epSite
+	}
+}
+
+// NewClient returns a client for the endpoint API at apiAddr.
+func NewClient(apiAddr string, opts ...ClientOption) *Client {
+	var cfg clientConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var mopts []msgnet.ClientOption
+	if cfg.net != nil {
+		mopts = append(mopts, msgnet.WithClientNetwork(cfg.net, cfg.clientSite, cfg.epSite))
+	}
+	return &Client{c: msgnet.NewClient(apiAddr, mopts...)}
+}
+
+// Close drops the client's connections.
+func (c *Client) Close() error { return c.c.Close() }
+
+func (c *Client) do(ctx context.Context, req request) (response, error) {
+	raw, err := encode(req)
+	if err != nil {
+		return response{}, err
+	}
+	out, err := c.c.Request(ctx, raw)
+	if err != nil {
+		return response{}, err
+	}
+	var resp response
+	if err := gob.NewDecoder(bytes.NewReader(out)).Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("endpoint: decoding response: %w", err)
+	}
+	if resp.Err != "" {
+		return response{}, fmt.Errorf("endpoint: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Set stores data under objectID on the connected endpoint.
+func (c *Client) Set(ctx context.Context, objectID string, data []byte) error {
+	_, err := c.do(ctx, request{Op: OpSet, ObjectID: objectID, Data: data})
+	return err
+}
+
+// Get fetches objectID from the endpoint owning it (endpointID); the
+// connected endpoint forwards over a peer connection when it is not the
+// owner.
+func (c *Client) Get(ctx context.Context, endpointID, objectID string) ([]byte, bool, error) {
+	resp, err := c.do(ctx, request{Op: OpGet, Endpoint: endpointID, ObjectID: objectID})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Data, resp.Found, nil
+}
+
+// Exists reports whether objectID exists on the owning endpoint.
+func (c *Client) Exists(ctx context.Context, endpointID, objectID string) (bool, error) {
+	resp, err := c.do(ctx, request{Op: OpExists, Endpoint: endpointID, ObjectID: objectID})
+	if err != nil {
+		return false, err
+	}
+	return resp.Found, nil
+}
+
+// Evict removes objectID from the owning endpoint.
+func (c *Client) Evict(ctx context.Context, endpointID, objectID string) error {
+	_, err := c.do(ctx, request{Op: OpEvict, Endpoint: endpointID, ObjectID: objectID})
+	return err
+}

@@ -1,0 +1,149 @@
+// Package experiments contains one runner per table and figure in the
+// paper's evaluation (§5). Each runner builds the simulated testbed,
+// executes the experiment's sweep, and returns a bench.Report whose rows
+// correspond to the paper's plotted series. Absolute numbers are scaled
+// (netsim compresses time), but orderings and crossovers match the paper;
+// EXPERIMENTS.md records the comparison.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"proxystore/internal/faas"
+	"proxystore/internal/ipfs"
+	"proxystore/internal/proxy"
+	"proxystore/internal/store"
+)
+
+// Config tunes experiment size so the suite can run as quick smoke tests
+// (benchmarks) or fuller sweeps (psbench).
+type Config struct {
+	// Scale is the netsim time-compression factor (default 500).
+	Scale float64
+	// Repeats per measurement point (default 3).
+	Repeats int
+	// MaxPayload caps payload sweeps in bytes (default 10 MiB).
+	MaxPayload int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 500
+	}
+	if c.Repeats < 1 {
+		c.Repeats = 3
+	}
+	if c.MaxPayload <= 0 {
+		c.MaxPayload = 10 << 20
+	}
+	return c
+}
+
+// payloadSizes returns the paper's logarithmic sweep capped at max.
+func payloadSizes(max int) []int {
+	sizes := []int{10, 1 << 10, 100 << 10, 1 << 20, 10 << 20, 100 << 20}
+	out := sizes[:0:0]
+	for _, s := range sizes {
+		if s <= max {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// pattern fills a payload with deterministic bytes.
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 131)
+	}
+	return b
+}
+
+// --- shared FaaS task functions ---------------------------------------------
+
+// Experiment tasks accept either raw bytes (baseline: data by value), a
+// proxy (ProxyStore paths), or an IPFS CID string.
+
+var (
+	// workerIPFS is the worker-site IPFS node for the active experiment.
+	workerIPFS atomic.Pointer[ipfs.Node]
+)
+
+const (
+	fnNoop  = "exp.noop"
+	fnSleep = "exp.sleep"
+)
+
+func resolveTaskInput(ctx context.Context, v any) (int, error) {
+	switch x := v.(type) {
+	case []byte:
+		return len(x), nil
+	case *proxy.Proxy[[]byte]:
+		data, err := x.Value(ctx)
+		if err != nil {
+			return 0, err
+		}
+		return len(data), nil
+	case string: // IPFS CID
+		node := workerIPFS.Load()
+		if node == nil {
+			return 0, fmt.Errorf("experiments: no worker IPFS node installed")
+		}
+		data, err := node.Get(ctx, ipfs.CID(x))
+		if err != nil {
+			return 0, err
+		}
+		return len(data), nil
+	default:
+		return 0, fmt.Errorf("experiments: unsupported task input %T", v)
+	}
+}
+
+func init() {
+	proxy.RegisterGob[[]byte]()
+
+	// No-op task: ensure the input is fully materialized, do nothing.
+	faas.RegisterFunction(fnNoop, func(ctx context.Context, args []any) (any, error) {
+		n, err := resolveTaskInput(ctx, args[0])
+		if err != nil {
+			return nil, err
+		}
+		return n, nil
+	})
+
+	// Sleep task: begin resolving asynchronously, compute (sleep), then
+	// wait on the resolve — overlapping communication with computation
+	// (paper §5.1).
+	faas.RegisterFunction(fnSleep, func(ctx context.Context, args []any) (any, error) {
+		sleep := time.Duration(args[1].(int64))
+		if p, ok := args[0].(*proxy.Proxy[[]byte]); ok {
+			p.ResolveAsync(ctx)
+			time.Sleep(sleep)
+			data, err := p.Value(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return len(data), nil
+		}
+		n, err := resolveTaskInput(ctx, args[0])
+		if err != nil {
+			return nil, err
+		}
+		time.Sleep(sleep)
+		return n, nil
+	})
+}
+
+// uniqueName generates collision-free store names so repeated experiment
+// runs in one process never fight over the global store registry.
+var storeSeq atomic.Uint64
+
+func uniqueName(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, storeSeq.Add(1))
+}
+
+var _ = store.Lookup // keep the import alive for runners in this package

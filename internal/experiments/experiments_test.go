@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickConfig keeps every experiment smoke test fast: aggressive time
+// compression, one repeat, small payload caps.
+func quickConfig() Config {
+	return Config{Scale: 5000, Repeats: 1, MaxPayload: 1 << 20}
+}
+
+func runExperiment(t *testing.T, id string) {
+	t.Helper()
+	r, err := Lookup(id)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	report, err := r(quickConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(report.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	var sb strings.Builder
+	report.Print(&sb)
+	if !strings.Contains(sb.String(), report.Title) {
+		t.Fatalf("%s report did not print its title", id)
+	}
+	t.Logf("%s: %d rows", id, len(report.Rows))
+}
+
+func TestFig5Smoke(t *testing.T)         { runExperiment(t, "fig5") }
+func TestFig6Smoke(t *testing.T)         { runExperiment(t, "fig6") }
+func TestFig7Smoke(t *testing.T)         { runExperiment(t, "fig7") }
+func TestFig8Smoke(t *testing.T)         { runExperiment(t, "fig8") }
+func TestFig9Smoke(t *testing.T)         { runExperiment(t, "fig9") }
+func TestFig9AblationSmoke(t *testing.T) { runExperiment(t, "fig9-ablation") }
+func TestTable2Smoke(t *testing.T)       { runExperiment(t, "table2") }
+func TestFig10Smoke(t *testing.T)        { runExperiment(t, "fig10") }
+func TestFig11Smoke(t *testing.T) {
+	r, err := Fig11(Config{Scale: 5000, Repeats: 1, MaxPayload: 1 << 20})
+	if err != nil {
+		t.Fatalf("fig11: %v", err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("fig11 produced no rows")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("fig99"); err == nil {
+		t.Fatal("Lookup accepted unknown experiment")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(All) {
+		t.Fatalf("Names returned %d entries, want %d", len(names), len(All))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names not sorted")
+		}
+	}
+}

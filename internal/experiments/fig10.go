@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"proxystore/internal/bench"
+	"proxystore/internal/connectors/endpointc"
+	"proxystore/internal/endpoint"
+	"proxystore/internal/faas"
+	"proxystore/internal/flox"
+	"proxystore/internal/netsim"
+	"proxystore/internal/relay"
+	"proxystore/internal/serial"
+	"proxystore/internal/store"
+)
+
+// Fig10 reproduces Figure 10: federated-learning model transfer time as a
+// function of model size (hidden blocks), comparing cloud transfer (which
+// fails past the 5 MB payload limit) with EndpointStore proxies.
+func Fig10(cfg Config) (bench.Report, error) {
+	cfg = cfg.withDefaults()
+	// Keep the cloud's nominal per-payload costs visible against the
+	// endpoint path's real local I/O.
+	if cfg.Scale > 20 {
+		cfg.Scale = 20
+	}
+	net := netsim.Testbed(cfg.Scale)
+	endpointc.SetNetwork(net)
+
+	report := bench.Report{
+		Title:   "Figure 10: federated learning round time vs model size",
+		Headers: []string{"hidden blocks", "model bytes", "cloud transfer", "EndpointStore"},
+	}
+	report.AddNote("cloud transfer hits the 5MB Globus Compute limit near 40 blocks (paper: ~40)")
+
+	cloud := faas.NewCloud(net, netsim.SiteCloud)
+	const devices = 4
+	execs := make([]*faas.Executor, devices)
+	for i := 0; i < devices; i++ {
+		name := uniqueName(fmt.Sprintf("f10-edge-%d", i))
+		ep := faas.StartEndpoint(cloud, name, netsim.SiteEdge, 1)
+		defer ep.Close()
+		execs[i] = faas.NewExecutor(cloud, name, netsim.SiteCloud)
+	}
+
+	// EndpointStore shared by aggregator and devices (the aggregator's
+	// endpoint is reachable via peering from the edge site's endpoint; in
+	// this in-process deployment one endpoint serves both roles, which
+	// matches the paper's testbed where the aggregator hosts the store).
+	relaySrv, err := relay.NewServer("127.0.0.1:0")
+	if err != nil {
+		return report, err
+	}
+	defer relaySrv.Close()
+	aggEP, err := endpoint.Start("127.0.0.1:0", relaySrv.Addr(), endpoint.Options{
+		UUID: uniqueName("f10-agg"), Site: netsim.SiteCloud, Net: net,
+	})
+	if err != nil {
+		return report, err
+	}
+	defer aggEP.Close()
+
+	epStore, err := store.New(uniqueName("f10-epstore"),
+		endpointc.New(aggEP.Addr(), aggEP.UUID(), netsim.SiteEdge, netsim.SiteCloud),
+		store.WithSerializer(serial.Raw()), store.WithCacheSize(0))
+	if err != nil {
+		return report, err
+	}
+	defer store.Unregister(epStore.Name())
+
+	blocks := []int{1, 10, 20, 30, 40, 50}
+	ctx := context.Background()
+
+	for _, b := range blocks {
+		arch := flox.Arch{InputDim: 28 * 28, HiddenDim: 160, Blocks: b, Classes: 10}
+		modelBytes := arch.NewModel(1).NumParams() * 4
+
+		measure := func(st *store.Store) (time.Duration, error) {
+			agg := flox.NewAggregator(flox.Options{
+				Arch: arch, Devices: execs, Store: st,
+				DataSize: 2, LocalEpochs: 1, // negligible training: isolate transfer
+			})
+			start := time.Now()
+			if _, err := agg.Round(ctx); err != nil {
+				return 0, err
+			}
+			return time.Since(start), nil
+		}
+
+		cloudCell := ""
+		if d, err := measure(nil); err != nil {
+			if errors.Is(err, faas.ErrPayloadTooLarge) || modelBytes > faas.PayloadLimit {
+				cloudCell = "over limit"
+			} else {
+				return report, fmt.Errorf("fig10 cloud blocks=%d: %w", b, err)
+			}
+		} else {
+			cloudCell = bench.FormatDuration(d)
+		}
+
+		d, err := measure(epStore)
+		if err != nil {
+			return report, fmt.Errorf("fig10 endpoint blocks=%d: %w", b, err)
+		}
+		report.AddRow(fmt.Sprint(b), bench.FormatBytes(modelBytes), cloudCell, bench.FormatDuration(d))
+	}
+	return report, nil
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"proxystore/internal/bench"
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/endpointc"
+	"proxystore/internal/connectors/file"
+	"proxystore/internal/connectors/globusc"
+	"proxystore/internal/connectors/redisc"
+	"proxystore/internal/endpoint"
+	"proxystore/internal/faas"
+	"proxystore/internal/globus"
+	"proxystore/internal/ipfs"
+	"proxystore/internal/kvstore"
+	"proxystore/internal/netsim"
+	"proxystore/internal/relay"
+	"proxystore/internal/serial"
+	"proxystore/internal/store"
+)
+
+// fig5Config is one client/endpoint placement from Figure 5.
+type fig5Config struct {
+	name       string
+	clientSite string
+	computeSit string
+	interSite  bool
+}
+
+// Fig5 reproduces Figure 5: round-trip Globus Compute no-op and 1 s sleep
+// tasks across payload sizes, comparing baseline cloud transfer with
+// ProxyStore stores (and IPFS for inter-site configs).
+func Fig5(cfg Config) (bench.Report, error) {
+	cfg = cfg.withDefaults()
+	net := netsim.Testbed(cfg.Scale)
+	redisc.SetNetwork(net)
+	endpointc.SetNetwork(net)
+
+	report := bench.Report{
+		Title:   "Figure 5: Globus Compute round-trip task time",
+		Headers: []string{"task", "config", "method", "size", "mean", "std"},
+	}
+	report.AddNote("times scaled by 1/%g; 'over limit' marks payloads above the 5MB cloud cap", cfg.Scale)
+
+	cloud := faas.NewCloud(net, netsim.SiteCloud)
+	relaySrv, err := relay.NewServer("127.0.0.1:0")
+	if err != nil {
+		return report, err
+	}
+	defer relaySrv.Close()
+
+	configs := []fig5Config{
+		{"Theta->Theta", netsim.SiteTheta, netsim.SiteTheta, false},
+		{"PerlLogin->PerlCompute", netsim.SitePerlmutterLogin, netsim.SitePerlmutter, false},
+		{"Midway2->Theta", netsim.SiteMidway2, netsim.SiteTheta, true},
+		{"Frontera->Theta", netsim.SiteFrontera, netsim.SiteTheta, true},
+	}
+
+	sleepNominal := time.Duration(float64(time.Second) / cfg.Scale)
+	ctx := context.Background()
+
+	for _, fc := range configs {
+		epName := uniqueName("f5-ep-" + fc.name)
+		ep := faas.StartEndpoint(cloud, epName, fc.computeSit, 4)
+		exec := faas.NewExecutor(cloud, epName, fc.clientSite)
+
+		methods, cleanup, err := fig5Methods(net, relaySrv.Addr(), fc)
+		if err != nil {
+			ep.Close()
+			return report, err
+		}
+
+		for _, task := range []string{"noop", "sleep"} {
+			fn := fnNoop
+			if task == "sleep" {
+				fn = fnSleep
+			}
+			for _, m := range methods {
+				for _, size := range payloadSizes(cfg.MaxPayload) {
+					payload := pattern(size)
+					summary, err := bench.Measure(cfg.Repeats, func() error {
+						arg, err := m.prepare(ctx, payload)
+						if err != nil {
+							return err
+						}
+						var fut *faas.Future
+						if task == "sleep" {
+							fut, err = exec.Submit(ctx, fn, arg, int64(sleepNominal))
+						} else {
+							fut, err = exec.Submit(ctx, fn, arg)
+						}
+						if err != nil {
+							return err
+						}
+						_, err = fut.Result(ctx)
+						return err
+					})
+					if err != nil {
+						if size > faas.PayloadLimit && m.name == "CloudTransfer" {
+							report.AddRow(task, fc.name, m.name, bench.FormatBytes(size), "over limit", "-")
+							continue
+						}
+						cleanup()
+						ep.Close()
+						return report, fmt.Errorf("fig5 %s/%s/%s/%d: %w", task, fc.name, m.name, size, err)
+					}
+					report.AddRow(task, fc.name, m.name, bench.FormatBytes(size),
+						bench.FormatDuration(summary.Mean), bench.FormatDuration(summary.Std))
+				}
+			}
+		}
+		cleanup()
+		ep.Close()
+	}
+	return report, nil
+}
+
+// fig5Method prepares a task argument for one communication method.
+type fig5Method struct {
+	name    string
+	prepare func(ctx context.Context, payload []byte) (any, error)
+}
+
+// proxyVia stores the payload through the producer store and mints a proxy
+// that resolves through the consumer store — modelling a consumer process
+// whose registered store (same name, different site) serves the get.
+func proxyVia(ctx context.Context, producer, consumer *store.Store, payload []byte) (any, error) {
+	key, err := producer.PutObject(ctx, payload)
+	if err != nil {
+		return nil, err
+	}
+	return store.ProxyFromKey[[]byte](consumer, key), nil
+}
+
+func fig5Methods(net *netsim.Network, relayAddr string, fc fig5Config) ([]fig5Method, func(), error) {
+	var closers []func()
+	cleanup := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	var methods []fig5Method
+
+	// Baseline: payload by value through the cloud.
+	methods = append(methods, fig5Method{
+		name:    "CloudTransfer",
+		prepare: func(_ context.Context, payload []byte) (any, error) { return payload, nil },
+	})
+
+	rawStore := func(name string, conn connector.Connector) (*store.Store, error) {
+		s, err := store.New(name, conn, store.WithSerializer(serial.Raw()), store.WithCacheSize(0))
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, func() { store.Unregister(name) })
+		return s, nil
+	}
+
+	if !fc.interSite {
+		// FileStore: shared parallel file system at the site.
+		dir, err := os.MkdirTemp("", "fig5-file-*")
+		if err != nil {
+			return nil, cleanup, err
+		}
+		closers = append(closers, func() { os.RemoveAll(dir) })
+		prodFile, err := file.New(dir, file.WithNetwork(net, fc.clientSite, fc.clientSite))
+		if err != nil {
+			return nil, cleanup, err
+		}
+		consFile, err := file.New(dir, file.WithNetwork(net, fc.computeSit, fc.clientSite))
+		if err != nil {
+			return nil, cleanup, err
+		}
+		prodFS, err := rawStore(uniqueName("f5-file-prod"), prodFile)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		consFS, err := rawStore(uniqueName("f5-file-cons"), consFile)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		methods = append(methods, fig5Method{"FileStore", func(ctx context.Context, p []byte) (any, error) {
+			return proxyVia(ctx, prodFS, consFS, p)
+		}})
+
+		// RedisStore: server on the client/login node.
+		kv, err := kvstore.NewServer("127.0.0.1:0")
+		if err != nil {
+			return nil, cleanup, err
+		}
+		closers = append(closers, func() { kv.Close() })
+		prodRedis, err := rawStore(uniqueName("f5-redis-prod"),
+			redisc.New(kv.Addr(), redisc.WithSites(fc.clientSite, fc.clientSite)))
+		if err != nil {
+			return nil, cleanup, err
+		}
+		consRedis, err := rawStore(uniqueName("f5-redis-cons"),
+			redisc.New(kv.Addr(), redisc.WithSites(fc.computeSit, fc.clientSite)))
+		if err != nil {
+			return nil, cleanup, err
+		}
+		methods = append(methods, fig5Method{"RedisStore", func(ctx context.Context, p []byte) (any, error) {
+			return proxyVia(ctx, prodRedis, consRedis, p)
+		}})
+	} else {
+		// GlobusStore: endpoints at both sites.
+		svcName := uniqueName("f5-globus")
+		svc := globus.NewService(net)
+		dirA, err := os.MkdirTemp("", "fig5-globus-a-*")
+		if err != nil {
+			return nil, cleanup, err
+		}
+		dirB, err := os.MkdirTemp("", "fig5-globus-b-*")
+		if err != nil {
+			return nil, cleanup, err
+		}
+		closers = append(closers, func() { os.RemoveAll(dirA); os.RemoveAll(dirB) })
+		if err := svc.RegisterEndpoint("gep-client", fc.clientSite, dirA); err != nil {
+			return nil, cleanup, err
+		}
+		if err := svc.RegisterEndpoint("gep-compute", fc.computeSit, dirB); err != nil {
+			return nil, cleanup, err
+		}
+		globus.RegisterService(svcName, svc)
+		prodGC, err := globusc.New(svcName, "gep-client", []string{"gep-compute"})
+		if err != nil {
+			return nil, cleanup, err
+		}
+		consGC, err := globusc.New(svcName, "gep-compute", []string{"gep-client"})
+		if err != nil {
+			return nil, cleanup, err
+		}
+		prodGS, err := rawStore(uniqueName("f5-globus-prod"), prodGC)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		consGS, err := rawStore(uniqueName("f5-globus-cons"), consGC)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		methods = append(methods, fig5Method{"GlobusStore", func(ctx context.Context, p []byte) (any, error) {
+			return proxyVia(ctx, prodGS, consGS, p)
+		}})
+
+		// IPFS baseline: one node per site.
+		clientNode := ipfs.NewNode(uniqueName("ipfs-client"), fc.clientSite, net)
+		wNode := ipfs.NewNode(uniqueName("ipfs-worker"), fc.computeSit, net)
+		ipfs.Connect(clientNode, wNode)
+		workerIPFS.Store(wNode)
+		methods = append(methods, fig5Method{"IPFS", func(_ context.Context, p []byte) (any, error) {
+			return string(clientNode.Add(p)), nil
+		}})
+	}
+
+	// EndpointStore: PS-endpoints at both sites, in every configuration.
+	epClient, err := endpoint.Start("127.0.0.1:0", relayAddr, endpoint.Options{
+		UUID: uniqueName("f5-psep-client"), Site: fc.clientSite, Net: net,
+	})
+	if err != nil {
+		return nil, cleanup, err
+	}
+	closers = append(closers, func() { epClient.Close() })
+	epCompute, err := endpoint.Start("127.0.0.1:0", relayAddr, endpoint.Options{
+		UUID: uniqueName("f5-psep-compute"), Site: fc.computeSit, Net: net,
+	})
+	if err != nil {
+		return nil, cleanup, err
+	}
+	closers = append(closers, func() { epCompute.Close() })
+
+	prodEP, err := rawStore(uniqueName("f5-ep-prod"),
+		endpointc.New(epClient.Addr(), epClient.UUID(), fc.clientSite, fc.clientSite))
+	if err != nil {
+		return nil, cleanup, err
+	}
+	consEP, err := rawStore(uniqueName("f5-ep-cons"),
+		endpointc.New(epCompute.Addr(), epCompute.UUID(), fc.computeSit, fc.computeSit))
+	if err != nil {
+		return nil, cleanup, err
+	}
+	methods = append(methods, fig5Method{"EndpointStore", func(ctx context.Context, p []byte) (any, error) {
+		return proxyVia(ctx, prodEP, consEP, p)
+	}})
+
+	return methods, cleanup, nil
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"proxystore/internal/bench"
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/fabricc"
+	"proxystore/internal/connectors/redisc"
+	"proxystore/internal/connectors/zmqc"
+	"proxystore/internal/dataspaces"
+	"proxystore/internal/faas"
+	"proxystore/internal/kvstore"
+	"proxystore/internal/netsim"
+	"proxystore/internal/rdma"
+	"proxystore/internal/serial"
+	"proxystore/internal/store"
+)
+
+// Fig6 reproduces Figure 6: no-op task round-trip times with the
+// distributed in-memory stores (Margo, UCX, ZMQ) against the cloud
+// baseline, RedisStore, and DataSpaces, on a Polaris-like HPC fabric and a
+// Chameleon-like Ethernet cluster.
+func Fig6(cfg Config) (bench.Report, error) {
+	cfg = cfg.withDefaults()
+	report := bench.Report{
+		Title:   "Figure 6: distributed in-memory stores vs DataSpaces",
+		Headers: []string{"cluster", "method", "size", "mean", "std"},
+	}
+	report.AddNote("UCX uses its Ethernet profile on Chameleon (paper's observed anomaly)")
+
+	for _, cluster := range []struct {
+		name    string
+		siteA   string
+		siteB   string
+		link    netsim.Link
+		ucxProf rdma.Profile
+	}{
+		{"Polaris", "pol-login", "pol-compute",
+			netsim.Link{Latency: 30 * time.Microsecond, Bandwidth: 5e9}, rdma.UCXProfile()},
+		{"Chameleon", "cham-a", "cham-b",
+			netsim.Link{Latency: 45 * time.Microsecond, Bandwidth: 4e9}, rdma.UCXEthernetProfile()},
+	} {
+		if err := fig6Cluster(cfg, &report, cluster.name, cluster.siteA, cluster.siteB, cluster.link, cluster.ucxProf); err != nil {
+			return report, err
+		}
+	}
+	return report, nil
+}
+
+func fig6Cluster(cfg Config, report *bench.Report, name, siteA, siteB string, link netsim.Link, ucxProf rdma.Profile) error {
+	net := netsim.New(cfg.Scale)
+	net.AddSite(siteA, true)
+	net.AddSite(siteB, true)
+	net.AddSite(netsim.SiteCloud, false)
+	if err := net.SetLink(siteA, siteB, link); err != nil {
+		return err
+	}
+	cloudLink := netsim.Link{Latency: 12 * time.Millisecond, Bandwidth: 120e6}
+	net.SetLink(siteA, netsim.SiteCloud, cloudLink)
+	net.SetLink(siteB, netsim.SiteCloud, cloudLink)
+	redisc.SetNetwork(net)
+	zmqc.SetNetwork(net)
+
+	cloud := faas.NewCloud(net, netsim.SiteCloud)
+	epName := uniqueName("f6-ep-" + name)
+	ep := faas.StartEndpoint(cloud, epName, siteB, 4)
+	defer ep.Close()
+	exec := faas.NewExecutor(cloud, epName, siteA)
+
+	var closers []func()
+	defer func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}()
+
+	type method struct {
+		name    string
+		prepare func(ctx context.Context, payload []byte) (any, error)
+	}
+	var methods []method
+
+	// Cloud baseline.
+	methods = append(methods, method{"CloudTransfer", func(_ context.Context, p []byte) (any, error) {
+		return p, nil
+	}})
+
+	mkStore := func(prefix string, conn connector.Connector) (*store.Store, error) {
+		n := uniqueName(prefix)
+		s, err := store.New(n, conn, store.WithSerializer(serial.Raw()), store.WithCacheSize(0))
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, func() { store.Unregister(n) })
+		return s, nil
+	}
+
+	// RedisStore: server on siteA.
+	kv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	closers = append(closers, func() { kv.Close() })
+	prodRedis, err := mkStore("f6-redis-prod", redisc.New(kv.Addr(), redisc.WithSites(siteA, siteA)))
+	if err != nil {
+		return err
+	}
+	consRedis, err := mkStore("f6-redis-cons", redisc.New(kv.Addr(), redisc.WithSites(siteB, siteA)))
+	if err != nil {
+		return err
+	}
+	methods = append(methods, method{"RedisStore", func(ctx context.Context, p []byte) (any, error) {
+		return proxyVia(ctx, prodRedis, consRedis, p)
+	}})
+
+	// Margo and UCX: fabric-backed distributed in-memory stores.
+	for _, fb := range []struct {
+		label   string
+		profile rdma.Profile
+		mk      func(fabric, node, site string) (*fabricc.Connector, error)
+	}{
+		{"MargoStore", rdma.MargoProfile(), fabricc.NewMargo},
+		{"UCXStore", ucxProf, fabricc.NewUCX},
+	} {
+		fabricName := uniqueName("f6-fabric-" + fb.label)
+		fabricc.RegisterFabric(fabricName, rdma.NewFabric(net, fb.profile))
+		prodConn, err := fb.mk(fabricName, uniqueName("f6-nodeA"), siteA)
+		if err != nil {
+			return err
+		}
+		consConn, err := fb.mk(fabricName, uniqueName("f6-nodeB"), siteB)
+		if err != nil {
+			return err
+		}
+		prod, err := mkStore("f6-"+fb.label+"-prod", prodConn)
+		if err != nil {
+			return err
+		}
+		cons, err := mkStore("f6-"+fb.label+"-cons", consConn)
+		if err != nil {
+			return err
+		}
+		label := fb.label
+		methods = append(methods, method{label, func(ctx context.Context, p []byte) (any, error) {
+			return proxyVia(ctx, prod, cons, p)
+		}})
+	}
+
+	// ZMQStore.
+	prodZ, err := zmqc.New(uniqueName("f6-zmq-a"), siteA)
+	if err != nil {
+		return err
+	}
+	consZ, err := zmqc.New(uniqueName("f6-zmq-b"), siteB)
+	if err != nil {
+		return err
+	}
+	prodZS, err := mkStore("f6-zmq-prod", prodZ)
+	if err != nil {
+		return err
+	}
+	consZS, err := mkStore("f6-zmq-cons", consZ)
+	if err != nil {
+		return err
+	}
+	methods = append(methods, method{"ZMQStore", func(ctx context.Context, p []byte) (any, error) {
+		return proxyVia(ctx, prodZS, consZS, p)
+	}})
+
+	// DataSpaces baseline: staging server on siteA reached over Margo.
+	dsFabric := rdma.NewFabric(net, rdma.MargoProfile())
+	dsSrv, err := dataspaces.StartServer(dsFabric, "f6-ds-server", siteA)
+	if err != nil {
+		return err
+	}
+	closers = append(closers, func() { dsSrv.Close() })
+	dsProd, err := dataspaces.NewClient(dsFabric, "f6-ds-prod", siteA, "f6-ds-server",
+		dataspaces.ClientOptions{Scale: cfg.Scale})
+	if err != nil {
+		return err
+	}
+	closers = append(closers, func() { dsProd.Close() })
+	dsCons, err := dataspaces.NewClient(dsFabric, "f6-ds-cons", siteB, "f6-ds-server",
+		dataspaces.ClientOptions{Scale: cfg.Scale})
+	if err != nil {
+		return err
+	}
+	closers = append(closers, func() { dsCons.Close() })
+	var dsVersion uint32
+	methods = append(methods, method{"DataSpaces", func(ctx context.Context, p []byte) (any, error) {
+		dsVersion++
+		v := dsVersion
+		if err := dsProd.Put(ctx, "f6-obj", v, p); err != nil {
+			return nil, err
+		}
+		// The worker-side get happens here eagerly (DataSpaces has no lazy
+		// proxies); the payload handed to the task is a tiny marker.
+		if _, err := dsCons.Get(ctx, "f6-obj", v); err != nil {
+			return nil, err
+		}
+		return []byte("ds"), nil
+	}})
+
+	ctx := context.Background()
+	for _, m := range methods {
+		for _, size := range payloadSizes(cfg.MaxPayload) {
+			payload := pattern(size)
+			summary, err := bench.Measure(cfg.Repeats, func() error {
+				arg, err := m.prepare(ctx, payload)
+				if err != nil {
+					return err
+				}
+				fut, err := exec.Submit(ctx, fnNoop, arg)
+				if err != nil {
+					return err
+				}
+				_, err = fut.Result(ctx)
+				return err
+			})
+			if err != nil {
+				if size > faas.PayloadLimit && m.name == "CloudTransfer" {
+					report.AddRow(name, m.name, bench.FormatBytes(size), "over limit", "-")
+					continue
+				}
+				return fmt.Errorf("fig6 %s/%s/%d: %w", name, m.name, size, err)
+			}
+			report.AddRow(name, m.name, bench.FormatBytes(size),
+				bench.FormatDuration(summary.Mean), bench.FormatDuration(summary.Std))
+		}
+	}
+	return nil
+}

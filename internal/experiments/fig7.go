@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"proxystore/internal/bench"
+	"proxystore/internal/colmena"
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/file"
+	"proxystore/internal/connectors/redisc"
+	"proxystore/internal/kvstore"
+	"proxystore/internal/serial"
+	"proxystore/internal/store"
+	"proxystore/internal/workflow"
+)
+
+// Fig7 reproduces Figure 7: percent improvement in Colmena no-op task
+// round-trip time when task data moves via ProxyStore (FileStore and
+// RedisStore) instead of through Colmena/Parsl's own pipe, over a grid of
+// input and output sizes. Thinker, task server, and worker are co-located,
+// so the engine's serialization channel is the entire data path.
+func Fig7(cfg Config) (bench.Report, error) {
+	cfg = cfg.withDefaults()
+	report := bench.Report{
+		Title:   "Figure 7: Colmena RTT improvement with ProxyStore vs baseline",
+		Headers: []string{"store", "input", "output", "baseline", "proxied", "improvement"},
+	}
+	report.AddNote("positive improvement = proxied round trip faster (paper: ~0%% small, 40-60%% at 1MB, ~90%% at 100MB)")
+
+	sizes := []int{1 << 10, 1 << 20, 4 << 20}
+	if cfg.MaxPayload < 4<<20 {
+		sizes = []int{1 << 10, cfg.MaxPayload}
+	}
+
+	kv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		return report, err
+	}
+	defer kv.Close()
+	dir, err := os.MkdirTemp("", "fig7-file-*")
+	if err != nil {
+		return report, err
+	}
+	defer os.RemoveAll(dir)
+
+	for _, backend := range []string{"FileStore", "RedisStore"} {
+		var conn connector.Connector
+		switch backend {
+		case "FileStore":
+			fc, err := file.New(dir)
+			if err != nil {
+				return report, err
+			}
+			conn = fc
+		case "RedisStore":
+			conn = redisc.New(kv.Addr())
+		}
+		name := uniqueName("f7-" + backend)
+		st, err := store.New(name, conn, store.WithSerializer(serial.Raw()), store.WithCacheSize(0))
+		if err != nil {
+			return report, err
+		}
+
+		for _, inSize := range sizes {
+			for _, outSize := range sizes {
+				base, err := fig7RTT(cfg, nil, inSize, outSize)
+				if err != nil {
+					store.Unregister(name)
+					return report, fmt.Errorf("fig7 baseline: %w", err)
+				}
+				prox, err := fig7RTT(cfg, st, inSize, outSize)
+				if err != nil {
+					store.Unregister(name)
+					return report, fmt.Errorf("fig7 proxied: %w", err)
+				}
+				improvement := 100 * (1 - float64(prox)/float64(base))
+				report.AddRow(backend, bench.FormatBytes(inSize), bench.FormatBytes(outSize),
+					bench.FormatDuration(base), bench.FormatDuration(prox),
+					fmt.Sprintf("%.1f%%", improvement))
+			}
+		}
+		store.Unregister(name)
+	}
+	return report, nil
+}
+
+// fig7RTT returns the median round-trip time of repeated no-op Colmena
+// tasks with the given payload sizes, optionally proxied through st.
+func fig7RTT(cfg Config, st *store.Store, inSize, outSize int) (time.Duration, error) {
+	// A KNL-node-ish serialization channel: the engine moves bytes between
+	// Thinker, Task Server, and worker at a few hundred MB/s.
+	engine := workflow.New(workflow.Options{Workers: 1, ChannelBandwidth: 400e6})
+	defer engine.Close()
+	server := colmena.NewServer(engine, 64)
+
+	output := pattern(outSize)
+	server.RegisterMethod("noop", func(_ context.Context, in any) (any, error) {
+		return output, nil
+	})
+	if st != nil {
+		server.RegisterStore("noop", colmena.StorePolicy{Store: st, Threshold: 1, ProxyResults: true})
+	}
+
+	input := pattern(inSize)
+	ctx := context.Background()
+	rtts := make([]time.Duration, 0, cfg.Repeats)
+	for i := 0; i < cfg.Repeats; i++ {
+		if err := server.Submit(ctx, "noop", input, nil); err != nil {
+			return 0, err
+		}
+		res := <-server.Results()
+		if res.Err != nil {
+			return 0, res.Err
+		}
+		// The Thinker consumes the result, resolving proxies as the real
+		// application would before using the value.
+		if _, err := colmena.ResolveResult(ctx, res.Value); err != nil {
+			return 0, err
+		}
+		rtts = append(rtts, res.RTT())
+	}
+	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+	return rtts[len(rtts)/2], nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"proxystore/internal/bench"
+	"proxystore/internal/endpoint"
+	"proxystore/internal/relay"
+)
+
+// Fig8 reproduces Figure 8: average GET and SET request time to a single
+// PS-endpoint versus the number of concurrent clients, across payload
+// sizes. The endpoint's single-threaded request loop serializes work, so
+// response times scale linearly with client count.
+func Fig8(cfg Config) (bench.Report, error) {
+	cfg = cfg.withDefaults()
+	report := bench.Report{
+		Title:   "Figure 8: PS-endpoint request time vs concurrent clients",
+		Headers: []string{"op", "size", "clients", "avg/request"},
+	}
+	report.AddNote("single-threaded endpoint: times grow ~linearly with client count")
+
+	relaySrv, err := relay.NewServer("127.0.0.1:0")
+	if err != nil {
+		return report, err
+	}
+	defer relaySrv.Close()
+
+	ep, err := endpoint.Start("127.0.0.1:0", relaySrv.Addr(), endpoint.Options{
+		UUID:        uniqueName("fig8-ep"),
+		RequestCost: 100 * time.Microsecond, // per-request event-loop work
+	})
+	if err != nil {
+		return report, err
+	}
+	defer ep.Close()
+
+	clientCounts := []int{1, 2, 8, 32, 64}
+	sizes := []int{1 << 10, 64 << 10, 512 << 10}
+	const requestsPerClient = 4
+
+	ctx := context.Background()
+	for _, op := range []string{"SET", "GET"} {
+		for _, size := range sizes {
+			if size > cfg.MaxPayload {
+				continue
+			}
+			payload := pattern(size)
+
+			// Pre-store an object for GETs.
+			seed := endpoint.NewClient(ep.Addr())
+			if err := seed.Set(ctx, "fig8-obj", payload); err != nil {
+				seed.Close()
+				return report, err
+			}
+			seed.Close()
+
+			for _, clients := range clientCounts {
+				var wg sync.WaitGroup
+				errCh := make(chan error, clients)
+				start := time.Now()
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						cli := endpoint.NewClient(ep.Addr())
+						defer cli.Close()
+						for r := 0; r < requestsPerClient; r++ {
+							var err error
+							if op == "SET" {
+								err = cli.Set(ctx, fmt.Sprintf("fig8-%d-%d", c, r), payload)
+							} else {
+								_, _, err = cli.Get(ctx, ep.UUID(), "fig8-obj")
+							}
+							if err != nil {
+								errCh <- err
+								return
+							}
+						}
+					}(c)
+				}
+				wg.Wait()
+				close(errCh)
+				for err := range errCh {
+					return report, fmt.Errorf("fig8 %s/%d/%d: %w", op, size, clients, err)
+				}
+				perRequest := time.Since(start) / time.Duration(clients*requestsPerClient)
+				report.AddRow(op, bench.FormatBytes(size), fmt.Sprint(clients),
+					bench.FormatDuration(perRequest*time.Duration(clients))) // avg latency seen by one request
+			}
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"proxystore/internal/bench"
+)
+
+// Runner executes one paper experiment.
+type Runner func(Config) (bench.Report, error)
+
+// All maps experiment IDs (as used by `psbench <id>`) to runners.
+var All = map[string]Runner{
+	"fig5":          Fig5,
+	"fig6":          Fig6,
+	"fig7":          Fig7,
+	"fig8":          Fig8,
+	"fig9":          Fig9,
+	"fig9-ablation": Fig9Ablation,
+	"table2":        Table2,
+	"fig10":         Fig10,
+	"fig11":         Fig11,
+}
+
+// Names returns the sorted experiment IDs.
+func Names() []string {
+	out := make([]string, 0, len(All))
+	for n := range All {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup finds a runner by ID.
+func Lookup(id string) (Runner, error) {
+	r, ok := All[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, Names())
+	}
+	return r, nil
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"proxystore/internal/bench"
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/endpointc"
+	"proxystore/internal/connectors/file"
+	"proxystore/internal/defect"
+	"proxystore/internal/endpoint"
+	"proxystore/internal/faas"
+	"proxystore/internal/netsim"
+	"proxystore/internal/proxy"
+	"proxystore/internal/relay"
+	"proxystore/internal/serial"
+	"proxystore/internal/store"
+)
+
+const (
+	fnDefect      = "table2.segment"       // input by value, result by value
+	fnDefectProxy = "table2.segment.proxy" // proxied input, optionally proxied output
+)
+
+func init() {
+	faas.RegisterFunction(fnDefect, func(_ context.Context, args []any) (any, error) {
+		im, err := defect.DecodeImage(args[0].([]byte))
+		if err != nil {
+			return nil, err
+		}
+		return defect.EncodeResult(defect.Segment(im, true)), nil
+	})
+	faas.RegisterFunction(fnDefectProxy, func(ctx context.Context, args []any) (any, error) {
+		p := args[0].(*proxy.Proxy[[]byte])
+		data, err := p.Value(ctx)
+		if err != nil {
+			return nil, err
+		}
+		im, err := defect.DecodeImage(data)
+		if err != nil {
+			return nil, err
+		}
+		out := defect.EncodeResult(defect.Segment(im, true))
+		proxyOutput := args[1].(bool)
+		if !proxyOutput {
+			return out, nil
+		}
+		// Two additional lines of task code: proxy the output through the
+		// same store that resolved the input (paper §5.4).
+		outStore, ok := store.Lookup(args[2].(string))
+		if !ok {
+			return nil, fmt.Errorf("table2: result store %q not registered", args[2])
+		}
+		return store.NewProxy(ctx, outStore, out)
+	})
+}
+
+// Table2 reproduces Table 2: round-trip task times for the real-time
+// defect analysis application — baseline Globus Compute vs FileStore and
+// EndpointStore, proxying inputs only or inputs and outputs.
+func Table2(cfg Config) (bench.Report, error) {
+	cfg = cfg.withDefaults()
+	// The baseline's WAN costs must stay visible against real local I/O,
+	// so this experiment caps the time compression.
+	if cfg.Scale > 5 {
+		cfg.Scale = 5
+	}
+	net := netsim.Testbed(cfg.Scale)
+	endpointc.SetNetwork(net)
+
+	report := bench.Report{
+		Title:   "Table 2: real-time defect analysis round-trip times",
+		Headers: []string{"configuration", "proxied", "mean", "std", "improvement"},
+	}
+	report.AddNote("1 MB micrographs; paper: 30-37%% improvement over the baseline")
+
+	cloud := faas.NewCloud(net, netsim.SiteCloud)
+	epName := uniqueName("t2-gc")
+	gcEndpoint := faas.StartEndpoint(cloud, epName, netsim.SitePolaris, 2)
+	defer gcEndpoint.Close()
+
+	image := defect.Generate(1024, 12, 7).Encode() // ~1 MB
+
+	ctx := context.Background()
+
+	// --- Baseline: image and mask through the cloud.
+	execTheta := faas.NewExecutor(cloud, epName, netsim.SiteThetaLogin)
+	baseline, err := bench.Measure(cfg.Repeats, func() error {
+		fut, err := execTheta.Submit(ctx, fnDefect, image)
+		if err != nil {
+			return err
+		}
+		out, err := fut.Result(ctx)
+		if err != nil {
+			return err
+		}
+		_, err = defect.DecodeResult(out.([]byte))
+		return err
+	})
+	if err != nil {
+		return report, fmt.Errorf("table2 baseline: %w", err)
+	}
+	report.AddRow("Globus Compute baseline", "-",
+		bench.FormatDuration(baseline.Mean), bench.FormatDuration(baseline.Std), "-")
+
+	improvement := func(s bench.Summary) string {
+		return fmt.Sprintf("%.1f%%", 100*(1-float64(s.Mean)/float64(baseline.Mean)))
+	}
+
+	runProxied := func(exec *faas.Executor, prod, cons *store.Store, proxyOutputs bool) (bench.Summary, error) {
+		return bench.Measure(cfg.Repeats, func() error {
+			key, err := prod.PutObject(ctx, image)
+			if err != nil {
+				return err
+			}
+			p := store.ProxyFromKey[[]byte](cons, key)
+			fut, err := exec.Submit(ctx, fnDefectProxy, p, proxyOutputs, cons.Name())
+			if err != nil {
+				return err
+			}
+			out, err := fut.Result(ctx)
+			if err != nil {
+				return err
+			}
+			var data []byte
+			if op, ok := out.(*proxy.Proxy[[]byte]); ok {
+				data, err = op.Value(ctx)
+				if err != nil {
+					return err
+				}
+			} else {
+				data = out.([]byte)
+			}
+			_, err = defect.DecodeResult(data)
+			return err
+		})
+	}
+
+	// --- FileStore: client on Theta login, shared FS visible from Polaris.
+	dir, err := os.MkdirTemp("", "table2-file-*")
+	if err != nil {
+		return report, err
+	}
+	defer os.RemoveAll(dir)
+	prodConn, err := file.New(dir, file.WithNetwork(net, netsim.SiteThetaLogin, netsim.SiteThetaLogin))
+	if err != nil {
+		return report, err
+	}
+	consConn, err := file.New(dir, file.WithNetwork(net, netsim.SitePolaris, netsim.SiteThetaLogin))
+	if err != nil {
+		return report, err
+	}
+	prodFS := mustStore(uniqueName("t2-file-prod"), prodConn)
+	defer store.Unregister(prodFS.Name())
+	consFS := mustStore(uniqueName("t2-file-cons"), consConn)
+	defer store.Unregister(consFS.Name())
+
+	for _, proxied := range []bool{false, true} {
+		label := "Inputs"
+		if proxied {
+			label = "Inputs/Outputs"
+		}
+		s, err := runProxied(execTheta, prodFS, consFS, proxied)
+		if err != nil {
+			return report, fmt.Errorf("table2 FileStore: %w", err)
+		}
+		report.AddRow("FileStore", label, bench.FormatDuration(s.Mean),
+			bench.FormatDuration(s.Std), improvement(s))
+	}
+
+	// --- EndpointStore: client on Midway2, PS-endpoints on Midway2 and a
+	// Polaris login node.
+	relaySrv, err := relay.NewServer("127.0.0.1:0")
+	if err != nil {
+		return report, err
+	}
+	defer relaySrv.Close()
+	epMidway, err := endpoint.Start("127.0.0.1:0", relaySrv.Addr(), endpoint.Options{
+		UUID: uniqueName("t2-ep-midway"), Site: netsim.SiteMidway2, Net: net,
+	})
+	if err != nil {
+		return report, err
+	}
+	defer epMidway.Close()
+	epPolaris, err := endpoint.Start("127.0.0.1:0", relaySrv.Addr(), endpoint.Options{
+		UUID: uniqueName("t2-ep-polaris"), Site: netsim.SitePolarisLogin, Net: net,
+	})
+	if err != nil {
+		return report, err
+	}
+	defer epPolaris.Close()
+
+	execMidway := faas.NewExecutor(cloud, epName, netsim.SiteMidway2)
+	prodEP := mustStore(uniqueName("t2-ep-prod"),
+		endpointc.New(epMidway.Addr(), epMidway.UUID(), netsim.SiteMidway2, netsim.SiteMidway2))
+	defer store.Unregister(prodEP.Name())
+	consEP := mustStore(uniqueName("t2-ep-cons"),
+		endpointc.New(epPolaris.Addr(), epPolaris.UUID(), netsim.SitePolaris, netsim.SitePolarisLogin))
+	defer store.Unregister(consEP.Name())
+
+	for _, proxied := range []bool{false, true} {
+		label := "Inputs"
+		if proxied {
+			label = "Inputs/Outputs"
+		}
+		s, err := runProxied(execMidway, prodEP, consEP, proxied)
+		if err != nil {
+			return report, fmt.Errorf("table2 EndpointStore: %w", err)
+		}
+		report.AddRow("EndpointStore", label, bench.FormatDuration(s.Mean),
+			bench.FormatDuration(s.Std), improvement(s))
+	}
+
+	return report, nil
+}
+
+// mustStore builds a raw-serializer, cache-free store or panics; the
+// experiment names are unique so registration cannot conflict.
+func mustStore(name string, conn connector.Connector) *store.Store {
+	s, err := store.New(name, conn, store.WithSerializer(serial.Raw()), store.WithCacheSize(0))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building store %s: %v", name, err))
+	}
+	return s
+}

@@ -1,0 +1,195 @@
+package faas
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"proxystore/internal/connectors/local"
+	"proxystore/internal/netsim"
+	"proxystore/internal/proxy"
+	"proxystore/internal/store"
+)
+
+func newPlatform(t *testing.T, clientSite, endpointSite string) (*Cloud, *Executor, *Endpoint) {
+	t.Helper()
+	n := netsim.Testbed(1000)
+	cloud := NewCloud(n, netsim.SiteCloud)
+	ep := StartEndpoint(cloud, "test-ep", endpointSite, 4)
+	t.Cleanup(func() { ep.Close() })
+	return cloud, NewExecutor(cloud, "test-ep", clientSite), ep
+}
+
+func init() {
+	RegisterFunction("echo", func(_ context.Context, args []any) (any, error) {
+		return args[0], nil
+	})
+	RegisterFunction("fail", func(context.Context, []any) (any, error) {
+		return nil, fmt.Errorf("task exploded")
+	})
+	RegisterFunction("sum", func(_ context.Context, args []any) (any, error) {
+		total := 0
+		for _, a := range args {
+			total += a.(int)
+		}
+		return total, nil
+	})
+	proxy.RegisterGob[[]byte]()
+	RegisterFunction("resolve-proxy", func(ctx context.Context, args []any) (any, error) {
+		p, ok := args[0].(*proxy.Proxy[[]byte])
+		if !ok {
+			return nil, fmt.Errorf("expected a proxy, got %T", args[0])
+		}
+		data, err := p.Value(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return len(data), nil
+	})
+}
+
+func TestRoundTrip(t *testing.T) {
+	_, exec, _ := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
+	ctx := context.Background()
+	fut, err := exec.Submit(ctx, "echo", []byte("hello faas"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	v, err := fut.Result(ctx)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if !bytes.Equal(v.([]byte), []byte("hello faas")) {
+		t.Fatalf("Result = %v", v)
+	}
+}
+
+func TestMultipleArgs(t *testing.T) {
+	_, exec, _ := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
+	ctx := context.Background()
+	fut, err := exec.Submit(ctx, "sum", 1, 2, 3, 4)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	v, err := fut.Result(ctx)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if v.(int) != 10 {
+		t.Fatalf("Result = %v", v)
+	}
+}
+
+func TestTaskErrorPropagates(t *testing.T) {
+	_, exec, _ := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
+	ctx := context.Background()
+	fut, err := exec.Submit(ctx, "fail")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := fut.Result(ctx); err == nil {
+		t.Fatal("Result succeeded for failing task")
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	_, exec, _ := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
+	ctx := context.Background()
+	fut, err := exec.Submit(ctx, "not-registered")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := fut.Result(ctx); err == nil {
+		t.Fatal("Result succeeded for unregistered function")
+	}
+}
+
+func TestPayloadLimitEnforced(t *testing.T) {
+	_, exec, _ := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
+	big := make([]byte, PayloadLimit+1)
+	if _, err := exec.Submit(context.Background(), "echo", big); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("Submit = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestProxyBypassesPayloadLimit(t *testing.T) {
+	// The paper's headline capability: task payloads above the cloud's
+	// limit travel by proxy with no changes to the service.
+	_, exec, _ := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
+	s, err := store.New("faas-proxy-store", local.New("faas-proxy-conn"))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("faas-proxy-store") })
+
+	ctx := context.Background()
+	big := make([]byte, PayloadLimit*2)
+	p, err := store.NewProxy(ctx, s, big)
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	fut, err := exec.Submit(ctx, "resolve-proxy", p)
+	if err != nil {
+		t.Fatalf("Submit with proxy: %v", err)
+	}
+	v, err := fut.Result(ctx)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if v.(int) != len(big) {
+		t.Fatalf("task saw %v bytes, want %d", v, len(big))
+	}
+}
+
+func TestCloudPathPaysWANDelay(t *testing.T) {
+	// Same-site client and endpoint still route through the cloud: the
+	// round trip must pay at least two cloud-link RTTs.
+	n := netsim.Testbed(100)
+	cloud := NewCloud(n, netsim.SiteCloud)
+	ep := StartEndpoint(cloud, "wan-ep", netsim.SiteTheta, 1)
+	defer ep.Close()
+	exec := NewExecutor(cloud, "wan-ep", netsim.SiteTheta)
+
+	ctx := context.Background()
+	start := time.Now()
+	fut, err := exec.Submit(ctx, "echo", []byte("x"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := fut.Result(ctx); err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	elapsed := time.Since(start)
+	// Cloud link: 12ms nominal one-way / 100 scale = 120µs; four legs.
+	if elapsed < 400*time.Microsecond {
+		t.Fatalf("round trip took %v, want >= 480µs of cloud legs", elapsed)
+	}
+}
+
+func TestConcurrentTasks(t *testing.T) {
+	_, exec, ep := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
+	ctx := context.Background()
+	futures := make([]*Future, 32)
+	for i := range futures {
+		fut, err := exec.Submit(ctx, "echo", i)
+		if err != nil {
+			t.Fatalf("Submit #%d: %v", i, err)
+		}
+		futures[i] = fut
+	}
+	for i, fut := range futures {
+		v, err := fut.Result(ctx)
+		if err != nil {
+			t.Fatalf("Result #%d: %v", i, err)
+		}
+		if v.(int) != i {
+			t.Fatalf("Result #%d = %v", i, v)
+		}
+	}
+	if ep.Executed() != 32 {
+		t.Fatalf("endpoint executed %d tasks, want 32", ep.Executed())
+	}
+}

@@ -1,0 +1,216 @@
+// Package flox implements a FLoX-like federated learning framework (paper
+// §5.5): an aggregator initializes a global model and dispatches training
+// rounds to edge devices through the FaaS fabric; edge devices train on
+// local data and return their weights; the aggregator averages them.
+//
+// Model weights can travel by value through the cloud (bounded by the
+// service's 5 MB payload limit — why the paper's baseline cannot train
+// models beyond ~40 hidden blocks) or by proxy through any Store, which is
+// the comparison Figure 10 draws.
+package flox
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+
+	"proxystore/internal/faas"
+	"proxystore/internal/ml"
+	"proxystore/internal/proxy"
+	"proxystore/internal/store"
+)
+
+// Arch fixes the model architecture shared by aggregator and devices.
+type Arch struct {
+	InputDim  int
+	HiddenDim int
+	Blocks    int
+	Classes   int
+}
+
+// NewModel instantiates the architecture.
+func (a Arch) NewModel(seed int64) *ml.Model {
+	return ml.NewMLP(a.InputDim, a.HiddenDim, a.Blocks, a.Classes, seed)
+}
+
+// TrainFunction is the FaaS function name for edge training rounds.
+const TrainFunction = "flox.train"
+
+// trainConfig travels to edge devices alongside the weights.
+type trainConfig struct {
+	Arch       Arch
+	Epochs     int
+	BatchSize  int
+	LR         float32
+	DataSeed   int64
+	DataSize   int
+	UseProxies bool
+	StoreName  string
+}
+
+func init() {
+	proxy.RegisterGob[[]byte]()
+	gob.Register(trainConfig{})
+	faas.RegisterFunction(TrainFunction, func(ctx context.Context, args []any) (any, error) {
+		cfg, ok := args[0].(trainConfig)
+		if !ok {
+			return nil, fmt.Errorf("flox: bad config argument %T", args[0])
+		}
+		var weights []byte
+		switch w := args[1].(type) {
+		case []byte:
+			weights = w
+		case *proxy.Proxy[[]byte]:
+			var err error
+			weights, err = w.Value(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("flox: resolving weight proxy: %w", err)
+			}
+		default:
+			return nil, fmt.Errorf("flox: bad weights argument %T", args[1])
+		}
+
+		model := cfg.Arch.NewModel(1)
+		if err := model.LoadWeights(weights); err != nil {
+			return nil, err
+		}
+		data := ml.SyntheticFashion(cfg.DataSize, cfg.DataSeed)
+		for e := 0; e < cfg.Epochs; e++ {
+			for _, s := range data {
+				model.TrainStep(s.X, s.Label, cfg.LR)
+			}
+		}
+		out := model.SerializeWeights()
+
+		if cfg.UseProxies {
+			s, ok := store.Lookup(cfg.StoreName)
+			if !ok {
+				return nil, fmt.Errorf("flox: store %q not registered on device", cfg.StoreName)
+			}
+			p, err := store.NewProxy(ctx, s, out)
+			if err != nil {
+				return nil, err
+			}
+			return p, nil
+		}
+		return out, nil
+	})
+}
+
+// Aggregator drives federated rounds.
+type Aggregator struct {
+	arch    Arch
+	model   *ml.Model
+	devices []*faas.Executor
+
+	// Proxy configuration; nil store means weights travel by value.
+	store *store.Store
+
+	epochs   int
+	dataSize int
+	lr       float32
+}
+
+// Options configure an Aggregator.
+type Options struct {
+	// Arch is the shared model architecture.
+	Arch Arch
+	// Devices are executors, one per edge device endpoint.
+	Devices []*faas.Executor
+	// Store, when set, moves weights by proxy.
+	Store *store.Store
+	// LocalEpochs per round (default 1) and per-device dataset size
+	// (default 32).
+	LocalEpochs int
+	DataSize    int
+	// LR is the device learning rate (default 0.01).
+	LR float32
+}
+
+// NewAggregator initializes the global model.
+func NewAggregator(opts Options) *Aggregator {
+	if opts.LocalEpochs < 1 {
+		opts.LocalEpochs = 1
+	}
+	if opts.DataSize < 1 {
+		opts.DataSize = 32
+	}
+	if opts.LR == 0 {
+		opts.LR = 0.01
+	}
+	return &Aggregator{
+		arch:     opts.Arch,
+		model:    opts.Arch.NewModel(1),
+		devices:  opts.Devices,
+		store:    opts.Store,
+		epochs:   opts.LocalEpochs,
+		dataSize: opts.DataSize,
+		lr:       opts.LR,
+	}
+}
+
+// Model returns the current global model.
+func (a *Aggregator) Model() *ml.Model { return a.model }
+
+// Round runs one federated round: broadcast weights, train on every device,
+// gather, average. It returns the serialized global weights after
+// averaging.
+func (a *Aggregator) Round(ctx context.Context) ([]byte, error) {
+	weights := a.model.SerializeWeights()
+	futures := make([]*faas.Future, len(a.devices))
+
+	for i, dev := range a.devices {
+		cfg := trainConfig{
+			Arch:      a.arch,
+			Epochs:    a.epochs,
+			BatchSize: 16,
+			LR:        a.lr,
+			DataSeed:  int64(100 + i),
+			DataSize:  a.dataSize,
+		}
+		var arg any = weights
+		if a.store != nil {
+			cfg.UseProxies = true
+			cfg.StoreName = a.store.Name()
+			p, err := store.NewProxy(ctx, a.store, weights)
+			if err != nil {
+				return nil, fmt.Errorf("flox: proxying global weights: %w", err)
+			}
+			arg = p
+		}
+		fut, err := dev.Submit(ctx, TrainFunction, cfg, arg)
+		if err != nil {
+			return nil, fmt.Errorf("flox: submitting round to device %d: %w", i, err)
+		}
+		futures[i] = fut
+	}
+
+	blobs := make([][]byte, len(futures))
+	for i, fut := range futures {
+		v, err := fut.Result(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("flox: device %d round failed: %w", i, err)
+		}
+		switch w := v.(type) {
+		case []byte:
+			blobs[i] = w
+		case *proxy.Proxy[[]byte]:
+			data, err := w.Value(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("flox: resolving device %d weights: %w", i, err)
+			}
+			blobs[i] = data
+		default:
+			return nil, fmt.Errorf("flox: device %d returned %T", i, v)
+		}
+	}
+
+	avg, err := ml.AverageWeights(blobs)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.model.LoadWeights(avg); err != nil {
+		return nil, err
+	}
+	return avg, nil
+}

@@ -1,0 +1,126 @@
+package flox
+
+import (
+	"context"
+	"testing"
+
+	"proxystore/internal/connectors/local"
+	"proxystore/internal/faas"
+	"proxystore/internal/ml"
+	"proxystore/internal/netsim"
+	"proxystore/internal/store"
+)
+
+func smallArch() Arch {
+	return Arch{InputDim: 28 * 28, HiddenDim: 16, Blocks: 1, Classes: 10}
+}
+
+func newFL(t *testing.T, devices int, st *store.Store) *Aggregator {
+	t.Helper()
+	n := netsim.Testbed(1000)
+	cloud := faas.NewCloud(n, netsim.SiteCloud)
+	execs := make([]*faas.Executor, devices)
+	for i := range execs {
+		name := "edge-" + string(rune('a'+i))
+		ep := faas.StartEndpoint(cloud, name, netsim.SiteEdge, 1)
+		t.Cleanup(func() { ep.Close() })
+		execs[i] = faas.NewExecutor(cloud, name, netsim.SiteCloud)
+	}
+	return NewAggregator(Options{
+		Arch:        smallArch(),
+		Devices:     execs,
+		Store:       st,
+		DataSize:    80,
+		LocalEpochs: 2,
+		LR:          0.02,
+	})
+}
+
+func TestRoundByValue(t *testing.T) {
+	agg := newFL(t, 2, nil)
+	ctx := context.Background()
+	before := agg.Model().SerializeWeights()
+	after, err := agg.Round(ctx)
+	if err != nil {
+		t.Fatalf("Round: %v", err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("weight size changed: %d -> %d", len(before), len(after))
+	}
+	same := true
+	for i := range after {
+		if after[i] != before[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("round did not change the global model")
+	}
+}
+
+func TestRoundByProxy(t *testing.T) {
+	st, err := store.New("flox-round", local.New("flox-round-conn"))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("flox-round") })
+	agg := newFL(t, 2, st)
+	if _, err := agg.Round(context.Background()); err != nil {
+		t.Fatalf("Round: %v", err)
+	}
+	m := st.Metrics()
+	// Global weights proxied once per device + one result proxy per device.
+	if m.Proxies < 3 {
+		t.Fatalf("store minted %d proxies, want >= 3", m.Proxies)
+	}
+}
+
+func TestLargeModelFailsByValueSucceedsByProxy(t *testing.T) {
+	// Figure 10's cliff: past the payload limit, cloud transfer fails and
+	// only the proxied path works.
+	big := Arch{InputDim: 28 * 28, HiddenDim: 512, Blocks: 6, Classes: 10}
+	model := big.NewModel(1)
+	if model.NumParams()*4 <= faas.PayloadLimit {
+		t.Fatalf("test model too small (%d bytes) to exceed the limit", model.NumParams()*4)
+	}
+
+	n := netsim.Testbed(1000)
+	cloud := faas.NewCloud(n, netsim.SiteCloud)
+	ep := faas.StartEndpoint(cloud, "edge-big", netsim.SiteEdge, 1)
+	defer ep.Close()
+	exec := faas.NewExecutor(cloud, "edge-big", netsim.SiteCloud)
+
+	ctx := context.Background()
+
+	byValue := NewAggregator(Options{Arch: big, Devices: []*faas.Executor{exec}, DataSize: 2})
+	if _, err := byValue.Round(ctx); err == nil {
+		t.Fatal("by-value round succeeded past the payload limit")
+	}
+
+	st, err := store.New("flox-big", local.New("flox-big-conn"))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("flox-big") })
+	byProxy := NewAggregator(Options{Arch: big, Devices: []*faas.Executor{exec}, Store: st, DataSize: 2})
+	if _, err := byProxy.Round(ctx); err != nil {
+		t.Fatalf("proxied round failed: %v", err)
+	}
+}
+
+func TestFederatedTrainingImprovesModel(t *testing.T) {
+	agg := newFL(t, 3, nil)
+	test := ml.SyntheticFashion(100, 999)
+	before := agg.Model().Evaluate(test)
+	ctx := context.Background()
+	for round := 0; round < 3; round++ {
+		if _, err := agg.Round(ctx); err != nil {
+			t.Fatalf("Round %d: %v", round, err)
+		}
+	}
+	after := agg.Model().Evaluate(test)
+	if after <= before {
+		t.Fatalf("federated training did not improve accuracy: %v -> %v", before, after)
+	}
+}

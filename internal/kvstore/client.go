@@ -1,0 +1,303 @@
+package kvstore
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"proxystore/internal/netsim"
+)
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithPoolSize sets the maximum number of pooled connections (default 4).
+func WithPoolSize(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.poolSize = n
+		}
+	}
+}
+
+// WithClientNetwork attaches a netsim model: every request pays the modeled
+// transfer time from the client's site to the server's site for the request
+// payload, and back for the response payload.
+func WithClientNetwork(n *netsim.Network, clientSite, serverSite string) ClientOption {
+	return func(c *Client) {
+		c.net = n
+		c.clientSite = clientSite
+		c.serverSite = serverSite
+	}
+}
+
+// WithDialTimeout bounds connection establishment (default 5s).
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.dialTimeout = d }
+}
+
+// Client is a pooled RESP2 client.
+//
+// A Client is safe for concurrent use; each in-flight request holds one
+// pooled connection.
+type Client struct {
+	addr        string
+	poolSize    int
+	dialTimeout time.Duration
+
+	net        *netsim.Network
+	clientSite string
+	serverSite string
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	total  int
+	closed bool
+	cond   *sync.Cond
+}
+
+type clientConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// NewClient returns a client for the server at addr. No connection is made
+// until the first request.
+func NewClient(addr string, opts ...ClientOption) *Client {
+	c := &Client{addr: addr, poolSize: 4, dialTimeout: 5 * time.Second}
+	for _, o := range opts {
+		o(c)
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Close tears down all pooled connections. In-flight requests fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, cc := range c.idle {
+		cc.conn.Close()
+	}
+	c.idle = nil
+	c.cond.Broadcast()
+	return nil
+}
+
+func (c *Client) acquire(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("kvstore: client closed")
+		}
+		if n := len(c.idle); n > 0 {
+			cc := c.idle[n-1]
+			c.idle = c.idle[:n-1]
+			c.mu.Unlock()
+			return cc, nil
+		}
+		if c.total < c.poolSize {
+			c.total++
+			c.mu.Unlock()
+			cc, err := c.dial(ctx)
+			if err != nil {
+				c.mu.Lock()
+				c.total--
+				c.cond.Signal()
+				c.mu.Unlock()
+				return nil, err
+			}
+			return cc, nil
+		}
+		// Pool exhausted: wait for a release. Context cancellation is
+		// checked after wake-up; busy pools wake often enough in practice.
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.cond.Wait()
+	}
+}
+
+func (c *Client) release(cc *clientConn, broken bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if broken || c.closed {
+		cc.conn.Close()
+		c.total--
+	} else {
+		c.idle = append(c.idle, cc)
+	}
+	c.cond.Signal()
+}
+
+func (c *Client) dial(ctx context.Context) (*clientConn, error) {
+	d := net.Dialer{Timeout: c.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dialing %s: %w", c.addr, err)
+	}
+	return &clientConn{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+func (c *Client) delay(ctx context.Context, size int) error {
+	if c.net == nil {
+		return nil
+	}
+	return c.net.Delay(ctx, c.clientSite, c.serverSite, size)
+}
+
+// do sends one command and reads one reply.
+func (c *Client) do(ctx context.Context, name string, args ...[]byte) (value, error) {
+	reqSize := len(name)
+	for _, a := range args {
+		reqSize += len(a)
+	}
+	if err := c.delay(ctx, reqSize); err != nil {
+		return value{}, err
+	}
+
+	cc, err := c.acquire(ctx)
+	if err != nil {
+		return value{}, err
+	}
+	if err := encodeCommand(cc.w, name, args...); err != nil {
+		c.release(cc, true)
+		return value{}, fmt.Errorf("kvstore: sending %s: %w", name, err)
+	}
+	if err := cc.w.Flush(); err != nil {
+		c.release(cc, true)
+		return value{}, fmt.Errorf("kvstore: sending %s: %w", name, err)
+	}
+	v, err := readValue(cc.r)
+	if err != nil {
+		c.release(cc, true)
+		return value{}, fmt.Errorf("kvstore: reading %s reply: %w", name, err)
+	}
+	c.release(cc, false)
+
+	respSize := len(v.bulk)
+	for _, el := range v.arr {
+		respSize += len(el.bulk)
+	}
+	if err := c.delay(ctx, respSize); err != nil {
+		return value{}, err
+	}
+	if v.kind == respError {
+		return value{}, fmt.Errorf("kvstore: server error: %s", v.str)
+	}
+	return v, nil
+}
+
+// Ping round-trips a PING.
+func (c *Client) Ping(ctx context.Context) error {
+	v, err := c.do(ctx, "PING")
+	if err != nil {
+		return err
+	}
+	if v.kind != respSimpleString || v.str != "PONG" {
+		return fmt.Errorf("kvstore: unexpected PING reply %+v", v)
+	}
+	return nil
+}
+
+// Set stores val under key.
+func (c *Client) Set(ctx context.Context, key string, val []byte) error {
+	_, err := c.do(ctx, "SET", []byte(key), val)
+	return err
+}
+
+// Get fetches key's value; ok is false when the key does not exist.
+func (c *Client) Get(ctx context.Context, key string) (val []byte, ok bool, err error) {
+	v, err := c.do(ctx, "GET", []byte(key))
+	if err != nil {
+		return nil, false, err
+	}
+	if v.null {
+		return nil, false, nil
+	}
+	return v.bulk, true, nil
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(ctx context.Context, keys ...string) (int64, error) {
+	args := make([][]byte, len(keys))
+	for i, k := range keys {
+		args[i] = []byte(k)
+	}
+	v, err := c.do(ctx, "DEL", args...)
+	if err != nil {
+		return 0, err
+	}
+	return v.num, nil
+}
+
+// Exists reports how many of the given keys exist.
+func (c *Client) Exists(ctx context.Context, keys ...string) (int64, error) {
+	args := make([][]byte, len(keys))
+	for i, k := range keys {
+		args[i] = []byte(k)
+	}
+	v, err := c.do(ctx, "EXISTS", args...)
+	if err != nil {
+		return 0, err
+	}
+	return v.num, nil
+}
+
+// MGet fetches many keys; missing keys yield nil entries.
+func (c *Client) MGet(ctx context.Context, keys ...string) ([][]byte, error) {
+	args := make([][]byte, len(keys))
+	for i, k := range keys {
+		args[i] = []byte(k)
+	}
+	v, err := c.do(ctx, "MGET", args...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(v.arr))
+	for i, el := range v.arr {
+		if !el.null {
+			out[i] = el.bulk
+		}
+	}
+	return out, nil
+}
+
+// MSet stores many key/value pairs atomically.
+func (c *Client) MSet(ctx context.Context, pairs map[string][]byte) error {
+	args := make([][]byte, 0, len(pairs)*2)
+	for k, v := range pairs {
+		args = append(args, []byte(k), v)
+	}
+	_, err := c.do(ctx, "MSET", args...)
+	return err
+}
+
+// DBSize returns the number of keys on the server.
+func (c *Client) DBSize(ctx context.Context) (int64, error) {
+	v, err := c.do(ctx, "DBSIZE")
+	if err != nil {
+		return 0, err
+	}
+	return v.num, nil
+}
+
+// FlushAll removes every key on the server.
+func (c *Client) FlushAll(ctx context.Context) error {
+	_, err := c.do(ctx, "FLUSHALL")
+	return err
+}

@@ -1,0 +1,260 @@
+package kvstore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"proxystore/internal/netsim"
+)
+
+func newPair(t *testing.T, sopts []ServerOption, copts []ClientOption) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", sopts...)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli := NewClient(srv.Addr(), copts...)
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+func TestPing(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	if err := cli.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	if err := cli.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	got, ok, err := cli.Get(ctx, "k")
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v, %v", got, ok, err)
+	}
+	if string(got) != "v" {
+		t.Fatalf("Get = %q", got)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	_, ok, err := cli.Get(context.Background(), "ghost")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if ok {
+		t.Fatal("Get found a missing key")
+	}
+}
+
+func TestBinarySafety(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	val := []byte("embedded\r\nCRLF\x00and nulls\xff")
+	if err := cli.Set(ctx, "bin", val); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	got, _, err := cli.Get(ctx, "bin")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatalf("binary value corrupted: %q", got)
+	}
+}
+
+func TestDelAndExists(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	cli.Set(ctx, "a", []byte("1"))
+	cli.Set(ctx, "b", []byte("2"))
+	n, err := cli.Exists(ctx, "a", "b", "c")
+	if err != nil || n != 2 {
+		t.Fatalf("Exists = %d, %v; want 2", n, err)
+	}
+	deleted, err := cli.Del(ctx, "a", "c")
+	if err != nil || deleted != 1 {
+		t.Fatalf("Del = %d, %v; want 1", deleted, err)
+	}
+	n, _ = cli.Exists(ctx, "a")
+	if n != 0 {
+		t.Fatal("key a survived Del")
+	}
+}
+
+func TestMGetMSet(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	if err := cli.MSet(ctx, map[string][]byte{"x": []byte("1"), "y": []byte("2")}); err != nil {
+		t.Fatalf("MSet: %v", err)
+	}
+	vals, err := cli.MGet(ctx, "x", "ghost", "y")
+	if err != nil {
+		t.Fatalf("MGet: %v", err)
+	}
+	if string(vals[0]) != "1" || vals[1] != nil || string(vals[2]) != "2" {
+		t.Fatalf("MGet = %q", vals)
+	}
+}
+
+func TestDBSizeAndFlush(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		cli.Set(ctx, fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	n, err := cli.DBSize(ctx)
+	if err != nil || n != 5 {
+		t.Fatalf("DBSize = %d, %v; want 5", n, err)
+	}
+	if err := cli.FlushAll(ctx); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	n, _ = cli.DBSize(ctx)
+	if n != 0 {
+		t.Fatalf("DBSize after flush = %d", n)
+	}
+}
+
+func TestLargeValue(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	val := make([]byte, 4<<20)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	if err := cli.Set(ctx, "big", val); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	got, _, err := cli.Get(ctx, "big")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatal("large value corrupted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := newPair(t, nil, nil)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cli := NewClient(srv.Addr())
+			defer cli.Close()
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if err := cli.Set(ctx, key, []byte(key)); err != nil {
+					t.Errorf("Set: %v", err)
+					return
+				}
+				got, ok, err := cli.Get(ctx, key)
+				if err != nil || !ok || string(got) != key {
+					t.Errorf("Get(%s) = %q, %v, %v", key, got, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPersistenceAcrossRestart(t *testing.T) {
+	aof := filepath.Join(t.TempDir(), "store.aof")
+	srv, err := NewServer("127.0.0.1:0", WithPersistence(aof))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	cli := NewClient(srv.Addr())
+	ctx := context.Background()
+	cli.Set(ctx, "durable", []byte("survives"))
+	cli.Set(ctx, "doomed", []byte("deleted"))
+	cli.Del(ctx, "doomed")
+	cli.Close()
+	srv.Close()
+
+	srv2, err := NewServer("127.0.0.1:0", WithPersistence(aof))
+	if err != nil {
+		t.Fatalf("restart NewServer: %v", err)
+	}
+	defer srv2.Close()
+	cli2 := NewClient(srv2.Addr())
+	defer cli2.Close()
+	got, ok, err := cli2.Get(ctx, "durable")
+	if err != nil || !ok || string(got) != "survives" {
+		t.Fatalf("Get after restart = %q, %v, %v", got, ok, err)
+	}
+	if n, _ := cli2.Exists(ctx, "doomed"); n != 0 {
+		t.Fatal("deleted key resurrected after restart")
+	}
+}
+
+func TestNetworkModelDelaysRequests(t *testing.T) {
+	n := netsim.New(1)
+	n.AddSite("client", true)
+	n.AddSite("server", true)
+	if err := n.SetLink("client", "server", netsim.Link{Latency: 15 * time.Millisecond}); err != nil {
+		t.Fatalf("SetLink: %v", err)
+	}
+	_, cli := newPair(t, nil, []ClientOption{WithClientNetwork(n, "client", "server")})
+	start := time.Now()
+	if err := cli.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("Ping took %v, want >= 30ms (two one-way delays)", elapsed)
+	}
+}
+
+func TestServerCountsCommands(t *testing.T) {
+	srv, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	cli.Ping(ctx)
+	cli.Set(ctx, "k", []byte("v"))
+	cli.Get(ctx, "k")
+	if got := srv.Commands(); got != 3 {
+		t.Fatalf("Commands = %d, want 3", got)
+	}
+}
+
+func TestUnknownCommandReturnsError(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	if _, err := cli.do(context.Background(), "NOSUCHCMD"); err == nil {
+		t.Fatal("unknown command did not error")
+	}
+}
+
+func TestPropertyRoundTripArbitraryValues(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	i := 0
+	f := func(val []byte) bool {
+		i++
+		key := fmt.Sprintf("prop-%d", i)
+		if err := cli.Set(ctx, key, val); err != nil {
+			return false
+		}
+		got, ok, err := cli.Get(ctx, key)
+		if err != nil || !ok {
+			return false
+		}
+		return bytes.Equal(got, val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package kvstore implements a miniature Redis: a RESP2-protocol key-value
+// server and client over TCP. It stands in for the Redis/KeyDB servers the
+// paper uses as hybrid intra-site mediated channels (§4.1.2), exposing the
+// subset of commands the RedisConnector needs (GET/SET/DEL/EXISTS/...) plus
+// enough extras (MGET/MSET/DBSIZE/FLUSHALL/PING) to feel like the real
+// thing. An optional append-only persistence file provides the "hybrid
+// memory/disk" property.
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RESP2 value kinds. See https://redis.io/docs/reference/protocol-spec/.
+const (
+	respSimpleString = '+'
+	respError        = '-'
+	respInteger      = ':'
+	respBulkString   = '$'
+	respArray        = '*'
+)
+
+// value is a decoded RESP value.
+type value struct {
+	kind byte
+	str  string  // simple string or error text
+	num  int64   // integer
+	bulk []byte  // bulk string payload; nil means null bulk
+	arr  []value // array elements
+	null bool    // null bulk string or null array
+}
+
+func simpleString(s string) value { return value{kind: respSimpleString, str: s} }
+func errorValue(msg string) value { return value{kind: respError, str: msg} }
+func integerValue(n int64) value  { return value{kind: respInteger, num: n} }
+func bulkValue(b []byte) value    { return value{kind: respBulkString, bulk: b} }
+func nullBulk() value             { return value{kind: respBulkString, null: true} }
+func arrayValue(vs []value) value { return value{kind: respArray, arr: vs} }
+
+// writeValue encodes v in RESP2 framing.
+func writeValue(w *bufio.Writer, v value) error {
+	switch v.kind {
+	case respSimpleString:
+		if _, err := fmt.Fprintf(w, "+%s\r\n", v.str); err != nil {
+			return err
+		}
+	case respError:
+		if _, err := fmt.Fprintf(w, "-%s\r\n", v.str); err != nil {
+			return err
+		}
+	case respInteger:
+		if _, err := fmt.Fprintf(w, ":%d\r\n", v.num); err != nil {
+			return err
+		}
+	case respBulkString:
+		if v.null {
+			if _, err := w.WriteString("$-1\r\n"); err != nil {
+				return err
+			}
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "$%d\r\n", len(v.bulk)); err != nil {
+			return err
+		}
+		if _, err := w.Write(v.bulk); err != nil {
+			return err
+		}
+		if _, err := w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	case respArray:
+		if v.null {
+			if _, err := w.WriteString("*-1\r\n"); err != nil {
+				return err
+			}
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "*%d\r\n", len(v.arr)); err != nil {
+			return err
+		}
+		for _, el := range v.arr {
+			if err := writeValue(w, el); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("kvstore: unknown RESP kind %q", v.kind)
+	}
+	return nil
+}
+
+// maxBulkLen bounds a single bulk string (512 MB, Redis' limit).
+const maxBulkLen = 512 << 20
+
+// readValue decodes one RESP2 value.
+func readValue(r *bufio.Reader) (value, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return value{}, err
+	}
+	line, err := readLine(r)
+	if err != nil {
+		return value{}, err
+	}
+	switch kind {
+	case respSimpleString:
+		return simpleString(line), nil
+	case respError:
+		return errorValue(line), nil
+	case respInteger:
+		n, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return value{}, fmt.Errorf("kvstore: bad integer %q: %w", line, err)
+		}
+		return integerValue(n), nil
+	case respBulkString:
+		n, err := strconv.Atoi(line)
+		if err != nil {
+			return value{}, fmt.Errorf("kvstore: bad bulk length %q: %w", line, err)
+		}
+		if n < 0 {
+			return nullBulk(), nil
+		}
+		if n > maxBulkLen {
+			return value{}, fmt.Errorf("kvstore: bulk length %d exceeds limit", n)
+		}
+		buf := make([]byte, n+2) // payload + CRLF
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return value{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return value{}, fmt.Errorf("kvstore: bulk string missing CRLF terminator")
+		}
+		return bulkValue(buf[:n]), nil
+	case respArray:
+		n, err := strconv.Atoi(line)
+		if err != nil {
+			return value{}, fmt.Errorf("kvstore: bad array length %q: %w", line, err)
+		}
+		if n < 0 {
+			return value{kind: respArray, null: true}, nil
+		}
+		els := make([]value, n)
+		for i := 0; i < n; i++ {
+			el, err := readValue(r)
+			if err != nil {
+				return value{}, err
+			}
+			els[i] = el
+		}
+		return arrayValue(els), nil
+	default:
+		return value{}, fmt.Errorf("kvstore: unknown RESP type byte %q", kind)
+	}
+}
+
+// readLine reads up to CRLF, returning the line without the terminator.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return "", fmt.Errorf("kvstore: protocol line missing CRLF")
+	}
+	return line[:len(line)-2], nil
+}
+
+// command is a client request: a RESP array of bulk strings.
+type command struct {
+	name string
+	args [][]byte
+}
+
+// parseCommand interprets a decoded value as a command.
+func parseCommand(v value) (command, error) {
+	if v.kind != respArray || v.null || len(v.arr) == 0 {
+		return command{}, fmt.Errorf("kvstore: command must be a non-empty array")
+	}
+	var cmd command
+	for i, el := range v.arr {
+		if el.kind != respBulkString || el.null {
+			return command{}, fmt.Errorf("kvstore: command element %d is not a bulk string", i)
+		}
+		if i == 0 {
+			cmd.name = upperASCII(string(el.bulk))
+		} else {
+			cmd.args = append(cmd.args, el.bulk)
+		}
+	}
+	return cmd, nil
+}
+
+func upperASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}
+
+// encodeCommand frames a command for the wire.
+func encodeCommand(w *bufio.Writer, name string, args ...[]byte) error {
+	els := make([]value, 0, len(args)+1)
+	els = append(els, bulkValue([]byte(name)))
+	for _, a := range args {
+		els = append(els, bulkValue(a))
+	}
+	return writeValue(w, arrayValue(els))
+}

@@ -1,0 +1,317 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithPersistence makes the server append every write to path and replay it
+// at startup — the hybrid memory/disk storage of the paper's Redis channel.
+func WithPersistence(path string) ServerOption {
+	return func(s *Server) { s.aofPath = path }
+}
+
+// WithLogger routes server diagnostics; the default discards them.
+func WithLogger(l *log.Logger) ServerOption {
+	return func(s *Server) { s.logger = l }
+}
+
+// Server is a RESP2 key-value server.
+type Server struct {
+	ln      net.Listener
+	aofPath string
+	logger  *log.Logger
+
+	mu   sync.RWMutex
+	data map[string][]byte
+
+	aofMu sync.Mutex
+	aof   *os.File
+
+	closed   atomic.Bool
+	connWG   sync.WaitGroup
+	commands atomic.Uint64
+}
+
+// NewServer starts a server listening on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string, opts ...ServerOption) (*Server, error) {
+	s := &Server{
+		data:   make(map[string][]byte),
+		logger: log.New(io.Discard, "", 0),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.aofPath != "" {
+		if err := s.loadAOF(); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(s.aofPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: opening persistence file: %w", err)
+		}
+		s.aof = f
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if s.aof != nil {
+			s.aof.Close()
+		}
+		return nil, fmt.Errorf("kvstore: listen: %w", err)
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Commands returns the number of commands served.
+func (s *Server) Commands() uint64 { return s.commands.Load() }
+
+// Close stops accepting connections and waits for handlers to finish.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.ln.Close()
+	s.connWG.Wait()
+	if s.aof != nil {
+		s.aofMu.Lock()
+		s.aof.Close()
+		s.aofMu.Unlock()
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if !s.closed.Load() {
+				s.logger.Printf("kvstore: accept: %v", err)
+			}
+			return
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		v, err := readValue(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !s.closed.Load() {
+				s.logger.Printf("kvstore: read: %v", err)
+			}
+			return
+		}
+		cmd, err := parseCommand(v)
+		var reply value
+		if err != nil {
+			reply = errorValue("ERR " + err.Error())
+		} else {
+			reply = s.execute(cmd)
+		}
+		s.commands.Add(1)
+		if err := writeValue(w, reply); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) execute(cmd command) value {
+	switch cmd.name {
+	case "PING":
+		if len(cmd.args) == 1 {
+			return bulkValue(cmd.args[0])
+		}
+		return simpleString("PONG")
+	case "SET":
+		if len(cmd.args) != 2 {
+			return errorValue("ERR wrong number of arguments for 'set'")
+		}
+		s.set(string(cmd.args[0]), cmd.args[1])
+		return simpleString("OK")
+	case "GET":
+		if len(cmd.args) != 1 {
+			return errorValue("ERR wrong number of arguments for 'get'")
+		}
+		data, ok := s.get(string(cmd.args[0]))
+		if !ok {
+			return nullBulk()
+		}
+		return bulkValue(data)
+	case "DEL":
+		var n int64
+		for _, a := range cmd.args {
+			if s.del(string(a)) {
+				n++
+			}
+		}
+		return integerValue(n)
+	case "EXISTS":
+		var n int64
+		for _, a := range cmd.args {
+			if _, ok := s.get(string(a)); ok {
+				n++
+			}
+		}
+		return integerValue(n)
+	case "MGET":
+		out := make([]value, len(cmd.args))
+		for i, a := range cmd.args {
+			if data, ok := s.get(string(a)); ok {
+				out[i] = bulkValue(data)
+			} else {
+				out[i] = nullBulk()
+			}
+		}
+		return arrayValue(out)
+	case "MSET":
+		if len(cmd.args) == 0 || len(cmd.args)%2 != 0 {
+			return errorValue("ERR wrong number of arguments for 'mset'")
+		}
+		for i := 0; i < len(cmd.args); i += 2 {
+			s.set(string(cmd.args[i]), cmd.args[i+1])
+		}
+		return simpleString("OK")
+	case "DBSIZE":
+		s.mu.RLock()
+		n := int64(len(s.data))
+		s.mu.RUnlock()
+		return integerValue(n)
+	case "FLUSHALL":
+		s.mu.Lock()
+		s.data = make(map[string][]byte)
+		s.mu.Unlock()
+		return simpleString("OK")
+	default:
+		return errorValue(fmt.Sprintf("ERR unknown command '%s'", cmd.name))
+	}
+}
+
+func (s *Server) set(key string, val []byte) {
+	buf := make([]byte, len(val))
+	copy(buf, val)
+	s.mu.Lock()
+	s.data[key] = buf
+	s.mu.Unlock()
+	s.appendAOF(aofSet, key, buf)
+}
+
+func (s *Server) get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+func (s *Server) del(key string) bool {
+	s.mu.Lock()
+	_, ok := s.data[key]
+	delete(s.data, key)
+	s.mu.Unlock()
+	if ok {
+		s.appendAOF(aofDel, key, nil)
+	}
+	return ok
+}
+
+// --- Append-only persistence ---------------------------------------------
+
+const (
+	aofSet byte = 1
+	aofDel byte = 2
+)
+
+// appendAOF writes one record: op, key length, key, value length, value.
+func (s *Server) appendAOF(op byte, key string, val []byte) {
+	if s.aof == nil {
+		return
+	}
+	s.aofMu.Lock()
+	defer s.aofMu.Unlock()
+	var hdr [9]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(val)))
+	if _, err := s.aof.Write(hdr[:]); err != nil {
+		s.logger.Printf("kvstore: aof write: %v", err)
+		return
+	}
+	if _, err := s.aof.WriteString(key); err != nil {
+		s.logger.Printf("kvstore: aof write: %v", err)
+		return
+	}
+	if len(val) > 0 {
+		if _, err := s.aof.Write(val); err != nil {
+			s.logger.Printf("kvstore: aof write: %v", err)
+		}
+	}
+}
+
+func (s *Server) loadAOF() error {
+	f, err := os.Open(s.aofPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: opening persistence file: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		var hdr [9]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			// A torn final record (crash mid-append) is tolerated.
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return fmt.Errorf("kvstore: reading persistence file: %w", err)
+		}
+		keyLen := binary.LittleEndian.Uint32(hdr[1:5])
+		valLen := binary.LittleEndian.Uint32(hdr[5:9])
+		key := make([]byte, keyLen)
+		if _, err := io.ReadFull(r, key); err != nil {
+			return nil // torn record
+		}
+		val := make([]byte, valLen)
+		if _, err := io.ReadFull(r, val); err != nil {
+			return nil // torn record
+		}
+		switch hdr[0] {
+		case aofSet:
+			s.data[string(key)] = val
+		case aofDel:
+			delete(s.data, string(key))
+		default:
+			return fmt.Errorf("kvstore: corrupt persistence record op=%d", hdr[0])
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package ml is a small neural-network library sufficient for the paper's
+// machine-learning workloads: the federated-learning CNN of §5.5 (stand-in:
+// an MLP whose depth scales in "hidden blocks" exactly as the paper scales
+// model size), the surrogate models of §5.6, and the defect segmentation
+// model of §5.4. It implements dense layers, ReLU, softmax cross-entropy,
+// SGD training, and weight (de)serialization — enough that model transfer
+// sizes and training loops are real.
+package ml
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a fully connected layer with weights [out][in] and biases [out].
+type Dense struct {
+	In, Out int
+	W       []float32 // row-major [Out][In]
+	B       []float32
+}
+
+// NewDense returns a He-initialized dense layer.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, W: make([]float32, in*out), B: make([]float32, out)}
+	std := float32(math.Sqrt(2 / float64(in)))
+	for i := range d.W {
+		d.W[i] = float32(rng.NormFloat64()) * std
+	}
+	return d
+}
+
+// Forward computes y = Wx + b.
+func (d *Dense) Forward(x []float32) []float32 {
+	y := make([]float32, d.Out)
+	for o := 0; o < d.Out; o++ {
+		sum := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		y[o] = sum
+	}
+	return y
+}
+
+// Model is an MLP: input -> hidden blocks (Dense+ReLU) -> output Dense.
+type Model struct {
+	// Layers in order; ReLU is applied after every layer except the last.
+	Layers []*Dense
+}
+
+// NewMLP builds input->hidden^blocks->classes. Increasing blocks grows the
+// parameter count linearly — the x-axis of the paper's Figure 10.
+func NewMLP(inputDim, hiddenDim, blocks, classes int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{}
+	prev := inputDim
+	for b := 0; b < blocks; b++ {
+		m.Layers = append(m.Layers, NewDense(prev, hiddenDim, rng))
+		prev = hiddenDim
+	}
+	m.Layers = append(m.Layers, NewDense(prev, classes, rng))
+	return m
+}
+
+// NumParams returns the total parameter count.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += len(l.W) + len(l.B)
+	}
+	return n
+}
+
+// Forward returns the logits for input x.
+func (m *Model) Forward(x []float32) []float32 {
+	h := x
+	for i, l := range m.Layers {
+		h = l.Forward(h)
+		if i < len(m.Layers)-1 {
+			relu(h)
+		}
+	}
+	return h
+}
+
+func relu(v []float32) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+// Predict returns the argmax class for input x.
+func (m *Model) Predict(x []float32) int {
+	logits := m.Forward(x)
+	best, bestV := 0, logits[0]
+	for i, v := range logits {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+func softmax(logits []float32) []float32 {
+	maxv := logits[0]
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	exp := make([]float32, len(logits))
+	var sum float32
+	for i, v := range logits {
+		e := float32(math.Exp(float64(v - maxv)))
+		exp[i] = e
+		sum += e
+	}
+	for i := range exp {
+		exp[i] /= sum
+	}
+	return exp
+}
+
+// TrainStep performs one SGD step on (x, label) with softmax cross-entropy,
+// returning the loss. Backprop is exact for the MLP structure.
+func (m *Model) TrainStep(x []float32, label int, lr float32) float32 {
+	// Forward with cached activations.
+	acts := make([][]float32, len(m.Layers)+1)
+	acts[0] = x
+	for i, l := range m.Layers {
+		h := l.Forward(acts[i])
+		if i < len(m.Layers)-1 {
+			relu(h)
+		}
+		acts[i+1] = h
+	}
+	probs := softmax(acts[len(acts)-1])
+	loss := -float32(math.Log(float64(probs[label]) + 1e-12))
+
+	// Backward: dL/dlogits = probs - onehot.
+	grad := make([]float32, len(probs))
+	copy(grad, probs)
+	grad[label] -= 1
+
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		l := m.Layers[li]
+		in := acts[li]
+		var nextGrad []float32
+		if li > 0 {
+			nextGrad = make([]float32, l.In)
+		}
+		for o := 0; o < l.Out; o++ {
+			g := grad[o]
+			row := l.W[o*l.In : (o+1)*l.In]
+			if nextGrad != nil {
+				for i := range row {
+					nextGrad[i] += row[i] * g
+				}
+			}
+			for i := range row {
+				row[i] -= lr * g * in[i]
+			}
+			l.B[o] -= lr * g
+		}
+		if li > 0 {
+			// ReLU derivative on the (post-activation) input of this layer.
+			for i, v := range acts[li] {
+				if v <= 0 {
+					nextGrad[i] = 0
+				}
+			}
+			grad = nextGrad
+		}
+	}
+	return loss
+}
+
+// --- weight (de)serialization -----------------------------------------------
+
+// SerializeWeights flattens all parameters into a byte buffer (little-endian
+// float32) — the payload whose size Figure 10 sweeps.
+func (m *Model) SerializeWeights() []byte {
+	out := make([]byte, 0, m.NumParams()*4)
+	var b [4]byte
+	for _, l := range m.Layers {
+		for _, w := range l.W {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(w))
+			out = append(out, b[:]...)
+		}
+		for _, w := range l.B {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(w))
+			out = append(out, b[:]...)
+		}
+	}
+	return out
+}
+
+// LoadWeights copies serialized parameters into the model, which must have
+// the same architecture.
+func (m *Model) LoadWeights(data []byte) error {
+	if len(data) != m.NumParams()*4 {
+		return fmt.Errorf("ml: weight blob is %d bytes, model needs %d", len(data), m.NumParams()*4)
+	}
+	off := 0
+	next := func() float32 {
+		v := math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		return v
+	}
+	for _, l := range m.Layers {
+		for i := range l.W {
+			l.W[i] = next()
+		}
+		for i := range l.B {
+			l.B[i] = next()
+		}
+	}
+	return nil
+}
+
+// AverageWeights returns the element-wise mean of several serialized weight
+// blobs — federated averaging (McMahan et al., paper §5.5).
+func AverageWeights(blobs [][]byte) ([]byte, error) {
+	if len(blobs) == 0 {
+		return nil, fmt.Errorf("ml: no weights to average")
+	}
+	n := len(blobs[0])
+	for i, b := range blobs {
+		if len(b) != n {
+			return nil, fmt.Errorf("ml: weight blob %d has %d bytes, want %d", i, len(b), n)
+		}
+	}
+	if n%4 != 0 {
+		return nil, fmt.Errorf("ml: weight blob length %d not a multiple of 4", n)
+	}
+	out := make([]byte, n)
+	inv := float32(1) / float32(len(blobs))
+	for off := 0; off < n; off += 4 {
+		var sum float32
+		for _, b := range blobs {
+			sum += math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
+		}
+		binary.LittleEndian.PutUint32(out[off:], math.Float32bits(sum*inv))
+	}
+	return out, nil
+}
+
+// --- synthetic dataset -------------------------------------------------------
+
+// Sample is one labelled example.
+type Sample struct {
+	X     []float32
+	Label int
+}
+
+// SyntheticFashion generates a Fashion-MNIST-like dataset: 28x28 inputs
+// drawn from class-conditional patterns plus noise, 10 classes. It is
+// learnable by a small MLP, which is all the FL experiment requires.
+func SyntheticFashion(n int, seed int64) []Sample {
+	const dim = 28 * 28
+	const classes = 10
+	rng := rand.New(rand.NewSource(seed))
+
+	// Fixed per-class prototype patterns, independent of the sampling seed
+	// so every shard (and every device in federated runs) draws from the
+	// same underlying distribution.
+	protos := make([][]float32, classes)
+	prng := rand.New(rand.NewSource(0x5f5f))
+	for c := range protos {
+		p := make([]float32, dim)
+		for i := range p {
+			p[i] = float32(prng.NormFloat64())
+		}
+		protos[c] = p
+	}
+
+	out := make([]Sample, n)
+	for i := range out {
+		c := rng.Intn(classes)
+		x := make([]float32, dim)
+		for j := range x {
+			x[j] = protos[c][j] + 0.5*float32(rng.NormFloat64())
+		}
+		out[i] = Sample{X: x, Label: c}
+	}
+	return out
+}
+
+// Evaluate returns classification accuracy on samples.
+func (m *Model) Evaluate(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if m.Predict(s.X) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// --- ridge regression (molecular design surrogate) ---------------------------
+
+// Ridge is a linear model with L2 regularization trained by gradient
+// descent, serving as the paper's surrogate IP predictor (§5.6).
+type Ridge struct {
+	W      []float64
+	Bias   float64
+	Lambda float64
+}
+
+// NewRidge returns an untrained model for dim features.
+func NewRidge(dim int, lambda float64) *Ridge {
+	return &Ridge{W: make([]float64, dim), Lambda: lambda}
+}
+
+// Fit runs epochs of full-batch gradient descent on (features, targets).
+func (r *Ridge) Fit(features [][]float64, targets []float64, lr float64, epochs int) {
+	n := len(features)
+	if n == 0 {
+		return
+	}
+	for e := 0; e < epochs; e++ {
+		gradW := make([]float64, len(r.W))
+		var gradB float64
+		for i, x := range features {
+			pred := r.Predict(x)
+			diff := pred - targets[i]
+			for j, xj := range x {
+				gradW[j] += diff * xj
+			}
+			gradB += diff
+		}
+		for j := range r.W {
+			r.W[j] -= lr * (gradW[j]/float64(n) + r.Lambda*r.W[j])
+		}
+		r.Bias -= lr * gradB / float64(n)
+	}
+}
+
+// Predict returns the model output for features x.
+func (r *Ridge) Predict(x []float64) float64 {
+	sum := r.Bias
+	for j, xj := range x {
+		if j < len(r.W) {
+			sum += r.W[j] * xj
+		}
+	}
+	return sum
+}

@@ -1,0 +1,206 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNumParamsScalesWithBlocks(t *testing.T) {
+	m1 := NewMLP(784, 128, 1, 10, 1)
+	m5 := NewMLP(784, 128, 5, 10, 1)
+	if m5.NumParams() <= m1.NumParams() {
+		t.Fatalf("5-block model (%d params) not larger than 1-block (%d)", m5.NumParams(), m1.NumParams())
+	}
+	// Each extra block adds 128*128+128 parameters.
+	expected := m1.NumParams() + 4*(128*128+128)
+	if m5.NumParams() != expected {
+		t.Fatalf("NumParams = %d, want %d", m5.NumParams(), expected)
+	}
+}
+
+func TestForwardShape(t *testing.T) {
+	m := NewMLP(16, 8, 2, 4, 1)
+	out := m.Forward(make([]float32, 16))
+	if len(out) != 4 {
+		t.Fatalf("Forward returned %d logits, want 4", len(out))
+	}
+}
+
+func TestWeightsRoundTrip(t *testing.T) {
+	m := NewMLP(16, 8, 2, 4, 7)
+	blob := m.SerializeWeights()
+	if len(blob) != m.NumParams()*4 {
+		t.Fatalf("blob is %d bytes, want %d", len(blob), m.NumParams()*4)
+	}
+	m2 := NewMLP(16, 8, 2, 4, 99) // different init
+	if err := m2.LoadWeights(blob); err != nil {
+		t.Fatalf("LoadWeights: %v", err)
+	}
+	x := make([]float32, 16)
+	for i := range x {
+		x[i] = float32(i) * 0.1
+	}
+	a, b := m.Forward(x), m2.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outputs diverge after weight transfer: %v vs %v", a[i], b[i])
+		}
+	}
+}
+
+func TestLoadWeightsWrongSize(t *testing.T) {
+	m := NewMLP(4, 4, 1, 2, 1)
+	if err := m.LoadWeights(make([]byte, 10)); err == nil {
+		t.Fatal("LoadWeights accepted wrong-size blob")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	m := NewMLP(8, 16, 1, 2, 3)
+	rng := rand.New(rand.NewSource(5))
+	// Simple separable task: class = sign of first feature.
+	sample := func() ([]float32, int) {
+		x := make([]float32, 8)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+		}
+		label := 0
+		if x[0] > 0 {
+			label = 1
+		}
+		return x, label
+	}
+	var first, last float32
+	for step := 0; step < 600; step++ {
+		x, y := sample()
+		loss := m.TrainStep(x, y, 0.05)
+		if step < 50 {
+			first += loss
+		}
+		if step >= 550 {
+			last += loss
+		}
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: early=%v late=%v", first/50, last/50)
+	}
+}
+
+func TestTrainingImprovesAccuracyOnSyntheticFashion(t *testing.T) {
+	train := SyntheticFashion(300, 1)
+	test := SyntheticFashion(100, 2)
+	m := NewMLP(28*28, 32, 1, 10, 4)
+	before := m.Evaluate(test)
+	for epoch := 0; epoch < 3; epoch++ {
+		for _, s := range train {
+			m.TrainStep(s.X, s.Label, 0.01)
+		}
+	}
+	after := m.Evaluate(test)
+	if after <= before+0.1 {
+		t.Fatalf("accuracy did not improve meaningfully: %v -> %v", before, after)
+	}
+}
+
+func TestAverageWeights(t *testing.T) {
+	a := NewMLP(4, 4, 1, 2, 1).SerializeWeights()
+	b := NewMLP(4, 4, 1, 2, 2).SerializeWeights()
+	avg, err := AverageWeights([][]byte{a, b})
+	if err != nil {
+		t.Fatalf("AverageWeights: %v", err)
+	}
+	if len(avg) != len(a) {
+		t.Fatalf("avg is %d bytes, want %d", len(avg), len(a))
+	}
+	// Averaging a power-of-two count of identical blobs is bit-exact.
+	same, err := AverageWeights([][]byte{a, a, a, a})
+	if err != nil {
+		t.Fatalf("AverageWeights: %v", err)
+	}
+	for i := range a {
+		if same[i] != a[i] {
+			t.Fatal("averaging identical weights changed them")
+		}
+	}
+}
+
+func TestAverageWeightsMismatch(t *testing.T) {
+	if _, err := AverageWeights([][]byte{make([]byte, 8), make([]byte, 12)}); err == nil {
+		t.Fatal("AverageWeights accepted mismatched blobs")
+	}
+	if _, err := AverageWeights(nil); err == nil {
+		t.Fatal("AverageWeights accepted empty input")
+	}
+}
+
+func TestSyntheticFashionDeterministic(t *testing.T) {
+	a := SyntheticFashion(10, 42)
+	b := SyntheticFashion(10, 42)
+	for i := range a {
+		if a[i].Label != b[i].Label || a[i].X[0] != b[i].X[0] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+}
+
+func TestRidgeLearnsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, dim := 200, 4
+	features := make([][]float64, n)
+	targets := make([]float64, n)
+	for i := range features {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		features[i] = x
+		targets[i] = 2*x[0] - x[1] + 0.5*x[2] + 3
+	}
+	r := NewRidge(dim, 1e-6)
+	r.Fit(features, targets, 0.1, 300)
+
+	var mse float64
+	for i, x := range features {
+		d := r.Predict(x) - targets[i]
+		mse += d * d
+	}
+	mse /= float64(n)
+	if mse > 0.05 {
+		t.Fatalf("ridge MSE = %v, want < 0.05", mse)
+	}
+}
+
+func TestPropertyWeightSerializationRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		m := NewMLP(4, 4, 1, 2, seed)
+		blob := m.SerializeWeights()
+		m2 := NewMLP(4, 4, 1, 2, seed+1)
+		if err := m2.LoadWeights(blob); err != nil {
+			return false
+		}
+		blob2 := m2.SerializeWeights()
+		if len(blob) != len(blob2) {
+			return false
+		}
+		for i := range blob {
+			if blob[i] != blob2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	p := softmax([]float32{1000, 1000, 1000})
+	for _, v := range p {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("softmax overflowed on large logits")
+		}
+	}
+}

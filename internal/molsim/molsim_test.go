@@ -1,0 +1,100 @@
+package molsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCandidatesDeterministic(t *testing.T) {
+	a := Candidates(5, 1)
+	b := Candidates(5, 1)
+	for i := range a {
+		if a[i].Fingerprint[0] != b[i].Fingerprint[0] {
+			t.Fatal("same seed produced different candidates")
+		}
+	}
+}
+
+func TestTrueIPDeterministic(t *testing.T) {
+	mols := Candidates(3, 2)
+	for _, m := range mols {
+		if TrueIP(m) != TrueIP(m) {
+			t.Fatal("TrueIP not deterministic")
+		}
+	}
+}
+
+func TestSimulateMatchesTrueIP(t *testing.T) {
+	m := Candidates(1, 3)[0]
+	if Simulate(m, 1000) != TrueIP(m) {
+		t.Fatal("Simulate returned a different IP than TrueIP")
+	}
+}
+
+func TestSurrogateLearnsRanking(t *testing.T) {
+	mols := Candidates(300, 4)
+	train := mols[:200]
+	ips := make([]float64, len(train))
+	for i, m := range train {
+		ips[i] = TrueIP(m)
+	}
+	s := NewSurrogate()
+	s.Train(train, ips)
+
+	// Correlation between predicted and true IPs on held-out candidates.
+	test := mols[200:]
+	var sumX, sumY, sumXY, sumXX, sumYY float64
+	for _, m := range test {
+		x, y := s.Predict(m), TrueIP(m)
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+		sumYY += y * y
+	}
+	n := float64(len(test))
+	corr := (n*sumXY - sumX*sumY) /
+		math.Sqrt((n*sumXX-sumX*sumX)*(n*sumYY-sumY*sumY))
+	if corr < 0.8 {
+		t.Fatalf("surrogate correlation = %v, want >= 0.8", corr)
+	}
+}
+
+func TestRankOrdersByPrediction(t *testing.T) {
+	mols := Candidates(50, 5)
+	ips := make([]float64, len(mols))
+	for i, m := range mols {
+		ips[i] = TrueIP(m)
+	}
+	s := NewSurrogate()
+	s.Train(mols, ips)
+	order := s.Rank(mols)
+	if len(order) != len(mols) {
+		t.Fatalf("Rank returned %d indices", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if s.Predict(mols[order[i-1]]) < s.Predict(mols[order[i]]) {
+			t.Fatal("Rank output not in descending predicted-IP order")
+		}
+	}
+}
+
+func TestSerializeWeightsPadding(t *testing.T) {
+	s := NewSurrogate()
+	blob := s.SerializeWeights(10 << 20)
+	if len(blob) != 10<<20 {
+		t.Fatalf("padded blob is %d bytes", len(blob))
+	}
+	small := s.SerializeWeights(0)
+	if len(small) != 8*(FingerprintDim+1) {
+		t.Fatalf("unpadded blob is %d bytes", len(small))
+	}
+}
+
+func TestSimulateCostBurnsTime(t *testing.T) {
+	m := Candidates(1, 6)[0]
+	// Just confirm higher cost does not change the result.
+	if Simulate(m, 10) != Simulate(m, 100000) {
+		t.Fatal("cost changed the simulated IP")
+	}
+}

@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func twoSiteNet(t *testing.T, scale float64, l Link) *Network {
+	t.Helper()
+	n := New(scale)
+	n.AddSite("a", false)
+	n.AddSite("b", true)
+	if err := n.SetLink("a", "b", l); err != nil {
+		t.Fatalf("SetLink: %v", err)
+	}
+	return n
+}
+
+func TestTransferTimeLatencyPlusBandwidth(t *testing.T) {
+	n := twoSiteNet(t, 1, Link{Latency: 10 * time.Millisecond, Bandwidth: 1e6})
+	got := n.TransferTime("a", "b", 1_000_000) // 1 MB at 1 MB/s = 1 s
+	want := 10*time.Millisecond + time.Second
+	if got != want {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+}
+
+func TestScaleCompressesTime(t *testing.T) {
+	n := twoSiteNet(t, 10, Link{Latency: 10 * time.Millisecond, Bandwidth: 0})
+	if got := n.TransferTime("a", "b", 0); got != time.Millisecond {
+		t.Fatalf("scaled TransferTime = %v, want 1ms", got)
+	}
+}
+
+func TestLoopbackForSameSite(t *testing.T) {
+	n := New(1)
+	n.AddSite("a", false)
+	l, ok := n.LinkBetween("a", "a")
+	if !ok {
+		t.Fatal("no loopback link")
+	}
+	if l.Latency <= 0 {
+		t.Fatal("loopback latency not positive")
+	}
+}
+
+func TestUnknownPairHasZeroDelay(t *testing.T) {
+	n := New(1)
+	n.AddSite("a", false)
+	n.AddSite("z", false)
+	if got := n.TransferTime("a", "z", 1<<20); got != 0 {
+		t.Fatalf("unlinked TransferTime = %v, want 0", got)
+	}
+}
+
+func TestSetLinkUnknownSite(t *testing.T) {
+	n := New(1)
+	n.AddSite("a", false)
+	if err := n.SetLink("a", "ghost", Link{}); err == nil {
+		t.Fatal("SetLink accepted unknown site")
+	}
+}
+
+func TestDirectReachableNATRules(t *testing.T) {
+	n := twoSiteNet(t, 1, Link{Latency: time.Millisecond})
+	if !n.DirectReachable("b", "a") {
+		t.Fatal("open site a should accept inbound from b")
+	}
+	if n.DirectReachable("a", "b") {
+		t.Fatal("NATed site b should reject inbound from a")
+	}
+	if !n.DirectReachable("b", "b") {
+		t.Fatal("same-site should always be reachable")
+	}
+}
+
+func TestUDPThrottleOnlyAffectsUDP(t *testing.T) {
+	n := twoSiteNet(t, 1, Link{Latency: 0, Bandwidth: 100e6, UDPBandwidth: 10e6})
+	size := 10_000_000
+	tcp := n.TransferTime("a", "b", size)
+	udp := n.UDPTransferTime("a", "b", size)
+	if udp <= tcp {
+		t.Fatalf("UDP transfer (%v) should be slower than TCP (%v)", udp, tcp)
+	}
+	if got, want := udp, time.Second; got != want {
+		t.Fatalf("UDP transfer = %v, want %v", got, want)
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	n := twoSiteNet(t, 1, Link{Latency: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := n.Delay(ctx, "a", "b", 1); err == nil {
+		t.Fatal("Delay returned before context expired on an hour-long link")
+	}
+}
+
+func TestRTTIsTwiceLatency(t *testing.T) {
+	n := twoSiteNet(t, 1, Link{Latency: 7 * time.Millisecond})
+	if got := n.RTT("a", "b"); got != 14*time.Millisecond {
+		t.Fatalf("RTT = %v, want 14ms", got)
+	}
+}
+
+func TestTestbedTopology(t *testing.T) {
+	n := Testbed(100)
+	// Every experiment pair used in the evaluation must be connected.
+	pairs := [][2]string{
+		{SiteTheta, SiteThetaLogin},
+		{SiteMidway2, SiteTheta},
+		{SiteFrontera, SiteTheta},
+		{SitePerlmutterLogin, SitePerlmutter},
+		{SiteChameleonA, SiteChameleonB},
+		{SiteTheta, SiteCloud},
+		{SiteEdge, SiteCloud},
+	}
+	for _, p := range pairs {
+		if _, ok := n.LinkBetween(p[0], p[1]); !ok {
+			t.Errorf("testbed lacks link %s—%s", p[0], p[1])
+		}
+	}
+	// Long-haul is slower than campus which is slower than intra-site.
+	small := 1
+	intra := n.TransferTime(SiteTheta, SiteThetaLogin, small)
+	campus := n.TransferTime(SiteMidway2, SiteTheta, small)
+	longhaul := n.TransferTime(SiteFrontera, SiteTheta, small)
+	if !(intra < campus && campus < longhaul) {
+		t.Fatalf("latency ordering violated: intra=%v campus=%v longhaul=%v", intra, campus, longhaul)
+	}
+	// HPC sites are NATed; the cloud is not.
+	if n.DirectReachable(SiteMidway2, SiteTheta) {
+		t.Fatal("NATed Theta should not be directly reachable across sites")
+	}
+	if !n.DirectReachable(SiteTheta, SiteCloud) {
+		t.Fatal("cloud should be directly reachable")
+	}
+}
+
+func TestPropertyTransferTimeMonotonicInSize(t *testing.T) {
+	n := twoSiteNet(t, 1, Link{Latency: time.Millisecond, Bandwidth: 1e9})
+	f := func(a, b uint32) bool {
+		small, large := int(a%1_000_000), int(b%1_000_000)
+		if small > large {
+			small, large = large, small
+		}
+		return n.TransferTime("a", "b", small) <= n.TransferTime("a", "b", large)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package netsim
+
+import "time"
+
+// Site names for the testbed used throughout the paper's evaluation
+// (§5: Theta, Polaris, Perlmutter, Frontera, Midway2, Chameleon Cloud, and
+// the Globus Compute cloud service hosted in AWS).
+const (
+	SiteTheta           = "theta"
+	SiteThetaLogin      = "theta-login"
+	SitePolaris         = "polaris"
+	SitePolarisLogin    = "polaris-login"
+	SitePerlmutter      = "perlmutter"
+	SitePerlmutterLogin = "perlmutter-login"
+	SiteFrontera        = "frontera-login"
+	SiteMidway2         = "midway2-login"
+	SiteChameleonA      = "chameleon-a"
+	SiteChameleonB      = "chameleon-b"
+	SiteCloud           = "cloud"
+	SiteEdge            = "edge"
+)
+
+// Testbed builds the paper's evaluation network at the given time scale.
+//
+// Nominal (unscaled) parameters approximate the real testbed: HPC fabrics
+// have tens-of-microseconds latency and multi-GB/s bandwidth; campus links
+// (Midway2 in Chicago to Theta at Argonne) have ~2 ms one-way latency;
+// long-haul links (Frontera in Texas to Theta, ~1500 km) have ~20 ms; the
+// cloud service round trip adds ~25 ms plus modest bandwidth. Long-haul
+// links carry a UDP throttle (computing centers cap UDP; paper §5.3.2).
+func Testbed(scale float64) *Network {
+	n := New(scale)
+
+	n.AddSite(SiteTheta, true)
+	n.AddSite(SiteThetaLogin, true)
+	n.AddSite(SitePolaris, true)
+	n.AddSite(SitePolarisLogin, true)
+	n.AddSite(SitePerlmutter, true)
+	n.AddSite(SitePerlmutterLogin, true)
+	n.AddSite(SiteFrontera, true)
+	n.AddSite(SiteMidway2, true)
+	n.AddSite(SiteChameleonA, false)
+	n.AddSite(SiteChameleonB, false)
+	n.AddSite(SiteCloud, false)
+	n.AddSite(SiteEdge, true)
+
+	hpcFabric := Link{Latency: 30 * time.Microsecond, Bandwidth: 5e9}
+	loginCompute := Link{Latency: 80 * time.Microsecond, Bandwidth: 2e9}
+	campusWAN := Link{Latency: 2 * time.Millisecond, Bandwidth: 400e6, UDPBandwidth: 120e6}
+	longHaulWAN := Link{Latency: 18 * time.Millisecond, Bandwidth: 250e6, UDPBandwidth: 60e6}
+	cloudLink := Link{Latency: 12 * time.Millisecond, Bandwidth: 120e6}
+	chameleon40GbE := Link{Latency: 45 * time.Microsecond, Bandwidth: 4e9}
+	edgeLink := Link{Latency: 10 * time.Millisecond, Bandwidth: 25e6, UDPBandwidth: 20e6}
+
+	// Intra-site fabrics.
+	mustLink(n, SiteTheta, SiteThetaLogin, hpcFabric)
+	mustLink(n, SitePolaris, SitePolarisLogin, loginCompute)
+	mustLink(n, SitePerlmutter, SitePerlmutterLogin, loginCompute)
+	mustLink(n, SiteChameleonA, SiteChameleonB, chameleon40GbE)
+
+	// Cross-site WAN.
+	mustLink(n, SiteMidway2, SiteTheta, campusWAN)
+	mustLink(n, SiteMidway2, SiteThetaLogin, campusWAN)
+	mustLink(n, SiteMidway2, SitePolarisLogin, campusWAN)
+	mustLink(n, SiteMidway2, SitePolaris, campusWAN)
+	mustLink(n, SiteFrontera, SiteTheta, longHaulWAN)
+	mustLink(n, SiteFrontera, SiteThetaLogin, longHaulWAN)
+	mustLink(n, SiteTheta, SitePolarisLogin, hpcFabric)
+	mustLink(n, SiteThetaLogin, SitePolarisLogin, hpcFabric)
+	mustLink(n, SiteThetaLogin, SitePolaris, loginCompute)
+
+	// Everything reaches the cloud service.
+	for _, s := range []string{
+		SiteTheta, SiteThetaLogin, SitePolaris, SitePolarisLogin,
+		SitePerlmutter, SitePerlmutterLogin, SiteFrontera, SiteMidway2,
+		SiteChameleonA, SiteChameleonB,
+	} {
+		mustLink(n, s, SiteCloud, cloudLink)
+	}
+	mustLink(n, SiteEdge, SiteCloud, edgeLink)
+	mustLink(n, SiteEdge, SiteTheta, edgeLink)
+	mustLink(n, SiteEdge, SitePolarisLogin, edgeLink)
+
+	return n
+}
+
+func mustLink(n *Network, a, b string, l Link) {
+	if err := n.SetLink(a, b, l); err != nil {
+		panic(err)
+	}
+}

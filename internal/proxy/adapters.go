@@ -1,0 +1,79 @@
+package proxy
+
+import (
+	"context"
+	"io"
+)
+
+// Interface adapters: Go cannot forward arbitrary method calls the way
+// Python's __getattr__ does, but proxies of values satisfying common stdlib
+// interfaces can be wrapped so downstream code consumes them without
+// knowing a proxy is involved — the closest Go analogue of the paper's
+// "the consumer code is unaware that the resulting object is anything
+// other than what it expected".
+
+// Reader adapts a proxy of an io.Reader: the first Read resolves the
+// target, later Reads forward directly.
+type Reader[T io.Reader] struct {
+	ctx context.Context
+	p   *Proxy[T]
+}
+
+// NewReader wraps p as an io.Reader resolving with ctx.
+func NewReader[T io.Reader](ctx context.Context, p *Proxy[T]) *Reader[T] {
+	return &Reader[T]{ctx: ctx, p: p}
+}
+
+// Read implements io.Reader.
+func (r *Reader[T]) Read(b []byte) (int, error) {
+	target, err := r.p.Value(r.ctx)
+	if err != nil {
+		return 0, err
+	}
+	return target.Read(b)
+}
+
+// Writer adapts a proxy of an io.Writer.
+type Writer[T io.Writer] struct {
+	ctx context.Context
+	p   *Proxy[T]
+}
+
+// NewWriter wraps p as an io.Writer resolving with ctx.
+func NewWriter[T io.Writer](ctx context.Context, p *Proxy[T]) *Writer[T] {
+	return &Writer[T]{ctx: ctx, p: p}
+}
+
+// Write implements io.Writer.
+func (w *Writer[T]) Write(b []byte) (int, error) {
+	target, err := w.p.Value(w.ctx)
+	if err != nil {
+		return 0, err
+	}
+	return target.Write(b)
+}
+
+// Apply calls fn with the resolved target — a one-shot transparent use that
+// keeps resolution errors on the caller's error path.
+func Apply[T, R any](ctx context.Context, p *Proxy[T], fn func(T) (R, error)) (R, error) {
+	var zero R
+	v, err := p.Value(ctx)
+	if err != nil {
+		return zero, err
+	}
+	return fn(v)
+}
+
+// Map returns a derived lazy proxy whose target is fn of p's target —
+// composition without forcing resolution (the paper's nested-proxy pattern
+// for partial resolution of large objects).
+func Map[T, R any](p *Proxy[T], fn func(T) (R, error)) *Proxy[R] {
+	return New[R](Func[R](func(ctx context.Context) (R, error) {
+		var zero R
+		v, err := p.Value(ctx)
+		if err != nil {
+			return zero, err
+		}
+		return fn(v)
+	}))
+}

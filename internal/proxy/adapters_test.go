@@ -1,0 +1,88 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestReaderAdapter(t *testing.T) {
+	p := New[*strings.Reader](Func[*strings.Reader](func(context.Context) (*strings.Reader, error) {
+		return strings.NewReader("streamed through a proxy"), nil
+	}))
+	r := NewReader(context.Background(), p)
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if string(out) != "streamed through a proxy" {
+		t.Fatalf("ReadAll = %q", out)
+	}
+}
+
+func TestReaderAdapterPropagatesError(t *testing.T) {
+	sentinel := errors.New("cannot resolve")
+	p := New[*strings.Reader](Func[*strings.Reader](func(context.Context) (*strings.Reader, error) {
+		return nil, sentinel
+	}))
+	r := NewReader(context.Background(), p)
+	if _, err := r.Read(make([]byte, 4)); !errors.Is(err, sentinel) {
+		t.Fatalf("Read error = %v", err)
+	}
+}
+
+func TestWriterAdapter(t *testing.T) {
+	var buf bytes.Buffer
+	p := FromValue[*bytes.Buffer](&buf)
+	w := NewWriter(context.Background(), p)
+	if _, err := w.Write([]byte("written via proxy")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if buf.String() != "written via proxy" {
+		t.Fatalf("buffer = %q", buf.String())
+	}
+}
+
+func TestApply(t *testing.T) {
+	p := FromValue([]int{3, 1, 2})
+	sum, err := Apply(context.Background(), p, func(v []int) (int, error) {
+		total := 0
+		for _, x := range v {
+			total += x
+		}
+		return total, nil
+	})
+	if err != nil || sum != 6 {
+		t.Fatalf("Apply = %d, %v", sum, err)
+	}
+}
+
+func TestMapIsLazy(t *testing.T) {
+	resolved := false
+	base := New[int](Func[int](func(context.Context) (int, error) {
+		resolved = true
+		return 21, nil
+	}))
+	doubled := Map(base, func(v int) (int, error) { return v * 2, nil })
+	if resolved {
+		t.Fatal("Map forced resolution eagerly")
+	}
+	if got := doubled.MustValue(); got != 42 {
+		t.Fatalf("mapped value = %d", got)
+	}
+	if !resolved {
+		t.Fatal("resolving the derived proxy did not resolve the base")
+	}
+}
+
+func TestMapPropagatesBaseError(t *testing.T) {
+	sentinel := errors.New("base failed")
+	base := New[int](Func[int](func(context.Context) (int, error) { return 0, sentinel }))
+	derived := Map(base, func(v int) (string, error) { return "x", nil })
+	if _, err := derived.Value(context.Background()); !errors.Is(err, sentinel) {
+		t.Fatalf("derived error = %v", err)
+	}
+}

@@ -1,0 +1,290 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueResolvesLazily(t *testing.T) {
+	var calls atomic.Int32
+	p := New[int](Func[int](func(context.Context) (int, error) {
+		calls.Add(1)
+		return 42, nil
+	}))
+	if p.Resolved() {
+		t.Fatal("proxy resolved before first access")
+	}
+	if calls.Load() != 0 {
+		t.Fatal("factory called before first access")
+	}
+	v, err := p.Value(context.Background())
+	if err != nil {
+		t.Fatalf("Value: %v", err)
+	}
+	if v != 42 {
+		t.Fatalf("Value = %d, want 42", v)
+	}
+	if !p.Resolved() {
+		t.Fatal("proxy not marked resolved")
+	}
+}
+
+func TestValueCachesTarget(t *testing.T) {
+	var calls atomic.Int32
+	p := New[string](Func[string](func(context.Context) (string, error) {
+		calls.Add(1)
+		return "x", nil
+	}))
+	for i := 0; i < 5; i++ {
+		if _, err := p.Value(context.Background()); err != nil {
+			t.Fatalf("Value #%d: %v", i, err)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("factory called %d times, want 1", got)
+	}
+}
+
+func TestValuePropagatesFactoryError(t *testing.T) {
+	sentinel := errors.New("backend down")
+	p := New[int](Func[int](func(context.Context) (int, error) {
+		return 0, sentinel
+	}))
+	_, err := p.Value(context.Background())
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Value error = %v, want wrapped %v", err, sentinel)
+	}
+	if p.Resolved() {
+		t.Fatal("proxy marked resolved after factory error")
+	}
+}
+
+func TestFromValueIsResolved(t *testing.T) {
+	p := FromValue([]int{1, 2, 3})
+	if !p.Resolved() {
+		t.Fatal("FromValue proxy not resolved")
+	}
+	v := p.MustValue()
+	if len(v) != 3 || v[0] != 1 {
+		t.Fatalf("MustValue = %v", v)
+	}
+}
+
+func TestReleaseForcesReresolve(t *testing.T) {
+	var calls atomic.Int32
+	p := New[int](Func[int](func(context.Context) (int, error) {
+		return int(calls.Add(1)), nil
+	}))
+	first := p.MustValue()
+	p.Release()
+	if p.Resolved() {
+		t.Fatal("proxy still resolved after Release")
+	}
+	second := p.MustValue()
+	if first != 1 || second != 2 {
+		t.Fatalf("values = %d, %d; want 1, 2", first, second)
+	}
+}
+
+func TestResolveAsyncOverlapsWork(t *testing.T) {
+	started := make(chan struct{})
+	block := make(chan struct{})
+	p := New[int](Func[int](func(context.Context) (int, error) {
+		close(started)
+		<-block
+		return 7, nil
+	}))
+	p.ResolveAsync(context.Background())
+	<-started // factory is running in the background
+	if p.Resolved() {
+		t.Fatal("proxy resolved while factory still blocked")
+	}
+	close(block)
+	if v := p.MustValue(); v != 7 {
+		t.Fatalf("MustValue = %d, want 7", v)
+	}
+}
+
+func TestResolveAsyncIdempotent(t *testing.T) {
+	var calls atomic.Int32
+	p := New[int](Func[int](func(context.Context) (int, error) {
+		calls.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return 1, nil
+	}))
+	for i := 0; i < 10; i++ {
+		p.ResolveAsync(context.Background())
+	}
+	p.MustValue()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("factory called %d times, want 1", got)
+	}
+}
+
+func TestConcurrentValueSingleResolve(t *testing.T) {
+	var calls atomic.Int32
+	p := New[int](Func[int](func(context.Context) (int, error) {
+		calls.Add(1)
+		time.Sleep(2 * time.Millisecond)
+		return 9, nil
+	}))
+	p.ResolveAsync(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v := p.MustValue(); v != 9 {
+				t.Errorf("MustValue = %d, want 9", v)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("factory called %d times, want 1", got)
+	}
+}
+
+func TestMarshalRequiresDescribableFactory(t *testing.T) {
+	p := New[int](Func[int](func(context.Context) (int, error) { return 0, nil }))
+	if _, err := p.MarshalBinary(); err == nil {
+		t.Fatal("MarshalBinary succeeded with non-describable factory")
+	}
+}
+
+// testFactory is a describable factory used to exercise round-trips without
+// the store layer.
+type testFactory struct{ payload []byte }
+
+func (f *testFactory) ResolveAny(context.Context) (any, error) {
+	return append([]byte(nil), f.payload...), nil
+}
+
+func (f *testFactory) Describe() (Descriptor, error) {
+	return Descriptor{Kind: "proxytest", Data: f.payload}, nil
+}
+
+func init() {
+	RegisterKind("proxytest", func(data []byte) (AnyFactory, error) {
+		return &testFactory{payload: data}, nil
+	})
+}
+
+func TestProxySerializationRoundTrip(t *testing.T) {
+	orig := NewFromAny[[]byte](&testFactory{payload: []byte("hello")})
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	var restored Proxy[[]byte]
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if restored.Resolved() {
+		t.Fatal("deserialized proxy already resolved")
+	}
+	v, err := restored.Value(context.Background())
+	if err != nil {
+		t.Fatalf("Value: %v", err)
+	}
+	if string(v) != "hello" {
+		t.Fatalf("Value = %q, want %q", v, "hello")
+	}
+}
+
+func TestSerializedProxyExcludesTarget(t *testing.T) {
+	big := make([]byte, 1<<20)
+	p := NewFromAny[[]byte](&testFactory{payload: []byte("key-only")})
+	// Resolve so a target is cached, then confirm marshaling stays small
+	// (factory-only serialization, paper §3.3).
+	_ = big
+	p.MustValue()
+	blob, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	if len(blob) > 256 {
+		t.Fatalf("serialized proxy is %d bytes; expected compact factory-only form", len(blob))
+	}
+}
+
+func TestUnmarshalUnknownKind(t *testing.T) {
+	orig := NewFromAny[[]byte](&testFactory{payload: []byte("x")})
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	// Corrupt the kind by re-registering under a different name is not
+	// possible; instead decode into a proxy after unregistering is not
+	// supported, so simulate with a bogus descriptor.
+	var p Proxy[[]byte]
+	bogus := Descriptor{Kind: "definitely-not-registered", Data: []byte("x")}
+	data := encodeDescriptor(t, bogus)
+	if err := p.UnmarshalBinary(data); err == nil {
+		t.Fatal("UnmarshalBinary succeeded with unknown kind")
+	}
+	_ = blob
+}
+
+func encodeDescriptor(t *testing.T, d Descriptor) []byte {
+	t.Helper()
+	p := &Proxy[[]byte]{factory: descFactory{d}}
+	blob, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatalf("encoding descriptor: %v", err)
+	}
+	return blob
+}
+
+type descFactory struct{ d Descriptor }
+
+func (f descFactory) Resolve(context.Context) ([]byte, error) { return nil, nil }
+func (f descFactory) Describe() (Descriptor, error)           { return f.d, nil }
+
+func TestTypedAdapterTypeMismatch(t *testing.T) {
+	p := NewFromAny[int](&testFactory{payload: []byte("not an int")})
+	if _, err := p.Value(context.Background()); err == nil {
+		t.Fatal("Value succeeded despite factory type mismatch")
+	}
+}
+
+func TestPropertyRoundTripAnyPayload(t *testing.T) {
+	f := func(payload []byte) bool {
+		orig := NewFromAny[[]byte](&testFactory{payload: payload})
+		blob, err := orig.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var restored Proxy[[]byte]
+		if err := restored.UnmarshalBinary(blob); err != nil {
+			return false
+		}
+		v, err := restored.Value(context.Background())
+		if err != nil {
+			return false
+		}
+		return string(v) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleProxy() {
+	p := New[string](Func[string](func(context.Context) (string, error) {
+		return "resolved just in time", nil
+	}))
+	fmt.Println(p.Resolved())
+	fmt.Println(p.MustValue())
+	fmt.Println(p.Resolved())
+	// Output:
+	// false
+	// resolved just in time
+	// true
+}

@@ -1,0 +1,173 @@
+package rdma
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"proxystore/internal/netsim"
+)
+
+func newFabric(t *testing.T) *Fabric {
+	t.Helper()
+	n := netsim.New(1)
+	n.AddSite("a", true)
+	n.AddSite("b", true)
+	if err := n.SetLink("a", "b", netsim.Link{Latency: time.Millisecond, Bandwidth: 1e9}); err != nil {
+		t.Fatalf("SetLink: %v", err)
+	}
+	return NewFabric(n, MargoProfile())
+}
+
+func TestSendRecv(t *testing.T) {
+	f := newFabric(t)
+	a, err := f.NewEndpoint("ep-a", "a")
+	if err != nil {
+		t.Fatalf("NewEndpoint: %v", err)
+	}
+	b, err := f.NewEndpoint("ep-b", "b")
+	if err != nil {
+		t.Fatalf("NewEndpoint: %v", err)
+	}
+	ctx := context.Background()
+	go func() {
+		a.Send(ctx, "ep-b", []byte("two-sided"))
+	}()
+	msg, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if msg.From != "ep-a" || string(msg.Data) != "two-sided" {
+		t.Fatalf("Recv = %+v", msg)
+	}
+}
+
+func TestDuplicateAddressRejected(t *testing.T) {
+	f := newFabric(t)
+	if _, err := f.NewEndpoint("dup", "a"); err != nil {
+		t.Fatalf("NewEndpoint: %v", err)
+	}
+	if _, err := f.NewEndpoint("dup", "a"); err == nil {
+		t.Fatal("duplicate endpoint address accepted")
+	}
+}
+
+func TestSendToUnknownEndpoint(t *testing.T) {
+	f := newFabric(t)
+	a, _ := f.NewEndpoint("solo", "a")
+	if err := a.Send(context.Background(), "ghost", []byte("x")); err == nil {
+		t.Fatal("Send to unknown endpoint succeeded")
+	}
+}
+
+func TestOneSidedReadWrite(t *testing.T) {
+	f := newFabric(t)
+	a, _ := f.NewEndpoint("reader", "a")
+	b, _ := f.NewEndpoint("owner", "b")
+	ctx := context.Background()
+
+	buf := []byte("0123456789")
+	region := b.RegisterMemory(buf)
+
+	got, err := a.ReadRemote(ctx, "owner", region.ID, 2, 4)
+	if err != nil {
+		t.Fatalf("ReadRemote: %v", err)
+	}
+	if string(got) != "2345" {
+		t.Fatalf("ReadRemote = %q", got)
+	}
+
+	if err := a.WriteRemote(ctx, "owner", region.ID, 0, []byte("AB")); err != nil {
+		t.Fatalf("WriteRemote: %v", err)
+	}
+	if !bytes.Equal(buf[:2], []byte("AB")) {
+		t.Fatalf("WriteRemote did not land: %q", buf)
+	}
+}
+
+func TestReadOutOfBounds(t *testing.T) {
+	f := newFabric(t)
+	a, _ := f.NewEndpoint("oob-reader", "a")
+	b, _ := f.NewEndpoint("oob-owner", "b")
+	region := b.RegisterMemory(make([]byte, 8))
+	if _, err := a.ReadRemote(context.Background(), "oob-owner", region.ID, 4, 8); err == nil {
+		t.Fatal("out-of-bounds read succeeded")
+	}
+}
+
+func TestDeregisterRevokesAccess(t *testing.T) {
+	f := newFabric(t)
+	a, _ := f.NewEndpoint("rev-reader", "a")
+	b, _ := f.NewEndpoint("rev-owner", "b")
+	region := b.RegisterMemory(make([]byte, 8))
+	b.DeregisterMemory(region)
+	if _, err := a.ReadRemote(context.Background(), "rev-owner", region.ID, 0, 4); err == nil {
+		t.Fatal("read of deregistered region succeeded")
+	}
+}
+
+func TestClosedEndpointRejectsSend(t *testing.T) {
+	f := newFabric(t)
+	a, _ := f.NewEndpoint("send-a", "a")
+	b, _ := f.NewEndpoint("recv-b", "b")
+	b.Close()
+	if err := a.Send(context.Background(), "recv-b", []byte("x")); err == nil {
+		t.Fatal("Send to closed endpoint succeeded")
+	}
+}
+
+func TestTransferPaysLinkLatency(t *testing.T) {
+	f := newFabric(t)
+	a, _ := f.NewEndpoint("lat-a", "a")
+	b, _ := f.NewEndpoint("lat-b", "b")
+	ctx := context.Background()
+	go b.Recv(ctx)
+	start := time.Now()
+	if err := a.Send(ctx, "lat-b", []byte("x")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("Send took %v, want >= 1ms link latency", elapsed)
+	}
+}
+
+func TestProfileEfficiencyRegimes(t *testing.T) {
+	p := UCXEthernetProfile()
+	if p.efficiency(1024) != 0.95 {
+		t.Fatalf("small efficiency = %v", p.efficiency(1024))
+	}
+	if p.efficiency(2<<20) != 0.35 {
+		t.Fatalf("large efficiency = %v", p.efficiency(2<<20))
+	}
+}
+
+func TestUCXEthernetSlowerThanMargoAtLargeSizes(t *testing.T) {
+	// The Figure 6 anomaly: identical link, different transport profiles.
+	n := netsim.New(1)
+	n.AddSite("x", false)
+	n.AddSite("y", false)
+	n.SetLink("x", "y", netsim.Link{Latency: 50 * time.Microsecond, Bandwidth: 1e9})
+
+	size := 8 << 20
+	payload := make([]byte, size)
+	measure := func(p Profile) time.Duration {
+		f := NewFabric(n, p)
+		src, _ := f.NewEndpoint("src", "x")
+		dst, _ := f.NewEndpoint("dst", "y")
+		region := dst.RegisterMemory(make([]byte, size))
+		start := time.Now()
+		if err := src.WriteRemote(context.Background(), "dst", region.ID, 0, payload); err != nil {
+			t.Fatalf("WriteRemote: %v", err)
+		}
+		return time.Since(start)
+	}
+
+	margo := measure(MargoProfile())
+	ucxEth := measure(UCXEthernetProfile())
+	// Model predicts ~2.7x; allow slack for alloc/copy/scheduler overhead
+	// that inflates both measurements equally.
+	if ucxEth < margo*3/2 {
+		t.Fatalf("UCX-on-Ethernet (%v) should be markedly slower than Margo (%v) for large transfers", ucxEth, margo)
+	}
+}

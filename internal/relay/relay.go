@@ -1,0 +1,319 @@
+// Package relay implements the publicly accessible relay (signaling) server
+// that PS-endpoints use to establish peer connections (paper §4.2.2 and
+// Figure 4). Endpoints register over a persistent TCP connection (standing
+// in for the paper's WebSocket); the relay assigns UUIDs and forwards small
+// session-description messages between peers. It never carries object data
+// — only the O(KB) handshake traffic, which is why its hosting requirements
+// are minimal.
+package relay
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/msgnet"
+)
+
+// message is the relay wire format.
+type message struct {
+	// Kind is one of the kind* constants.
+	Kind byte
+	// From and To are endpoint UUIDs.
+	From, To string
+	// Payload is opaque signaling content (SDP/ICE-style descriptions).
+	Payload []byte
+}
+
+const (
+	kindRegister   byte = 1 // client -> relay: From holds requested UUID ("" = assign)
+	kindRegistered byte = 2 // relay -> client: To holds assigned UUID
+	kindForward    byte = 3 // client -> relay -> client
+	kindError      byte = 4 // relay -> client: Payload holds message
+)
+
+func encodeMessage(m message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("relay: encoding message: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeMessage(data []byte) (message, error) {
+	var m message
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return message{}, fmt.Errorf("relay: decoding message: %w", err)
+	}
+	return m, nil
+}
+
+// Server is the relay server.
+type Server struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	clients map[string]*serverConn
+
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+	forwarded atomic.Uint64
+}
+
+type serverConn struct {
+	conn net.Conn
+	w    *bufio.Writer
+	wmu  sync.Mutex
+}
+
+func (sc *serverConn) send(m message) error {
+	data, err := encodeMessage(m)
+	if err != nil {
+		return err
+	}
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if err := msgnet.WriteFrame(sc.w, data); err != nil {
+		return err
+	}
+	return sc.w.Flush()
+}
+
+// NewServer starts a relay on addr.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("relay: listen: %w", err)
+	}
+	s := &Server{ln: ln, clients: make(map[string]*serverConn)}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the relay's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Forwarded returns the number of messages relayed between peers.
+func (s *Server) Forwarded() uint64 { return s.forwarded.Load() }
+
+// Close stops the relay; registered endpoints see their connections drop.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.ln.Close()
+	s.mu.Lock()
+	for _, sc := range s.clients {
+		sc.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	sc := &serverConn{conn: conn, w: bufio.NewWriter(conn)}
+
+	// First frame must register.
+	data, err := msgnet.ReadFrame(r)
+	if err != nil {
+		return
+	}
+	reg, err := decodeMessage(data)
+	if err != nil || reg.Kind != kindRegister {
+		sc.send(message{Kind: kindError, Payload: []byte("first message must register")})
+		return
+	}
+	uuid := reg.From
+	if uuid == "" {
+		uuid = connector.NewID()
+	}
+
+	s.mu.Lock()
+	if _, taken := s.clients[uuid]; taken {
+		s.mu.Unlock()
+		sc.send(message{Kind: kindError, Payload: []byte("uuid already registered")})
+		return
+	}
+	s.clients[uuid] = sc
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.clients[uuid] == sc {
+			delete(s.clients, uuid)
+		}
+		s.mu.Unlock()
+	}()
+
+	if err := sc.send(message{Kind: kindRegistered, To: uuid}); err != nil {
+		return
+	}
+
+	for {
+		data, err := msgnet.ReadFrame(r)
+		if err != nil {
+			return
+		}
+		m, err := decodeMessage(data)
+		if err != nil || m.Kind != kindForward {
+			continue
+		}
+		m.From = uuid // relay stamps the authentic sender
+		s.mu.Lock()
+		target, ok := s.clients[m.To]
+		s.mu.Unlock()
+		if !ok {
+			sc.send(message{Kind: kindError, Payload: []byte("unknown peer " + m.To)})
+			continue
+		}
+		s.forwarded.Add(1)
+		target.send(m)
+	}
+}
+
+// Client is an endpoint's connection to the relay.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	wmu  sync.Mutex
+
+	uuid   string
+	inbox  chan Signal
+	closed atomic.Bool
+}
+
+// Signal is a forwarded peer message.
+type Signal struct {
+	// From is the sending endpoint's UUID.
+	From string
+	// Payload is the opaque signaling content.
+	Payload []byte
+}
+
+// Dial connects and registers with the relay. An empty uuid asks the relay
+// to assign one (the paper: "the relay server assigns a unique UUID if not
+// already assigned").
+func Dial(addr, uuid string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("relay: dialing %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:  conn,
+		r:     bufio.NewReader(conn),
+		w:     bufio.NewWriter(conn),
+		inbox: make(chan Signal, 64),
+	}
+	if err := c.send(message{Kind: kindRegister, From: uuid}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	data, err := msgnet.ReadFrame(c.r)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("relay: reading registration reply: %w", err)
+	}
+	m, err := decodeMessage(data)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if m.Kind == kindError {
+		conn.Close()
+		return nil, fmt.Errorf("relay: registration rejected: %s", m.Payload)
+	}
+	if m.Kind != kindRegistered {
+		conn.Close()
+		return nil, fmt.Errorf("relay: unexpected registration reply kind %d", m.Kind)
+	}
+	c.uuid = m.To
+	go c.recvLoop()
+	return c, nil
+}
+
+// UUID returns the endpoint UUID assigned at registration.
+func (c *Client) UUID() string { return c.uuid }
+
+// Close drops the relay connection.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return c.conn.Close()
+}
+
+func (c *Client) send(m message) error {
+	data, err := encodeMessage(m)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := msgnet.WriteFrame(c.w, data); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Forward sends an opaque signaling payload to the peer with UUID to.
+func (c *Client) Forward(to string, payload []byte) error {
+	return c.send(message{Kind: kindForward, To: to, Payload: payload})
+}
+
+// Recv blocks for the next forwarded signal.
+func (c *Client) Recv(ctx context.Context) (Signal, error) {
+	select {
+	case sig, ok := <-c.inbox:
+		if !ok {
+			return Signal{}, fmt.Errorf("relay: connection closed")
+		}
+		return sig, nil
+	case <-ctx.Done():
+		return Signal{}, ctx.Err()
+	}
+}
+
+func (c *Client) recvLoop() {
+	defer close(c.inbox)
+	for {
+		data, err := msgnet.ReadFrame(c.r)
+		if err != nil {
+			return
+		}
+		m, err := decodeMessage(data)
+		if err != nil {
+			continue
+		}
+		if m.Kind != kindForward {
+			continue
+		}
+		select {
+		case c.inbox <- Signal{From: m.From, Payload: m.Payload}:
+		default: // drop under backpressure; signaling is retried by peers
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package relay
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func newRelay(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRegistrationAssignsUUID(t *testing.T) {
+	s := newRelay(t)
+	c, err := Dial(s.Addr(), "")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if c.UUID() == "" {
+		t.Fatal("relay assigned empty UUID")
+	}
+}
+
+func TestRegistrationKeepsRequestedUUID(t *testing.T) {
+	s := newRelay(t)
+	c, err := Dial(s.Addr(), "my-endpoint-id")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if c.UUID() != "my-endpoint-id" {
+		t.Fatalf("UUID = %q", c.UUID())
+	}
+}
+
+func TestDuplicateUUIDRejected(t *testing.T) {
+	s := newRelay(t)
+	a, err := Dial(s.Addr(), "dup-id")
+	if err != nil {
+		t.Fatalf("Dial a: %v", err)
+	}
+	defer a.Close()
+	if _, err := Dial(s.Addr(), "dup-id"); err == nil {
+		t.Fatal("second registration with same UUID succeeded")
+	}
+}
+
+func TestForwardBetweenPeers(t *testing.T) {
+	s := newRelay(t)
+	a, err := Dial(s.Addr(), "peer-a")
+	if err != nil {
+		t.Fatalf("Dial a: %v", err)
+	}
+	defer a.Close()
+	b, err := Dial(s.Addr(), "peer-b")
+	if err != nil {
+		t.Fatalf("Dial b: %v", err)
+	}
+	defer b.Close()
+
+	if err := a.Forward("peer-b", []byte("session description")); err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	sig, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if sig.From != "peer-a" || string(sig.Payload) != "session description" {
+		t.Fatalf("Recv = %+v", sig)
+	}
+	if s.Forwarded() != 1 {
+		t.Fatalf("Forwarded = %d", s.Forwarded())
+	}
+}
+
+func TestSenderIdentityStamped(t *testing.T) {
+	// A malicious client cannot spoof From; the relay stamps it.
+	s := newRelay(t)
+	a, _ := Dial(s.Addr(), "honest-a")
+	defer a.Close()
+	b, _ := Dial(s.Addr(), "receiver-b")
+	defer b.Close()
+
+	// Forward always stamps the registered UUID server-side.
+	a.Forward("receiver-b", []byte("x"))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	sig, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if sig.From != "honest-a" {
+		t.Fatalf("From = %q", sig.From)
+	}
+}
+
+func TestForwardToUnknownPeer(t *testing.T) {
+	s := newRelay(t)
+	a, _ := Dial(s.Addr(), "lonely")
+	defer a.Close()
+	// Unknown peer: the relay replies with an error message, which the
+	// client loop discards; Forward itself does not fail.
+	if err := a.Forward("nobody", []byte("x")); err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	// The lonely client must receive nothing.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := a.Recv(ctx); err == nil {
+		t.Fatal("Recv returned a signal that should not exist")
+	}
+}
+
+func TestUUIDFreedAfterDisconnect(t *testing.T) {
+	s := newRelay(t)
+	a, err := Dial(s.Addr(), "reusable")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	a.Close()
+	// Registration is freed asynchronously when the server notices EOF.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c, err := Dial(s.Addr(), "reusable")
+		if err == nil {
+			c.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("UUID not freed after disconnect: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

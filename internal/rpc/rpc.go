@@ -1,0 +1,316 @@
+// Package rpc implements a Mercury-style remote procedure call layer over
+// the simulated RDMA fabric (paper references: Mercury [57], Margo [50]).
+//
+// The Mercury model splits every call into a small two-sided RPC message
+// and, for large arguments or results, a one-sided bulk transfer: the
+// caller registers its buffer and ships only the bulk handle; the callee
+// pulls the bytes with an RDMA read (and pushes results with an RDMA
+// write). This split is exactly why Margo-backed stores dominate at large
+// payloads in the paper's Figure 6, so the simulation preserves it.
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"proxystore/internal/rdma"
+)
+
+// BulkThreshold is the payload size above which arguments move via
+// one-sided bulk transfer instead of inline RPC (Mercury's eager/rendezvous
+// switch).
+const BulkThreshold = 16 << 10
+
+// Handler services one RPC. Inputs arrive fully materialized regardless of
+// whether they travelled inline or via bulk transfer.
+type Handler func(ctx context.Context, arg []byte) ([]byte, error)
+
+// wire is the on-fabric envelope.
+type wire struct {
+	// Kind distinguishes requests from responses.
+	Kind byte
+	// Seq matches responses to requests.
+	Seq uint64
+	// Method is the registered handler name (requests only).
+	Method string
+	// Inline carries small payloads directly.
+	Inline []byte
+	// BulkRegion and BulkLen describe a registered source region to pull
+	// from when the payload exceeded BulkThreshold.
+	BulkRegion string
+	BulkLen    int
+	// From is the caller's fabric address (requests only).
+	From string
+	// Err carries a handler error message (responses only).
+	Err string
+}
+
+const (
+	kindRequest  byte = 1
+	kindResponse byte = 2
+	// kindAck confirms the caller finished pulling a bulk response so the
+	// server can deregister the source region.
+	kindAck byte = 3
+)
+
+func encodeWire(m wire) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("rpc: encoding envelope: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeWire(data []byte) (wire, error) {
+	var m wire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return wire{}, fmt.Errorf("rpc: decoding envelope: %w", err)
+	}
+	return m, nil
+}
+
+// Server dispatches RPCs arriving at a fabric endpoint.
+type Server struct {
+	ep *rdma.Endpoint
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+
+	regMu       sync.Mutex
+	bulkRegions map[bulkKey]*rdma.MemoryRegion // response regions awaiting ack
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewServer starts serving RPCs on ep. Register handlers before issuing
+// calls that reference them.
+func NewServer(ep *rdma.Endpoint) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		ep:          ep,
+		handlers:    make(map[string]Handler),
+		bulkRegions: make(map[bulkKey]*rdma.MemoryRegion),
+		cancel:      cancel,
+		done:        make(chan struct{}),
+	}
+	go s.loop(ctx)
+	return s
+}
+
+// Register installs a handler under name, replacing any previous handler.
+func (s *Server) Register(name string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[name] = h
+}
+
+// Close stops the dispatch loop and closes the endpoint.
+func (s *Server) Close() error {
+	s.cancel()
+	err := s.ep.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) loop(ctx context.Context) {
+	defer close(s.done)
+	for {
+		msg, err := s.ep.Recv(ctx)
+		if err != nil {
+			return
+		}
+		go s.serveOne(ctx, msg)
+	}
+}
+
+func (s *Server) serveOne(ctx context.Context, msg rdma.Message) {
+	req, err := decodeWire(msg.Data)
+	if err != nil {
+		return
+	}
+	if req.Kind == kindAck {
+		k := bulkKey{from: msg.From, seq: req.Seq}
+		s.regMu.Lock()
+		if region, ok := s.bulkRegions[k]; ok {
+			delete(s.bulkRegions, k)
+			s.ep.DeregisterMemory(region)
+		}
+		s.regMu.Unlock()
+		return
+	}
+	if req.Kind != kindRequest {
+		return
+	}
+	resp := wire{Kind: kindResponse, Seq: req.Seq}
+	caller := msg.From
+
+	arg := req.Inline
+	if req.BulkRegion != "" {
+		// Rendezvous path: pull the argument from the caller's region.
+		arg, err = s.ep.ReadRemote(ctx, caller, req.BulkRegion, 0, req.BulkLen)
+		if err != nil {
+			resp.Err = fmt.Sprintf("bulk pull: %v", err)
+			s.reply(ctx, caller, resp, nil)
+			return
+		}
+	}
+
+	s.mu.RLock()
+	h, ok := s.handlers[req.Method]
+	s.mu.RUnlock()
+	if !ok {
+		resp.Err = fmt.Sprintf("rpc: no handler %q", req.Method)
+		s.reply(ctx, caller, resp, nil)
+		return
+	}
+
+	out, err := h(ctx, arg)
+	if err != nil {
+		resp.Err = err.Error()
+		s.reply(ctx, caller, resp, nil)
+		return
+	}
+	s.reply(ctx, caller, resp, out)
+}
+
+func (s *Server) reply(ctx context.Context, to string, resp wire, payload []byte) {
+	if len(payload) > BulkThreshold {
+		region := s.ep.RegisterMemory(payload)
+		resp.BulkRegion = region.ID
+		resp.BulkLen = len(payload)
+		// Deregistered when the caller's ack arrives.
+		s.regMu.Lock()
+		s.bulkRegions[bulkKey{from: to, seq: resp.Seq}] = region
+		s.regMu.Unlock()
+	} else {
+		resp.Inline = payload
+	}
+	data, err := encodeWire(resp)
+	if err != nil {
+		return
+	}
+	_ = s.ep.Send(ctx, to, data)
+}
+
+// Client issues RPCs from its own fabric endpoint.
+type Client struct {
+	ep  *rdma.Endpoint
+	seq atomic.Uint64
+
+	mu      sync.Mutex
+	waiters map[uint64]chan wire
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewClient starts a response dispatcher on ep.
+func NewClient(ep *rdma.Endpoint) *Client {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{
+		ep:      ep,
+		waiters: make(map[uint64]chan wire),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	go c.loop(ctx)
+	return c
+}
+
+// Close stops the client and its endpoint.
+func (c *Client) Close() error {
+	c.cancel()
+	err := c.ep.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) loop(ctx context.Context) {
+	defer close(c.done)
+	for {
+		msg, err := c.ep.Recv(ctx)
+		if err != nil {
+			return
+		}
+		resp, err := decodeWire(msg.Data)
+		if err != nil || resp.Kind != kindResponse {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.waiters[resp.Seq]
+		delete(c.waiters, resp.Seq)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// Call invokes method on the server at target with arg, returning the
+// handler's output. Large arguments and results move via one-sided bulk
+// transfers automatically.
+func (c *Client) Call(ctx context.Context, target, method string, arg []byte) ([]byte, error) {
+	seq := c.seq.Add(1)
+	req := wire{Kind: kindRequest, Seq: seq, Method: method, From: c.ep.Addr()}
+
+	var region *rdma.MemoryRegion
+	if len(arg) > BulkThreshold {
+		region = c.ep.RegisterMemory(arg)
+		req.BulkRegion = region.ID
+		req.BulkLen = len(arg)
+		defer c.ep.DeregisterMemory(region)
+	} else {
+		req.Inline = arg
+	}
+
+	data, err := encodeWire(req)
+	if err != nil {
+		return nil, err
+	}
+
+	ch := make(chan wire, 1)
+	c.mu.Lock()
+	c.waiters[seq] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, seq)
+		c.mu.Unlock()
+	}()
+
+	if err := c.ep.Send(ctx, target, data); err != nil {
+		return nil, err
+	}
+
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return nil, fmt.Errorf("rpc: %s: %s", method, resp.Err)
+		}
+		if resp.BulkRegion != "" {
+			out, err := c.ep.ReadRemote(ctx, target, resp.BulkRegion, 0, resp.BulkLen)
+			if err != nil {
+				return nil, err
+			}
+			// Tell the server the pull is complete so it can deregister.
+			if ack, aerr := encodeWire(wire{Kind: kindAck, Seq: seq}); aerr == nil {
+				_ = c.ep.Send(ctx, target, ack)
+			}
+			return out, nil
+		}
+		return resp.Inline, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// bulkKey identifies a pending bulk response region by caller and sequence.
+type bulkKey struct {
+	from string
+	seq  uint64
+}

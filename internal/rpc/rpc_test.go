@@ -1,0 +1,165 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"proxystore/internal/netsim"
+	"proxystore/internal/rdma"
+)
+
+func newPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	n := netsim.New(1)
+	n.AddSite("s", true)
+	f := rdma.NewFabric(n, rdma.MargoProfile())
+	sep, err := f.NewEndpoint("server", "s")
+	if err != nil {
+		t.Fatalf("NewEndpoint: %v", err)
+	}
+	cep, err := f.NewEndpoint("client", "s")
+	if err != nil {
+		t.Fatalf("NewEndpoint: %v", err)
+	}
+	srv := NewServer(sep)
+	cli := NewClient(cep)
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return srv, cli
+}
+
+func TestCallEcho(t *testing.T) {
+	srv, cli := newPair(t)
+	srv.Register("echo", func(_ context.Context, arg []byte) ([]byte, error) {
+		return arg, nil
+	})
+	got, err := cli.Call(context.Background(), "server", "echo", []byte("hello"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("Call = %q", got)
+	}
+}
+
+func TestCallUnknownMethod(t *testing.T) {
+	_, cli := newPair(t)
+	if _, err := cli.Call(context.Background(), "server", "missing", nil); err == nil {
+		t.Fatal("Call to unregistered method succeeded")
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	srv, cli := newPair(t)
+	srv.Register("fail", func(context.Context, []byte) ([]byte, error) {
+		return nil, fmt.Errorf("deliberate failure")
+	})
+	_, err := cli.Call(context.Background(), "server", "fail", nil)
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("deliberate failure")) {
+		t.Fatalf("Call error = %v", err)
+	}
+}
+
+func TestBulkArgumentRoundTrip(t *testing.T) {
+	srv, cli := newPair(t)
+	srv.Register("len", func(_ context.Context, arg []byte) ([]byte, error) {
+		return []byte(fmt.Sprint(len(arg))), nil
+	})
+	big := make([]byte, BulkThreshold*4)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	got, err := cli.Call(context.Background(), "server", "len", big)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(got) != fmt.Sprint(len(big)) {
+		t.Fatalf("Call = %q", got)
+	}
+}
+
+func TestBulkResponseRoundTrip(t *testing.T) {
+	srv, cli := newPair(t)
+	big := make([]byte, BulkThreshold*4)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	srv.Register("fetch", func(context.Context, []byte) ([]byte, error) {
+		return big, nil
+	})
+	got, err := cli.Call(context.Background(), "server", "fetch", nil)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("bulk response corrupted")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	srv, cli := newPair(t)
+	srv.Register("double", func(_ context.Context, arg []byte) ([]byte, error) {
+		return append(arg, arg...), nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := []byte(fmt.Sprintf("msg-%d", i))
+			got, err := cli.Call(context.Background(), "server", "double", in)
+			if err != nil {
+				t.Errorf("Call: %v", err)
+				return
+			}
+			if !bytes.Equal(got, append(in, in...)) {
+				t.Errorf("Call = %q", got)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestCallContextCancellation(t *testing.T) {
+	srv, cli := newPair(t)
+	block := make(chan struct{})
+	srv.Register("hang", func(ctx context.Context, _ []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	defer close(block)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := cli.Call(ctx, "server", "hang", nil); err == nil {
+		t.Fatal("Call returned despite hung handler and expired context")
+	}
+}
+
+func TestTwoClientsSeqIsolation(t *testing.T) {
+	// Two clients with colliding sequence numbers must not confuse the
+	// server's bulk-region bookkeeping.
+	n := netsim.New(1)
+	n.AddSite("s", true)
+	f := rdma.NewFabric(n, rdma.UCXProfile())
+	sep, _ := f.NewEndpoint("srv2", "s")
+	srv := NewServer(sep)
+	defer srv.Close()
+	big := make([]byte, BulkThreshold*2)
+	srv.Register("fetch", func(context.Context, []byte) ([]byte, error) { return big, nil })
+
+	for i := 0; i < 2; i++ {
+		cep, _ := f.NewEndpoint(fmt.Sprintf("cli2-%d", i), "s")
+		cli := NewClient(cep)
+		got, err := cli.Call(context.Background(), "srv2", "fetch", nil)
+		if err != nil {
+			t.Fatalf("client %d Call: %v", i, err)
+		}
+		if len(got) != len(big) {
+			t.Fatalf("client %d got %d bytes", i, len(got))
+		}
+		cli.Close()
+	}
+}

@@ -1,0 +1,362 @@
+package rudp
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MTU is the datagram payload size. 1200 bytes keeps simulated packets
+// under typical path MTUs, matching WebRTC practice.
+const MTU = 1200
+
+// Packet layout: flags(1) seq(4) payload. ACK packets: flags(1) ackSeq(4),
+// where ackSeq is the next expected sequence number (cumulative ack).
+const (
+	flagData byte = 1
+	flagAck  byte = 2
+)
+
+const headerLen = 5
+
+// Stats counts channel activity.
+type Stats struct {
+	// BytesSent counts payload bytes given to the pipe, including
+	// retransmissions.
+	BytesSent uint64
+	// MsgsSent and MsgsReceived count whole messages.
+	MsgsSent     uint64
+	MsgsReceived uint64
+	// Retransmits counts timeout-triggered resends.
+	Retransmits uint64
+}
+
+// Channel is a reliable, ordered message channel over a Pipe.
+//
+// A Channel is safe for concurrent use, though message interleaving across
+// concurrent Sends is not defined.
+type Channel struct {
+	pipe Pipe
+	cc   *lockedCC
+
+	// Sender state.
+	sendMu    sync.Mutex
+	nextSeq   uint32
+	inFlight  map[uint32]*segment
+	flightLen int // bytes currently in flight
+	sendCond  *sync.Cond
+
+	// Receiver state.
+	recvMu   sync.Mutex
+	expected uint32
+	ooo      map[uint32][]byte // out-of-order segments
+	stream   []byte            // contiguous byte stream pending message parse
+	msgs     chan []byte
+
+	rtoMu sync.Mutex
+	srtt  time.Duration
+	rto   time.Duration
+
+	stats struct {
+		bytesSent    atomic.Uint64
+		msgsSent     atomic.Uint64
+		msgsReceived atomic.Uint64
+		retransmits  atomic.Uint64
+	}
+
+	cancel context.CancelFunc
+	done   sync.WaitGroup
+	closed atomic.Bool
+}
+
+type segment struct {
+	seq     uint32
+	payload []byte
+	sentAt  time.Time
+	resent  bool
+}
+
+// NewChannel starts a reliable channel over pipe with the given congestion
+// controller (BBR-like with defaults when cc is nil).
+func NewChannel(pipe Pipe, cc CongestionControl) *Channel {
+	if cc == nil {
+		cc = NewBBRLike(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := &Channel{
+		pipe:     pipe,
+		cc:       &lockedCC{cc: cc},
+		inFlight: make(map[uint32]*segment),
+		ooo:      make(map[uint32][]byte),
+		msgs:     make(chan []byte, 256),
+		rto:      200 * time.Millisecond,
+		cancel:   cancel,
+	}
+	ch.sendCond = sync.NewCond(&ch.sendMu)
+	ch.done.Add(2)
+	go ch.recvLoop(ctx)
+	go ch.retransmitLoop(ctx)
+	return ch
+}
+
+// Stats returns a snapshot of channel counters.
+func (ch *Channel) Stats() Stats {
+	return Stats{
+		BytesSent:    ch.stats.bytesSent.Load(),
+		MsgsSent:     ch.stats.msgsSent.Load(),
+		MsgsReceived: ch.stats.msgsReceived.Load(),
+		Retransmits:  ch.stats.retransmits.Load(),
+	}
+}
+
+// Close stops the channel and its pipe.
+func (ch *Channel) Close() error {
+	if !ch.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	ch.cancel()
+	err := ch.pipe.Close()
+	ch.sendMu.Lock()
+	ch.sendCond.Broadcast()
+	ch.sendMu.Unlock()
+	ch.done.Wait()
+	// Both loops have exited; no more sends on msgs are possible.
+	close(ch.msgs)
+	return err
+}
+
+// Send transmits one message reliably. It blocks while the congestion
+// window is full, returning when every segment has been admitted and
+// transmitted at least once.
+func (ch *Channel) Send(ctx context.Context, msg []byte) error {
+	if ch.closed.Load() {
+		return fmt.Errorf("rudp: channel closed")
+	}
+	// Message framing: 4-byte length then body, segmented at MTU.
+	framed := make([]byte, 4+len(msg))
+	binary.BigEndian.PutUint32(framed, uint32(len(msg)))
+	copy(framed[4:], msg)
+
+	for off := 0; off < len(framed); off += MTU {
+		end := off + MTU
+		if end > len(framed) {
+			end = len(framed)
+		}
+		if err := ch.sendSegment(ctx, framed[off:end]); err != nil {
+			return err
+		}
+	}
+	ch.stats.msgsSent.Add(1)
+	return nil
+}
+
+func (ch *Channel) sendSegment(ctx context.Context, payload []byte) error {
+	ch.sendMu.Lock()
+	for ch.flightLen+len(payload) > ch.cc.Window() && ch.flightLen > 0 {
+		if ch.closed.Load() {
+			ch.sendMu.Unlock()
+			return fmt.Errorf("rudp: channel closed")
+		}
+		if err := ctx.Err(); err != nil {
+			ch.sendMu.Unlock()
+			return err
+		}
+		ch.sendCond.Wait()
+	}
+	seq := ch.nextSeq
+	ch.nextSeq++
+	seg := &segment{seq: seq, payload: append([]byte(nil), payload...), sentAt: time.Now()}
+	ch.inFlight[seq] = seg
+	ch.flightLen += len(payload)
+	ch.sendMu.Unlock()
+
+	return ch.transmit(seg)
+}
+
+func (ch *Channel) transmit(seg *segment) error {
+	pkt := make([]byte, headerLen+len(seg.payload))
+	pkt[0] = flagData
+	binary.BigEndian.PutUint32(pkt[1:5], seg.seq)
+	copy(pkt[headerLen:], seg.payload)
+	ch.stats.bytesSent.Add(uint64(len(seg.payload)))
+	return ch.pipe.Send(pkt)
+}
+
+// Recv blocks for the next complete message.
+func (ch *Channel) Recv(ctx context.Context) ([]byte, error) {
+	select {
+	case msg, ok := <-ch.msgs:
+		if !ok {
+			return nil, fmt.Errorf("rudp: channel closed")
+		}
+		return msg, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (ch *Channel) recvLoop(ctx context.Context) {
+	defer ch.done.Done()
+	for {
+		pkt, err := ch.pipe.Recv(ctx)
+		if err != nil {
+			return
+		}
+		if len(pkt) < headerLen {
+			continue
+		}
+		seq := binary.BigEndian.Uint32(pkt[1:5])
+		switch pkt[0] {
+		case flagData:
+			ch.handleData(seq, pkt[headerLen:])
+		case flagAck:
+			ch.handleAck(seq)
+		}
+	}
+}
+
+func (ch *Channel) handleData(seq uint32, payload []byte) {
+	ch.recvMu.Lock()
+	if seq >= ch.expected {
+		if _, dup := ch.ooo[seq]; !dup {
+			buf := make([]byte, len(payload))
+			copy(buf, payload)
+			ch.ooo[seq] = buf
+		}
+		for {
+			next, ok := ch.ooo[ch.expected]
+			if !ok {
+				break
+			}
+			delete(ch.ooo, ch.expected)
+			ch.stream = append(ch.stream, next...)
+			ch.expected++
+		}
+		ch.drainMessagesLocked()
+	}
+	ack := ch.expected
+	ch.recvMu.Unlock()
+
+	var pkt [headerLen]byte
+	pkt[0] = flagAck
+	binary.BigEndian.PutUint32(pkt[1:5], ack)
+	ch.pipe.Send(pkt[:])
+}
+
+// drainMessagesLocked parses complete length-prefixed messages out of the
+// contiguous stream. Caller holds recvMu.
+func (ch *Channel) drainMessagesLocked() {
+	for {
+		if len(ch.stream) < 4 {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(ch.stream))
+		if len(ch.stream) < 4+n {
+			return
+		}
+		msg := make([]byte, n)
+		copy(msg, ch.stream[4:4+n])
+		ch.stream = ch.stream[4+n:]
+		ch.stats.msgsReceived.Add(1)
+		select {
+		case ch.msgs <- msg:
+		default:
+			// Receiver not draining; drop under backpressure like a real
+			// data channel with a bounded buffer would stall. Blocking here
+			// would deadlock the recv loop, so we drop and rely on
+			// application-level request/response semantics.
+		}
+	}
+}
+
+func (ch *Channel) handleAck(ackSeq uint32) {
+	now := time.Now()
+	var ackedBytes int
+	var rttSample time.Duration
+
+	ch.sendMu.Lock()
+	for seq, seg := range ch.inFlight {
+		if seq < ackSeq {
+			ackedBytes += len(seg.payload)
+			if !seg.resent {
+				if s := now.Sub(seg.sentAt); s > rttSample {
+					rttSample = s
+				}
+			}
+			delete(ch.inFlight, seq)
+		}
+	}
+	if ackedBytes > 0 {
+		ch.flightLen -= ackedBytes
+		if ch.flightLen < 0 {
+			ch.flightLen = 0
+		}
+		ch.sendCond.Broadcast()
+	}
+	ch.sendMu.Unlock()
+
+	if ackedBytes > 0 {
+		ch.cc.OnAck(ackedBytes, rttSample)
+	}
+	if rttSample > 0 {
+		ch.updateRTO(rttSample)
+	}
+}
+
+func (ch *Channel) updateRTO(sample time.Duration) {
+	ch.rtoMu.Lock()
+	defer ch.rtoMu.Unlock()
+	if ch.srtt == 0 {
+		ch.srtt = sample
+	} else {
+		ch.srtt = (7*ch.srtt + sample) / 8
+	}
+	ch.rto = 2 * ch.srtt
+	if ch.rto < 20*time.Millisecond {
+		ch.rto = 20 * time.Millisecond
+	}
+	if ch.rto > 2*time.Second {
+		ch.rto = 2 * time.Second
+	}
+}
+
+func (ch *Channel) currentRTO() time.Duration {
+	ch.rtoMu.Lock()
+	defer ch.rtoMu.Unlock()
+	return ch.rto
+}
+
+func (ch *Channel) retransmitLoop(ctx context.Context) {
+	defer ch.done.Done()
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		rto := ch.currentRTO()
+		now := time.Now()
+		var stale []*segment
+		ch.sendMu.Lock()
+		for _, seg := range ch.inFlight {
+			if now.Sub(seg.sentAt) > rto {
+				seg.sentAt = now
+				seg.resent = true
+				stale = append(stale, seg)
+			}
+		}
+		ch.sendMu.Unlock()
+		if len(stale) > 0 {
+			ch.cc.OnLoss()
+			ch.stats.retransmits.Add(uint64(len(stale)))
+			for _, seg := range stale {
+				ch.transmit(seg)
+			}
+		}
+	}
+}

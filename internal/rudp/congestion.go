@@ -1,0 +1,137 @@
+package rudp
+
+import (
+	"sync"
+	"time"
+)
+
+// CongestionControl governs how many bytes a Channel may keep in flight.
+// Implementations need not be safe for concurrent use; the Channel
+// serializes calls.
+type CongestionControl interface {
+	// Name identifies the controller in logs and benchmarks.
+	Name() string
+	// Window returns the allowed bytes in flight.
+	Window() int
+	// OnAck reports newly acknowledged bytes and a round-trip sample.
+	OnAck(bytes int, rtt time.Duration)
+	// OnLoss reports a retransmission timeout.
+	OnLoss()
+}
+
+// FixedWindow is a conservative controller with a small constant window,
+// modelling aiortc's slow congestion control: on a long-fat link the
+// throughput ceiling is window/RTT regardless of available bandwidth —
+// the paper measured ~80 Mbps between Frontera and Theta (§5.3.2).
+type FixedWindow struct {
+	// Bytes is the constant window size.
+	Bytes int
+}
+
+// NewFixedWindow returns a fixed controller; 64 KiB when bytes <= 0
+// (roughly aiortc's effective window in the paper's measurements).
+func NewFixedWindow(bytes int) *FixedWindow {
+	if bytes <= 0 {
+		bytes = 64 << 10
+	}
+	return &FixedWindow{Bytes: bytes}
+}
+
+// Name implements CongestionControl.
+func (f *FixedWindow) Name() string { return "fixed" }
+
+// Window implements CongestionControl.
+func (f *FixedWindow) Window() int { return f.Bytes }
+
+// OnAck implements CongestionControl.
+func (f *FixedWindow) OnAck(int, time.Duration) {}
+
+// OnLoss implements CongestionControl.
+func (f *FixedWindow) OnLoss() {}
+
+// BBRLike grows its window toward the estimated bandwidth-delay product:
+// it tracks the minimum RTT and maximum delivery rate and sets the window
+// to a gain over their product, probing upward while acks keep arriving.
+// Loss backs the window off modestly (BBR is not loss-based, but repeated
+// timeouts indicate real trouble).
+type BBRLike struct {
+	window   int
+	minRTT   time.Duration
+	maxRate  float64 // bytes per second
+	maxBytes int
+}
+
+// NewBBRLike returns a BBR-ish controller with the given window cap
+// (64 MiB when maxBytes <= 0).
+func NewBBRLike(maxBytes int) *BBRLike {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &BBRLike{window: 32 << 10, maxBytes: maxBytes}
+}
+
+// Name implements CongestionControl.
+func (b *BBRLike) Name() string { return "bbr" }
+
+// Window implements CongestionControl.
+func (b *BBRLike) Window() int { return b.window }
+
+// OnAck implements CongestionControl.
+func (b *BBRLike) OnAck(bytes int, rtt time.Duration) {
+	if rtt > 0 && (b.minRTT == 0 || rtt < b.minRTT) {
+		b.minRTT = rtt
+	}
+	if rtt > 0 {
+		rate := float64(bytes) / rtt.Seconds()
+		if rate > b.maxRate {
+			b.maxRate = rate
+		}
+	}
+	// Pace toward 2x the estimated BDP, but never shrink below the probe
+	// floor and always keep probing upward a little.
+	if b.minRTT > 0 && b.maxRate > 0 {
+		bdp := int(b.maxRate * b.minRTT.Seconds())
+		target := 2 * bdp
+		if target > b.window {
+			b.window = target
+		}
+	}
+	b.window += bytes // slow-start-ish growth while acks flow
+	if b.window > b.maxBytes {
+		b.window = b.maxBytes
+	}
+}
+
+// OnLoss implements CongestionControl.
+func (b *BBRLike) OnLoss() {
+	b.window = b.window * 8 / 10
+	if b.window < 16<<10 {
+		b.window = 16 << 10
+	}
+	// A timeout invalidates the delivery-rate ceiling estimate a bit.
+	b.maxRate *= 0.9
+}
+
+// lockedCC wraps a controller for the Channel's concurrent paths.
+type lockedCC struct {
+	mu sync.Mutex
+	cc CongestionControl
+}
+
+func (l *lockedCC) Window() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cc.Window()
+}
+
+func (l *lockedCC) OnAck(bytes int, rtt time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cc.OnAck(bytes, rtt)
+}
+
+func (l *lockedCC) OnLoss() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cc.OnLoss()
+}

@@ -1,0 +1,189 @@
+// Package rudp implements a reliable message channel over unreliable
+// datagrams — the stand-in for WebRTC RTCDataChannels (SCTP over DTLS) that
+// PS-endpoints use for peer-to-peer transfer (paper §4.2.2).
+//
+// The channel provides sequencing, cumulative acknowledgement, timeout
+// retransmission, fragmentation/reassembly, and pluggable congestion
+// control. Two controllers are provided: a conservative fixed-window
+// controller modelled on aiortc (whose inability to fill long-fat pipes the
+// paper measures in §5.3.2) and a BBR-like controller that grows to the
+// bandwidth-delay product. Datagrams travel over a Pipe; SimPipe applies a
+// netsim link's latency, UDP throttle, and loss so WAN behaviour is
+// reproducible in-process, and UDPPipe runs over real sockets.
+package rudp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"proxystore/internal/netsim"
+)
+
+// Pipe is an unreliable, unordered datagram transport.
+type Pipe interface {
+	// Send transmits one datagram; datagrams may be dropped or reordered.
+	Send(pkt []byte) error
+	// Recv blocks for the next datagram.
+	Recv(ctx context.Context) ([]byte, error)
+	// Close releases the transport.
+	Close() error
+}
+
+// --- Simulated pipe --------------------------------------------------------
+
+// SimPipe is an in-process datagram link shaped by a netsim link: each
+// datagram pays latency plus serialization at the link's UDP bandwidth and
+// may be dropped with the link's loss rate.
+type SimPipe struct {
+	peer *SimPipe
+
+	net      *netsim.Network
+	src, dst string
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	inbox  chan []byte
+	closed bool
+}
+
+// NewSimPipePair returns connected pipe ends between two sites. seed makes
+// loss reproducible.
+func NewSimPipePair(n *netsim.Network, siteA, siteB string, seed int64) (*SimPipe, *SimPipe) {
+	a := &SimPipe{net: n, src: siteA, dst: siteB, inbox: make(chan []byte, 4096), rng: rand.New(rand.NewSource(seed))}
+	b := &SimPipe{net: n, src: siteB, dst: siteA, inbox: make(chan []byte, 4096), rng: rand.New(rand.NewSource(seed + 1))}
+	a.peer = b
+	b.peer = a
+	return a, b
+}
+
+// Send implements Pipe. Delivery is asynchronous after the modeled delay.
+func (p *SimPipe) Send(pkt []byte) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("rudp: pipe closed")
+	}
+	drop := false
+	if l, ok := p.net.LinkBetween(p.src, p.dst); ok && l.LossRate > 0 {
+		drop = p.rng.Float64() < l.LossRate
+	}
+	p.mu.Unlock()
+	if drop {
+		return nil // lost in flight
+	}
+	buf := make([]byte, len(pkt))
+	copy(buf, pkt)
+	delay := p.net.UDPTransferTime(p.src, p.dst, len(pkt))
+	go func() {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		p.peer.deliver(buf)
+	}()
+	return nil
+}
+
+func (p *SimPipe) deliver(pkt []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	select {
+	case p.inbox <- pkt:
+	default: // full queue models router drop
+	}
+}
+
+// Recv implements Pipe.
+func (p *SimPipe) Recv(ctx context.Context) ([]byte, error) {
+	select {
+	case pkt, ok := <-p.inbox:
+		if !ok {
+			return nil, fmt.Errorf("rudp: pipe closed")
+		}
+		return pkt, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close implements Pipe.
+func (p *SimPipe) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.inbox)
+	}
+	return nil
+}
+
+// --- Real UDP pipe ---------------------------------------------------------
+
+// UDPPipe sends datagrams over a real UDP socket to a fixed peer.
+type UDPPipe struct {
+	conn *net.UDPConn
+	peer *net.UDPAddr
+}
+
+// NewUDPPipe binds a local UDP socket; SetPeer must be called before Send.
+func NewUDPPipe(localAddr string) (*UDPPipe, error) {
+	addr, err := net.ResolveUDPAddr("udp", localAddr)
+	if err != nil {
+		return nil, fmt.Errorf("rudp: resolving %q: %w", localAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rudp: binding %q: %w", localAddr, err)
+	}
+	// Large socket buffers absorb window-sized bursts; without them the
+	// kernel queue drops packets long before the modeled link would.
+	conn.SetReadBuffer(8 << 20)
+	conn.SetWriteBuffer(8 << 20)
+	return &UDPPipe{conn: conn}, nil
+}
+
+// LocalAddr returns the bound address.
+func (p *UDPPipe) LocalAddr() string { return p.conn.LocalAddr().String() }
+
+// SetPeer fixes the remote address datagrams are sent to.
+func (p *UDPPipe) SetPeer(addr string) error {
+	peer, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("rudp: resolving peer %q: %w", addr, err)
+	}
+	p.peer = peer
+	return nil
+}
+
+// Send implements Pipe.
+func (p *UDPPipe) Send(pkt []byte) error {
+	if p.peer == nil {
+		return fmt.Errorf("rudp: peer not set")
+	}
+	_, err := p.conn.WriteToUDP(pkt, p.peer)
+	return err
+}
+
+// Recv implements Pipe.
+func (p *UDPPipe) Recv(ctx context.Context) ([]byte, error) {
+	buf := make([]byte, 64<<10)
+	if deadline, ok := ctx.Deadline(); ok {
+		p.conn.SetReadDeadline(deadline)
+	} else {
+		p.conn.SetReadDeadline(time.Time{})
+	}
+	n, _, err := p.conn.ReadFromUDP(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// Close implements Pipe.
+func (p *UDPPipe) Close() error { return p.conn.Close() }

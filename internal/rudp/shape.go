@@ -1,0 +1,81 @@
+package rudp
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"proxystore/internal/netsim"
+)
+
+// ShapedPipe wraps another Pipe and applies a netsim link's one-way
+// latency, UDP throttle, and loss rate to sent datagrams. It lets real
+// UDP sockets on loopback behave like a WAN path: the endpoint peering
+// experiments shape their hole-punched connections this way.
+type ShapedPipe struct {
+	inner Pipe
+	net   *netsim.Network
+	src   string
+	dst   string
+
+	mu sync.Mutex
+	// lastDeparture serializes the link: bandwidth is a shared resource,
+	// so a packet cannot start transmitting before the previous one left.
+	lastDeparture time.Time
+	rng           *rand.Rand
+}
+
+// Shape wraps inner with the link model from src to dst. A zero seed
+// derives one from the clock.
+func Shape(inner Pipe, n *netsim.Network, src, dst string, seed int64) *ShapedPipe {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &ShapedPipe{inner: inner, net: n, src: src, dst: dst, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Send implements Pipe: the datagram is dropped with the link's loss rate
+// or delivered to the inner pipe after the modeled one-way delay.
+func (p *ShapedPipe) Send(pkt []byte) error {
+	l, hasLink := p.net.LinkBetween(p.src, p.dst)
+	if hasLink && l.LossRate > 0 {
+		p.mu.Lock()
+		drop := p.rng.Float64() < l.LossRate
+		p.mu.Unlock()
+		if drop {
+			return nil
+		}
+	}
+	// Serialization time occupies the link; propagation overlaps.
+	serialization := p.net.UDPTransferTime(p.src, p.dst, len(pkt)) - p.net.UDPTransferTime(p.src, p.dst, 0)
+	propagation := p.net.UDPTransferTime(p.src, p.dst, 0)
+
+	p.mu.Lock()
+	now := time.Now()
+	start := p.lastDeparture
+	if start.Before(now) {
+		start = now
+	}
+	departure := start.Add(serialization)
+	p.lastDeparture = departure
+	p.mu.Unlock()
+
+	delay := departure.Add(propagation).Sub(now)
+	if delay <= 0 {
+		return p.inner.Send(pkt)
+	}
+	buf := make([]byte, len(pkt))
+	copy(buf, pkt)
+	go func() {
+		time.Sleep(delay)
+		p.inner.Send(buf)
+	}()
+	return nil
+}
+
+// Recv implements Pipe.
+func (p *ShapedPipe) Recv(ctx context.Context) ([]byte, error) { return p.inner.Recv(ctx) }
+
+// Close implements Pipe.
+func (p *ShapedPipe) Close() error { return p.inner.Close() }

@@ -1,0 +1,188 @@
+package serial
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupKnownSerializers(t *testing.T) {
+	for _, id := range []string{GobID, RawID, JSONID} {
+		s, err := Lookup(id)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", id, err)
+		}
+		if s.ID() != id {
+			t.Fatalf("Lookup(%q).ID() = %q", id, s.ID())
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup succeeded for unregistered id")
+	}
+}
+
+func TestGobRoundTripBuiltins(t *testing.T) {
+	cases := []any{
+		[]byte("bytes"),
+		"string",
+		42,
+		int64(-7),
+		3.14,
+		true,
+		[]float64{1, 2, 3},
+		map[string]string{"k": "v"},
+	}
+	s := Default()
+	for _, v := range cases {
+		data, err := s.Encode(v)
+		if err != nil {
+			t.Fatalf("Encode(%T): %v", v, err)
+		}
+		got, err := s.Decode(data)
+		if err != nil {
+			t.Fatalf("Decode(%T): %v", v, err)
+		}
+		switch want := v.(type) {
+		case []byte:
+			if !bytes.Equal(got.([]byte), want) {
+				t.Fatalf("round trip %T: got %v", v, got)
+			}
+		case []float64:
+			g := got.([]float64)
+			for i := range want {
+				if g[i] != want[i] {
+					t.Fatalf("round trip %T: got %v", v, got)
+				}
+			}
+		case map[string]string:
+			if got.(map[string]string)["k"] != "v" {
+				t.Fatalf("round trip %T: got %v", v, got)
+			}
+		default:
+			if got != v {
+				t.Fatalf("round trip %T: got %v, want %v", v, got, v)
+			}
+		}
+	}
+}
+
+type customType struct{ A int }
+
+func TestGobCustomTypeNeedsRegistration(t *testing.T) {
+	s := Default()
+	gob.Register(customType{})
+	data, err := s.Encode(customType{A: 5})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := s.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.(customType).A != 5 {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestRawPassthrough(t *testing.T) {
+	s := Raw()
+	in := []byte{1, 2, 3}
+	data, err := s.Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.Equal(data, in) {
+		t.Fatalf("raw Encode altered bytes: %v", data)
+	}
+	got, err := s.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(got.([]byte), in) {
+		t.Fatalf("raw Decode = %v", got)
+	}
+}
+
+func TestRawRejectsNonBytes(t *testing.T) {
+	if _, err := Raw().Encode(42); err == nil {
+		t.Fatal("raw Encode accepted an int")
+	}
+}
+
+func TestRawString(t *testing.T) {
+	data, err := Raw().Encode("hi")
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if string(data) != "hi" {
+		t.Fatalf("Encode = %q", data)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := JSON()
+	data, err := s.Encode(map[string]any{"a": 1.0, "b": "x"})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := s.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	m := got.(map[string]any)
+	if m["a"].(float64) != 1.0 || m["b"].(string) != "x" {
+		t.Fatalf("round trip = %v", m)
+	}
+}
+
+func TestJSONDecodeError(t *testing.T) {
+	if _, err := JSON().Decode([]byte("{not json")); err == nil {
+		t.Fatal("Decode accepted invalid JSON")
+	}
+}
+
+func TestPropertyGobBytesRoundTrip(t *testing.T) {
+	s := Default()
+	f := func(in []byte) bool {
+		data, err := s.Encode(in)
+		if err != nil {
+			return false
+		}
+		got, err := s.Decode(data)
+		if err != nil {
+			return false
+		}
+		gb, ok := got.([]byte)
+		if !ok {
+			// gob decodes nil []byte to nil any in interface indirection;
+			// treat empty input specially.
+			return len(in) == 0 && got == nil
+		}
+		return bytes.Equal(gb, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRawIdentity(t *testing.T) {
+	s := Raw()
+	f := func(in []byte) bool {
+		data, err := s.Encode(in)
+		if err != nil {
+			return false
+		}
+		got, err := s.Decode(data)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.([]byte), in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,414 @@
+// Package store implements the Store: the high-level interface applications
+// use to interact with ProxyStore (paper §3.5).
+//
+// A Store wraps a Connector (dependency injection), adds (de)serialization
+// and post-deserialization caching, and mints proxies whose factories carry
+// everything needed — store name, connector config, object key, serializer
+// id, evict flag — to resolve the target in any process. Stores register
+// globally by name so that initialization happens once per process, caches
+// are shared, and stateful connections are reused; a proxy resolved on a
+// process that has never seen the store reconstructs and registers it.
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"proxystore/internal/cache"
+	"proxystore/internal/connector"
+	"proxystore/internal/proxy"
+	"proxystore/internal/serial"
+)
+
+// Option configures a Store at construction.
+type Option func(*Store)
+
+// WithSerializer sets the store's serializer (default: gob).
+func WithSerializer(s serial.Serializer) Option {
+	return func(st *Store) { st.ser = s }
+}
+
+// WithCacheSize sets the deserialized-object cache capacity in entries.
+// Zero disables caching. The default is 16, matching the reference
+// implementation's default.
+func WithCacheSize(n int) Option {
+	return func(st *Store) { st.cacheSize = n }
+}
+
+// Metrics counts store operations; all fields are cumulative.
+type Metrics struct {
+	Puts       uint64
+	Gets       uint64
+	Evicts     uint64
+	BytesPut   uint64
+	BytesGot   uint64
+	CacheHits  uint64
+	Proxies    uint64
+	Serialized uint64
+}
+
+type metrics struct {
+	puts, gets, evicts atomic.Uint64
+	bytesPut, bytesGot atomic.Uint64
+	cacheHits, proxies atomic.Uint64
+	serialized         atomic.Uint64
+}
+
+// Store mediates object storage through a Connector.
+//
+// A Store is safe for concurrent use.
+type Store struct {
+	name      string
+	conn      connector.Connector
+	ser       serial.Serializer
+	cacheSize int
+	cache     *cache.LRU
+	m         metrics
+}
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]*Store)
+)
+
+// New creates a store named name over conn and registers it globally.
+// Creating a second store with a registered name is an error; use Lookup
+// or GetOrInit for idempotent access.
+func New(name string, conn connector.Connector, opts ...Option) (*Store, error) {
+	if name == "" {
+		return nil, fmt.Errorf("store: name must be non-empty")
+	}
+	if conn == nil {
+		return nil, fmt.Errorf("store: nil connector")
+	}
+	s := &Store{name: name, conn: conn, ser: serial.Default(), cacheSize: 16}
+	for _, o := range opts {
+		o(s)
+	}
+	s.cache = cache.New(s.cacheSize)
+
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, exists := registry[name]; exists {
+		return nil, fmt.Errorf("store: %q already registered", name)
+	}
+	registry[name] = s
+	return s, nil
+}
+
+// Lookup returns the registered store with the given name.
+func Lookup(name string) (*Store, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// GetOrInit returns the registered store named name, or constructs one from
+// the connector config and serializer id and registers it. This is the
+// mechanism proxies use to materialize stores on consumer processes.
+func GetOrInit(name string, cfg connector.Config, serializerID string) (*Store, error) {
+	regMu.Lock()
+	if s, ok := registry[name]; ok {
+		regMu.Unlock()
+		return s, nil
+	}
+	regMu.Unlock()
+
+	conn, err := connector.FromConfig(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("store: reconstructing connector for %q: %w", name, err)
+	}
+	ser, err := serial.Lookup(serializerID)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+
+	regMu.Lock()
+	defer regMu.Unlock()
+	if s, ok := registry[name]; ok { // lost the race; discard ours
+		go conn.Close()
+		return s, nil
+	}
+	s := &Store{name: name, conn: conn, ser: ser, cacheSize: 16}
+	s.cache = cache.New(s.cacheSize)
+	registry[name] = s
+	return s, nil
+}
+
+// Unregister removes a store from the global registry and closes its
+// connector. Primarily for tests and orderly shutdown.
+func Unregister(name string) error {
+	regMu.Lock()
+	s, ok := registry[name]
+	delete(registry, name)
+	regMu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.conn.Close()
+}
+
+// ResetRegistry unregisters every store. For tests.
+func ResetRegistry() {
+	regMu.Lock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	regMu.Unlock()
+	for _, n := range names {
+		Unregister(n)
+	}
+}
+
+// Name returns the store's registered name.
+func (s *Store) Name() string { return s.name }
+
+// Connector returns the store's underlying connector.
+func (s *Store) Connector() connector.Connector { return s.conn }
+
+// Serializer returns the store's serializer.
+func (s *Store) Serializer() serial.Serializer { return s.ser }
+
+// Metrics returns a snapshot of operation counters.
+func (s *Store) Metrics() Metrics {
+	return Metrics{
+		Puts:       s.m.puts.Load(),
+		Gets:       s.m.gets.Load(),
+		Evicts:     s.m.evicts.Load(),
+		BytesPut:   s.m.bytesPut.Load(),
+		BytesGot:   s.m.bytesGot.Load(),
+		CacheHits:  s.m.cacheHits.Load(),
+		Proxies:    s.m.proxies.Load(),
+		Serialized: s.m.serialized.Load(),
+	}
+}
+
+// PutObject serializes v and stores it through the connector.
+func (s *Store) PutObject(ctx context.Context, v any) (connector.Key, error) {
+	data, err := s.ser.Encode(v)
+	if err != nil {
+		return connector.Key{}, fmt.Errorf("store %q: serializing: %w", s.name, err)
+	}
+	s.m.serialized.Add(1)
+	key, err := s.conn.Put(ctx, data)
+	if err != nil {
+		return connector.Key{}, fmt.Errorf("store %q: put: %w", s.name, err)
+	}
+	s.m.puts.Add(1)
+	s.m.bytesPut.Add(uint64(len(data)))
+	return key, nil
+}
+
+// GetObject retrieves and deserializes the object for key, consulting the
+// deserialized-object cache first.
+func (s *Store) GetObject(ctx context.Context, key connector.Key) (any, error) {
+	if v, ok := s.cache.Get(key.ID); ok {
+		s.m.cacheHits.Add(1)
+		return v, nil
+	}
+	data, err := s.conn.Get(ctx, key)
+	if err != nil {
+		return nil, fmt.Errorf("store %q: get %s: %w", s.name, key, err)
+	}
+	s.m.gets.Add(1)
+	s.m.bytesGot.Add(uint64(len(data)))
+	v, err := s.ser.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("store %q: deserializing %s: %w", s.name, key, err)
+	}
+	s.cache.Set(key.ID, v)
+	return v, nil
+}
+
+// Exists reports whether key's object is currently stored.
+func (s *Store) Exists(ctx context.Context, key connector.Key) (bool, error) {
+	return s.conn.Exists(ctx, key)
+}
+
+// Evict removes key's object from the mediated channel and the local cache.
+func (s *Store) Evict(ctx context.Context, key connector.Key) error {
+	s.cache.Delete(key.ID)
+	if err := s.conn.Evict(ctx, key); err != nil {
+		return fmt.Errorf("store %q: evict %s: %w", s.name, key, err)
+	}
+	s.m.evicts.Add(1)
+	return nil
+}
+
+// Close unregisters the store and closes its connector.
+func (s *Store) Close() error {
+	regMu.Lock()
+	if registry[s.name] == s {
+		delete(registry, s.name)
+	}
+	regMu.Unlock()
+	return s.conn.Close()
+}
+
+// --- Typed helpers -------------------------------------------------------
+
+// Put serializes and stores a typed value.
+func Put[T any](ctx context.Context, s *Store, v T) (connector.Key, error) {
+	return s.PutObject(ctx, v)
+}
+
+// Get retrieves a typed value.
+func Get[T any](ctx context.Context, s *Store, key connector.Key) (T, error) {
+	var zero T
+	v, err := s.GetObject(ctx, key)
+	if err != nil {
+		return zero, err
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("store %q: object %s has type %T, want %T", s.name, key, v, zero)
+	}
+	return t, nil
+}
+
+// ProxyOption configures proxy creation.
+type ProxyOption func(*proxyOptions)
+
+type proxyOptions struct {
+	evict bool
+}
+
+// WithEvict makes the proxy evict the object from the mediated channel when
+// first resolved — the right choice for write-once/read-once intermediate
+// values (paper §3.5).
+func WithEvict() ProxyOption {
+	return func(o *proxyOptions) { o.evict = true }
+}
+
+// NewProxy stores v and returns a lazy proxy whose factory can resolve it
+// in any process. This is the paper's Store.proxy.
+func NewProxy[T any](ctx context.Context, s *Store, v T, opts ...ProxyOption) (*proxy.Proxy[T], error) {
+	key, err := s.PutObject(ctx, v)
+	if err != nil {
+		return nil, err
+	}
+	return ProxyFromKey[T](s, key, opts...), nil
+}
+
+// ProxyFromKey builds a proxy for an object already stored under key.
+func ProxyFromKey[T any](s *Store, key connector.Key, opts ...ProxyOption) *proxy.Proxy[T] {
+	var o proxyOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s.m.proxies.Add(1)
+	f := &storeFactory{state: factoryState{
+		StoreName:  s.name,
+		Connector:  s.conn.Config(),
+		Key:        key,
+		Evict:      o.evict,
+		Serializer: s.ser.ID(),
+	}}
+	return proxy.NewFromAny[T](f)
+}
+
+// NewProxyBatch stores values and returns one proxy per value, using a
+// single batched backend operation when the connector supports it (e.g.
+// one Globus transfer task for many objects — the paper's proxy_batch).
+func NewProxyBatch[T any](ctx context.Context, s *Store, values []T, opts ...ProxyOption) ([]*proxy.Proxy[T], error) {
+	blobs := make([][]byte, len(values))
+	for i, v := range values {
+		data, err := s.ser.Encode(v)
+		if err != nil {
+			return nil, fmt.Errorf("store %q: serializing batch item %d: %w", s.name, i, err)
+		}
+		blobs[i] = data
+	}
+	s.m.serialized.Add(uint64(len(values)))
+
+	var keys []connector.Key
+	if bp, ok := s.conn.(connector.BatchPutter); ok {
+		ks, err := bp.PutBatch(ctx, blobs)
+		if err != nil {
+			return nil, fmt.Errorf("store %q: batch put: %w", s.name, err)
+		}
+		keys = ks
+	} else {
+		keys = make([]connector.Key, len(blobs))
+		for i, b := range blobs {
+			k, err := s.conn.Put(ctx, b)
+			if err != nil {
+				return nil, fmt.Errorf("store %q: batch put item %d: %w", s.name, i, err)
+			}
+			keys[i] = k
+		}
+	}
+	for _, b := range blobs {
+		s.m.bytesPut.Add(uint64(len(b)))
+	}
+	s.m.puts.Add(uint64(len(blobs)))
+
+	proxies := make([]*proxy.Proxy[T], len(keys))
+	for i, k := range keys {
+		proxies[i] = ProxyFromKey[T](s, k, opts...)
+	}
+	return proxies, nil
+}
+
+// --- The store factory ---------------------------------------------------
+
+// factoryState is the serialized payload of a store factory: everything a
+// consumer process needs to reconstruct the store and fetch the target.
+type factoryState struct {
+	StoreName  string
+	Connector  connector.Config
+	Key        connector.Key
+	Evict      bool
+	Serializer string
+}
+
+// storeFactory resolves a target object through a (possibly reconstructed)
+// Store. It implements proxy.AnyFactory and proxy.Describable.
+type storeFactory struct {
+	state factoryState
+}
+
+// FactoryKind is the proxy descriptor kind for store factories.
+const FactoryKind = "store"
+
+func (f *storeFactory) ResolveAny(ctx context.Context) (any, error) {
+	s, err := GetOrInit(f.state.StoreName, f.state.Connector, f.state.Serializer)
+	if err != nil {
+		return nil, err
+	}
+	v, err := s.GetObject(ctx, f.state.Key)
+	if err != nil {
+		return nil, err
+	}
+	if f.state.Evict {
+		if err := s.Evict(ctx, f.state.Key); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+func (f *storeFactory) Describe() (proxy.Descriptor, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f.state); err != nil {
+		return proxy.Descriptor{}, fmt.Errorf("store: encoding factory state: %w", err)
+	}
+	return proxy.Descriptor{Kind: FactoryKind, Data: buf.Bytes()}, nil
+}
+
+func init() {
+	proxy.RegisterKind(FactoryKind, func(data []byte) (proxy.AnyFactory, error) {
+		var st factoryState
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+			return nil, fmt.Errorf("store: decoding factory state: %w", err)
+		}
+		return &storeFactory{state: st}, nil
+	})
+}

@@ -1,0 +1,271 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/local"
+	"proxystore/internal/proxy"
+	"proxystore/internal/serial"
+	"proxystore/internal/store"
+)
+
+func newTestStore(t *testing.T, name string, opts ...store.Option) *store.Store {
+	t.Helper()
+	s, err := store.New(name, local.New(name+"-conn"), opts...)
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister(name) })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newTestStore(t, "rt")
+	ctx := context.Background()
+	key, err := store.Put(ctx, s, []byte("payload"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := store.Get[[]byte](ctx, s, key)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("Get = %q", got)
+	}
+}
+
+func TestGetTypeMismatch(t *testing.T) {
+	s := newTestStore(t, "mismatch")
+	ctx := context.Background()
+	key, err := store.Put(ctx, s, "a string")
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := store.Get[int](ctx, s, key); err == nil {
+		t.Fatal("Get succeeded with wrong type parameter")
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	newTestStore(t, "dup")
+	if _, err := store.New("dup", local.New("other")); err == nil {
+		t.Fatal("second store with same name was accepted")
+	}
+}
+
+func TestEvictRemovesObjectAndCache(t *testing.T) {
+	s := newTestStore(t, "evict")
+	ctx := context.Background()
+	key, err := store.Put(ctx, s, []byte("gone soon"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := s.GetObject(ctx, key); err != nil {
+		t.Fatalf("GetObject: %v", err)
+	}
+	if err := s.Evict(ctx, key); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	ok, err := s.Exists(ctx, key)
+	if err != nil {
+		t.Fatalf("Exists: %v", err)
+	}
+	if ok {
+		t.Fatal("object still exists after evict")
+	}
+	if _, err := s.GetObject(ctx, key); !errors.Is(err, connector.ErrNotFound) {
+		t.Fatalf("GetObject after evict = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCacheAvoidsSecondConnectorGet(t *testing.T) {
+	s := newTestStore(t, "cache")
+	ctx := context.Background()
+	key, err := store.Put(ctx, s, []byte("cached"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.GetObject(ctx, key); err != nil {
+			t.Fatalf("GetObject #%d: %v", i, err)
+		}
+	}
+	m := s.Metrics()
+	if m.Gets != 1 {
+		t.Fatalf("connector gets = %d, want 1 (cache should serve repeats)", m.Gets)
+	}
+	if m.CacheHits != 2 {
+		t.Fatalf("cache hits = %d, want 2", m.CacheHits)
+	}
+}
+
+func TestProxyResolvesInSameProcess(t *testing.T) {
+	s := newTestStore(t, "proxy-local")
+	ctx := context.Background()
+	p, err := store.NewProxy(ctx, s, []byte("via proxy"))
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	if p.Resolved() {
+		t.Fatal("fresh proxy already resolved")
+	}
+	v, err := p.Value(ctx)
+	if err != nil {
+		t.Fatalf("Value: %v", err)
+	}
+	if string(v) != "via proxy" {
+		t.Fatalf("Value = %q", v)
+	}
+}
+
+func TestProxySerializationCrossStoreLookup(t *testing.T) {
+	// Producer creates a store and a proxy; the serialized proxy carries
+	// enough state that, after the producer's store is unregistered, the
+	// consumer reconstructs an equivalent store from the factory config.
+	ctx := context.Background()
+	s, err := store.New("travelling", local.New("travelling-conn"))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	p, err := store.NewProxy(ctx, s, []byte("over the wire"))
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	blob, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+
+	// Simulate the consumer process: no registered store.
+	if err := store.Unregister("travelling"); err != nil {
+		t.Fatalf("Unregister: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("travelling") })
+
+	var received proxy.Proxy[[]byte]
+	if err := received.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	v, err := received.Value(ctx)
+	if err != nil {
+		t.Fatalf("Value: %v", err)
+	}
+	if string(v) != "over the wire" {
+		t.Fatalf("Value = %q", v)
+	}
+	// Resolution must have re-registered the store.
+	if _, ok := store.Lookup("travelling"); !ok {
+		t.Fatal("consumer-side store was not registered during resolve")
+	}
+}
+
+func TestProxyEvictOnResolve(t *testing.T) {
+	s := newTestStore(t, "evict-flag")
+	ctx := context.Background()
+	p, err := store.NewProxy(ctx, s, []byte("ephemeral"), store.WithEvict())
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	if _, err := p.Value(ctx); err != nil {
+		t.Fatalf("Value: %v", err)
+	}
+	conn := s.Connector().(*local.Connector)
+	if conn.Len() != 0 {
+		t.Fatalf("connector holds %d objects after evict-on-resolve, want 0", conn.Len())
+	}
+	// The proxy's own cached value is still usable.
+	if v := p.MustValue(); string(v) != "ephemeral" {
+		t.Fatalf("cached value = %q", v)
+	}
+}
+
+func TestProxyBatch(t *testing.T) {
+	s := newTestStore(t, "batch")
+	ctx := context.Background()
+	values := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	proxies, err := store.NewProxyBatch(ctx, s, values)
+	if err != nil {
+		t.Fatalf("NewProxyBatch: %v", err)
+	}
+	if len(proxies) != len(values) {
+		t.Fatalf("got %d proxies, want %d", len(proxies), len(values))
+	}
+	for i, p := range proxies {
+		v, err := p.Value(ctx)
+		if err != nil {
+			t.Fatalf("Value #%d: %v", i, err)
+		}
+		if string(v) != string(values[i]) {
+			t.Fatalf("proxy %d = %q, want %q", i, v, values[i])
+		}
+	}
+}
+
+func TestCustomSerializer(t *testing.T) {
+	s := newTestStore(t, "rawser", store.WithSerializer(serial.Raw()))
+	ctx := context.Background()
+	key, err := store.Put(ctx, s, []byte{0, 1, 2, 3})
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	data, err := s.Connector().Get(ctx, key)
+	if err != nil {
+		t.Fatalf("connector Get: %v", err)
+	}
+	if !bytes.Equal(data, []byte{0, 1, 2, 3}) {
+		t.Fatalf("raw serializer altered bytes: %v", data)
+	}
+}
+
+type pointPayload struct{ X, Y float64 }
+
+func TestStructPayloadThroughGob(t *testing.T) {
+	gob.Register(pointPayload{})
+	s := newTestStore(t, "struct")
+	ctx := context.Background()
+	p, err := store.NewProxy(ctx, s, pointPayload{X: 1.5, Y: -2})
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	got := p.MustValue()
+	if got.X != 1.5 || got.Y != -2 {
+		t.Fatalf("MustValue = %+v", got)
+	}
+}
+
+func TestGetOrInitIdempotent(t *testing.T) {
+	s := newTestStore(t, "idem")
+	got, err := store.GetOrInit("idem", connector.Config{Type: "local"}, serial.GobID)
+	if err != nil {
+		t.Fatalf("GetOrInit: %v", err)
+	}
+	if got != s {
+		t.Fatal("GetOrInit returned a different instance for registered name")
+	}
+}
+
+func TestPropertyStoreRoundTripBytes(t *testing.T) {
+	s := newTestStore(t, "prop")
+	ctx := context.Background()
+	f := func(data []byte) bool {
+		key, err := store.Put(ctx, s, data)
+		if err != nil {
+			return false
+		}
+		got, err := store.Get[[]byte](ctx, s, key)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package workflow implements a Parsl-like task execution engine: clients
+// submit function applications that may depend on other tasks' futures; a
+// pool of workers executes them (paper §2 "Workflows", §5.2).
+//
+// The engine reproduces the data-path property Figure 7 measures: every
+// task's arguments and results are serialized through the engine's
+// hub-spoke channel (Parsl moves Python objects over ZeroMQ between the
+// main process and workers), so large values pay real serialization cost
+// plus a modeled channel delay proportional to their size. Passing proxies
+// instead of values shrinks those payloads to a few hundred bytes.
+package workflow
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TaskFunc is an executable task.
+type TaskFunc func(ctx context.Context, args []any) (any, error)
+
+// Options configure an Engine.
+type Options struct {
+	// Workers is the worker pool size (default 4).
+	Workers int
+	// ChannelBandwidth models the engine<->worker channel in bytes/second;
+	// each serialized payload pays size/bandwidth. Zero disables the model
+	// (serialization itself is still real work).
+	ChannelBandwidth float64
+	// QueueDepth bounds the dispatch queue (default 4096).
+	QueueDepth int
+}
+
+// Engine executes submitted tasks on a worker pool.
+//
+// An Engine is safe for concurrent use.
+type Engine struct {
+	opts  Options
+	queue chan *task
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	started  time.Time
+	busyNS   atomic.Int64
+	done     atomic.Uint64
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+
+	// chanMu serializes the modeled hub-spoke channel: it is one pipe
+	// shared by all workers, so transfers queue behind each other.
+	chanMu   sync.Mutex
+	chanFree time.Time
+}
+
+type task struct {
+	fn     TaskFunc
+	args   []any
+	future *Future
+}
+
+// Future is a pending task result.
+type Future struct {
+	done  chan struct{}
+	value any
+	err   error
+}
+
+// Result blocks for the task's outcome.
+func (f *Future) Result(ctx context.Context) (any, error) {
+	select {
+	case <-f.done:
+		return f.value, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Done reports whether the task has completed.
+func (f *Future) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// New starts an engine.
+func New(opts Options) *Engine {
+	if opts.Workers < 1 {
+		opts.Workers = 4
+	}
+	if opts.QueueDepth < 1 {
+		opts.QueueDepth = 4096
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		opts:    opts,
+		queue:   make(chan *task, opts.QueueDepth),
+		cancel:  cancel,
+		started: time.Now(),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker(ctx)
+	}
+	return e
+}
+
+// Close stops the engine; queued tasks are abandoned.
+func (e *Engine) Close() error {
+	e.cancel()
+	e.wg.Wait()
+	return nil
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// TasksDone returns the number of completed tasks.
+func (e *Engine) TasksDone() uint64 { return e.done.Load() }
+
+// Utilization returns the fraction of worker-time spent executing tasks
+// since the engine started.
+func (e *Engine) Utilization() float64 {
+	wall := time.Since(e.started)
+	if wall <= 0 {
+		return 0
+	}
+	return float64(e.busyNS.Load()) / float64(wall.Nanoseconds()) / float64(e.opts.Workers)
+}
+
+// ChannelBytes returns cumulative serialized bytes through the engine
+// channel (in, out).
+func (e *Engine) ChannelBytes() (in, out uint64) {
+	return e.bytesIn.Load(), e.bytesOut.Load()
+}
+
+// Submit schedules fn(args). Arguments that are *Future values are awaited
+// and replaced with their results before dispatch, giving Parsl-style
+// dataflow dependencies.
+func (e *Engine) Submit(fn TaskFunc, args ...any) *Future {
+	f := &Future{done: make(chan struct{})}
+	t := &task{fn: fn, args: args, future: f}
+	go func() {
+		// Resolve dependencies outside the worker pool so blocked tasks do
+		// not occupy workers (as in Parsl's DataFlowKernel).
+		resolved := make([]any, len(args))
+		for i, a := range args {
+			if dep, ok := a.(*Future); ok {
+				v, err := dep.Result(context.Background())
+				if err != nil {
+					f.err = fmt.Errorf("workflow: dependency failed: %w", err)
+					close(f.done)
+					return
+				}
+				resolved[i] = v
+			} else {
+				resolved[i] = a
+			}
+		}
+		t.args = resolved
+		e.queue <- t
+	}()
+	return f
+}
+
+func (e *Engine) worker(ctx context.Context) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t := <-e.queue:
+			e.execute(ctx, t)
+		}
+	}
+}
+
+func (e *Engine) execute(ctx context.Context, t *task) {
+	defer close(t.future.done)
+
+	// Inbound: arguments cross the engine->worker channel serialized.
+	inBytes, err := payloadSize(t.args)
+	if err != nil {
+		t.future.err = fmt.Errorf("workflow: serializing arguments: %w", err)
+		return
+	}
+	e.bytesIn.Add(uint64(inBytes))
+	e.channelDelay(ctx, inBytes)
+
+	start := time.Now()
+	v, err := t.fn(ctx, t.args)
+	e.busyNS.Add(time.Since(start).Nanoseconds())
+	e.done.Add(1)
+	if err != nil {
+		t.future.err = err
+		return
+	}
+
+	// Outbound: the result crosses back.
+	outBytes, serr := payloadSize([]any{v})
+	if serr != nil {
+		t.future.err = fmt.Errorf("workflow: serializing result: %w", serr)
+		return
+	}
+	e.bytesOut.Add(uint64(outBytes))
+	e.channelDelay(ctx, outBytes)
+	t.future.value = v
+}
+
+func (e *Engine) channelDelay(ctx context.Context, size int) {
+	if e.opts.ChannelBandwidth <= 0 || size <= 0 {
+		return
+	}
+	d := time.Duration(float64(size) / e.opts.ChannelBandwidth * float64(time.Second))
+	if d <= 0 {
+		return
+	}
+	// The channel is a shared resource: this transfer starts when the
+	// previous one finishes, and the caller waits until its own transfer
+	// completes.
+	e.chanMu.Lock()
+	now := time.Now()
+	start := e.chanFree
+	if start.Before(now) {
+		start = now
+	}
+	done := start.Add(d)
+	e.chanFree = done
+	e.chanMu.Unlock()
+
+	wait := time.Until(done)
+	if wait <= 0 {
+		return
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// payloadSize measures the serialized size of a value list — real gob
+// work, standing in for Parsl's pickling of every argument and result.
+func payloadSize(args []any) (int, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(args); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
+}

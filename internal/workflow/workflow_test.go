@@ -1,0 +1,142 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func echoTask(_ context.Context, args []any) (any, error) { return args[0], nil }
+
+func TestSubmitAndResult(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	fut := e.Submit(echoTask, 42)
+	v, err := fut.Result(context.Background())
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if v.(int) != 42 {
+		t.Fatalf("Result = %v", v)
+	}
+}
+
+func TestTaskError(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	fut := e.Submit(func(context.Context, []any) (any, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	if _, err := fut.Result(context.Background()); err == nil {
+		t.Fatal("Result succeeded for failing task")
+	}
+}
+
+func TestFutureDependencies(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	double := func(_ context.Context, args []any) (any, error) {
+		return args[0].(int) * 2, nil
+	}
+	a := e.Submit(double, 3) // 6
+	b := e.Submit(double, a) // 12: depends on a's future
+	c := e.Submit(double, b) // 24
+	v, err := c.Result(context.Background())
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if v.(int) != 24 {
+		t.Fatalf("chained Result = %v", v)
+	}
+}
+
+func TestDependencyFailurePropagates(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	bad := e.Submit(func(context.Context, []any) (any, error) {
+		return nil, fmt.Errorf("upstream failure")
+	})
+	downstream := e.Submit(echoTask, bad)
+	if _, err := downstream.Result(context.Background()); err == nil {
+		t.Fatal("downstream task succeeded despite failed dependency")
+	}
+}
+
+func TestParallelExecution(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	var concurrent, peak atomic.Int32
+	slow := func(context.Context, []any) (any, error) {
+		cur := concurrent.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		concurrent.Add(-1)
+		return nil, nil
+	}
+	futures := make([]*Future, 8)
+	for i := range futures {
+		futures[i] = e.Submit(slow)
+	}
+	for _, f := range futures {
+		f.Result(context.Background())
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency = %d, want >= 2", peak.Load())
+	}
+	if e.TasksDone() != 8 {
+		t.Fatalf("TasksDone = %d", e.TasksDone())
+	}
+}
+
+func TestChannelDelayScalesWithPayload(t *testing.T) {
+	e := New(Options{Workers: 1, ChannelBandwidth: 10e6}) // 10 MB/s channel
+	defer e.Close()
+	ctx := context.Background()
+
+	timeFor := func(size int) time.Duration {
+		payload := make([]byte, size)
+		start := time.Now()
+		fut := e.Submit(echoTask, payload)
+		if _, err := fut.Result(ctx); err != nil {
+			t.Fatalf("Result: %v", err)
+		}
+		return time.Since(start)
+	}
+
+	small := timeFor(1 << 10)
+	large := timeFor(4 << 20) // 4MB in + 4MB out at 10MB/s ≈ 800ms modeled
+	if large < 10*small {
+		t.Fatalf("large payload (%v) should be much slower than small (%v) through the channel", large, small)
+	}
+}
+
+func TestChannelBytesAccounted(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	fut := e.Submit(echoTask, make([]byte, 100_000))
+	fut.Result(context.Background())
+	in, out := e.ChannelBytes()
+	if in < 100_000 || out < 100_000 {
+		t.Fatalf("ChannelBytes = %d, %d; want >= 100000 each way", in, out)
+	}
+}
+
+func TestUtilizationTracksBusyWorkers(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	fut := e.Submit(func(context.Context, []any) (any, error) {
+		time.Sleep(50 * time.Millisecond)
+		return nil, nil
+	})
+	fut.Result(context.Background())
+	if u := e.Utilization(); u <= 0 || u > 1.01 {
+		t.Fatalf("Utilization = %v", u)
+	}
+}
