@@ -12,11 +12,16 @@ package main_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"testing"
 
 	"proxystore/internal/bench"
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/file"
 	"proxystore/internal/connectors/local"
+	"proxystore/internal/connectors/redisc"
 	"proxystore/internal/experiments"
+	"proxystore/internal/kvstore"
 	"proxystore/internal/proxy"
 	"proxystore/internal/rudp"
 	"proxystore/internal/serial"
@@ -173,6 +178,214 @@ func BenchmarkStoreCache(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// zeroReader yields n constant bytes without holding them in memory, so the
+// streamed-put benchmarks measure only connector-side allocation.
+type zeroReader struct{ n int }
+
+func (r *zeroReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if n > r.n {
+		n = r.n
+	}
+	for i := 0; i < n; i++ {
+		p[i] = 0xA5
+	}
+	r.n -= n
+	return n, nil
+}
+
+// BenchmarkLargeObjectDataPlane contrasts the blob and streamed data planes
+// on a 64 MiB object through the file connector. The blob path allocates
+// O(object) per get (os.ReadFile materializes the file); the streamed path
+// allocates O(chunk) regardless of object size. Compare B/op between the
+// sub-benchmarks, and the peak-rss-MiB metric for the high-water mark each
+// path adds.
+func BenchmarkLargeObjectDataPlane(b *testing.B) {
+	const size = 64 << 20
+	ctx := context.Background()
+	conn, err := file.New(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("blob", func(b *testing.B) {
+		data := make([]byte, size)
+		b.SetBytes(size)
+		b.ReportAllocs()
+		before := bench.SampleMem()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key, err := conn.Put(ctx, data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := conn.Get(ctx, key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != size {
+				b.Fatalf("got %d bytes", len(got))
+			}
+			if err := conn.Evict(ctx, key); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		delta := bench.SampleMem().Delta(before)
+		b.ReportMetric(float64(delta.PeakRSS)/(1<<20), "peak-rss-MiB")
+	})
+
+	b.Run("stream", func(b *testing.B) {
+		b.SetBytes(size)
+		b.ReportAllocs()
+		before := bench.SampleMem()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key, err := conn.PutFrom(ctx, &zeroReader{n: size})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := conn.GetTo(ctx, key, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+			if err := conn.Evict(ctx, key); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		delta := bench.SampleMem().Delta(before)
+		b.ReportMetric(float64(delta.PeakRSS)/(1<<20), "peak-rss-MiB")
+	})
+}
+
+// BenchmarkLargeObjectStore measures the same 64 MiB contrast one layer up:
+// Store.PutObject/GetObject (gob through the io.Pipe streaming path) versus
+// Store.PutReader/GetReader (raw streamed bytes), cache disabled so every
+// get pays the transfer.
+func BenchmarkLargeObjectStore(b *testing.B) {
+	const size = 64 << 20
+	ctx := context.Background()
+	conn, err := file.New(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := store.New("bench-large", conn, store.WithCacheBytes(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Unregister("bench-large") })
+
+	b.Run("object-gob-stream", func(b *testing.B) {
+		payload := make([]byte, size)
+		b.SetBytes(size)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key, err := s.PutObject(ctx, payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.GetObject(ctx, key); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Evict(ctx, key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("reader-raw-stream", func(b *testing.B) {
+		b.SetBytes(size)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key, err := s.PutReader(ctx, &zeroReader{n: size})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := s.GetReader(ctx, key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, r); err != nil {
+				b.Fatal(err)
+			}
+			r.Close()
+			if err := s.Evict(ctx, key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkProxyBatch contrasts per-proxy resolution against the batched
+// data plane: NewProxyBatch + ResolveBatch resolves every target with one
+// batched backend get per store (connector.BatchGetter) instead of one get
+// per proxy. The redis variant shows the round-trip amortization (one
+// MSET/MGET versus 2×batch SET/GET round trips); the local variant bounds
+// the bookkeeping overhead when the connector has no native batch ops.
+func BenchmarkProxyBatch(b *testing.B) {
+	const batch = 64
+	ctx := context.Background()
+	values := make([][]byte, batch)
+	for i := range values {
+		values[i] = make([]byte, 4<<10)
+	}
+
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+
+	conns := []struct {
+		name string
+		mk   func(suffix string) connector.Connector
+	}{
+		{"local", func(suffix string) connector.Connector { return local.New("bench-batch-" + suffix) }},
+		{"redis", func(suffix string) connector.Connector { return redisc.New(srv.Addr()) }},
+	}
+	for _, cn := range conns {
+		run := func(b *testing.B, name string, resolve func(*store.Store, []*proxy.Proxy[[]byte]) error) {
+			sname := "bench-batch-" + cn.name + "-" + name
+			s, err := store.New(sname, cn.mk(name),
+				store.WithSerializer(serial.Raw()), store.WithCacheBytes(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { store.Unregister(sname) })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				proxies, err := store.NewProxyBatch(ctx, s, values)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := resolve(s, proxies); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(cn.name+"/individual", func(b *testing.B) {
+			run(b, "ind", func(_ *store.Store, proxies []*proxy.Proxy[[]byte]) error {
+				for _, p := range proxies {
+					if _, err := p.Value(ctx); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		b.Run(cn.name+"/batched", func(b *testing.B) {
+			run(b, "grp", func(_ *store.Store, proxies []*proxy.Proxy[[]byte]) error {
+				return store.ResolveBatch(ctx, proxies)
+			})
 		})
 	}
 }

@@ -1,0 +1,3 @@
+module proxystore
+
+go 1.24

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// MemSample is a point-in-time snapshot of process memory counters, used by
+// the data-plane benchmarks to report allocation and peak-RSS deltas
+// between the blob and streamed paths.
+type MemSample struct {
+	// TotalAlloc is cumulative bytes allocated on the Go heap.
+	TotalAlloc uint64
+	// HeapAlloc is bytes of live heap at the sample.
+	HeapAlloc uint64
+	// PeakRSS is the process high-water resident set size in bytes
+	// (VmHWM on Linux), or 0 where unavailable.
+	PeakRSS uint64
+}
+
+// SampleMem reads the current memory counters.
+func SampleMem() MemSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemSample{
+		TotalAlloc: ms.TotalAlloc,
+		HeapAlloc:  ms.HeapAlloc,
+		PeakRSS:    peakRSS(),
+	}
+}
+
+// Delta returns counter growth since an earlier sample. PeakRSS is a
+// high-water mark, so its delta is how much the peak rose in between;
+// counters that regressed report 0.
+func (m MemSample) Delta(earlier MemSample) MemSample {
+	return MemSample{
+		TotalAlloc: sub(m.TotalAlloc, earlier.TotalAlloc),
+		HeapAlloc:  sub(m.HeapAlloc, earlier.HeapAlloc),
+		PeakRSS:    sub(m.PeakRSS, earlier.PeakRSS),
+	}
+}
+
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// peakRSS reads the process peak resident set from /proc/self/status.
+func peakRSS() uint64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

@@ -2,6 +2,11 @@
 // avoid repeated gets and deserializations of the same object (paper §3.5:
 // "caching performed after deserialization to avoid duplicate
 // deserializations").
+//
+// The cache is cost-aware: capacity is a total cost budget and every entry
+// carries a cost. With unit costs (Set) it behaves as a classic
+// entry-count LRU; with byte costs (SetCost) it bounds resident bytes, so
+// one huge object cannot pin many huge objects' worth of memory.
 package cache
 
 import (
@@ -9,13 +14,15 @@ import (
 	"sync"
 )
 
-// LRU is a fixed-capacity least-recently-used cache keyed by string.
-// A capacity of zero disables caching entirely.
+// LRU is a fixed-budget least-recently-used cache keyed by string. The
+// budget is a total cost: unit costs give entry-count semantics, byte costs
+// give byte-budget semantics. A capacity of zero disables caching entirely.
 //
 // LRU is safe for concurrent use.
 type LRU struct {
 	mu       sync.Mutex
-	capacity int
+	capacity int64
+	total    int64
 	entries  map[string]*list.Element
 	order    *list.List // front = most recently used
 
@@ -26,10 +33,17 @@ type LRU struct {
 type entry struct {
 	key   string
 	value any
+	cost  int64
 }
 
-// New returns an LRU that holds at most capacity entries.
+// New returns an LRU with a total cost budget of capacity; entries stored
+// with Set cost 1 each, so New(n) holds at most n of them.
 func New(capacity int) *LRU {
+	return NewCost(int64(capacity))
+}
+
+// NewCost returns an LRU with the given total cost budget (e.g. bytes).
+func NewCost(capacity int64) *LRU {
 	if capacity < 0 {
 		capacity = 0
 	}
@@ -55,27 +69,57 @@ func (c *LRU) Get(key string) (any, bool) {
 	return el.Value.(*entry).value, true
 }
 
-// Set stores value under key, evicting the least recently used entry when
-// the cache is full. Setting an existing key updates it in place.
+// Set stores value under key with unit cost, evicting least recently used
+// entries as needed. Setting an existing key updates it in place.
 func (c *LRU) Set(key string, value any) {
+	c.SetCost(key, value, 1)
+}
+
+// SetCost stores value under key with the given cost, evicting least
+// recently used entries until the budget holds. Costs below 1 are clamped
+// to 1; a value whose cost exceeds the whole budget is not cached (and
+// removes any stale entry under the same key).
+func (c *LRU) SetCost(key string, value any, cost int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.capacity == 0 {
 		return
 	}
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*entry).value = value
-		c.order.MoveToFront(el)
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > c.capacity {
+		c.remove(key)
 		return
 	}
-	if c.order.Len() >= c.capacity {
-		oldest := c.order.Back()
-		if oldest != nil {
-			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*entry).key)
-		}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry)
+		c.total += cost - e.cost
+		e.value = value
+		e.cost = cost
+		c.order.MoveToFront(el)
+		c.evictOverBudget()
+		return
 	}
-	c.entries[key] = c.order.PushFront(&entry{key: key, value: value})
+	c.total += cost
+	c.entries[key] = c.order.PushFront(&entry{key: key, value: value, cost: cost})
+	c.evictOverBudget()
+}
+
+// evictOverBudget drops LRU entries until the budget holds. Callers must
+// hold c.mu. The most recently used entry is never evicted, so a
+// budget-sized object can still be cached alone.
+func (c *LRU) evictOverBudget() {
+	for c.total > c.capacity && c.order.Len() > 1 {
+		oldest := c.order.Back()
+		if oldest == nil {
+			return
+		}
+		e := oldest.Value.(*entry)
+		c.order.Remove(oldest)
+		delete(c.entries, e.key)
+		c.total -= e.cost
+	}
 }
 
 // Contains reports whether key is cached without promoting it.
@@ -90,7 +134,13 @@ func (c *LRU) Contains(key string) bool {
 func (c *LRU) Delete(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.remove(key)
+}
+
+// remove deletes key without locking; callers must hold c.mu.
+func (c *LRU) remove(key string) {
 	if el, ok := c.entries[key]; ok {
+		c.total -= el.Value.(*entry).cost
 		c.order.Remove(el)
 		delete(c.entries, key)
 	}
@@ -101,6 +151,13 @@ func (c *LRU) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// Cost returns the total cost of resident entries.
+func (c *LRU) Cost() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
 }
 
 // Stats returns cumulative hit and miss counts.
@@ -116,4 +173,5 @@ func (c *LRU) Clear() {
 	defer c.mu.Unlock()
 	c.entries = make(map[string]*list.Element)
 	c.order.Init()
+	c.total = 0
 }

@@ -114,6 +114,117 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 }
 
+func TestSetCostEvictsByBudget(t *testing.T) {
+	c := NewCost(100)
+	c.SetCost("a", "a", 40)
+	c.SetCost("b", "b", 40)
+	c.SetCost("c", "c", 40) // over budget: evicts LRU "a"
+	if c.Contains("a") {
+		t.Fatal("LRU entry a survived byte-budget eviction")
+	}
+	if !c.Contains("b") || !c.Contains("c") {
+		t.Fatal("entries b and c should remain")
+	}
+	if got := c.Cost(); got != 80 {
+		t.Fatalf("Cost = %d, want 80", got)
+	}
+}
+
+func TestSetCostOversizedValueNotCached(t *testing.T) {
+	c := NewCost(100)
+	c.SetCost("small", 1, 10)
+	c.SetCost("huge", 2, 101) // exceeds whole budget
+	if c.Contains("huge") {
+		t.Fatal("over-budget entry was cached")
+	}
+	if !c.Contains("small") {
+		t.Fatal("over-budget insert evicted unrelated entries")
+	}
+	// Updating an existing key with an over-budget cost drops the stale
+	// entry instead of serving outdated data.
+	c.SetCost("small", 3, 200)
+	if c.Contains("small") {
+		t.Fatal("stale entry survived over-budget update")
+	}
+	if got := c.Cost(); got != 0 {
+		t.Fatalf("Cost = %d, want 0", got)
+	}
+}
+
+func TestSetCostUpdateAdjustsBudget(t *testing.T) {
+	c := NewCost(100)
+	c.SetCost("a", 1, 30)
+	c.SetCost("b", 2, 30)
+	c.SetCost("a", 3, 80) // update a to 80: total 110 > 100, evict LRU b
+	if c.Contains("b") {
+		t.Fatal("entry b should have been evicted by a's growth")
+	}
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 3 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if got := c.Cost(); got != 80 {
+		t.Fatalf("Cost = %d, want 80", got)
+	}
+}
+
+func TestSetCostBudgetSizedEntryCachable(t *testing.T) {
+	c := NewCost(64)
+	c.SetCost("exact", "v", 64)
+	if !c.Contains("exact") {
+		t.Fatal("budget-sized entry was not cached")
+	}
+	c.SetCost("next", "w", 64)
+	if c.Contains("exact") {
+		t.Fatal("replaced entry lingered")
+	}
+	if !c.Contains("next") {
+		t.Fatal("newest budget-sized entry missing")
+	}
+}
+
+func TestDeleteReleasesCost(t *testing.T) {
+	c := NewCost(100)
+	c.SetCost("a", 1, 60)
+	c.Delete("a")
+	if got := c.Cost(); got != 0 {
+		t.Fatalf("Cost after delete = %d, want 0", got)
+	}
+	c.SetCost("b", 2, 90) // must fit now
+	if !c.Contains("b") {
+		t.Fatal("freed budget not reusable")
+	}
+}
+
+func TestClearResetsCost(t *testing.T) {
+	c := NewCost(100)
+	c.SetCost("a", 1, 60)
+	c.Clear()
+	if got := c.Cost(); got != 0 {
+		t.Fatalf("Cost after clear = %d, want 0", got)
+	}
+}
+
+func TestPropertyCostNeverExceedsBudget(t *testing.T) {
+	f := func(keys []string, costs []uint8) bool {
+		c := NewCost(64)
+		for i, k := range keys {
+			cost := int64(1)
+			if i < len(costs) {
+				cost = int64(costs[i]%32) + 1
+			}
+			c.SetCost(k, i, cost)
+			if c.Cost() > 64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPropertyNeverExceedsCapacity(t *testing.T) {
 	f := func(keys []string) bool {
 		c := New(8)

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -206,7 +207,190 @@ func Run(t *testing.T, newConn func(t *testing.T) connector.Connector, opts Opti
 		})
 	}
 
+	// --- Streaming and batch conformance ---------------------------------
+	//
+	// Every connector must behave correctly behind the Streamer surface:
+	// native streamers through their own chunked paths, blob-only
+	// connectors through the StreamAdapter's buffering fallback.
+	st := connector.Stream(conn)
+
+	t.Run("StreamPutGetRoundTrip", func(t *testing.T) {
+		const size = 3*connector.DefaultChunkSize + 17 // forces multi-chunk
+		max := opts.MaxObjectSize
+		if max == 0 {
+			max = 1 << 20
+		}
+		n := size
+		if n > max {
+			n = max
+		}
+		key, err := st.PutFrom(ctx, newPatternReader(n))
+		if err != nil {
+			t.Fatalf("PutFrom: %v", err)
+		}
+		if key.Size != int64(n) {
+			t.Fatalf("key.Size = %d, want %d", key.Size, n)
+		}
+		var got bytes.Buffer
+		if err := st.GetTo(ctx, key, &got); err != nil {
+			t.Fatalf("GetTo: %v", err)
+		}
+		checkPattern(t, got.Bytes(), n)
+	})
+
+	t.Run("StreamChunkBoundaries", func(t *testing.T) {
+		max := opts.MaxObjectSize
+		if max == 0 {
+			max = 1 << 20
+		}
+		sizes := []int{0, 1, connector.DefaultChunkSize - 1,
+			connector.DefaultChunkSize, connector.DefaultChunkSize + 1}
+		for _, n := range sizes {
+			if n > max {
+				continue
+			}
+			key, err := st.PutFrom(ctx, newPatternReader(n))
+			if err != nil {
+				t.Fatalf("PutFrom(%d): %v", n, err)
+			}
+			var got bytes.Buffer
+			if err := st.GetTo(ctx, key, &got); err != nil {
+				t.Fatalf("GetTo(%d): %v", n, err)
+			}
+			checkPattern(t, got.Bytes(), n)
+		}
+	})
+
+	t.Run("StreamBlobInterop", func(t *testing.T) {
+		// Streamed put must be readable through the blob Get...
+		key, err := st.PutFrom(ctx, bytes.NewReader([]byte("streamed in")))
+		if err != nil {
+			t.Fatalf("PutFrom: %v", err)
+		}
+		got, err := st.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("Get of streamed object: %v", err)
+		}
+		if string(got) != "streamed in" {
+			t.Fatalf("Get = %q", got)
+		}
+		// ...and a blob put must be readable through GetTo.
+		key, err = st.Put(ctx, []byte("blobbed in"))
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := st.GetTo(ctx, key, &buf); err != nil {
+			t.Fatalf("GetTo of blob object: %v", err)
+		}
+		if buf.String() != "blobbed in" {
+			t.Fatalf("GetTo = %q", buf.String())
+		}
+	})
+
+	t.Run("StreamedKeyLifecycle", func(t *testing.T) {
+		key, err := st.PutFrom(ctx, newPatternReader(connector.DefaultChunkSize+5))
+		if err != nil {
+			t.Fatalf("PutFrom: %v", err)
+		}
+		ok, err := st.Exists(ctx, key)
+		if err != nil {
+			t.Fatalf("Exists: %v", err)
+		}
+		if !ok {
+			t.Fatal("Exists = false for live streamed object")
+		}
+		if err := st.Evict(ctx, key); err != nil {
+			t.Fatalf("Evict: %v", err)
+		}
+		ok, err = st.Exists(ctx, key)
+		if err != nil {
+			t.Fatalf("Exists after evict: %v", err)
+		}
+		if ok {
+			t.Fatal("Exists = true after evicting streamed object")
+		}
+		if err := st.GetTo(ctx, key, &bytes.Buffer{}); !errors.Is(err, connector.ErrNotFound) {
+			t.Fatalf("GetTo after evict = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("BatchPutGetRoundTrip", func(t *testing.T) {
+		blobs := [][]byte{[]byte("alpha"), []byte("bravo"), []byte("charlie")}
+		keys, err := st.PutBatch(ctx, blobs)
+		if err != nil {
+			t.Fatalf("PutBatch: %v", err)
+		}
+		if len(keys) != len(blobs) {
+			t.Fatalf("PutBatch returned %d keys, want %d", len(keys), len(blobs))
+		}
+		got, err := st.GetBatch(ctx, keys)
+		if err != nil {
+			t.Fatalf("GetBatch: %v", err)
+		}
+		for i := range blobs {
+			if !bytes.Equal(got[i], blobs[i]) {
+				t.Fatalf("GetBatch[%d] = %q, want %q", i, got[i], blobs[i])
+			}
+		}
+		// Batch-stored objects are ordinary objects: single Get works too.
+		one, err := st.Get(ctx, keys[1])
+		if err != nil {
+			t.Fatalf("Get of batch item: %v", err)
+		}
+		if string(one) != "bravo" {
+			t.Fatalf("Get of batch item = %q", one)
+		}
+	})
+
+	t.Run("BatchEmpty", func(t *testing.T) {
+		keys, err := st.PutBatch(ctx, nil)
+		if err != nil {
+			t.Fatalf("PutBatch(nil): %v", err)
+		}
+		if len(keys) != 0 {
+			t.Fatalf("PutBatch(nil) returned %d keys", len(keys))
+		}
+		got, err := st.GetBatch(ctx, nil)
+		if err != nil {
+			t.Fatalf("GetBatch(nil): %v", err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("GetBatch(nil) returned %d results", len(got))
+		}
+	})
+
+	t.Run("BatchGetMissingIsNotFound", func(t *testing.T) {
+		keys, err := st.PutBatch(ctx, [][]byte{[]byte("kept"), []byte("gone")})
+		if err != nil {
+			t.Fatalf("PutBatch: %v", err)
+		}
+		if err := st.Evict(ctx, keys[1]); err != nil {
+			t.Fatalf("Evict: %v", err)
+		}
+		if _, err := st.GetBatch(ctx, keys); !errors.Is(err, connector.ErrNotFound) {
+			t.Fatalf("GetBatch with evicted key = %v, want ErrNotFound", err)
+		}
+	})
+
 	if !opts.SkipConfigRebuild {
+		t.Run("StreamConfigRebuild", func(t *testing.T) {
+			key, err := st.PutFrom(ctx, newPatternReader(connector.DefaultChunkSize+9))
+			if err != nil {
+				t.Fatalf("PutFrom: %v", err)
+			}
+			rebuilt, err := connector.FromConfig(conn.Config())
+			if err != nil {
+				t.Fatalf("FromConfig: %v", err)
+			}
+			defer rebuilt.Close()
+			var got bytes.Buffer
+			if err := connector.GetTo(ctx, rebuilt, key, &got); err != nil {
+				t.Fatalf("rebuilt GetTo: %v", err)
+			}
+			checkPattern(t, got.Bytes(), connector.DefaultChunkSize+9)
+		})
+
 		t.Run("ConfigRebuild", func(t *testing.T) {
 			key, err := conn.Put(ctx, []byte("visible to rebuilt connector"))
 			if err != nil {
@@ -225,5 +409,44 @@ func Run(t *testing.T, newConn func(t *testing.T) connector.Connector, opts Opti
 				t.Fatalf("rebuilt Get = %q", got)
 			}
 		})
+	}
+}
+
+// patternReader emits a deterministic byte pattern without holding the
+// object in memory, so streamed-put conformance runs against a true stream.
+type patternReader struct {
+	off int
+	n   int
+}
+
+func newPatternReader(n int) *patternReader { return &patternReader{n: n} }
+
+func patternByte(i int) byte { return byte(i*131 + i>>9) }
+
+func (r *patternReader) Read(p []byte) (int, error) {
+	if r.off >= r.n {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if rem := r.n - r.off; rem < n {
+		n = rem
+	}
+	for i := 0; i < n; i++ {
+		p[i] = patternByte(r.off + i)
+	}
+	r.off += n
+	return n, nil
+}
+
+// checkPattern verifies got is exactly the first n pattern bytes.
+func checkPattern(t *testing.T, got []byte, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("round trip returned %d bytes, want %d", len(got), n)
+	}
+	for i, b := range got {
+		if b != patternByte(i) {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, patternByte(i))
+		}
 	}
 }

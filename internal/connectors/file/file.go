@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -109,6 +110,57 @@ func (c *Connector) Put(ctx context.Context, data []byte) (connector.Key, error)
 		return connector.Key{}, fmt.Errorf("file: publishing object: %w", err)
 	}
 	return key, nil
+}
+
+// PutFrom implements connector.StreamPutter: the stream is copied straight
+// into the temp file in chunk-size pieces, so peak memory is O(chunk) no
+// matter how large the object is. The write stays atomic via rename.
+func (c *Connector) PutFrom(ctx context.Context, r io.Reader) (connector.Key, error) {
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return connector.Key{}, fmt.Errorf("file: creating temp file: %w", err)
+	}
+	n, err := io.CopyBuffer(tmp, r, make([]byte, connector.DefaultChunkSize))
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return connector.Key{}, fmt.Errorf("file: streaming object: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return connector.Key{}, fmt.Errorf("file: closing temp file: %w", err)
+	}
+	if err := c.delay(ctx, int(n)); err != nil {
+		os.Remove(tmp.Name())
+		return connector.Key{}, err
+	}
+	key := connector.Key{ID: connector.NewID(), Type: Type, Size: n,
+		Attrs: map[string]string{"dir": c.dir, "size": strconv.FormatInt(n, 10)}}
+	if err := os.Rename(tmp.Name(), c.path(key.ID)); err != nil {
+		os.Remove(tmp.Name())
+		return connector.Key{}, fmt.Errorf("file: publishing object: %w", err)
+	}
+	return key, nil
+}
+
+// GetTo implements connector.StreamGetter: the file is copied into w in
+// chunk-size pieces without ever materializing the object.
+func (c *Connector) GetTo(ctx context.Context, key connector.Key, w io.Writer) error {
+	if err := c.delay(ctx, int(key.Size)); err != nil {
+		return err
+	}
+	f, err := os.Open(c.path(key.ID))
+	if errors.Is(err, fs.ErrNotExist) {
+		return connector.ErrNotFound
+	}
+	if err != nil {
+		return fmt.Errorf("file: opening object: %w", err)
+	}
+	defer f.Close()
+	if _, err := io.CopyBuffer(w, f, make([]byte, connector.DefaultChunkSize)); err != nil {
+		return fmt.Errorf("file: streaming object: %w", err)
+	}
+	return nil
 }
 
 // Get implements connector.Connector.

@@ -1,10 +1,15 @@
 // Package local provides an in-process, in-memory connector. It backs unit
 // tests and same-process pipelines; its config names a process-global
 // instance so factories resolving in the producing process find the data.
+//
+// Objects are held as chunk lists rather than single contiguous buffers, so
+// the streamed path (PutFrom/GetTo) never allocates or copies more than one
+// chunk at a time; only the blob Get has to assemble a contiguous result.
 package local
 
 import (
 	"context"
+	"io"
 	"sync"
 
 	"proxystore/internal/connector"
@@ -25,7 +30,7 @@ type Connector struct {
 	name string
 
 	mu      sync.RWMutex
-	objects map[string][]byte
+	objects map[string][][]byte // chunk lists; empty objects hold one empty chunk list
 	closed  bool
 }
 
@@ -37,7 +42,7 @@ func New(name string) *Connector {
 	if c, ok := shared[name]; ok {
 		return c
 	}
-	c := &Connector{name: name, objects: make(map[string][]byte)}
+	c := &Connector{name: name, objects: make(map[string][][]byte)}
 	shared[name] = c
 	return c
 }
@@ -56,22 +61,73 @@ func (c *Connector) Put(_ context.Context, data []byte) (connector.Key, error) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	c.mu.Lock()
-	c.objects[key.ID] = buf
+	c.objects[key.ID] = [][]byte{buf}
 	c.mu.Unlock()
 	return key, nil
 }
 
-// Get implements connector.Connector.
+// PutFrom implements connector.StreamPutter: the stream is read into
+// chunk-size buffers that become the stored representation directly, so no
+// contiguous O(object) buffer is ever allocated.
+func (c *Connector) PutFrom(_ context.Context, r io.Reader) (connector.Key, error) {
+	var chunks [][]byte
+	var total int64
+	for {
+		buf := make([]byte, connector.DefaultChunkSize)
+		n, err := io.ReadFull(r, buf)
+		if n > 0 {
+			chunks = append(chunks, buf[:n:n])
+			total += int64(n)
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			return connector.Key{}, err
+		}
+	}
+	key := connector.Key{ID: connector.NewID(), Type: Type, Size: total}
+	c.mu.Lock()
+	c.objects[key.ID] = chunks
+	c.mu.Unlock()
+	return key, nil
+}
+
+// Get implements connector.Connector. Assembling the contiguous result is
+// the one place the local connector pays O(object); use GetTo to avoid it.
 func (c *Connector) Get(_ context.Context, key connector.Key) ([]byte, error) {
 	c.mu.RLock()
-	data, ok := c.objects[key.ID]
+	chunks, ok := c.objects[key.ID]
 	c.mu.RUnlock()
 	if !ok {
 		return nil, connector.ErrNotFound
 	}
-	out := make([]byte, len(data))
-	copy(out, data)
+	var total int
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	out := make([]byte, 0, total)
+	for _, ch := range chunks {
+		out = append(out, ch...)
+	}
 	return out, nil
+}
+
+// GetTo implements connector.StreamGetter: stored chunks are written out
+// one at a time with no copying or assembly.
+func (c *Connector) GetTo(_ context.Context, key connector.Key, w io.Writer) error {
+	c.mu.RLock()
+	chunks, ok := c.objects[key.ID]
+	c.mu.RUnlock()
+	if !ok {
+		return connector.ErrNotFound
+	}
+	for _, ch := range chunks {
+		if _, err := w.Write(ch); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Exists implements connector.Connector.

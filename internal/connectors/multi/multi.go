@@ -9,9 +9,11 @@
 package multi
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -181,6 +183,161 @@ func (c *Connector) PutTagged(ctx context.Context, data []byte, tags []string) (
 	key = key.WithAttr(childAttr, ch.Name)
 	key.Type = Type // the key's producing connector is the router itself
 	return key, nil
+}
+
+// probeLimit returns the largest finite size bound appearing in any child
+// policy. Streams longer than this route identically to any larger size, so
+// PutFrom never needs to buffer more than probeLimit+1 bytes to route.
+func (c *Connector) probeLimit() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var limit int64
+	for _, ch := range c.children {
+		if ch.Policy.MinSize > limit {
+			limit = ch.Policy.MinSize
+		}
+		if ch.Policy.MaxSize > limit {
+			limit = ch.Policy.MaxSize
+		}
+	}
+	return limit
+}
+
+// PutFrom implements connector.StreamPutter, routing by size without
+// materializing the stream.
+func (c *Connector) PutFrom(ctx context.Context, r io.Reader) (connector.Key, error) {
+	return c.PutFromTagged(ctx, r, nil)
+}
+
+// PutFromTagged streams data to the highest-priority child whose policy
+// matches. Size-based routing works on chunk counts rather than a
+// materialized buffer: chunks are read only until the stream either ends
+// (exact size known) or provably exceeds every finite policy bound, at
+// which point the buffered head plus the remaining stream are forwarded to
+// the chosen child's streaming path.
+func (c *Connector) PutFromTagged(ctx context.Context, r io.Reader, tags []string) (connector.Key, error) {
+	probe := c.probeLimit()
+	// The peeked head is kept as a chunk list, never one contiguous buffer,
+	// so no O(probe) allocation or copy happens even under policies with
+	// large finite bounds (total spooled bytes are still capped at probe+1;
+	// bounds are routing decisions and must be observed before routing).
+	var head [][]byte
+	var size int64
+	eof := false
+	for size <= probe {
+		want := int64(connector.DefaultChunkSize)
+		if rem := probe + 1 - size; rem < want {
+			want = rem
+		}
+		buf := make([]byte, want)
+		n, err := io.ReadFull(r, buf)
+		if n > 0 {
+			head = append(head, buf[:n:n])
+			size += int64(n)
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			eof = true
+			break
+		}
+		if err != nil {
+			return connector.Key{}, fmt.Errorf("multi: reading stream: %w", err)
+		}
+	}
+	// When the stream outlives the probe, size now exceeds every finite
+	// bound, so it routes like any "large" object.
+	ch, err := c.route(size, tags)
+	if err != nil {
+		return connector.Key{}, err
+	}
+	readers := make([]io.Reader, 0, len(head)+1)
+	for _, chunk := range head {
+		readers = append(readers, bytes.NewReader(chunk))
+	}
+	if !eof {
+		readers = append(readers, r)
+	}
+	src := io.MultiReader(readers...)
+	key, err := connector.PutFrom(ctx, ch.Connector, src)
+	if err != nil {
+		return connector.Key{}, fmt.Errorf("multi: stream put via %q: %w", ch.Name, err)
+	}
+	key = key.WithAttr(childAttr, ch.Name)
+	key.Type = Type
+	return key, nil
+}
+
+// GetTo implements connector.StreamGetter, dispatching to the child that
+// stored the object and using its native streaming path when present.
+func (c *Connector) GetTo(ctx context.Context, key connector.Key, w io.Writer) error {
+	ch, err := c.dispatch(key)
+	if err != nil {
+		return err
+	}
+	return connector.GetTo(ctx, ch.Connector, key, w)
+}
+
+// PutBatch implements connector.BatchPutter: items are routed individually
+// by size, then stored with one backend batch operation per child.
+func (c *Connector) PutBatch(ctx context.Context, blobs [][]byte) ([]connector.Key, error) {
+	groups := make(map[string][]int)
+	byName := make(map[string]Child)
+	for i, b := range blobs {
+		ch, err := c.route(int64(len(b)), nil)
+		if err != nil {
+			return nil, err
+		}
+		groups[ch.Name] = append(groups[ch.Name], i)
+		byName[ch.Name] = ch
+	}
+	keys := make([]connector.Key, len(blobs))
+	for name, idx := range groups {
+		ch := byName[name]
+		sub := make([][]byte, len(idx))
+		for j, i := range idx {
+			sub[j] = blobs[i]
+		}
+		got, err := connector.Stream(ch.Connector).PutBatch(ctx, sub)
+		if err != nil {
+			return nil, fmt.Errorf("multi: batch put via %q: %w", name, err)
+		}
+		for j, i := range idx {
+			k := got[j].WithAttr(childAttr, name)
+			k.Type = Type
+			keys[i] = k
+		}
+	}
+	return keys, nil
+}
+
+// GetBatch implements connector.BatchGetter: keys are grouped by the child
+// that stored them and fetched with one backend batch operation per child.
+func (c *Connector) GetBatch(ctx context.Context, keys []connector.Key) ([][]byte, error) {
+	groups := make(map[string][]int)
+	byName := make(map[string]Child)
+	for i, k := range keys {
+		ch, err := c.dispatch(k)
+		if err != nil {
+			return nil, err
+		}
+		groups[ch.Name] = append(groups[ch.Name], i)
+		byName[ch.Name] = ch
+	}
+	out := make([][]byte, len(keys))
+	for name, idx := range groups {
+		ch := byName[name]
+		sub := make([]connector.Key, len(idx))
+		for j, i := range idx {
+			sub[j] = keys[i]
+		}
+		got, err := connector.Stream(ch.Connector).GetBatch(ctx, sub)
+		if err != nil {
+			return nil, fmt.Errorf("multi: batch get via %q: %w", name, err)
+		}
+		for j, i := range idx {
+			out[i] = got[j]
+		}
+	}
+	return out, nil
 }
 
 func (c *Connector) dispatch(key connector.Key) (Child, error) {

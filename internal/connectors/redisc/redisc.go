@@ -7,6 +7,9 @@ package redisc
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"strconv"
 
 	"proxystore/internal/connector"
 	"proxystore/internal/kvstore"
@@ -17,9 +20,15 @@ import (
 const Type = "redis"
 
 // Connector stores objects on a RESP server.
+//
+// Blob puts store the object under a single server key. Streamed puts
+// (PutFrom) shard the object into chunk-size server keys "<id>:<i>" and
+// record the shard count in the key's connector.ChunkCountAttr manifest, so
+// neither side of the transfer ever holds more than one chunk in memory.
 type Connector struct {
-	addr   string
-	client *kvstore.Client
+	addr      string
+	client    *kvstore.Client
+	chunkSize int
 
 	// Net-model description, preserved in Config so reconstructed
 	// connectors keep the same timing behaviour within one process.
@@ -48,9 +57,18 @@ var sharedNet *netsim.Network
 // connectors that carry site labels.
 func SetNetwork(n *netsim.Network) { sharedNet = n }
 
+// WithChunkSize overrides the streamed-put shard size in bytes.
+func WithChunkSize(n int) Option {
+	return func(c *Connector) {
+		if n > 0 {
+			c.chunkSize = n
+		}
+	}
+}
+
 // New returns a connector talking to the RESP server at addr.
 func New(addr string, opts ...Option) *Connector {
-	c := &Connector{addr: addr}
+	c := &Connector{addr: addr, chunkSize: connector.DefaultChunkSize}
 	for _, o := range opts {
 		o(c)
 	}
@@ -74,7 +92,24 @@ func (c *Connector) Config() connector.Config {
 		"addr":        c.addr,
 		"client_site": c.clientSite,
 		"server_site": c.serverSite,
+		"chunk_size":  strconv.Itoa(c.chunkSize),
 	}}
+}
+
+func chunkKey(id string, i int) string { return id + ":" + strconv.Itoa(i) }
+
+// chunkKeys lists every server key holding a shard of key's object, or nil
+// for blob-stored objects.
+func chunkKeys(key connector.Key) []string {
+	n := key.ChunkCount()
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = chunkKey(key.ID, i)
+	}
+	return out
 }
 
 // Put implements connector.Connector.
@@ -86,30 +121,181 @@ func (c *Connector) Put(ctx context.Context, data []byte) (connector.Key, error)
 	return key, nil
 }
 
-// Get implements connector.Connector.
+// PutFrom implements connector.StreamPutter: the stream is sharded into
+// chunk-size server keys as it is read, so at most one chunk is buffered
+// client-side. The returned key carries the shard manifest in
+// connector.ChunkCountAttr.
+func (c *Connector) PutFrom(ctx context.Context, r io.Reader) (connector.Key, error) {
+	id := connector.NewID()
+	var total int64
+	chunks := 0
+	buf := make([]byte, c.chunkSize)
+	for {
+		n, rerr := io.ReadFull(r, buf)
+		// Always write chunk 0, even for empty objects, so Exists and Evict
+		// have a server key to anchor on.
+		if n > 0 || chunks == 0 {
+			if err := c.client.Set(ctx, chunkKey(id, chunks), buf[:n]); err != nil {
+				c.evictChunks(ctx, id, chunks)
+				return connector.Key{}, fmt.Errorf("redisc: storing chunk %d: %w", chunks, err)
+			}
+			chunks++
+			total += int64(n)
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			break
+		}
+		if rerr != nil {
+			c.evictChunks(ctx, id, chunks)
+			return connector.Key{}, fmt.Errorf("redisc: reading stream: %w", rerr)
+		}
+	}
+	return connector.Key{
+		ID: id, Type: Type, Size: total,
+		Attrs: map[string]string{connector.ChunkCountAttr: strconv.Itoa(chunks)},
+	}, nil
+}
+
+// evictChunks removes shards written by a failed PutFrom. The cleanup runs
+// on a cancellation-detached context: when the failure was the caller's
+// ctx being canceled, the Dels must still go through or the orphaned
+// shards leak on the server forever.
+func (c *Connector) evictChunks(ctx context.Context, id string, n int) {
+	ctx = context.WithoutCancel(ctx)
+	for i := 0; i < n; i++ {
+		c.client.Del(ctx, chunkKey(id, i))
+	}
+}
+
+// Get implements connector.Connector, reassembling sharded objects.
 func (c *Connector) Get(ctx context.Context, key connector.Key) ([]byte, error) {
-	data, ok, err := c.client.Get(ctx, key.ID)
-	if err != nil {
-		return nil, err
+	shards := chunkKeys(key)
+	if shards == nil {
+		data, ok, err := c.client.Get(ctx, key.ID)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, connector.ErrNotFound
+		}
+		return data, nil
 	}
-	if !ok {
-		return nil, connector.ErrNotFound
+	out := make([]byte, 0, key.Size)
+	for _, sk := range shards {
+		data, ok, err := c.client.Get(ctx, sk)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, connector.ErrNotFound
+		}
+		out = append(out, data...)
 	}
-	return data, nil
+	return out, nil
+}
+
+// GetTo implements connector.StreamGetter: shards are fetched and written
+// one at a time, so at most one chunk is resident client-side.
+func (c *Connector) GetTo(ctx context.Context, key connector.Key, w io.Writer) error {
+	shards := chunkKeys(key)
+	if shards == nil {
+		data, ok, err := c.client.Get(ctx, key.ID)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return connector.ErrNotFound
+		}
+		_, err = w.Write(data)
+		return err
+	}
+	for _, sk := range shards {
+		data, ok, err := c.client.Get(ctx, sk)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return connector.ErrNotFound
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PutBatch implements connector.BatchPutter: all objects land in a single
+// MSET round trip.
+func (c *Connector) PutBatch(ctx context.Context, blobs [][]byte) ([]connector.Key, error) {
+	if len(blobs) == 0 {
+		return nil, nil // MSET with zero pairs is a protocol error
+	}
+	pairs := make(map[string][]byte, len(blobs))
+	keys := make([]connector.Key, len(blobs))
+	for i, data := range blobs {
+		keys[i] = connector.Key{ID: connector.NewID(), Type: Type, Size: int64(len(data))}
+		pairs[keys[i].ID] = data
+	}
+	if err := c.client.MSet(ctx, pairs); err != nil {
+		return nil, fmt.Errorf("redisc: batch put: %w", err)
+	}
+	return keys, nil
+}
+
+// GetBatch implements connector.BatchGetter: blob-stored objects are
+// fetched in a single MGET round trip; sharded objects fall back to the
+// streaming reassembly path.
+func (c *Connector) GetBatch(ctx context.Context, keys []connector.Key) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	ids := make([]string, 0, len(keys))
+	idx := make([]int, 0, len(keys))
+	for i, k := range keys {
+		if k.ChunkCount() > 0 {
+			data, err := c.Get(ctx, k)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = data
+			continue
+		}
+		ids = append(ids, k.ID)
+		idx = append(idx, i)
+	}
+	if len(ids) > 0 {
+		vals, err := c.client.MGet(ctx, ids...)
+		if err != nil {
+			return nil, fmt.Errorf("redisc: batch get: %w", err)
+		}
+		for j, v := range vals {
+			if v == nil {
+				return nil, fmt.Errorf("redisc: batch get %s: %w", ids[j], connector.ErrNotFound)
+			}
+			out[idx[j]] = v
+		}
+	}
+	return out, nil
 }
 
 // Exists implements connector.Connector.
 func (c *Connector) Exists(ctx context.Context, key connector.Key) (bool, error) {
-	n, err := c.client.Exists(ctx, key.ID)
+	anchor := key.ID
+	if key.ChunkCount() > 0 {
+		anchor = chunkKey(key.ID, 0)
+	}
+	n, err := c.client.Exists(ctx, anchor)
 	if err != nil {
 		return false, err
 	}
 	return n > 0, nil
 }
 
-// Evict implements connector.Connector.
+// Evict implements connector.Connector, removing every shard.
 func (c *Connector) Evict(ctx context.Context, key connector.Key) error {
-	_, err := c.client.Del(ctx, key.ID)
+	targets := chunkKeys(key)
+	if targets == nil {
+		targets = []string{key.ID}
+	}
+	_, err := c.client.Del(ctx, targets...)
 	return err
 }
 
@@ -118,7 +304,9 @@ func (c *Connector) Close() error { return c.client.Close() }
 
 func init() {
 	connector.Register(Type, func(cfg connector.Config) (connector.Connector, error) {
+		chunk, _ := strconv.Atoi(cfg.Param("chunk_size", "0"))
 		return New(cfg.Param("addr", "127.0.0.1:6379"),
-			WithSites(cfg.Param("client_site", ""), cfg.Param("server_site", ""))), nil
+			WithSites(cfg.Param("client_site", ""), cfg.Param("server_site", "")),
+			WithChunkSize(chunk)), nil
 	})
 }

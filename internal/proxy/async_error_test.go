@@ -1,0 +1,152 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A failed async resolve must be observed by every Value call that was
+// waiting on it — not silently discarded with a fresh factory invocation.
+func TestResolveAsyncErrorObservedByWaiters(t *testing.T) {
+	errBoom := errors.New("boom")
+	var started sync.Once
+	startedCh := make(chan struct{})
+	block := make(chan struct{})
+	var calls atomic.Int32
+	p := New[int](Func[int](func(context.Context) (int, error) {
+		calls.Add(1)
+		started.Do(func() { close(startedCh) })
+		<-block
+		return 0, errBoom
+	}))
+	p.ResolveAsync(context.Background())
+	<-startedCh
+
+	// While the factory is blocked the pending marker is set, so every
+	// Value call entered below must wait on the async result rather than
+	// invoke the factory itself.
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = p.Value(context.Background())
+		}(i)
+	}
+	// Give the waiters time to reach the pending wait, then release the
+	// factory. A pathologically late waiter retries the (still-failing)
+	// factory, which is the documented semantics; errBoom either way.
+	time.Sleep(20 * time.Millisecond)
+	close(block)
+	wg.Wait()
+
+	for i, err := range errs {
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("waiter %d observed %v, want %v", i, err, errBoom)
+		}
+	}
+	if p.Resolved() {
+		t.Fatal("proxy marked resolved after failed async resolve")
+	}
+}
+
+// After a failed async resolve has completed, the proxy is unresolved again
+// and a fresh Value call retries the factory (the documented semantics).
+func TestResolveAsyncFailureThenRetry(t *testing.T) {
+	var calls atomic.Int32
+	p := New[int](Func[int](func(context.Context) (int, error) {
+		if calls.Add(1) == 1 {
+			return 0, errors.New("transient")
+		}
+		return 5, nil
+	}))
+	p.ResolveAsync(context.Background())
+	// Wait for the async attempt by observing its error through Value.
+	if _, err := p.Value(context.Background()); err == nil {
+		// The async goroutine may have finished before Value saw the
+		// pending marker, in which case Value retried and succeeded; both
+		// interleavings are legal. Force the retry case below regardless.
+		if calls.Load() < 2 {
+			t.Fatal("Value succeeded without any retry after failed async resolve")
+		}
+	}
+	v, err := p.Value(context.Background())
+	if err != nil {
+		t.Fatalf("retry Value: %v", err)
+	}
+	if v != 5 {
+		t.Fatalf("retry Value = %d, want 5", v)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("factory called %d times, want 2 (one failure, one retry)", got)
+	}
+}
+
+func TestValueErrorMentionsResolving(t *testing.T) {
+	p := New[int](Func[int](func(context.Context) (int, error) {
+		return 0, errors.New("backend down")
+	}))
+	var started sync.Once
+	startedCh := make(chan struct{})
+	p2 := New[int](Func[int](func(context.Context) (int, error) {
+		started.Do(func() { close(startedCh) })
+		return 0, errors.New("backend down")
+	}))
+	p2.ResolveAsync(context.Background())
+	<-startedCh
+	for _, pp := range []*Proxy[int]{p, p2} {
+		_, err := pp.Value(context.Background())
+		if err == nil || !strings.Contains(err.Error(), "resolving target") {
+			t.Fatalf("err = %v, want wrapped resolving-target error", err)
+		}
+	}
+}
+
+func TestPrime(t *testing.T) {
+	var calls atomic.Int32
+	p := New[int](Func[int](func(context.Context) (int, error) {
+		calls.Add(1)
+		return 1, nil
+	}))
+	p.Prime(42)
+	if !p.Resolved() {
+		t.Fatal("Prime did not resolve the proxy")
+	}
+	if v := p.MustValue(); v != 42 {
+		t.Fatalf("MustValue = %d, want 42", v)
+	}
+	p.Prime(7) // no-op on resolved proxy
+	if v := p.MustValue(); v != 42 {
+		t.Fatalf("MustValue after second Prime = %d, want 42", v)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("factory invoked despite Prime")
+	}
+}
+
+func TestValueRespectsContextWhilePending(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p := New[int](Func[int](func(context.Context) (int, error) {
+		close(started)
+		<-block
+		return 1, nil
+	}))
+	p.ResolveAsync(context.Background())
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Value(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Value with canceled ctx = %v, want context.Canceled", err)
+	}
+	close(block)
+	if v := p.MustValue(); v != 1 {
+		t.Fatalf("MustValue = %d, want 1", v)
+	}
+}

@@ -48,10 +48,14 @@ type Proxy[T any] struct {
 	factory  Factory[T]
 	resolved bool
 	value    T
-	pending  chan asyncResult[T]
+	pending  *pendingResolve[T]
 }
 
-type asyncResult[T any] struct {
+// pendingResolve carries an in-flight async resolution. value and err are
+// written by the resolving goroutine strictly before done is closed and are
+// immutable afterwards, so waiters read them without locking.
+type pendingResolve[T any] struct {
+	done  chan struct{}
 	value T
 	err   error
 }
@@ -73,6 +77,11 @@ func FromValue[T any](v T) *Proxy[T] {
 
 // Value resolves the proxy if needed and returns the target. Subsequent
 // calls return the cached target without touching the factory.
+//
+// A Value call that overlaps an in-flight ResolveAsync waits for it and
+// observes its outcome, including a resolution error. A failed async
+// resolve leaves the proxy unresolved, so a later (non-overlapping) Value
+// call retries the factory.
 func (p *Proxy[T]) Value(ctx context.Context) (T, error) {
 	p.mu.Lock()
 	if p.resolved {
@@ -84,7 +93,16 @@ func (p *Proxy[T]) Value(ctx context.Context) (T, error) {
 	p.mu.Unlock()
 
 	if pending != nil {
-		<-pending // closed once the async goroutine has recorded its result
+		select {
+		case <-pending.done:
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+		if pending.err != nil {
+			var zero T
+			return zero, fmt.Errorf("proxy: resolving target: %w", pending.err)
+		}
 		return p.Value(ctx)
 	}
 
@@ -118,32 +136,50 @@ func (p *Proxy[T]) MustValue() T {
 // later Value call finds it ready — the paper's resolve_async, used to
 // overlap communication with computation. Calling ResolveAsync on a
 // resolved or already-resolving proxy is a no-op.
+//
+// A failed async resolve is not discarded: every Value call waiting on the
+// in-flight resolution observes the error. The proxy then returns to the
+// unresolved state, so the next fresh Value call retries the factory.
 func (p *Proxy[T]) ResolveAsync(ctx context.Context) {
 	p.mu.Lock()
 	if p.resolved || p.pending != nil {
 		p.mu.Unlock()
 		return
 	}
-	ch := make(chan asyncResult[T], 1)
-	p.pending = ch
+	pending := &pendingResolve[T]{done: make(chan struct{})}
+	p.pending = pending
 	f := p.factory
 	p.mu.Unlock()
 
 	go func() {
-		v, err := f.Resolve(ctx)
-		p.finishAsync(asyncResult[T]{value: v, err: err})
-		close(ch)
+		pending.value, pending.err = f.Resolve(ctx)
+		p.finishAsync(pending)
+		close(pending.done)
 	}()
 }
 
-func (p *Proxy[T]) finishAsync(res asyncResult[T]) {
+func (p *Proxy[T]) finishAsync(pending *pendingResolve[T]) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.pending = nil
-	if res.err == nil && !p.resolved {
-		p.value = res.value
+	if pending.err == nil && !p.resolved {
+		p.value = pending.value
 		p.resolved = true
 	}
+}
+
+// Prime hands the proxy an externally materialized target, as if the
+// factory had resolved to v. It is a no-op on an already-resolved proxy.
+// Store.ResolveBatch uses it to fan a single batched get out to many
+// proxies.
+func (p *Proxy[T]) Prime(v T) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.resolved {
+		return
+	}
+	p.value = v
+	p.resolved = true
 }
 
 // Resolved reports whether the target is materialized locally.
@@ -300,4 +336,15 @@ func RegisterGob[T any]() { gob.Register(&Proxy[T]{}) }
 // instances from its serializable untyped factories.
 func NewFromAny[T any](af AnyFactory) *Proxy[T] {
 	return New[T](typedAdapter[T]{af: af})
+}
+
+// Underlying returns the untyped factory backing p when it was built with
+// NewFromAny (or deserialized), letting callers such as Store.ResolveBatch
+// inspect factory state without resolving. It reports false for proxies
+// over plain typed factories.
+func Underlying[T any](p *Proxy[T]) (AnyFactory, bool) {
+	if ta, ok := p.factoryRef().(typedAdapter[T]); ok {
+		return ta.af, true
+	}
+	return nil, false
 }

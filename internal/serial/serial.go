@@ -13,6 +13,7 @@ import (
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 )
@@ -26,6 +27,20 @@ type Serializer interface {
 	Encode(v any) ([]byte, error)
 	// Decode deserializes data into a freshly decoded value.
 	Decode(data []byte) (any, error)
+}
+
+// StreamEncoder is implemented by serializers that can encode directly into
+// a writer without materializing the encoded form. Store uses it to pipe
+// serialization straight into a streaming connector, keeping peak memory
+// O(chunk) for large objects.
+type StreamEncoder interface {
+	EncodeTo(w io.Writer, v any) error
+}
+
+// StreamDecoder is the read-side pair of StreamEncoder: decode directly
+// from a reader without materializing the encoded form first.
+type StreamDecoder interface {
+	DecodeFrom(r io.Reader) (any, error)
 }
 
 var (
@@ -91,6 +106,23 @@ func (gobSerializer) Decode(data []byte) (any, error) {
 	return v, nil
 }
 
+// EncodeTo implements StreamEncoder.
+func (gobSerializer) EncodeTo(w io.Writer, v any) error {
+	if err := gob.NewEncoder(w).Encode(&v); err != nil {
+		return fmt.Errorf("serial: gob encode: %w", err)
+	}
+	return nil
+}
+
+// DecodeFrom implements StreamDecoder.
+func (gobSerializer) DecodeFrom(r io.Reader) (any, error) {
+	var v any
+	if err := gob.NewDecoder(r).Decode(&v); err != nil {
+		return nil, fmt.Errorf("serial: gob decode: %w", err)
+	}
+	return v, nil
+}
+
 // rawSerializer passes []byte through untouched and converts strings. It is
 // the fast path for applications that move opaque buffers (the common case
 // in the paper's benchmarks).
@@ -128,6 +160,23 @@ func (jsonSerializer) Encode(v any) ([]byte, error) { return json.Marshal(v) }
 func (jsonSerializer) Decode(data []byte) (any, error) {
 	var v any
 	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("serial: json decode: %w", err)
+	}
+	return v, nil
+}
+
+// EncodeTo implements StreamEncoder.
+func (jsonSerializer) EncodeTo(w io.Writer, v any) error {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return fmt.Errorf("serial: json encode: %w", err)
+	}
+	return nil
+}
+
+// DecodeFrom implements StreamDecoder.
+func (jsonSerializer) DecodeFrom(r io.Reader) (any, error) {
+	var v any
+	if err := json.NewDecoder(r).Decode(&v); err != nil {
 		return nil, fmt.Errorf("serial: json decode: %w", err)
 	}
 	return v, nil

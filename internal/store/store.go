@@ -14,7 +14,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -32,11 +34,30 @@ func WithSerializer(s serial.Serializer) Option {
 	return func(st *Store) { st.ser = s }
 }
 
-// WithCacheSize sets the deserialized-object cache capacity in entries.
-// Zero disables caching. The default is 16, matching the reference
-// implementation's default.
+// DefaultCacheBytes is the default byte budget of the deserialized-object
+// cache.
+const DefaultCacheBytes = 64 << 20
+
+// cacheEntryOverhead approximates the fixed per-entry bookkeeping cost
+// (map bucket, list element, entry struct, key string) charged on top of
+// the payload bytes, so tiny-object floods cannot exceed the byte budget
+// severalfold in real memory.
+const cacheEntryOverhead = 256
+
+// WithCacheBytes sets the deserialized-object cache budget in bytes; cached
+// objects are charged their encoded size. Zero disables caching. The byte
+// budget replaces the old entry-count capacity so one huge object cannot
+// pin many huge objects' worth of memory.
+func WithCacheBytes(n int64) Option {
+	return func(st *Store) { st.cacheBytes = n }
+}
+
+// WithCacheSize sets the cache capacity as an approximate object count,
+// assuming the historical ~4 MiB-per-object budget. Zero disables caching.
+//
+// Deprecated: the cache is byte-cost now; use WithCacheBytes.
 func WithCacheSize(n int) Option {
-	return func(st *Store) { st.cacheSize = n }
+	return func(st *Store) { st.cacheBytes = int64(n) * (4 << 20) }
 }
 
 // Metrics counts store operations; all fields are cumulative.
@@ -62,12 +83,12 @@ type metrics struct {
 //
 // A Store is safe for concurrent use.
 type Store struct {
-	name      string
-	conn      connector.Connector
-	ser       serial.Serializer
-	cacheSize int
-	cache     *cache.LRU
-	m         metrics
+	name       string
+	conn       connector.Connector
+	ser        serial.Serializer
+	cacheBytes int64
+	cache      *cache.LRU
+	m          metrics
 }
 
 var (
@@ -85,11 +106,11 @@ func New(name string, conn connector.Connector, opts ...Option) (*Store, error) 
 	if conn == nil {
 		return nil, fmt.Errorf("store: nil connector")
 	}
-	s := &Store{name: name, conn: conn, ser: serial.Default(), cacheSize: 16}
+	s := &Store{name: name, conn: conn, ser: serial.Default(), cacheBytes: DefaultCacheBytes}
 	for _, o := range opts {
 		o(s)
 	}
-	s.cache = cache.New(s.cacheSize)
+	s.cache = cache.NewCost(s.cacheBytes)
 
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -135,8 +156,8 @@ func GetOrInit(name string, cfg connector.Config, serializerID string) (*Store, 
 		go conn.Close()
 		return s, nil
 	}
-	s := &Store{name: name, conn: conn, ser: ser, cacheSize: 16}
-	s.cache = cache.New(s.cacheSize)
+	s := &Store{name: name, conn: conn, ser: ser, cacheBytes: DefaultCacheBytes}
+	s.cache = cache.NewCost(s.cacheBytes)
 	registry[name] = s
 	return s, nil
 }
@@ -190,8 +211,28 @@ func (s *Store) Metrics() Metrics {
 	}
 }
 
-// PutObject serializes v and stores it through the connector.
+// PutObject serializes v and stores it through the connector. When both the
+// serializer and the connector can stream, serialization is piped straight
+// into the connector's streaming path so the encoded form is never
+// materialized; otherwise the classic blob path is used.
 func (s *Store) PutObject(ctx context.Context, v any) (connector.Key, error) {
+	enc, encOK := s.ser.(serial.StreamEncoder)
+	if _, connOK := s.conn.(connector.StreamPutter); connOK && encOK {
+		pr, pw := io.Pipe()
+		go func() {
+			pw.CloseWithError(enc.EncodeTo(pw, v))
+		}()
+		key, err := connector.PutFrom(ctx, s.conn, pr)
+		pr.Close() // unblock the encoder if the connector bailed early
+		if err != nil {
+			return connector.Key{}, fmt.Errorf("store %q: stream put: %w", s.name, err)
+		}
+		s.m.serialized.Add(1)
+		s.m.puts.Add(1)
+		s.m.bytesPut.Add(uint64(key.Size))
+		return key, nil
+	}
+
 	data, err := s.ser.Encode(v)
 	if err != nil {
 		return connector.Key{}, fmt.Errorf("store %q: serializing: %w", s.name, err)
@@ -207,11 +248,18 @@ func (s *Store) PutObject(ctx context.Context, v any) (connector.Key, error) {
 }
 
 // GetObject retrieves and deserializes the object for key, consulting the
-// deserialized-object cache first.
+// deserialized-object cache first. When both the serializer and the
+// connector can stream, the object is decoded straight off the connector's
+// streaming path through a pipe; otherwise the blob path is used.
 func (s *Store) GetObject(ctx context.Context, key connector.Key) (any, error) {
 	if v, ok := s.cache.Get(key.ID); ok {
 		s.m.cacheHits.Add(1)
 		return v, nil
+	}
+	dec, decOK := s.ser.(serial.StreamDecoder)
+	sg, connOK := s.conn.(connector.StreamGetter)
+	if connOK && decOK {
+		return s.getStreamed(ctx, key, sg, dec)
 	}
 	data, err := s.conn.Get(ctx, key)
 	if err != nil {
@@ -223,8 +271,81 @@ func (s *Store) GetObject(ctx context.Context, key connector.Key) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store %q: deserializing %s: %w", s.name, key, err)
 	}
-	s.cache.Set(key.ID, v)
+	s.cache.SetCost(key.ID, v, int64(len(data))+cacheEntryOverhead)
 	return v, nil
+}
+
+// getStreamed decodes the object off the connector's streaming path. The
+// transfer error takes priority over the decode error (a mid-stream failure
+// surfaces to the decoder as a truncated input), except for the pipe-closed
+// error we cause ourselves when the decoder stops early.
+func (s *Store) getStreamed(ctx context.Context, key connector.Key, sg connector.StreamGetter, dec serial.StreamDecoder) (any, error) {
+	pr, pw := io.Pipe()
+	getErr := make(chan error, 1)
+	go func() {
+		err := sg.GetTo(ctx, key, pw)
+		pw.CloseWithError(err)
+		getErr <- err
+	}()
+	cr := &countingReader{r: pr}
+	v, decErr := dec.DecodeFrom(cr)
+	if decErr == nil {
+		// The decoder may not have consumed trailing buffered bytes; drain
+		// so the transfer goroutine can finish cleanly.
+		io.Copy(io.Discard, cr)
+	}
+	pr.Close()
+	gerr := <-getErr
+	if gerr != nil && !errors.Is(gerr, io.ErrClosedPipe) {
+		return nil, fmt.Errorf("store %q: get %s: %w", s.name, key, gerr)
+	}
+	if decErr != nil {
+		return nil, fmt.Errorf("store %q: deserializing %s: %w", s.name, key, decErr)
+	}
+	s.m.gets.Add(1)
+	s.m.bytesGot.Add(uint64(cr.n))
+	s.cache.SetCost(key.ID, v, cr.n+cacheEntryOverhead)
+	return v, nil
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// PutReader streams raw bytes from r into the connector, bypassing the
+// serializer. It is the byte-stream half of the data plane: peak memory is
+// O(chunk) when the connector streams natively.
+func (s *Store) PutReader(ctx context.Context, r io.Reader) (connector.Key, error) {
+	key, err := connector.PutFrom(ctx, s.conn, r)
+	if err != nil {
+		return connector.Key{}, fmt.Errorf("store %q: stream put: %w", s.name, err)
+	}
+	s.m.puts.Add(1)
+	s.m.bytesPut.Add(uint64(key.Size))
+	return key, nil
+}
+
+// GetReader streams the raw stored bytes of key, bypassing the serializer
+// and the deserialized-object cache. The caller must Close the reader; a
+// transfer failure (including ErrNotFound) surfaces as a read error.
+func (s *Store) GetReader(ctx context.Context, key connector.Key) (io.ReadCloser, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		err := connector.GetTo(ctx, s.conn, key, pw)
+		if err == nil {
+			s.m.gets.Add(1)
+			s.m.bytesGot.Add(uint64(key.Size))
+		}
+		pw.CloseWithError(err)
+	}()
+	return pr, nil
 }
 
 // Exists reports whether key's object is currently stored.
@@ -314,10 +435,10 @@ func ProxyFromKey[T any](s *Store, key connector.Key, opts ...ProxyOption) *prox
 	return proxy.NewFromAny[T](f)
 }
 
-// NewProxyBatch stores values and returns one proxy per value, using a
-// single batched backend operation when the connector supports it (e.g.
-// one Globus transfer task for many objects — the paper's proxy_batch).
-func NewProxyBatch[T any](ctx context.Context, s *Store, values []T, opts ...ProxyOption) ([]*proxy.Proxy[T], error) {
+// PutBatch serializes values and stores them with a single batched backend
+// operation when the connector supports it (e.g. one Globus transfer task
+// or one redis MSET for many objects).
+func (s *Store) PutBatch(ctx context.Context, values []any) ([]connector.Key, error) {
 	blobs := make([][]byte, len(values))
 	for i, v := range values {
 		data, err := s.ser.Encode(v)
@@ -328,33 +449,147 @@ func NewProxyBatch[T any](ctx context.Context, s *Store, values []T, opts ...Pro
 	}
 	s.m.serialized.Add(uint64(len(values)))
 
-	var keys []connector.Key
-	if bp, ok := s.conn.(connector.BatchPutter); ok {
-		ks, err := bp.PutBatch(ctx, blobs)
-		if err != nil {
-			return nil, fmt.Errorf("store %q: batch put: %w", s.name, err)
-		}
-		keys = ks
-	} else {
-		keys = make([]connector.Key, len(blobs))
-		for i, b := range blobs {
-			k, err := s.conn.Put(ctx, b)
-			if err != nil {
-				return nil, fmt.Errorf("store %q: batch put item %d: %w", s.name, i, err)
-			}
-			keys[i] = k
-		}
+	keys, err := connector.Stream(s.conn).PutBatch(ctx, blobs)
+	if err != nil {
+		return nil, fmt.Errorf("store %q: batch put: %w", s.name, err)
 	}
 	for _, b := range blobs {
 		s.m.bytesPut.Add(uint64(len(b)))
 	}
 	s.m.puts.Add(uint64(len(blobs)))
+	return keys, nil
+}
 
+// GetBatch retrieves and deserializes many objects, serving what it can
+// from the deserialized-object cache and fetching the rest with a single
+// batched backend operation when the connector supports it (e.g. one redis
+// MGET). Results are positionally aligned with keys.
+func (s *Store) GetBatch(ctx context.Context, keys []connector.Key) ([]any, error) {
+	out := make([]any, len(keys))
+	var missing []connector.Key
+	var missingIdx []int
+	for i, k := range keys {
+		if v, ok := s.cache.Get(k.ID); ok {
+			s.m.cacheHits.Add(1)
+			out[i] = v
+			continue
+		}
+		missing = append(missing, k)
+		missingIdx = append(missingIdx, i)
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+	blobs, err := connector.Stream(s.conn).GetBatch(ctx, missing)
+	if err != nil {
+		return nil, fmt.Errorf("store %q: batch get: %w", s.name, err)
+	}
+	for j, data := range blobs {
+		v, err := s.ser.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("store %q: deserializing %s: %w", s.name, missing[j], err)
+		}
+		s.m.gets.Add(1)
+		s.m.bytesGot.Add(uint64(len(data)))
+		s.cache.SetCost(missing[j].ID, v, int64(len(data))+cacheEntryOverhead)
+		out[missingIdx[j]] = v
+	}
+	return out, nil
+}
+
+// NewProxyBatch stores values and returns one proxy per value, using a
+// single batched backend operation when the connector supports it (e.g.
+// one Globus transfer task for many objects — the paper's proxy_batch).
+// Pair with ResolveBatch on the consumer side to also fetch the targets in
+// one batched operation.
+func NewProxyBatch[T any](ctx context.Context, s *Store, values []T, opts ...ProxyOption) ([]*proxy.Proxy[T], error) {
+	anyValues := make([]any, len(values))
+	for i, v := range values {
+		anyValues[i] = v
+	}
+	keys, err := s.PutBatch(ctx, anyValues)
+	if err != nil {
+		return nil, err
+	}
 	proxies := make([]*proxy.Proxy[T], len(keys))
 	for i, k := range keys {
 		proxies[i] = ProxyFromKey[T](s, k, opts...)
 	}
 	return proxies, nil
+}
+
+// ResolveBatch materializes every unresolved proxy in one batched get per
+// backing store — the consumer-side half of the paper's proxy_batch,
+// surfaced over connector.BatchGetter. Store-backed proxies are grouped by
+// store and fetched with Store.GetBatch (one MGET-style round trip when the
+// connector supports it); proxies with evict-on-resolve semantics are
+// evicted after the batch lands; non-store proxies fall back to individual
+// resolution. Already-resolved proxies are untouched.
+func ResolveBatch[T any](ctx context.Context, proxies []*proxy.Proxy[T]) error {
+	type group struct {
+		store   *Store
+		keys    []connector.Key
+		proxies []*proxy.Proxy[T]
+		evict   []bool
+	}
+	groups := make(map[*Store]*group)
+	var order []*Store
+	var loners []*proxy.Proxy[T]
+	for _, p := range proxies {
+		if p == nil || p.Resolved() {
+			continue
+		}
+		af, ok := proxy.Underlying(p)
+		if !ok {
+			loners = append(loners, p)
+			continue
+		}
+		sf, ok := af.(*storeFactory)
+		if !ok {
+			loners = append(loners, p)
+			continue
+		}
+		st, err := GetOrInit(sf.state.StoreName, sf.state.Connector, sf.state.Serializer)
+		if err != nil {
+			return err
+		}
+		g := groups[st]
+		if g == nil {
+			g = &group{store: st}
+			groups[st] = g
+			order = append(order, st)
+		}
+		g.keys = append(g.keys, sf.state.Key)
+		g.proxies = append(g.proxies, p)
+		g.evict = append(g.evict, sf.state.Evict)
+	}
+	for _, st := range order {
+		g := groups[st]
+		values, err := g.store.GetBatch(ctx, g.keys)
+		if err != nil {
+			return err
+		}
+		for i, v := range values {
+			t, ok := v.(T)
+			if !ok {
+				var zero T
+				return fmt.Errorf("store %q: batch object %s has type %T, want %T",
+					g.store.name, g.keys[i], v, zero)
+			}
+			g.proxies[i].Prime(t)
+			if g.evict[i] {
+				if err := g.store.Evict(ctx, g.keys[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, p := range loners {
+		if _, err := p.Value(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // --- The store factory ---------------------------------------------------
@@ -403,12 +638,18 @@ func (f *storeFactory) Describe() (proxy.Descriptor, error) {
 	return proxy.Descriptor{Kind: FactoryKind, Data: buf.Bytes()}, nil
 }
 
+// RebuildFactory reconstructs a store proxy factory from its descriptor
+// data. It is the FactoryKind rebuilder installed at init, exported so
+// processes with custom descriptor wiring can route their own kinds through
+// the store machinery via proxy.RegisterKind.
+func RebuildFactory(data []byte) (proxy.AnyFactory, error) {
+	var st factoryState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("store: decoding factory state: %w", err)
+	}
+	return &storeFactory{state: st}, nil
+}
+
 func init() {
-	proxy.RegisterKind(FactoryKind, func(data []byte) (proxy.AnyFactory, error) {
-		var st factoryState
-		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
-			return nil, fmt.Errorf("store: decoding factory state: %w", err)
-		}
-		return &storeFactory{state: st}, nil
-	})
+	proxy.RegisterKind(FactoryKind, RebuildFactory)
 }
