@@ -1,0 +1,225 @@
+// Command ps-streambench compares moving a stream of objects from one
+// producer to N consumers three ways:
+//
+//	inline   — eager blob fan-out: every payload travels through the broker
+//	           itself, once per consumer (the classic message-queue baseline)
+//	eager    — proxy streaming, window 1: events cross the broker, every
+//	           consumer resolves each payload with its own blob get
+//	batched  — proxy streaming, prefetch window: pending events drain
+//	           together and payloads arrive in batched store gets
+//
+// It reports items/sec plus bytes over the broker vs bytes over the store,
+// making the ProxyStream trade visible: the metadata plane stays O(KB) per
+// item while the data plane carries the bulk — and batching the data plane
+// beats per-item gets.
+//
+// Usage:
+//
+//	ps-streambench [-items N] [-size BYTES] [-consumers N] [-window N]
+//	               [-broker mem|kv] [-wan]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/local"
+	"proxystore/internal/connectors/redisc"
+	"proxystore/internal/kvstore"
+	"proxystore/internal/netsim"
+	"proxystore/internal/pstream"
+	"proxystore/internal/serial"
+	"proxystore/internal/store"
+)
+
+func main() {
+	items := flag.Int("items", 256, "objects to stream")
+	size := flag.Int("size", 256<<10, "object size in bytes")
+	consumers := flag.Int("consumers", 2, "consumer count")
+	window := flag.Int("window", 16, "batched-mode prefetch window")
+	brokerKind := flag.String("broker", "kv", "broker: mem | kv")
+	wan := flag.Bool("wan", false, "model WAN delays on the redis data plane (kv broker only)")
+	flag.Parse()
+
+	var mkBroker func() pstream.Broker
+	var mkStore func(run string) *store.Store
+	switch *brokerKind {
+	case "mem":
+		mkBroker = func() pstream.Broker { return pstream.NewMem() }
+		mkStore = func(run string) *store.Store {
+			st, err := store.New("sb-"+run, local.New("sb-conn-"+run), store.WithCacheBytes(0))
+			if err != nil {
+				log.Fatal(err)
+			}
+			return st
+		}
+	case "kv":
+		srv, err := kvstore.NewServer("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		var opts []redisc.Option
+		if *wan {
+			redisc.SetNetwork(netsim.Testbed(5000))
+			opts = append(opts, redisc.WithSites(netsim.SiteEdge, netsim.SiteCloud))
+		}
+		mkBroker = func() pstream.Broker { return pstream.NewKV(srv.Addr()) }
+		mkStore = func(run string) *store.Store {
+			st, err := store.New("sb-"+run, redisc.New(srv.Addr(), opts...),
+				store.WithSerializer(serial.Raw()), store.WithCacheBytes(0))
+			if err != nil {
+				log.Fatal(err)
+			}
+			return st
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown broker %q\n", *brokerKind)
+		os.Exit(2)
+	}
+
+	fmt.Printf("streaming %d × %d KiB to %d consumers over %q broker\n\n",
+		*items, *size>>10, *consumers, *brokerKind)
+	fmt.Printf("%-8s %10s %10s %14s %14s\n", "mode", "items/s", "MB/s", "broker-bytes", "store-bytes")
+
+	run := func(mode string, f func(cb *pstream.CountingBroker, st *store.Store) error) {
+		st := mkStore(mode)
+		defer st.Close()
+		cb := pstream.NewCounting(mkBroker())
+		defer cb.Close()
+		start := time.Now()
+		if err := f(cb, st); err != nil {
+			log.Fatalf("%s: %v", mode, err)
+		}
+		elapsed := time.Since(start)
+		m := st.Metrics()
+		rate := float64(*items) / elapsed.Seconds()
+		mbs := float64(*items**size) / 1e6 / elapsed.Seconds()
+		fmt.Printf("%-8s %10.0f %10.1f %14d %14d\n",
+			mode, rate, mbs, cb.BytesPublished()+cb.BytesDelivered(), m.BytesPut+m.BytesGot)
+	}
+
+	payload := make([]byte, *size)
+	for i := range payload {
+		payload[i] = byte(i * 17)
+	}
+
+	run("inline", func(cb *pstream.CountingBroker, _ *store.Store) error {
+		return inlineFanOut(cb, payload, *items, *consumers)
+	})
+	run("eager", func(cb *pstream.CountingBroker, st *store.Store) error {
+		return proxyStream(cb, st, payload, *items, *consumers, 1)
+	})
+	run("batched", func(cb *pstream.CountingBroker, st *store.Store) error {
+		return proxyStream(cb, st, payload, *items, *consumers, *window)
+	})
+}
+
+// inlineFanOut pushes payloads through the broker itself: the baseline
+// where the metadata plane is the data plane.
+func inlineFanOut(b pstream.Broker, payload []byte, items, consumers int) error {
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, consumers+1)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sub, err := b.Subscribe(ctx, "inline", fmt.Sprintf("c%d", c))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sub.Close()
+			for i := 0; i < items; i++ {
+				ev, err := sub.Next(ctx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(ev.ProxyData) != len(payload) {
+					errs <- fmt.Errorf("consumer %d: truncated inline payload", c)
+					return
+				}
+				if _, err := sub.Ack(ctx, ev); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			ev := pstream.Event{Producer: "p", Seq: uint64(i + 1), ProxyData: payload}
+			if err := b.Publish(ctx, "inline", ev); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// proxyStream is the ProxyStream pattern: payloads through the store,
+// events through the broker, consumers resolving with the given window.
+func proxyStream(b pstream.Broker, st *store.Store, payload []byte, items, consumers, window int) error {
+	ctx := context.Background()
+	topic := "px-" + connector.NewID()[:8]
+	var wg sync.WaitGroup
+	errs := make(chan error, consumers+1)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cons, err := pstream.NewConsumer[[]byte](ctx, b, topic, fmt.Sprintf("c%d", c),
+				pstream.WithWindow(window))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cons.Close()
+			for {
+				v, err := cons.NextValue(ctx)
+				if errors.Is(err, pstream.ErrEnd) {
+					return
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(v) != len(payload) {
+					errs <- fmt.Errorf("consumer %d: truncated payload", c)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prod := pstream.NewProducer[[]byte](st, b, topic, pstream.WithEvictOnAck(consumers))
+		for i := 0; i < items; i++ {
+			if err := prod.Send(ctx, payload, nil); err != nil {
+				errs <- err
+				return
+			}
+		}
+		if err := prod.Close(ctx); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	return <-errs
+}

@@ -1,35 +1,84 @@
-// Federated learning: the paper's §5.5 workload — an aggregator trains a
-// model across edge devices through a FaaS fabric, moving weights by proxy
-// so model size is not bounded by the cloud's payload limit.
+// Federated learning over pstream: the paper's §5.5 workload restructured
+// as the follow-up ProxyStream pattern — a continuous producer/consumer
+// dataflow instead of per-round RPC.
+//
+// The aggregator publishes each round's global weights to the "global"
+// topic; edge devices consume them as lazy proxies, train locally, and
+// publish updates to the "updates" topic; the aggregator consumes the
+// updates with batched prefetch and averages. Only O(100 B) event records
+// cross the broker — weights ride the store's data plane — and evict-on-ack
+// garbage-collects every consumed weight blob, so a long-running training
+// loop holds O(1) rounds of weights, not O(rounds).
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"strconv"
+	"sync"
 
 	"proxystore/internal/connectors/local"
-	"proxystore/internal/faas"
 	"proxystore/internal/flox"
 	"proxystore/internal/ml"
-	"proxystore/internal/netsim"
+	"proxystore/internal/pstream"
 	"proxystore/internal/serial"
 	"proxystore/internal/store"
 )
 
+const (
+	devices  = 4
+	rounds   = 5
+	dataSize = 64
+	lr       = 0.02
+)
+
+// device consumes global weights, trains, and streams updates back.
+func device(ctx context.Context, id int, arch flox.Arch, st *store.Store, broker pstream.Broker) error {
+	cons, err := pstream.NewConsumer[[]byte](ctx, broker, "global",
+		fmt.Sprintf("edge-%d", id), pstream.WithEndCount(1))
+	if err != nil {
+		return err
+	}
+	defer cons.Close()
+	prod := pstream.NewProducer[[]byte](st, broker, "updates",
+		pstream.WithEvictOnAck(1)) // only the aggregator reads updates
+
+	data := ml.SyntheticFashion(dataSize, int64(100+id))
+	for {
+		it, err := cons.Next(ctx)
+		if errors.Is(err, pstream.ErrEnd) {
+			return prod.Close(ctx)
+		}
+		if err != nil {
+			return err
+		}
+		weights, err := it.Value(ctx) // proxy resolves here, not in transit
+		if err != nil {
+			return err
+		}
+		model := arch.NewModel(1)
+		if err := model.LoadWeights(weights); err != nil {
+			return err
+		}
+		if err := it.Ack(ctx); err != nil { // all devices acked ⇒ round blob evicted
+			return err
+		}
+		for _, s := range data {
+			model.TrainStep(s.X, s.Label, lr)
+		}
+		if err := prod.Send(ctx, model.SerializeWeights(), map[string]string{
+			"round":  it.Event.Attr("round"),
+			"device": strconv.Itoa(id),
+		}); err != nil {
+			return err
+		}
+	}
+}
+
 func main() {
 	ctx := context.Background()
-	net := netsim.Testbed(1000)
-
-	cloud := faas.NewCloud(net, netsim.SiteCloud)
-	const devices = 4
-	execs := make([]*faas.Executor, devices)
-	for i := 0; i < devices; i++ {
-		name := fmt.Sprintf("edge-%d", i)
-		ep := faas.StartEndpoint(cloud, name, netsim.SiteEdge, 1)
-		defer ep.Close()
-		execs[i] = faas.NewExecutor(cloud, name, netsim.SiteCloud)
-	}
 
 	st, err := store.New("fl-store", local.New("fl-conn"),
 		store.WithSerializer(serial.Raw()))
@@ -37,30 +86,88 @@ func main() {
 		log.Fatal(err)
 	}
 	defer st.Close()
+	broker := pstream.NewCounting(pstream.NewMem())
 
 	arch := flox.Arch{InputDim: 28 * 28, HiddenDim: 32, Blocks: 2, Classes: 10}
-	agg := flox.NewAggregator(flox.Options{
-		Arch:        arch,
-		Devices:     execs,
-		Store:       st, // weights travel by proxy
-		DataSize:    64,
-		LocalEpochs: 1,
-		LR:          0.02,
-	})
-
-	test := ml.SyntheticFashion(200, 999)
 	model := arch.NewModel(1)
+	test := ml.SyntheticFashion(200, 999)
 	fmt.Printf("model: %d parameters (%d KB of weights)\n",
 		model.NumParams(), model.NumParams()*4/1024)
-	fmt.Printf("round 0 accuracy: %.1f%%\n", 100*agg.Model().Evaluate(test))
+	fmt.Printf("round 0 accuracy: %.1f%%\n", 100*model.Evaluate(test))
 
-	for round := 1; round <= 5; round++ {
-		if _, err := agg.Round(ctx); err != nil {
+	// A failing device cancels the whole run; otherwise the aggregator
+	// would wait forever for an update that is never coming.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	devErrs := make(chan error, devices)
+	for i := 0; i < devices; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := device(ctx, i, arch, st, broker); err != nil {
+				devErrs <- fmt.Errorf("device %d: %w", i, err)
+				cancel()
+			}
+		}(i)
+	}
+
+	// The aggregator's side of the dataflow: global weights out, updates in.
+	globalProd := pstream.NewProducer[[]byte](st, broker, "global",
+		pstream.WithEvictOnAck(devices))
+	updates, err := pstream.NewConsumer[[]byte](ctx, broker, "updates", "aggregator",
+		pstream.WithEndCount(devices), pstream.WithWindow(devices))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer updates.Close()
+
+	// die prefers a device's root-cause error over the aggregator-side
+	// cancellation it provokes.
+	die := func(err error) {
+		select {
+		case derr := <-devErrs:
+			log.Fatal(derr)
+		default:
 			log.Fatal(err)
 		}
-		fmt.Printf("round %d accuracy: %.1f%%\n", round, 100*agg.Model().Evaluate(test))
 	}
+
+	for round := 1; round <= rounds; round++ {
+		if err := globalProd.Send(ctx, model.SerializeWeights(), map[string]string{
+			"round": strconv.Itoa(round),
+		}); err != nil {
+			die(err)
+		}
+		blobs := make([][]byte, 0, devices)
+		for len(blobs) < devices {
+			w, err := updates.NextValue(ctx) // batched prefetch under the hood
+			if err != nil {
+				die(err)
+			}
+			blobs = append(blobs, w)
+		}
+		avg, err := ml.AverageWeights(blobs)
+		if err != nil {
+			die(err)
+		}
+		if err := model.LoadWeights(avg); err != nil {
+			die(err)
+		}
+		fmt.Printf("round %d accuracy: %.1f%%\n", round, 100*model.Evaluate(test))
+	}
+	if err := globalProd.Close(ctx); err != nil { // devices see ErrEnd and stop
+		log.Fatal(err)
+	}
+	wg.Wait()
+	close(devErrs)
+	for err := range devErrs {
+		log.Fatal(err)
+	}
+
 	m := st.Metrics()
-	fmt.Printf("weights moved by proxy: %d proxies, %d MB through the store\n",
-		m.Proxies, m.BytesPut>>20)
+	fmt.Printf("data plane:     %d MB of weights through the store (%d puts, %d evicted on ack)\n",
+		(m.BytesPut+m.BytesGot)>>20, m.Puts, m.Evicts)
+	fmt.Printf("metadata plane: %d KB of events through the broker\n",
+		(broker.BytesPublished()+broker.BytesDelivered())>>10)
 }

@@ -26,8 +26,10 @@ type LRU struct {
 	entries  map[string]*list.Element
 	order    *list.List // front = most recently used
 
-	hits   uint64
-	misses uint64
+	hits      uint64
+	misses    uint64
+	hitBytes  uint64
+	evictions uint64
 }
 
 type entry struct {
@@ -65,8 +67,10 @@ func (c *LRU) Get(key string) (any, bool) {
 		return nil, false
 	}
 	c.hits++
+	e := el.Value.(*entry)
+	c.hitBytes += uint64(e.cost)
 	c.order.MoveToFront(el)
-	return el.Value.(*entry).value, true
+	return e.value, true
 }
 
 // Set stores value under key with unit cost, evicting least recently used
@@ -119,6 +123,7 @@ func (c *LRU) evictOverBudget() {
 		c.order.Remove(oldest)
 		delete(c.entries, e.key)
 		c.total -= e.cost
+		c.evictions++
 	}
 }
 
@@ -165,6 +170,22 @@ func (c *LRU) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// HitBytes returns the cumulative charged cost of cache hits — with byte
+// costs, the bytes served from cache instead of the backend.
+func (c *LRU) HitBytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hitBytes
+}
+
+// Evictions returns how many entries the budget has pushed out. Explicit
+// Deletes are not counted.
+func (c *LRU) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Clear removes all entries but preserves hit/miss statistics.

@@ -256,3 +256,35 @@ func TestPropertyMostRecentAlwaysPresent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHitBytesAndEvictions(t *testing.T) {
+	c := NewCost(100)
+	c.SetCost("a", 1, 60)
+	c.SetCost("b", 2, 30)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b missing")
+	}
+	if hb := c.HitBytes(); hb != 90 {
+		t.Fatalf("HitBytes = %d, want 90", hb)
+	}
+	if ev := c.Evictions(); ev != 0 {
+		t.Fatalf("Evictions = %d before overflow", ev)
+	}
+	c.SetCost("c", 3, 50) // budget overflows: a (LRU) must go
+	if ev := c.Evictions(); ev != 1 {
+		t.Fatalf("Evictions = %d, want 1", ev)
+	}
+	c.Delete("b")
+	if ev := c.Evictions(); ev != 1 {
+		t.Fatalf("explicit Delete counted as eviction: %d", ev)
+	}
+	if _, ok := c.Get("ghost"); ok {
+		t.Fatal("ghost present")
+	}
+	if hb := c.HitBytes(); hb != 90 {
+		t.Fatalf("HitBytes moved on miss: %d", hb)
+	}
+}

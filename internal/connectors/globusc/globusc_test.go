@@ -113,3 +113,46 @@ func TestLocalGetNeedsNoWait(t *testing.T) {
 		t.Fatalf("local Get took %v; it waited for the transfer", elapsed)
 	}
 }
+
+// The connector must stream natively, not through the buffering adapter.
+var (
+	_ connector.StreamPutter = (*Connector)(nil)
+	_ connector.StreamGetter = (*Connector)(nil)
+)
+
+func TestStreamedCrossSiteTransfer(t *testing.T) {
+	producer, consumer := setup(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	payload := bytes.Repeat([]byte("s"), 300_000)
+	key, err := producer.PutFrom(ctx, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("PutFrom: %v", err)
+	}
+	if key.Size != int64(len(payload)) {
+		t.Fatalf("key.Size = %d, want %d", key.Size, len(payload))
+	}
+	if key.Attr("globus_task") == "" {
+		t.Fatal("streamed key lacks transfer task id")
+	}
+	// GetTo on the remote side waits for the transfer, then streams the
+	// endpoint file.
+	var got bytes.Buffer
+	if err := consumer.GetTo(ctx, key, &got); err != nil {
+		t.Fatalf("GetTo: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatal("streamed object corrupted in cross-site round trip")
+	}
+	// Evicting everywhere then streaming again reports not-found.
+	if err := producer.Evict(ctx, key); err != nil {
+		t.Fatalf("producer Evict: %v", err)
+	}
+	if err := consumer.Evict(ctx, key); err != nil {
+		t.Fatalf("consumer Evict: %v", err)
+	}
+	if err := consumer.GetTo(ctx, key, &got); err != connector.ErrNotFound {
+		t.Fatalf("GetTo after evict = %v, want ErrNotFound", err)
+	}
+}

@@ -25,10 +25,13 @@ const Type = "redis"
 // (PutFrom) shard the object into chunk-size server keys "<id>:<i>" and
 // record the shard count in the key's connector.ChunkCountAttr manifest, so
 // neither side of the transfer ever holds more than one chunk in memory.
+// Sharded reads pipeline up to getWindow chunk fetches so round trips
+// overlap instead of paying server latency once per chunk.
 type Connector struct {
 	addr      string
 	client    *kvstore.Client
 	chunkSize int
+	getWindow int
 
 	// Net-model description, preserved in Config so reconstructed
 	// connectors keep the same timing behaviour within one process.
@@ -66,9 +69,26 @@ func WithChunkSize(n int) Option {
 	}
 }
 
+// DefaultGetWindow is the default bound on concurrent in-flight chunk
+// fetches during sharded reads. It matches the client's connection pool, so
+// the window fills the pool without queueing on it.
+const DefaultGetWindow = 4
+
+// WithGetWindow bounds concurrent chunk fetches during sharded reads;
+// n == 1 restores sequential per-chunk round trips. n <= 0 is ignored,
+// keeping the default (so configs that omit the parameter rebuild with
+// DefaultGetWindow).
+func WithGetWindow(n int) Option {
+	return func(c *Connector) {
+		if n > 0 {
+			c.getWindow = n
+		}
+	}
+}
+
 // New returns a connector talking to the RESP server at addr.
 func New(addr string, opts ...Option) *Connector {
-	c := &Connector{addr: addr, chunkSize: connector.DefaultChunkSize}
+	c := &Connector{addr: addr, chunkSize: connector.DefaultChunkSize, getWindow: DefaultGetWindow}
 	for _, o := range opts {
 		o(c)
 	}
@@ -93,6 +113,7 @@ func (c *Connector) Config() connector.Config {
 		"client_site": c.clientSite,
 		"server_site": c.serverSite,
 		"chunk_size":  strconv.Itoa(c.chunkSize),
+		"get_window":  strconv.Itoa(c.getWindow),
 	}}
 }
 
@@ -167,7 +188,8 @@ func (c *Connector) evictChunks(ctx context.Context, id string, n int) {
 	}
 }
 
-// Get implements connector.Connector, reassembling sharded objects.
+// Get implements connector.Connector, reassembling sharded objects with
+// pipelined chunk fetches.
 func (c *Connector) Get(ctx context.Context, key connector.Key) ([]byte, error) {
 	shards := chunkKeys(key)
 	if shards == nil {
@@ -181,21 +203,19 @@ func (c *Connector) Get(ctx context.Context, key connector.Key) ([]byte, error) 
 		return data, nil
 	}
 	out := make([]byte, 0, key.Size)
-	for _, sk := range shards {
-		data, ok, err := c.client.Get(ctx, sk)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, connector.ErrNotFound
-		}
+	err := c.forEachShard(ctx, shards, func(_ int, data []byte) error {
 		out = append(out, data...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// GetTo implements connector.StreamGetter: shards are fetched and written
-// one at a time, so at most one chunk is resident client-side.
+// GetTo implements connector.StreamGetter: chunk fetches are pipelined up
+// to the get window, but writes land in order, so client-resident memory
+// stays O(window × chunk).
 func (c *Connector) GetTo(ctx context.Context, key connector.Key, w io.Writer) error {
 	shards := chunkKeys(key)
 	if shards == nil {
@@ -209,16 +229,83 @@ func (c *Connector) GetTo(ctx context.Context, key connector.Key, w io.Writer) e
 		_, err = w.Write(data)
 		return err
 	}
-	for _, sk := range shards {
-		data, ok, err := c.client.Get(ctx, sk)
-		if err != nil {
-			return err
+	return c.forEachShard(ctx, shards, func(_ int, data []byte) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// forEachShard fetches every shard key, keeping up to getWindow fetches in
+// flight to overlap server round trips, and delivers results to fn in
+// shard order. A missing shard fails with ErrNotFound; the first error
+// cancels outstanding fetches.
+func (c *Connector) forEachShard(ctx context.Context, shards []string, fn func(i int, data []byte) error) error {
+	window := c.getWindow
+	if window < 1 {
+		window = 1
+	}
+	if window == 1 || len(shards) == 1 {
+		for i, sk := range shards {
+			data, ok, err := c.client.Get(ctx, sk)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return connector.ErrNotFound
+			}
+			if err := fn(i, data); err != nil {
+				return err
+			}
 		}
-		if !ok {
-			return connector.ErrNotFound
+		return nil
+	}
+
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		data []byte
+		err  error
+	}
+	// Each shard gets a 1-buffered channel so fetchers never block on
+	// delivery; the semaphore bounds in-flight fetches.
+	results := make([]chan result, len(shards))
+	for i := range results {
+		results[i] = make(chan result, 1)
+	}
+	// The semaphore is acquired at launch and released only after the
+	// shard's bytes are delivered to fn, so fetched-but-unconsumed chunks
+	// count against the window too: resident memory is O(window × chunk).
+	// Shards launch in order, so the next shard the consumer needs is
+	// always among the in-flight window — no deadlock.
+	sem := make(chan struct{}, window)
+	go func() {
+		for i, sk := range shards {
+			select {
+			case sem <- struct{}{}:
+			case <-fctx.Done():
+				return
+			}
+			go func(i int, sk string) {
+				data, ok, err := c.client.Get(fctx, sk)
+				if err == nil && !ok {
+					err = connector.ErrNotFound
+				}
+				results[i] <- result{data: data, err: err}
+			}(i, sk)
 		}
-		if _, err := w.Write(data); err != nil {
-			return err
+	}()
+	for i := range shards {
+		select {
+		case res := <-results[i]:
+			if res.err != nil {
+				return res.err
+			}
+			if err := fn(i, res.data); err != nil {
+				return err
+			}
+			<-sem
+		case <-ctx.Done():
+			return ctx.Err()
 		}
 	}
 	return nil
@@ -305,8 +392,9 @@ func (c *Connector) Close() error { return c.client.Close() }
 func init() {
 	connector.Register(Type, func(cfg connector.Config) (connector.Connector, error) {
 		chunk, _ := strconv.Atoi(cfg.Param("chunk_size", "0"))
+		window, _ := strconv.Atoi(cfg.Param("get_window", "0"))
 		return New(cfg.Param("addr", "127.0.0.1:6379"),
 			WithSites(cfg.Param("client_site", ""), cfg.Param("server_site", "")),
-			WithChunkSize(chunk)), nil
+			WithChunkSize(chunk), WithGetWindow(window)), nil
 	})
 }

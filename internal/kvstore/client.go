@@ -287,6 +287,16 @@ func (c *Client) MSet(ctx context.Context, pairs map[string][]byte) error {
 	return err
 }
 
+// Incr atomically increments the integer at key (missing keys start at 0)
+// and returns the new value.
+func (c *Client) Incr(ctx context.Context, key string) (int64, error) {
+	v, err := c.do(ctx, "INCR", []byte(key))
+	if err != nil {
+		return 0, err
+	}
+	return v.num, nil
+}
+
 // DBSize returns the number of keys on the server.
 func (c *Client) DBSize(ctx context.Context) (int64, error) {
 	v, err := c.do(ctx, "DBSIZE")

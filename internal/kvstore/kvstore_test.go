@@ -108,6 +108,52 @@ func TestMGetMSet(t *testing.T) {
 	}
 }
 
+func TestIncr(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	n, err := cli.Incr(ctx, "ctr")
+	if err != nil || n != 1 {
+		t.Fatalf("Incr new key = %d, %v; want 1", n, err)
+	}
+	n, err = cli.Incr(ctx, "ctr")
+	if err != nil || n != 2 {
+		t.Fatalf("second Incr = %d, %v; want 2", n, err)
+	}
+	if err := cli.Set(ctx, "str", []byte("not a number")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if _, err := cli.Incr(ctx, "str"); err == nil {
+		t.Fatal("Incr of non-integer value succeeded")
+	}
+}
+
+func TestIncrConcurrent(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	const goroutines, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := cli.Incr(ctx, "ctr"); err != nil {
+					t.Errorf("Incr: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, ok, err := cli.Get(ctx, "ctr")
+	if err != nil || !ok {
+		t.Fatalf("Get: %v ok=%v", err, ok)
+	}
+	if string(v) != fmt.Sprint(goroutines*per) {
+		t.Fatalf("counter = %s, want %d", v, goroutines*per)
+	}
+}
+
 func TestDBSizeAndFlush(t *testing.T) {
 	_, cli := newPair(t, nil, nil)
 	ctx := context.Background()

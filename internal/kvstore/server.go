@@ -9,6 +9,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -198,6 +199,15 @@ func (s *Server) execute(cmd command) value {
 			s.set(string(cmd.args[i]), cmd.args[i+1])
 		}
 		return simpleString("OK")
+	case "INCR":
+		if len(cmd.args) != 1 {
+			return errorValue("ERR wrong number of arguments for 'incr'")
+		}
+		n, err := s.incr(string(cmd.args[0]))
+		if err != nil {
+			return errorValue("ERR " + err.Error())
+		}
+		return integerValue(n)
 	case "DBSIZE":
 		s.mu.RLock()
 		n := int64(len(s.data))
@@ -227,6 +237,31 @@ func (s *Server) get(key string) ([]byte, bool) {
 	defer s.mu.RUnlock()
 	v, ok := s.data[key]
 	return v, ok
+}
+
+// incr atomically increments the integer stored at key (missing keys count
+// as 0) and returns the new value. The read-modify-write happens under the
+// store lock, so concurrent INCRs of one key never lose updates — the
+// property pstream's log broker relies on to reserve append slots. The AOF
+// record is appended while still holding the store lock: releasing first
+// would let two INCRs persist in reversed order, replaying to a lower
+// counter after restart (and a reused log slot).
+func (s *Server) incr(key string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := int64(0)
+	if v, ok := s.data[key]; ok {
+		n, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("value is not an integer or out of range")
+		}
+		cur = n
+	}
+	cur++
+	buf := []byte(strconv.FormatInt(cur, 10))
+	s.data[key] = buf
+	s.appendAOF(aofSet, key, buf)
+	return cur, nil
 }
 
 func (s *Server) del(key string) bool {

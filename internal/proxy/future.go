@@ -1,0 +1,37 @@
+// Future-style helpers over groups of proxies. A Proxy[T] already behaves
+// like a single-assignment future (ResolveAsync begins the computation,
+// Value awaits it); the helpers here lift that to collections, which is
+// what streaming consumers need: kick off a window of resolutions, then
+// drain values in order as they land.
+package proxy
+
+import "context"
+
+// Prefetch begins asynchronous resolution of every unresolved proxy. It
+// returns immediately; pair with Value or AwaitAll to collect results.
+// Nil entries are skipped.
+func Prefetch[T any](ctx context.Context, proxies ...*Proxy[T]) {
+	for _, p := range proxies {
+		if p != nil {
+			p.ResolveAsync(ctx)
+		}
+	}
+}
+
+// AwaitAll resolves every proxy (waiting for any in-flight async
+// resolutions) and returns the targets positionally. The first error stops
+// the wait; nil entries yield zero values.
+func AwaitAll[T any](ctx context.Context, proxies ...*Proxy[T]) ([]T, error) {
+	out := make([]T, len(proxies))
+	for i, p := range proxies {
+		if p == nil {
+			continue
+		}
+		v, err := p.Value(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPrefetchAwaitAll(t *testing.T) {
+	ctx := context.Background()
+	var calls atomic.Int32
+	mk := func(v int) *Proxy[int] {
+		return New[int](Func[int](func(context.Context) (int, error) {
+			calls.Add(1)
+			time.Sleep(time.Millisecond)
+			return v, nil
+		}))
+	}
+	ps := []*Proxy[int]{mk(1), nil, mk(3)}
+	Prefetch(ctx, ps...)
+	vals, err := AwaitAll(ctx, ps...)
+	if err != nil {
+		t.Fatalf("AwaitAll: %v", err)
+	}
+	if vals[0] != 1 || vals[1] != 0 || vals[2] != 3 {
+		t.Fatalf("AwaitAll = %v", vals)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("factory calls = %d, want 2", n)
+	}
+	// A second await serves from the cached targets.
+	if _, err := AwaitAll(ctx, ps...); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("factory re-called after resolve: %d calls", n)
+	}
+}
+
+func TestAwaitAllError(t *testing.T) {
+	boom := errors.New("boom")
+	ps := []*Proxy[int]{
+		FromValue(7),
+		New[int](Func[int](func(context.Context) (int, error) { return 0, boom })),
+	}
+	if _, err := AwaitAll(context.Background(), ps...); !errors.Is(err, boom) {
+		t.Fatalf("AwaitAll error = %v, want %v", err, boom)
+	}
+}

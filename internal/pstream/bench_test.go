@@ -1,0 +1,105 @@
+package pstream_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/redisc"
+	"proxystore/internal/kvstore"
+	"proxystore/internal/pstream"
+	"proxystore/internal/serial"
+	"proxystore/internal/store"
+)
+
+// benchRound produces items of size bytes into a fresh topic on a shared
+// kvstore server (metadata and data plane), then consumes them with the
+// given prefetch window, returning nothing but failing b on error. The
+// eager/batched comparison is the acceptance scenario: per-item blob gets
+// pay one round trip per payload, batched proxy consumption amortizes the
+// backlog into MGET round trips.
+func benchRound(b *testing.B, addr string, st *store.Store, br pstream.Broker, items, size, window int) {
+	ctx := context.Background()
+	// Production runs off the clock: the comparison under measurement is
+	// the consumer side — eager per-item blob gets vs batched proxy
+	// consumption over the same backlog.
+	b.StopTimer()
+	topic := "t-" + connector.NewID()[:12]
+	prod := pstream.NewProducer[[]byte](st, br, topic)
+	payload := bytes.Repeat([]byte{0x5A}, size)
+	for i := 0; i < items; i++ {
+		if err := prod.Send(ctx, payload, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := prod.Close(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.StartTimer()
+
+	cons, err := pstream.NewConsumer[[]byte](ctx, br, topic, "c",
+		pstream.WithWindow(window))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cons.Close()
+	for i := 0; i < items; i++ {
+		v, err := cons.NextValue(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(v) != size {
+			b.Fatalf("item %d has %d bytes", i, len(v))
+		}
+	}
+}
+
+func benchStream(b *testing.B, window int) {
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	name := "bench-" + connector.NewID()[:12]
+	st, err := store.New(name, redisc.New(srv.Addr()), store.WithSerializer(serial.Raw()),
+		store.WithCacheBytes(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Unregister(name)
+	br := pstream.NewKV(srv.Addr())
+	defer br.Close()
+
+	const items, size = 64, 4 << 10
+	b.SetBytes(items * size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRound(b, srv.Addr(), st, br, items, size, window)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(items*b.N)/b.Elapsed().Seconds(), "items/s")
+}
+
+// BenchmarkConsumeEagerPerItem resolves every payload with its own blob
+// get (window 1 — the baseline a non-batched consumer pays).
+func BenchmarkConsumeEagerPerItem(b *testing.B) { benchStream(b, 1) }
+
+// BenchmarkConsumeBatchedProxies drains the pending backlog and resolves
+// payloads in MGET batches (window 32).
+func BenchmarkConsumeBatchedProxies(b *testing.B) { benchStream(b, 32) }
+
+// BenchmarkMemBrokerPublish measures raw metadata-plane throughput.
+func BenchmarkMemBrokerPublish(b *testing.B) {
+	ctx := context.Background()
+	br := pstream.NewMem()
+	ev := pstream.Event{Producer: "p", Key: connector.Key{ID: "x", Type: "test"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Seq = uint64(i + 1)
+		if err := br.Publish(ctx, fmt.Sprintf("t%d", i%16), ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package brokertest provides a conformance battery run against every
+// pstream.Broker implementation, mirroring connectortest for connectors:
+// log semantics (late subscribers see history), per-producer ordering under
+// concurrent publishes, independent fan-out to concurrent consumers,
+// offset resume after reconnect, and cumulative ack counting — the
+// contract Producer/Consumer and the evict-on-ack policy are built on.
+package brokertest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/pstream"
+)
+
+// Options tune the conformance run.
+type Options struct {
+	// SkipConcurrency skips the concurrent multi-producer stress.
+	SkipConcurrency bool
+}
+
+// topicCounter isolates topics between subtests so reruns against shared
+// backends (a kv server) never collide.
+var topicMu sync.Mutex
+var topicN int
+
+func freshTopic(prefix string) string {
+	topicMu.Lock()
+	defer topicMu.Unlock()
+	topicN++
+	return fmt.Sprintf("%s-%s-%d", prefix, connector.NewID()[:8], topicN)
+}
+
+func ev(producer string, seq uint64) pstream.Event {
+	return pstream.Event{
+		Producer: producer,
+		Seq:      seq,
+		Key:      connector.Key{ID: fmt.Sprintf("%s-%d", producer, seq), Type: "test"},
+	}
+}
+
+// Run exercises the battery against the broker returned by newBroker.
+// newBroker is called once; the broker is closed afterwards.
+func Run(t *testing.T, newBroker func(t *testing.T) pstream.Broker, opts Options) {
+	t.Helper()
+	b := newBroker(t)
+	t.Cleanup(func() { b.Close() })
+	ctx := context.Background()
+
+	next := func(t *testing.T, sub pstream.Subscription) pstream.Event {
+		t.Helper()
+		nctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		e, err := sub.Next(nctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		return e
+	}
+
+	t.Run("PublishDeliverOrder", func(t *testing.T) {
+		topic := freshTopic("order")
+		for i := 1; i <= 3; i++ {
+			if err := b.Publish(ctx, topic, ev("p", uint64(i))); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+		}
+		sub, err := b.Subscribe(ctx, topic, "c1")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer sub.Close()
+		for i := 1; i <= 3; i++ {
+			e := next(t, sub)
+			if e.Seq != uint64(i) {
+				t.Fatalf("event %d has Seq %d", i, e.Seq)
+			}
+			if e.Offset != uint64(i-1) {
+				t.Fatalf("event %d has Offset %d", i, e.Offset)
+			}
+			if e.Topic != topic {
+				t.Fatalf("event Topic = %q, want %q", e.Topic, topic)
+			}
+		}
+	})
+
+	t.Run("LateSubscriberSeesHistory", func(t *testing.T) {
+		topic := freshTopic("history")
+		if err := b.Publish(ctx, topic, ev("p", 1)); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		sub, err := b.Subscribe(ctx, topic, "late")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer sub.Close()
+		if e := next(t, sub); e.Seq != 1 {
+			t.Fatalf("late subscriber got Seq %d", e.Seq)
+		}
+	})
+
+	t.Run("PollNonBlocking", func(t *testing.T) {
+		topic := freshTopic("poll")
+		sub, err := b.Subscribe(ctx, topic, "c1")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer sub.Close()
+		if _, ok, err := sub.Poll(ctx); err != nil || ok {
+			t.Fatalf("Poll on empty topic = ok=%v, err=%v", ok, err)
+		}
+		if err := b.Publish(ctx, topic, ev("p", 1)); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		e, ok, err := sub.Poll(ctx)
+		if err != nil || !ok {
+			t.Fatalf("Poll after publish = ok=%v, err=%v", ok, err)
+		}
+		if e.Seq != 1 {
+			t.Fatalf("Poll delivered Seq %d", e.Seq)
+		}
+	})
+
+	t.Run("NextBlocksUntilPublish", func(t *testing.T) {
+		topic := freshTopic("block")
+		sub, err := b.Subscribe(ctx, topic, "c1")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer sub.Close()
+		done := make(chan pstream.Event, 1)
+		errs := make(chan error, 1)
+		go func() {
+			nctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			defer cancel()
+			e, err := sub.Next(nctx)
+			if err != nil {
+				errs <- err
+				return
+			}
+			done <- e
+		}()
+		time.Sleep(20 * time.Millisecond) // let Next park
+		if err := b.Publish(ctx, topic, ev("p", 1)); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		select {
+		case e := <-done:
+			if e.Seq != 1 {
+				t.Fatalf("blocked Next delivered Seq %d", e.Seq)
+			}
+		case err := <-errs:
+			t.Fatalf("blocked Next: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("Next did not wake on publish")
+		}
+	})
+
+	t.Run("ConcurrentConsumersFanOut", func(t *testing.T) {
+		topic := freshTopic("fanout")
+		const n = 5
+		for i := 1; i <= n; i++ {
+			if err := b.Publish(ctx, topic, ev("p", uint64(i))); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+		}
+		for _, name := range []string{"alpha", "beta"} {
+			sub, err := b.Subscribe(ctx, topic, name)
+			if err != nil {
+				t.Fatalf("Subscribe(%s): %v", name, err)
+			}
+			for i := 1; i <= n; i++ {
+				if e := next(t, sub); e.Seq != uint64(i) {
+					t.Fatalf("consumer %s event %d has Seq %d", name, i, e.Seq)
+				}
+			}
+			sub.Close()
+		}
+	})
+
+	t.Run("OffsetResumeAfterReconnect", func(t *testing.T) {
+		topic := freshTopic("resume")
+		const n = 5
+		for i := 1; i <= n; i++ {
+			if err := b.Publish(ctx, topic, ev("p", uint64(i))); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+		}
+		sub, err := b.Subscribe(ctx, topic, "durable")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		var third pstream.Event
+		for i := 0; i < 3; i++ {
+			third = next(t, sub)
+		}
+		if _, err := sub.Ack(ctx, third); err != nil {
+			t.Fatalf("Ack: %v", err)
+		}
+		sub.Close()
+
+		// Reconnecting resumes at the first unacked event (index 3), not at
+		// the read cursor and not at the beginning.
+		sub2, err := b.Subscribe(ctx, topic, "durable")
+		if err != nil {
+			t.Fatalf("re-Subscribe: %v", err)
+		}
+		defer sub2.Close()
+		if e := next(t, sub2); e.Offset != 3 {
+			t.Fatalf("resumed at Offset %d, want 3", e.Offset)
+		}
+
+		// A different consumer name is unaffected by durable's commits.
+		fresh, err := b.Subscribe(ctx, topic, "fresh")
+		if err != nil {
+			t.Fatalf("Subscribe(fresh): %v", err)
+		}
+		defer fresh.Close()
+		if e := next(t, fresh); e.Offset != 0 {
+			t.Fatalf("fresh consumer started at Offset %d", e.Offset)
+		}
+	})
+
+	t.Run("AckCountsDistinctConsumers", func(t *testing.T) {
+		topic := freshTopic("acks")
+		if err := b.Publish(ctx, topic, ev("p", 1)); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		subA, err := b.Subscribe(ctx, topic, "a")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer subA.Close()
+		subB, err := b.Subscribe(ctx, topic, "b")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer subB.Close()
+
+		ea := next(t, subA)
+		if n, err := subA.Ack(ctx, ea); err != nil || n != 1 {
+			t.Fatalf("first ack count = %d, %v; want 1", n, err)
+		}
+		// Re-acking the same event from the same consumer must not inflate
+		// the distinct-consumer count.
+		if n, err := subA.Ack(ctx, ea); err != nil || n != 1 {
+			t.Fatalf("repeat ack count = %d, %v; want 1", n, err)
+		}
+		eb := next(t, subB)
+		if n, err := subB.Ack(ctx, eb); err != nil || n != 2 {
+			t.Fatalf("second consumer ack count = %d, %v; want 2", n, err)
+		}
+	})
+
+	t.Run("CumulativeAck", func(t *testing.T) {
+		topic := freshTopic("cumulative")
+		for i := 1; i <= 3; i++ {
+			if err := b.Publish(ctx, topic, ev("p", uint64(i))); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+		}
+		sub, err := b.Subscribe(ctx, topic, "c")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		var last pstream.Event
+		for i := 0; i < 3; i++ {
+			last = next(t, sub)
+		}
+		// Acking the last event commits everything before it.
+		if _, err := sub.Ack(ctx, last); err != nil {
+			t.Fatalf("Ack: %v", err)
+		}
+		sub.Close()
+		sub2, err := b.Subscribe(ctx, topic, "c")
+		if err != nil {
+			t.Fatalf("re-Subscribe: %v", err)
+		}
+		defer sub2.Close()
+		if _, ok, err := sub2.Poll(ctx); err != nil || ok {
+			t.Fatalf("events redelivered after cumulative ack: ok=%v err=%v", ok, err)
+		}
+	})
+
+	t.Run("EndMarkerPassesThrough", func(t *testing.T) {
+		topic := freshTopic("end")
+		e := ev("p", 1)
+		e.End = true
+		e.Key = connector.Key{}
+		if err := b.Publish(ctx, topic, e); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		sub, err := b.Subscribe(ctx, topic, "c")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer sub.Close()
+		if got := next(t, sub); !got.End {
+			t.Fatal("End flag lost in transit")
+		}
+	})
+
+	t.Run("AttrsAndProxyDataRoundTrip", func(t *testing.T) {
+		topic := freshTopic("attrs")
+		e := ev("p", 1)
+		e.Attrs = map[string]string{"round": "7"}
+		e.ProxyData = []byte{1, 2, 3, 4}
+		if err := b.Publish(ctx, topic, e); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		sub, err := b.Subscribe(ctx, topic, "c")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer sub.Close()
+		got := next(t, sub)
+		if got.Attr("round") != "7" {
+			t.Fatalf("Attrs = %v", got.Attrs)
+		}
+		if len(got.ProxyData) != 4 || got.ProxyData[2] != 3 {
+			t.Fatalf("ProxyData = %v", got.ProxyData)
+		}
+	})
+
+	if !opts.SkipConcurrency {
+		t.Run("ConcurrentProducersKeepPerProducerOrder", func(t *testing.T) {
+			topic := freshTopic("multi")
+			const producers, per = 4, 20
+			var wg sync.WaitGroup
+			errs := make(chan error, producers)
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					name := fmt.Sprintf("p%d", p)
+					for i := 1; i <= per; i++ {
+						if err := b.Publish(ctx, topic, ev(name, uint64(i))); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatalf("Publish: %v", err)
+			}
+
+			sub, err := b.Subscribe(ctx, topic, "c")
+			if err != nil {
+				t.Fatalf("Subscribe: %v", err)
+			}
+			defer sub.Close()
+			lastSeq := make(map[string]uint64)
+			for i := 0; i < producers*per; i++ {
+				e := next(t, sub)
+				if e.Seq != lastSeq[e.Producer]+1 {
+					t.Fatalf("producer %s: Seq %d after %d", e.Producer, e.Seq, lastSeq[e.Producer])
+				}
+				lastSeq[e.Producer] = e.Seq
+			}
+			for p := 0; p < producers; p++ {
+				name := fmt.Sprintf("p%d", p)
+				if lastSeq[name] != per {
+					t.Fatalf("producer %s delivered %d events, want %d", name, lastSeq[name], per)
+				}
+			}
+		})
+	}
+}

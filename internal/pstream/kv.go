@@ -1,0 +1,255 @@
+package pstream
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"proxystore/internal/kvstore"
+)
+
+// KVBroker is the kvstore-backed broker: topic logs, committed offsets and
+// ack counters are plain RESP keys on a kvstore server, so the metadata
+// plane rides the same infrastructure as a redis data plane and survives
+// process restarts (with server persistence, even server restarts).
+//
+// Layout, per topic T:
+//
+//	ps:T:len      INCR-maintained append counter (= log length)
+//	ps:T:e:<i>    encoded event at log index i
+//	ps:T:c:<name> consumer name's committed offset
+//	ps:T:a:<i>    INCR-maintained distinct-consumer ack count of event i
+//
+// Appends reserve a slot with INCR (atomic on the server) and then SET the
+// event, so concurrent producers never collide; readers poll a slot until
+// its SET lands. Next polls with capped exponential backoff — brokered
+// delivery over a shared kv server trades latency for zero extra moving
+// parts.
+type KVBroker struct {
+	addr   string
+	client *kvstore.Client
+	// pollFloor/pollCap bound the Next polling backoff.
+	pollFloor, pollCap time.Duration
+}
+
+// KVOption configures a KVBroker.
+type KVOption func(*KVBroker)
+
+// WithPollInterval overrides the Next polling backoff bounds (defaults
+// 500µs floor, 10ms cap).
+func WithPollInterval(floor, ceil time.Duration) KVOption {
+	return func(b *KVBroker) {
+		if floor > 0 {
+			b.pollFloor = floor
+		}
+		if ceil >= floor {
+			b.pollCap = ceil
+		}
+	}
+}
+
+// NewKV returns a broker over the kvstore server at addr.
+func NewKV(addr string, opts ...KVOption) *KVBroker {
+	b := &KVBroker{
+		addr:      addr,
+		pollFloor: 500 * time.Microsecond,
+		pollCap:   10 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	b.client = kvstore.NewClient(addr)
+	return b
+}
+
+func kvLenKey(topic string) string { return "ps:" + topic + ":len" }
+func kvEventKey(topic string, i uint64) string {
+	return "ps:" + topic + ":e:" + strconv.FormatUint(i, 10)
+}
+func kvOffsetKey(topic, consumer string) string { return "ps:" + topic + ":c:" + consumer }
+func kvAckKey(topic string, i uint64) string {
+	return "ps:" + topic + ":a:" + strconv.FormatUint(i, 10)
+}
+
+// Publish implements Broker: INCR reserves the next log index, SET fills it.
+// The two steps are not atomic; if the SET fails, the reserved slot is
+// filled with a gap marker on a cancellation-detached context so consumers
+// skip it instead of polling the hole forever. (A producer that crashes
+// between the two steps still wedges the topic — the price of a log built
+// from plain kv primitives; see the package doc.)
+func (b *KVBroker) Publish(ctx context.Context, topic string, ev Event) error {
+	n, err := b.client.Incr(ctx, kvLenKey(topic))
+	if err != nil {
+		return fmt.Errorf("pstream: reserving log slot: %w", err)
+	}
+	ev.Topic = topic
+	ev.Offset = uint64(n - 1)
+	data, err := EncodeEvent(ev)
+	if err != nil {
+		b.fillGap(ctx, topic, ev.Offset)
+		return err
+	}
+	if err := b.client.Set(ctx, kvEventKey(topic, ev.Offset), data); err != nil {
+		b.fillGap(ctx, topic, ev.Offset)
+		return fmt.Errorf("pstream: appending event: %w", err)
+	}
+	return nil
+}
+
+// fillGap writes a skip marker into a reserved-but-unfilled log slot so the
+// topic stays consumable after a failed append. The write runs detached
+// from the caller's cancellation: when the failed SET was itself a ctx
+// cancel, the gap must still land.
+func (b *KVBroker) fillGap(ctx context.Context, topic string, offset uint64) error {
+	gap := Event{Topic: topic, Offset: offset, Attrs: map[string]string{attrGap: "1"}}
+	data, err := EncodeEvent(gap)
+	if err != nil {
+		return err
+	}
+	return b.client.Set(context.WithoutCancel(ctx), kvEventKey(topic, offset), data)
+}
+
+// Subscribe implements Broker, resuming from the committed offset stored on
+// the server.
+func (b *KVBroker) Subscribe(ctx context.Context, topic, consumer string) (Subscription, error) {
+	off, err := b.committedOffset(ctx, topic, consumer)
+	if err != nil {
+		return nil, err
+	}
+	return &kvSub{b: b, topic: topic, consumer: consumer, cursor: off, committed: off}, nil
+}
+
+func (b *KVBroker) committedOffset(ctx context.Context, topic, consumer string) (uint64, error) {
+	raw, ok, err := b.client.Get(ctx, kvOffsetKey(topic, consumer))
+	if err != nil {
+		return 0, fmt.Errorf("pstream: reading committed offset: %w", err)
+	}
+	if !ok {
+		return 0, nil
+	}
+	off, err := strconv.ParseUint(string(raw), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pstream: corrupt committed offset %q: %w", raw, err)
+	}
+	return off, nil
+}
+
+// Close implements Broker. Server-side logs and offsets persist.
+func (b *KVBroker) Close() error { return b.client.Close() }
+
+type kvSub struct {
+	b        *KVBroker
+	topic    string
+	consumer string
+	cursor   uint64
+	// committed mirrors the server-side committed offset. The subscription
+	// is the offset's only writer (one cursor per consumer name), so Ack
+	// trusts the local copy instead of re-reading it every item. dirty
+	// marks a mirror that advanced past a failed server write.
+	committed uint64
+	dirty     bool
+}
+
+// get returns the event at the cursor, or ok=false when the slot is still
+// empty.
+func (s *kvSub) get(ctx context.Context) (Event, bool, error) {
+	raw, ok, err := s.b.client.Get(ctx, kvEventKey(s.topic, s.cursor))
+	if err != nil || !ok {
+		return Event{}, false, err
+	}
+	ev, err := DecodeEvent(raw)
+	if err != nil {
+		return Event{}, false, err
+	}
+	return ev, true, nil
+}
+
+// Next implements Subscription, polling the cursor slot with capped
+// exponential backoff.
+func (s *kvSub) Next(ctx context.Context) (Event, error) {
+	delay := s.b.pollFloor
+	for {
+		ev, ok, err := s.get(ctx)
+		if err != nil {
+			return Event{}, err
+		}
+		if ok {
+			s.cursor++
+			return ev, nil
+		}
+		select {
+		case <-ctx.Done():
+			return Event{}, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > s.b.pollCap {
+			delay = s.b.pollCap
+		}
+	}
+}
+
+// Poll implements Subscription: one GET round trip, no waiting.
+func (s *kvSub) Poll(ctx context.Context) (Event, bool, error) {
+	ev, ok, err := s.get(ctx)
+	if err != nil || !ok {
+		return Event{}, false, err
+	}
+	s.cursor++
+	return ev, true, nil
+}
+
+// Ack implements Subscription: bump ack counters for every newly committed
+// event, then persist the advanced offset. The local committed mirror is
+// advanced as soon as the counters are bumped, before the offset write: a
+// same-subscription retry after a failed offset commit then takes the
+// already-covered path instead of re-running the Incr loop, so counts
+// cannot double. (A crash before the offset write still re-delivers and
+// re-counts on resubscribe — the documented at-least-once trade.)
+func (s *kvSub) Ack(ctx context.Context, ev Event) (int, error) {
+	committed := s.committed
+	if ev.Offset < committed {
+		// Already covered by an earlier cumulative ack: report the current
+		// count without inflating it.
+		raw, ok, err := s.b.client.Get(ctx, kvAckKey(s.topic, ev.Offset))
+		if err != nil || !ok {
+			return 0, err
+		}
+		n, _ := strconv.ParseInt(string(raw), 10, 64)
+		// The server-side offset trails after a failed commit; re-attempt
+		// it so resubscribes resume correctly.
+		if s.dirty {
+			if err := s.commitOffset(ctx, committed); err != nil {
+				return 0, err
+			}
+			s.dirty = false
+		}
+		return int(n), nil
+	}
+	var last int64
+	for i := committed; i <= ev.Offset; i++ {
+		n, err := s.b.client.Incr(ctx, kvAckKey(s.topic, i))
+		if err != nil {
+			return 0, fmt.Errorf("pstream: counting ack: %w", err)
+		}
+		last = n
+	}
+	s.committed = ev.Offset + 1
+	if err := s.commitOffset(ctx, s.committed); err != nil {
+		s.dirty = true
+		return 0, err
+	}
+	s.dirty = false
+	return int(last), nil
+}
+
+func (s *kvSub) commitOffset(ctx context.Context, off uint64) error {
+	raw := []byte(strconv.FormatUint(off, 10))
+	if err := s.b.client.Set(ctx, kvOffsetKey(s.topic, s.consumer), raw); err != nil {
+		return fmt.Errorf("pstream: committing offset: %w", err)
+	}
+	return nil
+}
+
+// Close implements Subscription; the server keeps the committed offset.
+func (s *kvSub) Close() error { return nil }

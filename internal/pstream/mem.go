@@ -1,0 +1,223 @@
+package pstream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MemBroker is the in-process broker: topic logs live in memory, waiters
+// block on a broadcast channel that append rotates. It is the reference
+// implementation of the Broker contract (brokertest runs against it first),
+// the backing core of NetServer, and the right choice for tests and
+// single-process pipelines.
+//
+// A MemBroker is safe for concurrent use.
+type MemBroker struct {
+	mu     sync.Mutex
+	topics map[string]*memTopic
+	closed bool
+	// done is closed by Close so fetchers parked on empty topics wake
+	// immediately instead of waiting out their timers.
+	done chan struct{}
+}
+
+type memTopic struct {
+	events []Event
+	// acks[i] is the number of distinct consumers whose committed offset
+	// has moved past event i.
+	acks []int
+	// committed maps consumer name to its committed offset (index of the
+	// first unacked event). Entries persist across Subscribe/Close cycles,
+	// which is what makes offsets resumable.
+	committed map[string]uint64
+	// changed is closed and replaced on every append; blocked readers wake
+	// on it.
+	changed chan struct{}
+}
+
+// NewMem returns an empty in-process broker.
+func NewMem() *MemBroker {
+	return &MemBroker{topics: make(map[string]*memTopic), done: make(chan struct{})}
+}
+
+func (b *MemBroker) topic(name string) *memTopic {
+	t := b.topics[name]
+	if t == nil {
+		t = &memTopic{
+			committed: make(map[string]uint64),
+			changed:   make(chan struct{}),
+		}
+		b.topics[name] = t
+	}
+	return t
+}
+
+// Publish implements Broker.
+func (b *MemBroker) Publish(_ context.Context, topic string, ev Event) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("pstream: broker closed")
+	}
+	t := b.topic(topic)
+	ev.Topic = topic
+	ev.Offset = uint64(len(t.events))
+	t.events = append(t.events, ev)
+	t.acks = append(t.acks, 0)
+	close(t.changed)
+	t.changed = make(chan struct{})
+	return nil
+}
+
+// Subscribe implements Broker.
+func (b *MemBroker) Subscribe(_ context.Context, topic, consumer string) (Subscription, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, fmt.Errorf("pstream: broker closed")
+	}
+	t := b.topic(topic)
+	if _, ok := t.committed[consumer]; !ok {
+		t.committed[consumer] = 0
+	}
+	return &memSub{b: b, topic: topic, consumer: consumer, cursor: t.committed[consumer]}, nil
+}
+
+// Close implements Broker. Topic logs are dropped with the broker and
+// blocked Next calls fail promptly.
+func (b *MemBroker) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.closed {
+		b.closed = true
+		close(b.done)
+	}
+	return nil
+}
+
+// fetch returns the event at cursor in topic, waiting up to wait for one
+// to be appended: wait == 0 polls without blocking, wait < 0 blocks until
+// an event lands, the broker closes, or ctx cancels. ok is false on
+// timeout. It is shared by local subscriptions (wait < 0) and NetServer's
+// long-poll handler (bounded waits).
+func (b *MemBroker) fetch(ctx context.Context, topic string, cursor uint64, wait time.Duration) (Event, bool, error) {
+	var timeout <-chan time.Time
+	if wait > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for {
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return Event{}, false, fmt.Errorf("pstream: broker closed")
+		}
+		t := b.topic(topic)
+		if cursor < uint64(len(t.events)) {
+			ev := t.events[cursor]
+			b.mu.Unlock()
+			return ev, true, nil
+		}
+		changed := t.changed
+		b.mu.Unlock()
+		if wait == 0 {
+			return Event{}, false, nil
+		}
+		select {
+		case <-changed:
+		case <-b.done:
+			return Event{}, false, fmt.Errorf("pstream: broker closed")
+		case <-timeout:
+			return Event{}, false, nil
+		case <-ctx.Done():
+			return Event{}, false, ctx.Err()
+		}
+	}
+}
+
+// committed returns the consumer's committed offset in topic.
+func (b *MemBroker) committedOffset(topic, consumer string) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.topic(topic).committed[consumer]
+}
+
+// ack advances the consumer's committed offset to at least offset+1,
+// bumping ack counts for every newly covered event, and returns the ack
+// count of the event at offset.
+func (b *MemBroker) ack(topic, consumer string, offset uint64) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.topic(topic)
+	if offset >= uint64(len(t.events)) {
+		return 0, fmt.Errorf("pstream: ack of unknown offset %d in %q", offset, topic)
+	}
+	cur := t.committed[consumer]
+	for i := cur; i <= offset; i++ {
+		t.acks[i]++
+	}
+	if offset+1 > cur {
+		t.committed[consumer] = offset + 1
+	}
+	return t.acks[offset], nil
+}
+
+type memSub struct {
+	b        *MemBroker
+	topic    string
+	consumer string
+
+	mu     sync.Mutex
+	cursor uint64
+}
+
+// Next implements Subscription.
+func (s *memSub) Next(ctx context.Context) (Event, error) {
+	s.mu.Lock()
+	cursor := s.cursor
+	s.mu.Unlock()
+	ev, ok, err := s.b.fetch(ctx, s.topic, cursor, -1)
+	if err != nil {
+		return Event{}, err
+	}
+	if !ok {
+		// Unreachable: an unbounded fetch only returns on delivery or error.
+		return Event{}, context.DeadlineExceeded
+	}
+	s.advance(cursor)
+	return ev, nil
+}
+
+// Poll implements Subscription.
+func (s *memSub) Poll(ctx context.Context) (Event, bool, error) {
+	s.mu.Lock()
+	cursor := s.cursor
+	s.mu.Unlock()
+	ev, ok, err := s.b.fetch(ctx, s.topic, cursor, 0)
+	if err != nil || !ok {
+		return Event{}, false, err
+	}
+	s.advance(cursor)
+	return ev, true, nil
+}
+
+// advance moves the cursor past a delivered event; concurrent Next/Poll
+// callers may race delivery, so only the winning cursor advances.
+func (s *memSub) advance(delivered uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cursor == delivered {
+		s.cursor++
+	}
+}
+
+// Ack implements Subscription.
+func (s *memSub) Ack(_ context.Context, ev Event) (int, error) {
+	return s.b.ack(s.topic, s.consumer, ev.Offset)
+}
+
+// Close implements Subscription; the committed offset survives.
+func (s *memSub) Close() error { return nil }

@@ -1,0 +1,283 @@
+package pstream
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"proxystore/internal/msgnet"
+	"proxystore/internal/relay"
+)
+
+// NetServer hosts a broker for remote clients: a MemBroker core served
+// over msgnet framed request/reply, the repo's stand-in for a cross-site
+// message fabric. Fetches are long-polls so remote Next calls block
+// server-side instead of hammering the wire. A NetServer can additionally
+// register with a relay server, so peers that only know the broker's UUID
+// discover its address through O(100 B) signaling — the same
+// discovery-plane/data-plane split PS-endpoints use.
+type NetServer struct {
+	core  *MemBroker
+	srv   *msgnet.Server
+	rc    *relay.Client
+	rdone chan struct{}
+}
+
+// ServeNet starts a broker server on addr (e.g. "127.0.0.1:0").
+func ServeNet(addr string) (*NetServer, error) {
+	s := &NetServer{core: NewMem()}
+	srv, err := msgnet.NewServer(addr, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.srv = srv
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *NetServer) Addr() string { return s.srv.Addr() }
+
+// Core exposes the backing MemBroker, letting the hosting process publish
+// and subscribe without a network hop.
+func (s *NetServer) Core() *MemBroker { return s.core }
+
+// AnnounceRelay registers the broker with the relay at relayAddr under
+// uuid ("" asks the relay to assign one) and answers address queries from
+// peers. It returns the registered UUID.
+func (s *NetServer) AnnounceRelay(relayAddr, uuid string) (string, error) {
+	rc, err := relay.Dial(relayAddr, uuid)
+	if err != nil {
+		return "", err
+	}
+	s.rc = rc
+	s.rdone = make(chan struct{})
+	go func() {
+		defer close(s.rdone)
+		for {
+			sig, err := rc.Recv(context.Background())
+			if err != nil {
+				return
+			}
+			if string(sig.Payload) == discoverQuery {
+				rc.Forward(sig.From, []byte(s.srv.Addr()))
+			}
+		}
+	}()
+	return rc.UUID(), nil
+}
+
+// Close stops serving; topic logs are dropped with the core.
+func (s *NetServer) Close() error {
+	if s.rc != nil {
+		s.rc.Close()
+		<-s.rdone
+	}
+	err := s.srv.Close()
+	s.core.Close()
+	return err
+}
+
+// discoverQuery is the relay signaling payload asking a broker for its
+// msgnet address.
+const discoverQuery = "ps-broker-addr?"
+
+// --- Wire protocol --------------------------------------------------------
+
+const (
+	opPublish byte = iota + 1
+	opSubscribe
+	opFetch
+	opAck
+)
+
+// netReq is the client→server request frame.
+type netReq struct {
+	Op         byte
+	Topic      string
+	Consumer   string
+	Event      Event
+	Cursor     uint64
+	Offset     uint64
+	WaitMillis int64
+}
+
+// netResp is the server→client reply frame.
+type netResp struct {
+	Event  Event
+	Has    bool
+	Offset uint64
+	Acks   int64
+}
+
+func encodeNetReq(r netReq) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("pstream: encoding request: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (s *NetServer) handle(ctx context.Context, raw []byte) ([]byte, error) {
+	var req netReq
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&req); err != nil {
+		return nil, fmt.Errorf("pstream: decoding request: %w", err)
+	}
+	var resp netResp
+	switch req.Op {
+	case opPublish:
+		if err := s.core.Publish(ctx, req.Topic, req.Event); err != nil {
+			return nil, err
+		}
+	case opSubscribe:
+		resp.Offset = s.core.committedOffset(req.Topic, req.Consumer)
+	case opFetch:
+		wait := time.Duration(req.WaitMillis) * time.Millisecond
+		ev, ok, err := s.core.fetch(ctx, req.Topic, req.Cursor, wait)
+		if err != nil {
+			return nil, err
+		}
+		resp.Event, resp.Has = ev, ok
+	case opAck:
+		n, err := s.core.ack(req.Topic, req.Consumer, req.Offset)
+		if err != nil {
+			return nil, err
+		}
+		resp.Acks = int64(n)
+	default:
+		return nil, fmt.Errorf("pstream: unknown op %d", req.Op)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+		return nil, fmt.Errorf("pstream: encoding reply: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// --- Client ---------------------------------------------------------------
+
+// netPollWait is the server-side long-poll window per Next round trip; the
+// client loops, so blocking Next calls survive longer waits.
+const netPollWait = 250 * time.Millisecond
+
+// NetBroker is the client side of a NetServer.
+type NetBroker struct {
+	client *msgnet.Client
+}
+
+// DialNet returns a broker client for the NetServer at addr.
+func DialNet(addr string) *NetBroker {
+	return &NetBroker{client: msgnet.NewClient(addr)}
+}
+
+// DialNetRelay discovers the NetServer registered under brokerUUID through
+// the relay at relayAddr, then connects directly. Only the O(100 B)
+// discovery handshake crosses the relay.
+func DialNetRelay(ctx context.Context, relayAddr, brokerUUID string) (*NetBroker, error) {
+	rc, err := relay.Dial(relayAddr, "")
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	if err := rc.Forward(brokerUUID, []byte(discoverQuery)); err != nil {
+		return nil, fmt.Errorf("pstream: querying broker address: %w", err)
+	}
+	for {
+		sig, err := rc.Recv(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("pstream: awaiting broker address: %w", err)
+		}
+		if sig.From == brokerUUID {
+			return DialNet(string(sig.Payload)), nil
+		}
+	}
+}
+
+func (b *NetBroker) request(ctx context.Context, req netReq) (netResp, error) {
+	raw, err := encodeNetReq(req)
+	if err != nil {
+		return netResp{}, err
+	}
+	reply, err := b.client.Request(ctx, raw)
+	if err != nil {
+		return netResp{}, err
+	}
+	var resp netResp
+	if err := gob.NewDecoder(bytes.NewReader(reply)).Decode(&resp); err != nil {
+		return netResp{}, fmt.Errorf("pstream: decoding reply: %w", err)
+	}
+	return resp, nil
+}
+
+// Publish implements Broker.
+func (b *NetBroker) Publish(ctx context.Context, topic string, ev Event) error {
+	_, err := b.request(ctx, netReq{Op: opPublish, Topic: topic, Event: ev})
+	return err
+}
+
+// Subscribe implements Broker.
+func (b *NetBroker) Subscribe(ctx context.Context, topic, consumer string) (Subscription, error) {
+	resp, err := b.request(ctx, netReq{Op: opSubscribe, Topic: topic, Consumer: consumer})
+	if err != nil {
+		return nil, err
+	}
+	return &netSub{b: b, topic: topic, consumer: consumer, cursor: resp.Offset}, nil
+}
+
+// Close implements Broker; the server and its logs keep running.
+func (b *NetBroker) Close() error { return b.client.Close() }
+
+type netSub struct {
+	b        *NetBroker
+	topic    string
+	consumer string
+	cursor   uint64
+}
+
+func (s *netSub) fetch(ctx context.Context, waitMillis int64) (Event, bool, error) {
+	resp, err := s.b.request(ctx, netReq{
+		Op: opFetch, Topic: s.topic, Consumer: s.consumer,
+		Cursor: s.cursor, WaitMillis: waitMillis,
+	})
+	if err != nil || !resp.Has {
+		return Event{}, false, err
+	}
+	s.cursor++
+	return resp.Event, true, nil
+}
+
+// Next implements Subscription, long-polling the server.
+func (s *netSub) Next(ctx context.Context) (Event, error) {
+	for {
+		ev, ok, err := s.fetch(ctx, netPollWait.Milliseconds())
+		if err != nil {
+			return Event{}, err
+		}
+		if ok {
+			return ev, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return Event{}, err
+		}
+	}
+}
+
+// Poll implements Subscription: one round trip, zero wait.
+func (s *netSub) Poll(ctx context.Context) (Event, bool, error) {
+	return s.fetch(ctx, 0)
+}
+
+// Ack implements Subscription.
+func (s *netSub) Ack(ctx context.Context, ev Event) (int, error) {
+	resp, err := s.b.request(ctx, netReq{
+		Op: opAck, Topic: s.topic, Consumer: s.consumer, Offset: ev.Offset,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Acks), nil
+}
+
+// Close implements Subscription; the server keeps the committed offset.
+func (s *netSub) Close() error { return nil }

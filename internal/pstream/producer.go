@@ -1,0 +1,187 @@
+package pstream
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/proxy"
+	"proxystore/internal/store"
+)
+
+// ProducerStats are cumulative per-producer counters.
+type ProducerStats struct {
+	// Items is the number of payload events published (End excluded).
+	Items uint64
+	// PayloadBytes is the stored size of published payloads.
+	PayloadBytes uint64
+}
+
+// ProducerOption configures a Producer.
+type ProducerOption func(*producerConfig)
+
+type producerConfig struct {
+	evictAfter int
+	id         string
+}
+
+// WithEvictOnAck opts published objects into the evict-on-ack lifetime
+// policy: once consumers distinct consumers have acked an event, the acking
+// consumer evicts the object from its store, so consumed stream items are
+// garbage-collected automatically. The producer must know the topic's
+// consumer count; an undercount evicts before everyone has read.
+//
+// Eviction triggers on the ack of the event itself — consumers must ack
+// each item (as Item.Ack/NextValue do). Items skipped over by a cumulative
+// ack of a later event have their counters advanced but no acking consumer
+// observing the threshold, so their objects are not reclaimed.
+func WithEvictOnAck(consumers int) ProducerOption {
+	return func(c *producerConfig) { c.evictAfter = consumers }
+}
+
+// WithProducerID pins the producer's ID (default: a fresh UUID). Stable IDs
+// let a restarted producer keep its identity in per-producer ordering.
+func WithProducerID(id string) ProducerOption {
+	return func(c *producerConfig) { c.id = id }
+}
+
+// Producer publishes a stream of T values: each value is stored through the
+// Store (streamed puts for large payloads, batched puts via SendBatch) and
+// announced to the topic with a compact event carrying a self-contained
+// proxy.
+//
+// A Producer is safe for concurrent use; per-producer Seq order matches
+// publish order only when Send calls are not concurrent with each other.
+type Producer[T any] struct {
+	st    *store.Store
+	b     Broker
+	topic string
+	cfg   producerConfig
+	seq   atomic.Uint64
+
+	items atomic.Uint64
+	bytes atomic.Uint64
+}
+
+// NewProducer returns a producer publishing to topic, storing payloads in
+// st and events through b.
+func NewProducer[T any](st *store.Store, b Broker, topic string, opts ...ProducerOption) *Producer[T] {
+	cfg := producerConfig{id: connector.NewID()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Producer[T]{st: st, b: b, topic: topic, cfg: cfg}
+}
+
+// ID returns the producer's identity used in event records.
+func (p *Producer[T]) ID() string { return p.cfg.id }
+
+// Stats returns a snapshot of the producer's counters.
+func (p *Producer[T]) Stats() ProducerStats {
+	return ProducerStats{Items: p.items.Load(), PayloadBytes: p.bytes.Load()}
+}
+
+// event assembles the record for an already-stored payload.
+func (p *Producer[T]) event(pxy *proxy.Proxy[T], key connector.Key, attrs map[string]string) (Event, error) {
+	data, err := pxy.MarshalBinary()
+	if err != nil {
+		return Event{}, fmt.Errorf("pstream: serializing payload proxy: %w", err)
+	}
+	ev := Event{
+		Topic:     p.topic,
+		Producer:  p.cfg.id,
+		Seq:       p.seq.Add(1),
+		Key:       key,
+		ProxyData: data,
+	}
+	if len(attrs) > 0 || p.cfg.evictAfter > 0 {
+		ev.Attrs = make(map[string]string, len(attrs)+1)
+		for k, v := range attrs {
+			ev.Attrs[k] = v
+		}
+		if p.cfg.evictAfter > 0 {
+			ev.Attrs[attrEvictAfter] = strconv.Itoa(p.cfg.evictAfter)
+		}
+	}
+	return ev, nil
+}
+
+// Send stores v and publishes its event. Large payloads stream into the
+// connector when the store's serializer and connector support it, so the
+// producer never materializes more than O(chunk) beyond the value itself.
+// attrs, if given, travel in the event record — keep them small; names
+// starting with "ps." are reserved.
+func (p *Producer[T]) Send(ctx context.Context, v T, attrs map[string]string) error {
+	key, err := p.st.PutObject(ctx, v)
+	if err != nil {
+		return err
+	}
+	ev, err := p.event(store.ProxyFromKey[T](p.st, key), key, attrs)
+	if err != nil {
+		p.unput(ctx, key)
+		return err
+	}
+	if err := p.b.Publish(ctx, p.topic, ev); err != nil {
+		p.unput(ctx, key)
+		return err
+	}
+	p.items.Add(1)
+	p.bytes.Add(uint64(key.Size))
+	return nil
+}
+
+// unput best-effort evicts a stored payload whose event never reached the
+// broker — no consumer can ever learn the key, so leaving it would leak.
+// The evict runs detached from the caller's cancellation, which may be the
+// very reason the publish failed.
+func (p *Producer[T]) unput(ctx context.Context, key connector.Key) {
+	p.st.Evict(context.WithoutCancel(ctx), key)
+}
+
+// SendBatch stores values with one batched backend operation (Store.
+// PutBatch) and publishes one event per value — the write half of the
+// batched streaming fast path.
+func (p *Producer[T]) SendBatch(ctx context.Context, values []T) error {
+	if len(values) == 0 {
+		return nil
+	}
+	anyValues := make([]any, len(values))
+	for i, v := range values {
+		anyValues[i] = v
+	}
+	keys, err := p.st.PutBatch(ctx, anyValues)
+	if err != nil {
+		return err
+	}
+	for i, key := range keys {
+		ev, err := p.event(store.ProxyFromKey[T](p.st, key), key, nil)
+		if err == nil {
+			err = p.b.Publish(ctx, p.topic, ev)
+		}
+		if err != nil {
+			// Values i..n-1 are stored but unannounced; reclaim them.
+			for _, k := range keys[i:] {
+				p.unput(ctx, k)
+			}
+			return err
+		}
+		p.items.Add(1)
+		p.bytes.Add(uint64(key.Size))
+	}
+	return nil
+}
+
+// Close publishes the producer's end-of-stream marker. Consumers configured
+// with the topic's producer count stop after collecting every marker. Close
+// does not close the store or broker, which the producer borrows.
+func (p *Producer[T]) Close(ctx context.Context) error {
+	ev := Event{
+		Topic:    p.topic,
+		Producer: p.cfg.id,
+		Seq:      p.seq.Add(1),
+		End:      true,
+	}
+	return p.b.Publish(ctx, p.topic, ev)
+}

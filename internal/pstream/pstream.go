@@ -1,0 +1,212 @@
+// Package pstream is a topic-based pub/sub streaming subsystem built on the
+// proxy model (the ProxyStream pattern from the paper's follow-up work):
+// producers publish bulk objects through a Store — the data plane — and
+// stream only compact event records through a Broker — the metadata plane.
+// Consumers iterate a topic receiving lazy proxies, so moving an item
+// through the broker costs O(100 B) regardless of payload size, and bulk
+// bytes travel store-to-consumer only when (and if) a proxy is resolved.
+//
+// Brokers are append-only logs per topic with per-consumer committed
+// offsets: every named consumer sees every event (fan-out), acks advance a
+// consumer's offset cumulatively (Kafka-style), and re-subscribing with the
+// same name resumes after the last acked event — at-least-once delivery.
+// Three implementations ship behind one conformance battery (brokertest):
+// MemBroker (in-process, for tests and benches), KVBroker (append-to-log
+// over the kvstore RESP server), and NetBroker (msgnet request/reply to a
+// NetServer, discoverable through a relay for cross-site use).
+package pstream
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"proxystore/internal/connector"
+)
+
+// ErrEnd is returned by Consumer.Next after the expected number of
+// producers have closed their streams.
+var ErrEnd = errors.New("pstream: end of stream")
+
+// Reserved event-attribute names. Application attrs must not start with
+// "ps.".
+const (
+	// attrEvictAfter is the distinct-consumer ack count after which the
+	// event's object is evicted from its store (the evict-on-ack policy).
+	attrEvictAfter = "ps.evict_after"
+	// attrGap marks a log slot whose append failed and was back-filled so
+	// consumers can skip it (KVBroker). Gap events carry no payload.
+	attrGap = "ps.gap"
+)
+
+// isGap reports whether the event is a back-filled hole in the log rather
+// than a published record.
+func (e Event) isGap() bool { return e.Attr(attrGap) != "" }
+
+// Event is the compact record traveling through the metadata plane: a
+// pointer into the data plane plus ordering metadata. Events are O(100 B)
+// on the wire; the payload they describe never touches the broker.
+type Event struct {
+	// Topic names the stream.
+	Topic string
+	// Producer is the publishing producer's ID; Seq is its per-producer
+	// sequence number, starting at 1. Brokers deliver each producer's
+	// events in Seq order.
+	Producer string
+	Seq      uint64
+	// Offset is the event's position in the topic log, assigned by the
+	// broker at publish time. Acks commit offsets past delivered events.
+	Offset uint64
+	// Key locates the payload in the data plane (zero for End events).
+	Key connector.Key
+	// ProxyData is the serialized proxy for the payload, so events are
+	// self-contained: a consumer needs no out-of-band store configuration.
+	ProxyData []byte
+	// Attrs carries small application metadata. Names starting with "ps."
+	// are reserved.
+	Attrs map[string]string
+	// End marks a producer's end-of-stream; End events carry no payload.
+	End bool
+}
+
+// Attr returns an event attribute, or "" when unset.
+func (e Event) Attr(name string) string {
+	if e.Attrs == nil {
+		return ""
+	}
+	return e.Attrs[name]
+}
+
+// evictAfter returns the evict-on-ack consumer threshold, or 0 when the
+// policy is off for this event.
+func (e Event) evictAfter() int {
+	n, err := strconv.Atoi(e.Attr(attrEvictAfter))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// EncodeEvent serializes an event for brokers that move records as bytes.
+func EncodeEvent(ev Event) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ev); err != nil {
+		return nil, fmt.Errorf("pstream: encoding event: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEvent is the inverse of EncodeEvent.
+func DecodeEvent(data []byte) (Event, error) {
+	var ev Event
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ev); err != nil {
+		return Event{}, fmt.Errorf("pstream: decoding event: %w", err)
+	}
+	return ev, nil
+}
+
+// Broker is the metadata plane: an append-only event log per topic with
+// per-consumer committed offsets. Implementations must be safe for
+// concurrent use and must deliver every event to every named consumer.
+type Broker interface {
+	// Publish appends ev to the topic's log. The broker assigns ev.Offset.
+	Publish(ctx context.Context, topic string, ev Event) error
+	// Subscribe attaches a named consumer to the topic at its committed
+	// offset — 0 for a consumer the broker has never seen, the offset of
+	// the first unacked event for one that reconnects.
+	Subscribe(ctx context.Context, topic, consumer string) (Subscription, error)
+	// Close releases broker resources. Topic logs in external brokers
+	// survive Close.
+	Close() error
+}
+
+// Subscription is one consumer's cursor over a topic log. A subscription
+// is owned by one goroutine; implementations need not support concurrent
+// calls on a single subscription (brokers themselves are concurrent-safe).
+type Subscription interface {
+	// Next blocks until the event at the read cursor is available and
+	// advances the cursor. The read cursor is local to the subscription;
+	// only Ack moves the durable committed offset.
+	Next(ctx context.Context) (Event, error)
+	// Poll is the non-blocking Next: ok is false when no event is pending.
+	Poll(ctx context.Context) (ev Event, ok bool, err error)
+	// Ack commits the consumer's offset cumulatively past ev (acking event
+	// k implies events 0..k are consumed) and returns how many distinct
+	// consumers have acked ev — the counter behind evict-on-ack. Re-acking
+	// an already-committed event does not inflate the count.
+	Ack(ctx context.Context, ev Event) (int, error)
+	// Close detaches the cursor. The committed offset survives, so a
+	// later Subscribe with the same consumer name resumes.
+	Close() error
+}
+
+// --- Byte accounting ------------------------------------------------------
+
+// CountingBroker wraps a Broker and tallies encoded event bytes moving
+// through it, so tests and benches can assert the metadata plane stays
+// metadata-sized while payloads move through the store.
+type CountingBroker struct {
+	Broker
+	published atomic.Uint64
+	delivered atomic.Uint64
+}
+
+// NewCounting wraps b.
+func NewCounting(b Broker) *CountingBroker { return &CountingBroker{Broker: b} }
+
+// BytesPublished returns total encoded bytes of published events.
+func (c *CountingBroker) BytesPublished() uint64 { return c.published.Load() }
+
+// BytesDelivered returns total encoded bytes of delivered events, summed
+// across all consumers.
+func (c *CountingBroker) BytesDelivered() uint64 { return c.delivered.Load() }
+
+// Publish implements Broker.
+func (c *CountingBroker) Publish(ctx context.Context, topic string, ev Event) error {
+	c.published.Add(eventWireSize(ev))
+	return c.Broker.Publish(ctx, topic, ev)
+}
+
+// Subscribe implements Broker.
+func (c *CountingBroker) Subscribe(ctx context.Context, topic, consumer string) (Subscription, error) {
+	sub, err := c.Broker.Subscribe(ctx, topic, consumer)
+	if err != nil {
+		return nil, err
+	}
+	return &countingSub{Subscription: sub, c: c}, nil
+}
+
+type countingSub struct {
+	Subscription
+	c *CountingBroker
+}
+
+func (s *countingSub) Next(ctx context.Context) (Event, error) {
+	ev, err := s.Subscription.Next(ctx)
+	if err == nil {
+		s.c.delivered.Add(eventWireSize(ev))
+	}
+	return ev, err
+}
+
+func (s *countingSub) Poll(ctx context.Context) (Event, bool, error) {
+	ev, ok, err := s.Subscription.Poll(ctx)
+	if err == nil && ok {
+		s.c.delivered.Add(eventWireSize(ev))
+	}
+	return ev, ok, err
+}
+
+// eventWireSize is the encoded size of ev; encoding failures count 0 and
+// surface later on the real publish path.
+func eventWireSize(ev Event) uint64 {
+	data, err := EncodeEvent(ev)
+	if err != nil {
+		return 0
+	}
+	return uint64(len(data))
+}

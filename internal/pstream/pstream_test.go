@@ -1,0 +1,592 @@
+package pstream_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/file"
+	"proxystore/internal/connectors/local"
+	"proxystore/internal/connectors/redisc"
+	"proxystore/internal/kvstore"
+	"proxystore/internal/pstream"
+	"proxystore/internal/pstream/brokertest"
+	"proxystore/internal/relay"
+	"proxystore/internal/serial"
+	"proxystore/internal/store"
+)
+
+// --- Broker conformance ---------------------------------------------------
+
+func TestMemBrokerConformance(t *testing.T) {
+	brokertest.Run(t, func(t *testing.T) pstream.Broker {
+		return pstream.NewMem()
+	}, brokertest.Options{})
+}
+
+func TestKVBrokerConformance(t *testing.T) {
+	brokertest.Run(t, func(t *testing.T) pstream.Broker {
+		srv, err := kvstore.NewServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("kvstore server: %v", err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return pstream.NewKV(srv.Addr())
+	}, brokertest.Options{})
+}
+
+func TestNetBrokerConformance(t *testing.T) {
+	brokertest.Run(t, func(t *testing.T) pstream.Broker {
+		srv, err := pstream.ServeNet("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("broker server: %v", err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return pstream.DialNet(srv.Addr())
+	}, brokertest.Options{})
+}
+
+func TestNetBrokerRelayDiscovery(t *testing.T) {
+	ctx := context.Background()
+	rs, err := relay.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("relay: %v", err)
+	}
+	defer rs.Close()
+
+	srv, err := pstream.ServeNet("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("broker server: %v", err)
+	}
+	defer srv.Close()
+	uuid, err := srv.AnnounceRelay(rs.Addr(), "")
+	if err != nil {
+		t.Fatalf("AnnounceRelay: %v", err)
+	}
+
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	b, err := pstream.DialNetRelay(dctx, rs.Addr(), uuid)
+	if err != nil {
+		t.Fatalf("DialNetRelay: %v", err)
+	}
+	defer b.Close()
+
+	if err := b.Publish(ctx, "t", pstream.Event{Producer: "p", Seq: 1}); err != nil {
+		t.Fatalf("Publish through discovered broker: %v", err)
+	}
+	sub, err := b.Subscribe(ctx, "t", "c")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Close()
+	ev, err := sub.Next(dctx)
+	if err != nil || ev.Seq != 1 {
+		t.Fatalf("Next = %+v, %v", ev, err)
+	}
+}
+
+// --- Producer/Consumer end to end ----------------------------------------
+
+// newLocalStore registers a uniquely named store over the local connector.
+func newLocalStore(t *testing.T) *store.Store {
+	t.Helper()
+	name := "pstream-test-" + connector.NewID()[:12]
+	st, err := store.New(name, local.New(name+"-conn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Unregister(name) })
+	return st
+}
+
+func TestProduceConsumeRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	st := newLocalStore(t)
+	b := pstream.NewMem()
+
+	prod := pstream.NewProducer[string](st, b, "words")
+	for _, w := range []string{"alpha", "bravo", "charlie"} {
+		if err := prod.Send(ctx, w, nil); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	if err := prod.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	cons, err := pstream.NewConsumer[string](ctx, b, "words", "c1")
+	if err != nil {
+		t.Fatalf("NewConsumer: %v", err)
+	}
+	defer cons.Close()
+	var got []string
+	for {
+		v, err := cons.NextValue(ctx)
+		if errors.Is(err, pstream.ErrEnd) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("NextValue: %v", err)
+		}
+		got = append(got, v)
+	}
+	want := []string{"alpha", "bravo", "charlie"}
+	if len(got) != len(want) {
+		t.Fatalf("consumed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("item %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if s := prod.Stats(); s.Items != 3 {
+		t.Fatalf("producer stats = %+v", s)
+	}
+	if s := cons.Stats(); s.Items != 3 {
+		t.Fatalf("consumer stats = %+v", s)
+	}
+}
+
+func TestConsumerLazyProxies(t *testing.T) {
+	ctx := context.Background()
+	st := newLocalStore(t)
+	b := pstream.NewMem()
+
+	prod := pstream.NewProducer[[]byte](st, b, "lazy")
+	if err := prod.Send(ctx, []byte("payload"), nil); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+
+	// Window 1 disables prefetch: the delivered proxy must still be lazy.
+	cons, err := pstream.NewConsumer[[]byte](ctx, b, "lazy", "c", pstream.WithWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	it, err := cons.Next(ctx)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if it.Proxy.Resolved() {
+		t.Fatal("proxy resolved before Value despite window=1")
+	}
+	v, err := it.Value(ctx)
+	if err != nil || string(v) != "payload" {
+		t.Fatalf("Value = %q, %v", v, err)
+	}
+}
+
+func TestConsumerBatchPrefetch(t *testing.T) {
+	ctx := context.Background()
+	st := newLocalStore(t)
+	b := pstream.NewMem()
+
+	prod := pstream.NewProducer[string](st, b, "batch")
+	if err := prod.SendBatch(ctx, []string{"a", "b", "c", "d"}); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+
+	cons, err := pstream.NewConsumer[string](ctx, b, "batch", "c", pstream.WithWindow(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	it, err := cons.Next(ctx)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	// The backlog was pending at the first Next, so the whole batch must
+	// arrive primed.
+	if !it.Proxy.Resolved() {
+		t.Fatal("first item not primed by batch prefetch")
+	}
+	for _, want := range []string{"a", "b", "c", "d"} {
+		v, err := it.Value(ctx)
+		if err != nil || v != want {
+			t.Fatalf("Value = %q, %v; want %q", v, err, want)
+		}
+		if err := it.Ack(ctx); err != nil {
+			t.Fatalf("Ack: %v", err)
+		}
+		if want == "d" {
+			break
+		}
+		it, err = cons.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	if s := cons.Stats(); s.Prefetched != 4 {
+		t.Fatalf("Prefetched = %d, want 4", s.Prefetched)
+	}
+}
+
+func TestEvictOnAck(t *testing.T) {
+	ctx := context.Background()
+	st := newLocalStore(t)
+	b := pstream.NewMem()
+
+	prod := pstream.NewProducer[string](st, b, "evict", pstream.WithEvictOnAck(2))
+	if err := prod.Send(ctx, "transient", nil); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+
+	read := func(name string) *pstream.Item[string] {
+		cons, err := pstream.NewConsumer[string](ctx, b, "evict", name, pstream.WithWindow(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cons.Close() })
+		it, err := cons.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next(%s): %v", name, err)
+		}
+		if _, err := it.Value(ctx); err != nil {
+			t.Fatalf("Value(%s): %v", name, err)
+		}
+		return it
+	}
+
+	itA := read("a")
+	itB := read("b")
+	key := itA.Event.Key
+	if err := itA.Ack(ctx); err != nil {
+		t.Fatalf("Ack a: %v", err)
+	}
+	// One ack of two: the object must survive.
+	if ok, err := st.Exists(ctx, key); err != nil || !ok {
+		t.Fatalf("object gone after first ack: ok=%v err=%v", ok, err)
+	}
+	if err := itB.Ack(ctx); err != nil {
+		t.Fatalf("Ack b: %v", err)
+	}
+	if ok, err := st.Exists(ctx, key); err != nil || ok {
+		t.Fatalf("object survived final ack: ok=%v err=%v", ok, err)
+	}
+	if st.Metrics().Evicts != 1 {
+		t.Fatalf("store Evicts = %d, want 1", st.Metrics().Evicts)
+	}
+}
+
+func TestMultiProducerFanIn(t *testing.T) {
+	ctx := context.Background()
+	st := newLocalStore(t)
+	b := pstream.NewMem()
+
+	const producers, per = 3, 5
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			prod := pstream.NewProducer[int](st, b, "fanin")
+			for i := 0; i < per; i++ {
+				if err := prod.Send(ctx, p*100+i, nil); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+			prod.Close(ctx)
+		}(p)
+	}
+	wg.Wait()
+
+	cons, err := pstream.NewConsumer[int](ctx, b, "fanin", "agg",
+		pstream.WithEndCount(producers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	seen := make(map[int]bool)
+	for {
+		v, err := cons.NextValue(ctx)
+		if errors.Is(err, pstream.ErrEnd) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("NextValue: %v", err)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*per {
+		t.Fatalf("consumed %d distinct items, want %d", len(seen), producers*per)
+	}
+}
+
+func TestConsumerOffsetResumeAcrossRestart(t *testing.T) {
+	ctx := context.Background()
+	st := newLocalStore(t)
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	b := pstream.NewKV(srv.Addr())
+	defer b.Close()
+
+	prod := pstream.NewProducer[int](st, b, "resume")
+	for i := 1; i <= 4; i++ {
+		if err := prod.Send(ctx, i, nil); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	prod.Close(ctx)
+
+	cons, err := pstream.NewConsumer[int](ctx, b, "resume", "c", pstream.WithWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume and ack two, then "crash".
+	for i := 1; i <= 2; i++ {
+		v, err := cons.NextValue(ctx)
+		if err != nil || v != i {
+			t.Fatalf("NextValue = %d, %v", v, err)
+		}
+	}
+	cons.Close()
+
+	cons2, err := pstream.NewConsumer[int](ctx, b, "resume", "c", pstream.WithWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons2.Close()
+	v, err := cons2.NextValue(ctx)
+	if err != nil || v != 3 {
+		t.Fatalf("resumed NextValue = %d, %v; want 3", v, err)
+	}
+}
+
+// --- The headline guarantee ----------------------------------------------
+
+// TestBrokerBytesStayMetadataSized is the acceptance scenario: a producer
+// streams 1,000 × 1 MiB items to two consumers; only O(KB)-sized event
+// records cross the broker, while bulk bytes ride the store's data plane —
+// and evict-on-ack garbage-collects each item once both consumers are done,
+// so the backlog on disk stays bounded too.
+func TestBrokerBytesStayMetadataSized(t *testing.T) {
+	ctx := context.Background()
+	items := 1000
+	if testing.Short() {
+		items = 64
+	}
+	const itemSize = 1 << 20
+
+	name := "pstream-bulk-" + connector.NewID()[:12]
+	conn, err := file.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.New(name, conn, store.WithSerializer(serial.Raw()),
+		store.WithCacheBytes(0)) // no cache: consumers must hit the data plane
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Unregister(name) })
+
+	cb := pstream.NewCounting(pstream.NewMem())
+	const consumers = 2
+
+	var wg sync.WaitGroup
+	consumed := make([]int, consumers)
+	errs := make(chan error, consumers+1)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Window 1 keeps proxies lazy: receiving an event must not pull
+			// its megabyte.
+			cons, err := pstream.NewConsumer[[]byte](ctx, cb, "bulk", fmt.Sprintf("c%d", c),
+				pstream.WithWindow(1))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cons.Close()
+			for {
+				it, err := cons.Next(ctx)
+				if errors.Is(err, pstream.ErrEnd) {
+					return
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Spot-check payload integrity on a sample; events alone
+				// (unresolved proxies) are the common path.
+				if it.Event.Seq%251 == 0 {
+					v, err := it.Value(ctx)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(v) != itemSize || v[0] != byte(it.Event.Seq) {
+						errs <- fmt.Errorf("consumer %d: corrupt item seq %d", c, it.Event.Seq)
+						return
+					}
+				}
+				if err := it.Ack(ctx); err != nil {
+					errs <- err
+					return
+				}
+				consumed[c]++
+			}
+		}(c)
+	}
+
+	prod := pstream.NewProducer[[]byte](st, cb, "bulk", pstream.WithEvictOnAck(consumers))
+	buf := make([]byte, itemSize)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			buf[0] = byte(i + 1) // Seq starts at 1
+			if err := prod.Send(ctx, buf, nil); err != nil {
+				errs <- err
+				return
+			}
+		}
+		if err := prod.Close(ctx); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for c := 0; c < consumers; c++ {
+		if consumed[c] != items {
+			t.Fatalf("consumer %d consumed %d items, want %d", c, consumed[c], items)
+		}
+	}
+
+	dataBytes := uint64(items) * itemSize
+	brokerBytes := cb.BytesPublished() + cb.BytesDelivered()
+	perEvent := brokerBytes / uint64((items+1)*(consumers+1)) // +End, pub+2×deliver
+	t.Logf("data plane: %d MiB stored; metadata plane: %d KiB total, %d B/event",
+		dataBytes>>20, brokerBytes>>10, perEvent)
+	if perEvent > 1024 {
+		t.Fatalf("per-event broker cost = %d bytes, want O(KB) (<=1024)", perEvent)
+	}
+	if brokerBytes*100 > dataBytes {
+		t.Fatalf("broker moved %d bytes, more than 1%% of the %d data bytes",
+			brokerBytes, dataBytes)
+	}
+
+	// Evict-on-ack reclaimed every item: nothing left in the data plane.
+	if m := st.Metrics(); m.Evicts != uint64(items) {
+		t.Fatalf("store Evicts = %d, want %d", m.Evicts, items)
+	}
+}
+
+// --- Broker bytes vs payload sanity over redis data plane ----------------
+
+func TestKVBrokerWithRedisDataPlane(t *testing.T) {
+	// Metadata and data planes share one kvstore server, as they would in a
+	// deployment that reuses redis for both.
+	ctx := context.Background()
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	name := "pstream-redis-" + connector.NewID()[:12]
+	st, err := store.New(name, redisc.New(srv.Addr()), store.WithSerializer(serial.Raw()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Unregister(name)
+	b := pstream.NewKV(srv.Addr())
+	defer b.Close()
+
+	payload := bytes.Repeat([]byte{0xAB}, 512<<10)
+	prod := pstream.NewProducer[[]byte](st, b, "rd", pstream.WithEvictOnAck(1))
+	if err := prod.Send(ctx, payload, nil); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	prod.Close(ctx)
+
+	cons, err := pstream.NewConsumer[[]byte](ctx, b, "rd", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	v, err := cons.NextValue(ctx)
+	if err != nil {
+		t.Fatalf("NextValue: %v", err)
+	}
+	if !bytes.Equal(v, payload) {
+		t.Fatal("payload corrupted crossing shared kv server")
+	}
+	if _, err := cons.NextValue(ctx); !errors.Is(err, pstream.ErrEnd) {
+		t.Fatalf("want ErrEnd, got %v", err)
+	}
+}
+
+func TestConsumerSkipsGapEvents(t *testing.T) {
+	// A failed KVBroker append back-fills its reserved slot with a gap
+	// marker ("ps.gap" attr); consumers must skip it silently.
+	ctx := context.Background()
+	st := newLocalStore(t)
+	b := pstream.NewMem()
+
+	prod := pstream.NewProducer[string](st, b, "gappy")
+	if err := prod.Send(ctx, "before", nil); err != nil {
+		t.Fatal(err)
+	}
+	gap := pstream.Event{Attrs: map[string]string{"ps.gap": "1"}}
+	if err := b.Publish(ctx, "gappy", gap); err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.Send(ctx, "after", nil); err != nil {
+		t.Fatal(err)
+	}
+	prod.Close(ctx)
+
+	cons, err := pstream.NewConsumer[string](ctx, b, "gappy", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	for _, want := range []string{"before", "after"} {
+		v, err := cons.NextValue(ctx)
+		if err != nil || v != want {
+			t.Fatalf("NextValue = %q, %v; want %q", v, err, want)
+		}
+	}
+	if _, err := cons.NextValue(ctx); !errors.Is(err, pstream.ErrEnd) {
+		t.Fatalf("want ErrEnd after gap stream, got %v", err)
+	}
+}
+
+func TestMemBrokerCloseWakesBlockedNext(t *testing.T) {
+	ctx := context.Background()
+	b := pstream.NewMem()
+	sub, err := b.Subscribe(ctx, "idle", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := sub.Next(ctx)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let Next park
+	b.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Next returned nil after broker close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next still blocked after broker Close")
+	}
+}

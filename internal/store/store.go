@@ -70,6 +70,11 @@ type Metrics struct {
 	CacheHits  uint64
 	Proxies    uint64
 	Serialized uint64
+	// CacheHitBytes is the charged byte cost served from the
+	// deserialized-object cache instead of the connector.
+	CacheHitBytes uint64
+	// CacheEvictions counts entries the cache's byte budget pushed out.
+	CacheEvictions uint64
 }
 
 type metrics struct {
@@ -200,14 +205,16 @@ func (s *Store) Serializer() serial.Serializer { return s.ser }
 // Metrics returns a snapshot of operation counters.
 func (s *Store) Metrics() Metrics {
 	return Metrics{
-		Puts:       s.m.puts.Load(),
-		Gets:       s.m.gets.Load(),
-		Evicts:     s.m.evicts.Load(),
-		BytesPut:   s.m.bytesPut.Load(),
-		BytesGot:   s.m.bytesGot.Load(),
-		CacheHits:  s.m.cacheHits.Load(),
-		Proxies:    s.m.proxies.Load(),
-		Serialized: s.m.serialized.Load(),
+		Puts:           s.m.puts.Load(),
+		Gets:           s.m.gets.Load(),
+		Evicts:         s.m.evicts.Load(),
+		BytesPut:       s.m.bytesPut.Load(),
+		BytesGot:       s.m.bytesGot.Load(),
+		CacheHits:      s.m.cacheHits.Load(),
+		Proxies:        s.m.proxies.Load(),
+		Serialized:     s.m.serialized.Load(),
+		CacheHitBytes:  s.cache.HitBytes(),
+		CacheEvictions: s.cache.Evictions(),
 	}
 }
 
@@ -584,12 +591,43 @@ func ResolveBatch[T any](ctx context.Context, proxies []*proxy.Proxy[T]) error {
 			}
 		}
 	}
-	for _, p := range loners {
-		if _, err := p.Value(ctx); err != nil {
+	// Non-store proxies cannot share a backend round trip, but they can at
+	// least resolve concurrently — in bounded chunks, so a huge batch does
+	// not spawn one in-flight fetch (and payload) per proxy at once.
+	const lonerWindow = 8
+	for len(loners) > 0 {
+		chunk := loners
+		if len(chunk) > lonerWindow {
+			chunk = chunk[:lonerWindow]
+		}
+		loners = loners[len(chunk):]
+		proxy.Prefetch(ctx, chunk...)
+		if _, err := proxy.AwaitAll(ctx, chunk...); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// KeyOf returns the backing store and object key of a store-backed proxy
+// without resolving it, materializing the store from the factory's embedded
+// config when this process has never seen it. Subscription layers (pstream)
+// use it to evict consumed objects and to inspect object sizes from proxies
+// alone. ok is false for proxies not backed by a store factory.
+func KeyOf[T any](p *proxy.Proxy[T]) (s *Store, key connector.Key, ok bool, err error) {
+	af, found := proxy.Underlying(p)
+	if !found {
+		return nil, connector.Key{}, false, nil
+	}
+	sf, found := af.(*storeFactory)
+	if !found {
+		return nil, connector.Key{}, false, nil
+	}
+	st, err := GetOrInit(sf.state.StoreName, sf.state.Connector, sf.state.Serializer)
+	if err != nil {
+		return nil, connector.Key{}, false, err
+	}
+	return st, sf.state.Key, true, nil
 }
 
 // --- The store factory ---------------------------------------------------

@@ -269,3 +269,74 @@ func TestPropertyStoreRoundTripBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMetricsCacheHitBytesAndEvictions(t *testing.T) {
+	// A tiny byte budget forces budget evictions; hits report charged cost.
+	s := newTestStore(t, "cachemetrics", store.WithCacheBytes(2048))
+	ctx := context.Background()
+
+	key, err := store.Put(ctx, s, bytes.Repeat([]byte("a"), 512))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := s.GetObject(ctx, key); err != nil { // fills cache
+		t.Fatalf("Get: %v", err)
+	}
+	if _, err := s.GetObject(ctx, key); err != nil { // cache hit
+		t.Fatalf("Get: %v", err)
+	}
+	m := s.Metrics()
+	if m.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", m.CacheHits)
+	}
+	// The hit serves at least the encoded payload (cost includes a fixed
+	// per-entry overhead charge).
+	if m.CacheHitBytes < 512 {
+		t.Fatalf("CacheHitBytes = %d, want >= 512", m.CacheHitBytes)
+	}
+	if m.CacheEvictions != 0 {
+		t.Fatalf("CacheEvictions = %d before pressure", m.CacheEvictions)
+	}
+
+	// Two more distinct objects overflow the 2 KiB budget.
+	for i := 0; i < 2; i++ {
+		k, err := store.Put(ctx, s, bytes.Repeat([]byte{byte(i)}, 900))
+		if err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if _, err := s.GetObject(ctx, k); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+	}
+	if m := s.Metrics(); m.CacheEvictions == 0 {
+		t.Fatal("CacheEvictions = 0 after exceeding the byte budget")
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	s := newTestStore(t, "keyof")
+	ctx := context.Background()
+	p, err := store.NewProxy(ctx, s, []byte("located"))
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	st, key, ok, err := store.KeyOf(p)
+	if err != nil || !ok {
+		t.Fatalf("KeyOf = ok=%v, err=%v", ok, err)
+	}
+	if st != s {
+		t.Fatalf("KeyOf returned store %q", st.Name())
+	}
+	if p.Resolved() {
+		t.Fatal("KeyOf resolved the proxy")
+	}
+	got, err := store.Get[[]byte](ctx, s, key)
+	if err != nil || string(got) != "located" {
+		t.Fatalf("Get via KeyOf key = %q, %v", got, err)
+	}
+	// Non-store proxies report ok=false, not an error.
+	plain := proxy.FromValue(42)
+	if _, _, ok, err := store.KeyOf(plain); ok || err != nil {
+		t.Fatalf("KeyOf(non-store) = ok=%v, err=%v", ok, err)
+	}
+}
