@@ -1,5 +1,5 @@
 // Command ps-streambench compares moving a stream of objects from one
-// producer to N consumers three ways:
+// producer to N consumers several ways:
 //
 //	inline   — eager blob fan-out: every payload travels through the broker
 //	           itself, once per consumer (the classic message-queue baseline)
@@ -7,16 +7,23 @@
 //	           consumer resolves each payload with its own blob get
 //	batched  — proxy streaming, prefetch window: pending events drain
 //	           together and payloads arrive in batched store gets
+//	batchpub — batched on both halves: the producer's SendBatch reserves a
+//	           whole offset range with one broker operation (KVBroker: one
+//	           INCRBY + one MSET instead of 2 round trips per event)
+//	group    — with -groups: consumers form one consumer group, so the
+//	           stream is a work queue where each item is claimed by exactly
+//	           one member (total work = items, not items × consumers)
 //
-// It reports items/sec plus bytes over the broker vs bytes over the store,
-// making the ProxyStream trade visible: the metadata plane stays O(KB) per
-// item while the data plane carries the bulk — and batching the data plane
-// beats per-item gets.
+// It reports items/sec plus bytes over the broker vs bytes over the store
+// — and, for the kv broker, server commands per item, making both
+// ProxyStream trades visible: the metadata plane stays O(KB) per item
+// while the data plane carries the bulk, and batching collapses the
+// publish path's round trips to O(1) per batch.
 //
 // Usage:
 //
 //	ps-streambench [-items N] [-size BYTES] [-consumers N] [-window N]
-//	               [-broker mem|kv] [-wan]
+//	               [-batch N] [-broker mem|kv] [-groups] [-wan]
 package main
 
 import (
@@ -42,12 +49,15 @@ import (
 func main() {
 	items := flag.Int("items", 256, "objects to stream")
 	size := flag.Int("size", 256<<10, "object size in bytes")
-	consumers := flag.Int("consumers", 2, "consumer count")
+	consumers := flag.Int("consumers", 2, "consumer count (group members with -groups)")
 	window := flag.Int("window", 16, "batched-mode prefetch window")
+	batch := flag.Int("batch", 32, "batchpub/group-mode SendBatch size")
 	brokerKind := flag.String("broker", "kv", "broker: mem | kv")
+	groups := flag.Bool("groups", false, "add the consumer-group work-queue profile")
 	wan := flag.Bool("wan", false, "model WAN delays on the redis data plane (kv broker only)")
 	flag.Parse()
 
+	var srv *kvstore.Server
 	var mkBroker func() pstream.Broker
 	var mkStore func(run string) *store.Store
 	switch *brokerKind {
@@ -61,7 +71,8 @@ func main() {
 			return st
 		}
 	case "kv":
-		srv, err := kvstore.NewServer("127.0.0.1:0")
+		var err error
+		srv, err = kvstore.NewServer("127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -87,13 +98,18 @@ func main() {
 
 	fmt.Printf("streaming %d × %d KiB to %d consumers over %q broker\n\n",
 		*items, *size>>10, *consumers, *brokerKind)
-	fmt.Printf("%-8s %10s %10s %14s %14s\n", "mode", "items/s", "MB/s", "broker-bytes", "store-bytes")
+	fmt.Printf("%-8s %10s %10s %14s %14s %10s\n",
+		"mode", "items/s", "MB/s", "broker-bytes", "store-bytes", "kv-cmds/it")
 
 	run := func(mode string, f func(cb *pstream.CountingBroker, st *store.Store) error) {
 		st := mkStore(mode)
 		defer st.Close()
 		cb := pstream.NewCounting(mkBroker())
 		defer cb.Close()
+		var cmds0 uint64
+		if srv != nil {
+			cmds0 = srv.Commands()
+		}
 		start := time.Now()
 		if err := f(cb, st); err != nil {
 			log.Fatalf("%s: %v", mode, err)
@@ -102,8 +118,12 @@ func main() {
 		m := st.Metrics()
 		rate := float64(*items) / elapsed.Seconds()
 		mbs := float64(*items**size) / 1e6 / elapsed.Seconds()
-		fmt.Printf("%-8s %10.0f %10.1f %14d %14d\n",
-			mode, rate, mbs, cb.BytesPublished()+cb.BytesDelivered(), m.BytesPut+m.BytesGot)
+		perItem := "-"
+		if srv != nil {
+			perItem = fmt.Sprintf("%.1f", float64(srv.Commands()-cmds0)/float64(*items))
+		}
+		fmt.Printf("%-8s %10.0f %10.1f %14d %14d %10s\n",
+			mode, rate, mbs, cb.BytesPublished()+cb.BytesDelivered(), m.BytesPut+m.BytesGot, perItem)
 	}
 
 	payload := make([]byte, *size)
@@ -115,11 +135,19 @@ func main() {
 		return inlineFanOut(cb, payload, *items, *consumers)
 	})
 	run("eager", func(cb *pstream.CountingBroker, st *store.Store) error {
-		return proxyStream(cb, st, payload, *items, *consumers, 1)
+		return proxyStream(cb, st, payload, *items, *consumers, 1, 0, false)
 	})
 	run("batched", func(cb *pstream.CountingBroker, st *store.Store) error {
-		return proxyStream(cb, st, payload, *items, *consumers, *window)
+		return proxyStream(cb, st, payload, *items, *consumers, *window, 0, false)
 	})
+	run("batchpub", func(cb *pstream.CountingBroker, st *store.Store) error {
+		return proxyStream(cb, st, payload, *items, *consumers, *window, *batch, false)
+	})
+	if *groups {
+		run("group", func(cb *pstream.CountingBroker, st *store.Store) error {
+			return proxyStream(cb, st, payload, *items, *consumers, *window, *batch, true)
+		})
+	}
 }
 
 // inlineFanOut pushes payloads through the broker itself: the baseline
@@ -173,25 +201,38 @@ func inlineFanOut(b pstream.Broker, payload []byte, items, consumers int) error 
 
 // proxyStream is the ProxyStream pattern: payloads through the store,
 // events through the broker, consumers resolving with the given window.
-func proxyStream(b pstream.Broker, st *store.Store, payload []byte, items, consumers, window int) error {
+// sendBatch > 0 publishes in SendBatch chunks of that size; group makes
+// the consumers members of one consumer group (each item claimed by
+// exactly one member) instead of independent fan-out readers.
+func proxyStream(b pstream.Broker, st *store.Store, payload []byte, items, consumers, window, sendBatch int, group bool) error {
 	ctx := context.Background()
 	topic := "px-" + connector.NewID()[:8]
+	evictAfter := consumers
+	if group {
+		evictAfter = 1 // the whole group counts as one consumer
+	}
 	var wg sync.WaitGroup
 	errs := make(chan error, consumers+1)
+	var consumed sync.Map
 	for c := 0; c < consumers; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cons, err := pstream.NewConsumer[[]byte](ctx, b, topic, fmt.Sprintf("c%d", c),
-				pstream.WithWindow(window))
+			opts := []pstream.ConsumerOption{pstream.WithWindow(window)}
+			if group {
+				opts = append(opts, pstream.WithGroup("pool"))
+			}
+			cons, err := pstream.NewConsumer[[]byte](ctx, b, topic, fmt.Sprintf("c%d", c), opts...)
 			if err != nil {
 				errs <- err
 				return
 			}
 			defer cons.Close()
+			n := 0
 			for {
 				v, err := cons.NextValue(ctx)
 				if errors.Is(err, pstream.ErrEnd) {
+					consumed.Store(c, n)
 					return
 				}
 				if err != nil {
@@ -202,17 +243,35 @@ func proxyStream(b pstream.Broker, st *store.Store, payload []byte, items, consu
 					errs <- fmt.Errorf("consumer %d: truncated payload", c)
 					return
 				}
+				n++
 			}
 		}(c)
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		prod := pstream.NewProducer[[]byte](st, b, topic, pstream.WithEvictOnAck(consumers))
-		for i := 0; i < items; i++ {
-			if err := prod.Send(ctx, payload, nil); err != nil {
-				errs <- err
-				return
+		prod := pstream.NewProducer[[]byte](st, b, topic, pstream.WithEvictOnAck(evictAfter))
+		if sendBatch > 0 {
+			for sent := 0; sent < items; sent += sendBatch {
+				n := sendBatch
+				if items-sent < n {
+					n = items - sent
+				}
+				batch := make([][]byte, n)
+				for i := range batch {
+					batch[i] = payload
+				}
+				if err := prod.SendBatch(ctx, batch); err != nil {
+					errs <- err
+					return
+				}
+			}
+		} else {
+			for i := 0; i < items; i++ {
+				if err := prod.Send(ctx, payload, nil); err != nil {
+					errs <- err
+					return
+				}
 			}
 		}
 		if err := prod.Close(ctx); err != nil {
@@ -221,5 +280,17 @@ func proxyStream(b pstream.Broker, st *store.Store, payload []byte, items, consu
 	}()
 	wg.Wait()
 	close(errs)
-	return <-errs
+	if err := <-errs; err != nil {
+		return err
+	}
+	total := 0
+	consumed.Range(func(_, v any) bool { total += v.(int); return true })
+	want := items * consumers
+	if group {
+		want = items
+	}
+	if total != want {
+		return fmt.Errorf("consumed %d items in total, want %d", total, want)
+	}
+	return nil
 }

@@ -1,51 +1,79 @@
 // Federated learning over pstream: the paper's §5.5 workload restructured
-// as the follow-up ProxyStream pattern — a continuous producer/consumer
-// dataflow instead of per-round RPC.
+// as the follow-up ProxyStream pattern — a continuous task/update dataflow
+// instead of per-round RPC.
 //
-// The aggregator publishes each round's global weights to the "global"
-// topic; edge devices consume them as lazy proxies, train locally, and
-// publish updates to the "updates" topic; the aggregator consumes the
-// updates with batched prefetch and averages. Only O(100 B) event records
-// cross the broker — weights ride the store's data plane — and evict-on-ack
-// garbage-collects every consumed weight blob, so a long-running training
-// loop holds O(1) rounds of weights, not O(rounds).
+// The aggregator publishes each round's training tasks (global weights +
+// a data-shard assignment) to the "tasks" topic in one batched publish; a
+// pool of trainer workers consumes the topic as a **consumer group**, so
+// each task is claimed by exactly one worker — classic work-queue
+// elasticity: the pool can be smaller or larger than the shard count, and
+// a worker that dies mid-task has its claim lease expire and the task
+// redelivered to a peer. Workers train locally and stream updates to the
+// "updates" topic, which the aggregator consumes with batched prefetch
+// and averages. Only O(100 B) event records cross the broker — weights
+// ride the store's data plane — and evict-on-ack garbage-collects every
+// consumed blob, so a long-running training loop holds O(1) rounds of
+// weights, not O(rounds).
 package main
 
 import (
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"log"
-	"strconv"
 	"sync"
 
 	"proxystore/internal/connectors/local"
 	"proxystore/internal/flox"
 	"proxystore/internal/ml"
 	"proxystore/internal/pstream"
-	"proxystore/internal/serial"
 	"proxystore/internal/store"
 )
 
+func init() {
+	// The store's gob serializer moves values as interfaces; concrete
+	// payload types must be registered.
+	gob.Register(task{})
+	gob.Register(update{})
+}
+
 const (
-	devices  = 4
+	workers  = 3 // trainer pool size — deliberately ≠ shards
+	shards   = 4 // training tasks per round
 	rounds   = 5
 	dataSize = 64
 	lr       = 0.02
 )
 
-// device consumes global weights, trains, and streams updates back.
-func device(ctx context.Context, id int, arch flox.Arch, st *store.Store, broker pstream.Broker) error {
-	cons, err := pstream.NewConsumer[[]byte](ctx, broker, "global",
-		fmt.Sprintf("edge-%d", id), pstream.WithEndCount(1))
+// task is one unit of work: train on shard with these weights. It rides
+// the data plane as a gob blob; the event crossing the broker is O(100 B).
+type task struct {
+	Round   int
+	Shard   int
+	Weights []byte
+}
+
+// update is a worker's result for one task.
+type update struct {
+	Round   int
+	Shard   int
+	Weights []byte
+}
+
+// worker claims tasks from the shared queue, trains, and streams updates
+// back. Which shards a worker ends up training is decided entirely by the
+// group's claim race.
+func worker(ctx context.Context, id int, arch flox.Arch, st *store.Store, broker pstream.Broker, claimed []int) error {
+	cons, err := pstream.NewConsumer[task](ctx, broker, "tasks",
+		fmt.Sprintf("w%d", id), pstream.WithGroup("trainers"), pstream.WithEndCount(1))
 	if err != nil {
 		return err
 	}
 	defer cons.Close()
-	prod := pstream.NewProducer[[]byte](st, broker, "updates",
+	prod := pstream.NewProducer[update](st, broker, "updates",
 		pstream.WithEvictOnAck(1)) // only the aggregator reads updates
 
-	data := ml.SyntheticFashion(dataSize, int64(100+id))
 	for {
 		it, err := cons.Next(ctx)
 		if errors.Is(err, pstream.ErrEnd) {
@@ -54,24 +82,29 @@ func device(ctx context.Context, id int, arch flox.Arch, st *store.Store, broker
 		if err != nil {
 			return err
 		}
-		weights, err := it.Value(ctx) // proxy resolves here, not in transit
+		tk, err := it.Value(ctx) // proxy resolves here, not in transit
 		if err != nil {
 			return err
 		}
 		model := arch.NewModel(1)
-		if err := model.LoadWeights(weights); err != nil {
+		if err := model.LoadWeights(tk.Weights); err != nil {
 			return err
 		}
-		if err := it.Ack(ctx); err != nil { // all devices acked ⇒ round blob evicted
-			return err
-		}
-		for _, s := range data {
+		// Each shard has its own stable synthetic dataset, whichever
+		// worker draws the task.
+		for _, s := range ml.SyntheticFashion(dataSize, int64(100+tk.Shard)) {
 			model.TrainStep(s.X, s.Label, lr)
 		}
-		if err := prod.Send(ctx, model.SerializeWeights(), map[string]string{
-			"round":  it.Event.Attr("round"),
-			"device": strconv.Itoa(id),
-		}); err != nil {
+		claimed[id]++
+		if err := prod.Send(ctx, update{
+			Round: tk.Round, Shard: tk.Shard, Weights: model.SerializeWeights(),
+		}, nil); err != nil {
+			return err
+		}
+		// Ack only once the update is published: a worker that dies
+		// mid-task keeps its claim unacked, so the lease expires and the
+		// task is redelivered to a peer. (Ack also evicts the task blob.)
+		if err := it.Ack(ctx); err != nil {
 			return err
 		}
 	}
@@ -80,8 +113,7 @@ func device(ctx context.Context, id int, arch flox.Arch, st *store.Store, broker
 func main() {
 	ctx := context.Background()
 
-	st, err := store.New("fl-store", local.New("fl-conn"),
-		store.WithSerializer(serial.Raw()))
+	st, err := store.New("fl-store", local.New("fl-conn")) // gob: tasks are structs
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,61 +123,69 @@ func main() {
 	arch := flox.Arch{InputDim: 28 * 28, HiddenDim: 32, Blocks: 2, Classes: 10}
 	model := arch.NewModel(1)
 	test := ml.SyntheticFashion(200, 999)
-	fmt.Printf("model: %d parameters (%d KB of weights)\n",
-		model.NumParams(), model.NumParams()*4/1024)
+	fmt.Printf("model: %d parameters (%d KB of weights), %d shards, %d workers\n",
+		model.NumParams(), model.NumParams()*4/1024, shards, workers)
 	fmt.Printf("round 0 accuracy: %.1f%%\n", 100*model.Evaluate(test))
 
-	// A failing device cancels the whole run; otherwise the aggregator
+	// A failing worker cancels the whole run; otherwise the aggregator
 	// would wait forever for an update that is never coming.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	claimed := make([]int, workers)
 	var wg sync.WaitGroup
-	devErrs := make(chan error, devices)
-	for i := 0; i < devices; i++ {
+	workerErrs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := device(ctx, i, arch, st, broker); err != nil {
-				devErrs <- fmt.Errorf("device %d: %w", i, err)
+			if err := worker(ctx, i, arch, st, broker, claimed); err != nil {
+				workerErrs <- fmt.Errorf("worker %d: %w", i, err)
 				cancel()
 			}
 		}(i)
 	}
 
-	// The aggregator's side of the dataflow: global weights out, updates in.
-	globalProd := pstream.NewProducer[[]byte](st, broker, "global",
-		pstream.WithEvictOnAck(devices))
-	updates, err := pstream.NewConsumer[[]byte](ctx, broker, "updates", "aggregator",
-		pstream.WithEndCount(devices), pstream.WithWindow(devices))
+	// The aggregator's side of the dataflow: task batches out, updates in.
+	// The whole trainer group counts as one consumer for evict-on-ack.
+	taskProd := pstream.NewProducer[task](st, broker, "tasks",
+		pstream.WithEvictOnAck(1))
+	updates, err := pstream.NewConsumer[update](ctx, broker, "updates", "aggregator",
+		pstream.WithEndCount(workers), pstream.WithWindow(shards))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer updates.Close()
 
-	// die prefers a device's root-cause error over the aggregator-side
+	// die prefers a worker's root-cause error over the aggregator-side
 	// cancellation it provokes.
 	die := func(err error) {
 		select {
-		case derr := <-devErrs:
-			log.Fatal(derr)
+		case werr := <-workerErrs:
+			log.Fatal(werr)
 		default:
 			log.Fatal(err)
 		}
 	}
 
 	for round := 1; round <= rounds; round++ {
-		if err := globalProd.Send(ctx, model.SerializeWeights(), map[string]string{
-			"round": strconv.Itoa(round),
-		}); err != nil {
+		// One batched publish announces the whole round's work queue.
+		batch := make([]task, shards)
+		for s := range batch {
+			batch[s] = task{Round: round, Shard: s, Weights: model.SerializeWeights()}
+		}
+		if err := taskProd.SendBatch(ctx, batch); err != nil {
 			die(err)
 		}
-		blobs := make([][]byte, 0, devices)
-		for len(blobs) < devices {
-			w, err := updates.NextValue(ctx) // batched prefetch under the hood
+		blobs := make([][]byte, 0, shards)
+		for len(blobs) < shards {
+			u, err := updates.NextValue(ctx) // batched prefetch under the hood
 			if err != nil {
 				die(err)
 			}
-			blobs = append(blobs, w)
+			if u.Round != round {
+				die(fmt.Errorf("update for round %d arrived during round %d", u.Round, round))
+			}
+			blobs = append(blobs, u.Weights)
 		}
 		avg, err := ml.AverageWeights(blobs)
 		if err != nil {
@@ -156,15 +196,23 @@ func main() {
 		}
 		fmt.Printf("round %d accuracy: %.1f%%\n", round, 100*model.Evaluate(test))
 	}
-	if err := globalProd.Close(ctx); err != nil { // devices see ErrEnd and stop
+	if err := taskProd.Close(ctx); err != nil { // workers see ErrEnd and stop
 		log.Fatal(err)
 	}
 	wg.Wait()
-	close(devErrs)
-	for err := range devErrs {
+	close(workerErrs)
+	for err := range workerErrs {
 		log.Fatal(err)
 	}
 
+	total := 0
+	for i, n := range claimed {
+		fmt.Printf("worker %d trained %d tasks\n", i, n)
+		total += n
+	}
+	if total != rounds*shards {
+		log.Fatalf("trainer group worked %d tasks, want %d", total, rounds*shards)
+	}
 	m := st.Metrics()
 	fmt.Printf("data plane:     %d MB of weights through the store (%d puts, %d evicted on ack)\n",
 		(m.BytesPut+m.BytesGot)>>20, m.Puts, m.Evicts)

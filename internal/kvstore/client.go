@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -291,6 +292,38 @@ func (c *Client) MSet(ctx context.Context, pairs map[string][]byte) error {
 // and returns the new value.
 func (c *Client) Incr(ctx context.Context, key string) (int64, error) {
 	v, err := c.do(ctx, "INCR", []byte(key))
+	if err != nil {
+		return 0, err
+	}
+	return v.num, nil
+}
+
+// IncrBy atomically adds delta to the integer at key (missing keys start
+// at 0) and returns the new value — one round trip to reserve a range of
+// delta log slots.
+func (c *Client) IncrBy(ctx context.Context, key string, delta int64) (int64, error) {
+	v, err := c.do(ctx, "INCRBY", []byte(key), []byte(strconv.FormatInt(delta, 10)))
+	if err != nil {
+		return 0, err
+	}
+	return v.num, nil
+}
+
+// CAS atomically swaps key's value from old to new, reporting whether the
+// swap happened. A nil/empty old means the key must not exist (SETNX).
+func (c *Client) CAS(ctx context.Context, key string, old, new []byte) (bool, error) {
+	v, err := c.do(ctx, "CAS", []byte(key), old, new)
+	if err != nil {
+		return false, err
+	}
+	return v.num == 1, nil
+}
+
+// DelRange deletes the keys prefix+i for start <= i < end (decimal i),
+// returning how many existed.
+func (c *Client) DelRange(ctx context.Context, prefix string, start, end uint64) (int64, error) {
+	v, err := c.do(ctx, "DELRANGE", []byte(prefix),
+		[]byte(strconv.FormatUint(start, 10)), []byte(strconv.FormatUint(end, 10)))
 	if err != nil {
 		return 0, err
 	}

@@ -154,6 +154,207 @@ func TestIncrConcurrent(t *testing.T) {
 	}
 }
 
+func TestIncrBy(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	n, err := cli.IncrBy(ctx, "ctr", 8)
+	if err != nil || n != 8 {
+		t.Fatalf("IncrBy new key = %d, %v; want 8", n, err)
+	}
+	n, err = cli.IncrBy(ctx, "ctr", 3)
+	if err != nil || n != 11 {
+		t.Fatalf("second IncrBy = %d, %v; want 11", n, err)
+	}
+	// Negative deltas decrement; INCR interoperates with the same counter.
+	n, err = cli.IncrBy(ctx, "ctr", -1)
+	if err != nil || n != 10 {
+		t.Fatalf("negative IncrBy = %d, %v; want 10", n, err)
+	}
+	n, err = cli.Incr(ctx, "ctr")
+	if err != nil || n != 11 {
+		t.Fatalf("Incr after IncrBy = %d, %v; want 11", n, err)
+	}
+	cli.Set(ctx, "str", []byte("not a number"))
+	if _, err := cli.IncrBy(ctx, "str", 2); err == nil {
+		t.Fatal("IncrBy of non-integer value succeeded")
+	}
+}
+
+func TestIncrByConcurrentReservesDisjointRanges(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	const goroutines, batch = 8, 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	ends := make(map[int64]bool)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, err := cli.IncrBy(ctx, "slots", batch)
+			if err != nil {
+				t.Errorf("IncrBy: %v", err)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if ends[n] {
+				t.Errorf("range ending at %d reserved twice", n)
+			}
+			ends[n] = true
+		}()
+	}
+	wg.Wait()
+	// Every reservation end must be a distinct multiple of batch: the
+	// ranges [n-batch, n) tile without overlap.
+	for n := range ends {
+		if n%batch != 0 || n <= 0 || n > goroutines*batch {
+			t.Fatalf("reservation end %d is not a clean batch boundary", n)
+		}
+	}
+}
+
+func TestCAS(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	// Empty old = SETNX: first claim wins, second loses.
+	ok, err := cli.CAS(ctx, "claim", nil, []byte("alice"))
+	if err != nil || !ok {
+		t.Fatalf("CAS on absent key = %v, %v; want true", ok, err)
+	}
+	ok, err = cli.CAS(ctx, "claim", nil, []byte("bob"))
+	if err != nil || ok {
+		t.Fatalf("second SETNX-CAS = %v, %v; want false", ok, err)
+	}
+	// Swap requires the exact current value.
+	ok, err = cli.CAS(ctx, "claim", []byte("carol"), []byte("bob"))
+	if err != nil || ok {
+		t.Fatalf("CAS with stale old = %v, %v; want false", ok, err)
+	}
+	ok, err = cli.CAS(ctx, "claim", []byte("alice"), []byte("bob"))
+	if err != nil || !ok {
+		t.Fatalf("CAS with matching old = %v, %v; want true", ok, err)
+	}
+	got, _, err := cli.Get(ctx, "claim")
+	if err != nil || string(got) != "bob" {
+		t.Fatalf("value after CAS = %q, %v", got, err)
+	}
+	// CAS with old set but key missing must fail.
+	ok, err = cli.CAS(ctx, "ghost", []byte("x"), []byte("y"))
+	if err != nil || ok {
+		t.Fatalf("CAS on missing key with old = %v, %v; want false", ok, err)
+	}
+}
+
+func TestCASConcurrentSingleWinner(t *testing.T) {
+	srv, _ := newPair(t, nil, nil)
+	ctx := context.Background()
+	const contenders = 8
+	var wg sync.WaitGroup
+	wins := make(chan int, contenders)
+	for g := 0; g < contenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cli := NewClient(srv.Addr())
+			defer cli.Close()
+			ok, err := cli.CAS(ctx, "lease", nil, []byte(fmt.Sprintf("holder-%d", g)))
+			if err != nil {
+				t.Errorf("CAS: %v", err)
+				return
+			}
+			if ok {
+				wins <- g
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(wins)
+	var winners []int
+	for g := range wins {
+		winners = append(winners, g)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("CAS claim had %d winners (%v), want exactly 1", len(winners), winners)
+	}
+}
+
+func TestDelRange(t *testing.T) {
+	_, cli := newPair(t, nil, nil)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		cli.Set(ctx, fmt.Sprintf("log:%d", i), []byte("e"))
+	}
+	cli.Set(ctx, "log:other", []byte("kept")) // non-numeric suffix untouched
+	n, err := cli.DelRange(ctx, "log:", 2, 7)
+	if err != nil || n != 5 {
+		t.Fatalf("DelRange = %d, %v; want 5", n, err)
+	}
+	for i := 0; i < 10; i++ {
+		want := int64(1)
+		if i >= 2 && i < 7 {
+			want = 0
+		}
+		if got, _ := cli.Exists(ctx, fmt.Sprintf("log:%d", i)); got != want {
+			t.Fatalf("log:%d exists = %d, want %d", i, got, want)
+		}
+	}
+	if got, _ := cli.Exists(ctx, "log:other"); got != 1 {
+		t.Fatal("DelRange deleted a key outside the numeric range")
+	}
+	// Empty and inverted ranges are no-ops; oversized ranges are rejected.
+	if n, err := cli.DelRange(ctx, "log:", 7, 7); err != nil || n != 0 {
+		t.Fatalf("empty DelRange = %d, %v", n, err)
+	}
+	if n, err := cli.DelRange(ctx, "log:", 9, 2); err != nil || n != 0 {
+		t.Fatalf("inverted DelRange = %d, %v", n, err)
+	}
+	if _, err := cli.DelRange(ctx, "log:", 0, 1<<30); err == nil {
+		t.Fatal("oversized DelRange did not error")
+	}
+}
+
+func TestNewCommandsPersistAcrossRestart(t *testing.T) {
+	aof := filepath.Join(t.TempDir(), "store.aof")
+	srv, err := NewServer("127.0.0.1:0", WithPersistence(aof))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	cli := NewClient(srv.Addr())
+	ctx := context.Background()
+	if _, err := cli.IncrBy(ctx, "ctr", 42); err != nil {
+		t.Fatalf("IncrBy: %v", err)
+	}
+	if _, err := cli.CAS(ctx, "claim", nil, []byte("held")); err != nil {
+		t.Fatalf("CAS: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		cli.Set(ctx, fmt.Sprintf("log:%d", i), []byte("e"))
+	}
+	if _, err := cli.DelRange(ctx, "log:", 0, 3); err != nil {
+		t.Fatalf("DelRange: %v", err)
+	}
+	cli.Close()
+	srv.Close()
+
+	srv2, err := NewServer("127.0.0.1:0", WithPersistence(aof))
+	if err != nil {
+		t.Fatalf("restart NewServer: %v", err)
+	}
+	defer srv2.Close()
+	cli2 := NewClient(srv2.Addr())
+	defer cli2.Close()
+	if v, _, _ := cli2.Get(ctx, "ctr"); string(v) != "42" {
+		t.Fatalf("counter after restart = %q, want 42", v)
+	}
+	if v, _, _ := cli2.Get(ctx, "claim"); string(v) != "held" {
+		t.Fatalf("claim after restart = %q, want held", v)
+	}
+	if n, _ := cli2.Exists(ctx, "log:0", "log:1", "log:2", "log:3"); n != 1 {
+		t.Fatalf("%d log keys survived restart, want 1 (only log:3)", n)
+	}
+}
+
 func TestDBSizeAndFlush(t *testing.T) {
 	_, cli := newPair(t, nil, nil)
 	ctx := context.Background()

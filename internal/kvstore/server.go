@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -40,6 +41,11 @@ type Server struct {
 	aofMu sync.Mutex
 	aof   *os.File
 
+	// connMu guards conns, the set of open client connections, so Close
+	// can hang up on idle clients instead of waiting for them to leave.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
 	closed   atomic.Bool
 	connWG   sync.WaitGroup
 	commands atomic.Uint64
@@ -49,6 +55,7 @@ type Server struct {
 func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 	s := &Server{
 		data:   make(map[string][]byte),
+		conns:  make(map[net.Conn]struct{}),
 		logger: log.New(io.Discard, "", 0),
 	}
 	for _, o := range opts {
@@ -82,12 +89,19 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Commands returns the number of commands served.
 func (s *Server) Commands() uint64 { return s.commands.Load() }
 
-// Close stops accepting connections and waits for handlers to finish.
+// Close stops accepting connections, hangs up on connected clients (idle
+// pooled clients would otherwise pin the server open forever), and waits
+// for handlers to finish.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
 	s.connWG.Wait()
 	if s.aof != nil {
 		s.aofMu.Lock()
@@ -106,10 +120,18 @@ func (s *Server) acceptLoop() {
 			}
 			return
 		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.connWG.Add(1)
 		go func() {
 			defer s.connWG.Done()
-			defer conn.Close()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+				conn.Close()
+			}()
 			s.serveConn(conn)
 		}()
 	}
@@ -203,7 +225,42 @@ func (s *Server) execute(cmd command) value {
 		if len(cmd.args) != 1 {
 			return errorValue("ERR wrong number of arguments for 'incr'")
 		}
-		n, err := s.incr(string(cmd.args[0]))
+		n, err := s.incrBy(string(cmd.args[0]), 1)
+		if err != nil {
+			return errorValue("ERR " + err.Error())
+		}
+		return integerValue(n)
+	case "INCRBY":
+		if len(cmd.args) != 2 {
+			return errorValue("ERR wrong number of arguments for 'incrby'")
+		}
+		delta, err := strconv.ParseInt(string(cmd.args[1]), 10, 64)
+		if err != nil {
+			return errorValue("ERR value is not an integer or out of range")
+		}
+		n, err := s.incrBy(string(cmd.args[0]), delta)
+		if err != nil {
+			return errorValue("ERR " + err.Error())
+		}
+		return integerValue(n)
+	case "CAS":
+		if len(cmd.args) != 3 {
+			return errorValue("ERR wrong number of arguments for 'cas'")
+		}
+		if s.cas(string(cmd.args[0]), cmd.args[1], cmd.args[2]) {
+			return integerValue(1)
+		}
+		return integerValue(0)
+	case "DELRANGE":
+		if len(cmd.args) != 3 {
+			return errorValue("ERR wrong number of arguments for 'delrange'")
+		}
+		start, err1 := strconv.ParseUint(string(cmd.args[1]), 10, 64)
+		end, err2 := strconv.ParseUint(string(cmd.args[2]), 10, 64)
+		if err1 != nil || err2 != nil {
+			return errorValue("ERR value is not an integer or out of range")
+		}
+		n, err := s.delRange(string(cmd.args[0]), start, end)
 		if err != nil {
 			return errorValue("ERR " + err.Error())
 		}
@@ -239,14 +296,15 @@ func (s *Server) get(key string) ([]byte, bool) {
 	return v, ok
 }
 
-// incr atomically increments the integer stored at key (missing keys count
-// as 0) and returns the new value. The read-modify-write happens under the
-// store lock, so concurrent INCRs of one key never lose updates — the
-// property pstream's log broker relies on to reserve append slots. The AOF
-// record is appended while still holding the store lock: releasing first
-// would let two INCRs persist in reversed order, replaying to a lower
-// counter after restart (and a reused log slot).
-func (s *Server) incr(key string) (int64, error) {
+// incrBy atomically adds delta to the integer stored at key (missing keys
+// count as 0) and returns the new value. The read-modify-write happens
+// under the store lock, so concurrent INCR/INCRBYs of one key never lose
+// updates — the property pstream's log broker relies on to reserve append
+// slots (INCRBY reserves a whole batch's slot range in one command). The
+// AOF record is appended while still holding the store lock: releasing
+// first would let two increments persist in reversed order, replaying to a
+// lower counter after restart (and a reused log slot).
+func (s *Server) incrBy(key string, delta int64) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := int64(0)
@@ -257,11 +315,64 @@ func (s *Server) incr(key string) (int64, error) {
 		}
 		cur = n
 	}
-	cur++
+	cur += delta
 	buf := []byte(strconv.FormatInt(cur, 10))
 	s.data[key] = buf
 	s.appendAOF(aofSet, key, buf)
 	return cur, nil
+}
+
+// cas atomically swaps key from old to new, reporting whether the swap
+// happened. An empty old means "key must not exist", so CAS doubles as
+// SETNX — the primitive pstream's consumer groups build claim leases on:
+// claim (absent → claim record), reclaim an expired lease (old record →
+// new record), and settle (claim record → acked marker) are all single
+// server-side CAS commands that can never hand one event to two members.
+func (s *Server) cas(key string, old, new []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.data[key]
+	if len(old) == 0 {
+		if ok {
+			return false
+		}
+	} else if !ok || !bytes.Equal(cur, old) {
+		return false
+	}
+	buf := make([]byte, len(new))
+	copy(buf, new)
+	s.data[key] = buf
+	s.appendAOF(aofSet, key, buf)
+	return true
+}
+
+// delRangeMax bounds one DELRANGE sweep so a corrupt range argument cannot
+// pin the server in a near-endless delete loop.
+const delRangeMax = 1 << 20
+
+// delRange deletes the keys prefix+i for start <= i < end (decimal i) and
+// returns how many existed — the ranged DEL behind pstream's log
+// truncation, which reclaims a fully-acked log prefix and its ack counters
+// with one round trip instead of one DEL per slot.
+func (s *Server) delRange(prefix string, start, end uint64) (int64, error) {
+	if end < start {
+		return 0, nil
+	}
+	if end-start > delRangeMax {
+		return 0, fmt.Errorf("range of %d keys exceeds limit %d", end-start, delRangeMax)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for i := start; i < end; i++ {
+		key := prefix + strconv.FormatUint(i, 10)
+		if _, ok := s.data[key]; ok {
+			delete(s.data, key)
+			s.appendAOF(aofDel, key, nil)
+			n++
+		}
+	}
+	return n, nil
 }
 
 func (s *Server) del(key string) bool {

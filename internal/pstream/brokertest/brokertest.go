@@ -1,9 +1,13 @@
-// Package brokertest provides a conformance battery run against every
-// pstream.Broker implementation, mirroring connectortest for connectors:
-// log semantics (late subscribers see history), per-producer ordering under
-// concurrent publishes, independent fan-out to concurrent consumers,
-// offset resume after reconnect, and cumulative ack counting — the
-// contract Producer/Consumer and the evict-on-ack policy are built on.
+// Package brokertest provides a conformance and fault-injection battery
+// run against every pstream.Broker implementation, mirroring connectortest
+// for connectors: log semantics (late subscribers see history),
+// per-producer ordering under concurrent publishes, independent fan-out to
+// concurrent consumers, offset resume after reconnect, cumulative ack
+// counting, batched publishes, consumer-group work-queue semantics
+// (exactly-once claims, lease reclamation after member death, End
+// barriers), and fault injection (backing-service restart mid-stream,
+// duplicate publishes, consumer crash-and-resume replay) — the contract
+// Producer/Consumer and the evict-on-ack policy are built on.
 package brokertest
 
 import (
@@ -21,6 +25,35 @@ import (
 type Options struct {
 	// SkipConcurrency skips the concurrent multi-producer stress.
 	SkipConcurrency bool
+	// ClaimLease is the group-claim lease the broker under test was
+	// configured with; the lease-expiry subtests (reclamation, member
+	// death, stale acks) wait it out and are skipped when zero. Keep it
+	// short (a few hundred ms) so the battery stays fast.
+	ClaimLease time.Duration
+	// Restart restarts the broker's backing service in place — same
+	// address, state recovered from persistence — simulating a broker
+	// crash mid-stream. nil skips the restart test. Implementations whose
+	// state is process-local (MemBroker, NetServer) have nothing durable
+	// to restart and leave it nil.
+	Restart func() error
+}
+
+// retry re-attempts f until it succeeds or attempts run out. After a
+// backing-service restart, pooled client connections are dead and the
+// first few calls fail while the pool drains and redials; a client that
+// ever succeeds within attempts tries is conformant.
+func retry[V any](t *testing.T, attempts int, what string, f func() (V, error)) V {
+	t.Helper()
+	var err error
+	for i := 0; i < attempts; i++ {
+		var v V
+		if v, err = f(); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("%s: still failing after %d attempts: %v", what, attempts, err)
+	var zero V
+	return zero
 }
 
 // topicCounter isolates topics between subtests so reruns against shared
@@ -325,6 +358,396 @@ func Run(t *testing.T, newBroker func(t *testing.T) pstream.Broker, opts Options
 			t.Fatalf("ProxyData = %v", got.ProxyData)
 		}
 	})
+
+	t.Run("PublishBatchContiguousOrder", func(t *testing.T) {
+		topic := freshTopic("batch")
+		evs := make([]pstream.Event, 5)
+		for i := range evs {
+			evs[i] = ev("p", uint64(i+1))
+		}
+		if err := b.PublishBatch(ctx, topic, evs); err != nil {
+			t.Fatalf("PublishBatch: %v", err)
+		}
+		// Batches from other producers interleave at batch granularity.
+		if err := b.PublishBatch(ctx, topic, []pstream.Event{ev("q", 1)}); err != nil {
+			t.Fatalf("second PublishBatch: %v", err)
+		}
+		sub, err := b.Subscribe(ctx, topic, "c")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer sub.Close()
+		for i := 0; i < 5; i++ {
+			e := next(t, sub)
+			if e.Producer != "p" || e.Seq != uint64(i+1) || e.Offset != uint64(i) {
+				t.Fatalf("batch event %d = {%s %d @%d}", i, e.Producer, e.Seq, e.Offset)
+			}
+		}
+		if e := next(t, sub); e.Producer != "q" || e.Offset != 5 {
+			t.Fatalf("post-batch event = {%s %d @%d}", e.Producer, e.Seq, e.Offset)
+		}
+	})
+
+	t.Run("EmptyPublishBatchIsNoOp", func(t *testing.T) {
+		topic := freshTopic("batch0")
+		if err := b.PublishBatch(ctx, topic, nil); err != nil {
+			t.Fatalf("empty PublishBatch: %v", err)
+		}
+		sub, err := b.Subscribe(ctx, topic, "c")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer sub.Close()
+		if _, ok, err := sub.Poll(ctx); err != nil || ok {
+			t.Fatalf("topic not empty after empty batch: ok=%v err=%v", ok, err)
+		}
+	})
+
+	// --- Consumer groups --------------------------------------------------
+
+	// groupSub subscribes a member, failing the test on error.
+	groupSub := func(t *testing.T, topic, group, member string) pstream.Subscription {
+		t.Helper()
+		sub, err := b.SubscribeGroup(ctx, topic, group, member)
+		if err != nil {
+			t.Fatalf("SubscribeGroup(%s/%s): %v", group, member, err)
+		}
+		t.Cleanup(func() { sub.Close() })
+		return sub
+	}
+
+	t.Run("GroupClaimsEachEventOnce", func(t *testing.T) {
+		topic := freshTopic("group")
+		const n = 6
+		for i := 1; i <= n; i++ {
+			if err := b.Publish(ctx, topic, ev("p", uint64(i))); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+		}
+		subA := groupSub(t, topic, "g", "a")
+		subB := groupSub(t, topic, "g", "b")
+		got := make(map[uint64]string)
+		// Alternate members; every event must surface exactly once across
+		// the group, acked as it goes so claims settle.
+		for i := 0; i < n; i++ {
+			sub, who := subA, "a"
+			if i%2 == 1 {
+				sub, who = subB, "b"
+			}
+			e := next(t, sub)
+			if prev, dup := got[e.Offset]; dup {
+				t.Fatalf("offset %d delivered to both %s and %s", e.Offset, prev, who)
+			}
+			got[e.Offset] = who
+			if _, err := sub.Ack(ctx, e); err != nil {
+				t.Fatalf("Ack: %v", err)
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("group saw %d distinct offsets, want %d", len(got), n)
+		}
+		for _, sub := range []pstream.Subscription{subA, subB} {
+			if _, ok, err := sub.Poll(ctx); err != nil || ok {
+				t.Fatalf("drained queue still had work: ok=%v err=%v", ok, err)
+			}
+		}
+	})
+
+	t.Run("GroupsAndFanOutIndependent", func(t *testing.T) {
+		topic := freshTopic("coexist")
+		const n = 4
+		for i := 1; i <= n; i++ {
+			if err := b.Publish(ctx, topic, ev("p", uint64(i))); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+		}
+		// A fan-out consumer sees everything regardless of group claims.
+		fan, err := b.Subscribe(ctx, topic, "watcher")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer fan.Close()
+		// Two groups each see everything; members inside a group split it.
+		seen := map[string]map[uint64]bool{"g1": {}, "g2": {}}
+		for _, g := range []string{"g1", "g2"} {
+			m1 := groupSub(t, topic, g, "m1")
+			m2 := groupSub(t, topic, g, "m2")
+			for i := 0; i < n; i++ {
+				sub := m1
+				if i%2 == 1 {
+					sub = m2
+				}
+				e := next(t, sub)
+				if seen[g][e.Offset] {
+					t.Fatalf("group %s saw offset %d twice", g, e.Offset)
+				}
+				seen[g][e.Offset] = true
+				if _, err := sub.Ack(ctx, e); err != nil {
+					t.Fatalf("Ack: %v", err)
+				}
+			}
+			if len(seen[g]) != n {
+				t.Fatalf("group %s saw %d events, want %d", g, len(seen[g]), n)
+			}
+		}
+		for i := 1; i <= n; i++ {
+			if e := next(t, fan); e.Seq != uint64(i) {
+				t.Fatalf("fan-out consumer got Seq %d, want %d", e.Seq, i)
+			}
+		}
+	})
+
+	t.Run("GroupCountsOnceInAckCounts", func(t *testing.T) {
+		topic := freshTopic("gack")
+		if err := b.Publish(ctx, topic, ev("p", 1)); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		solo, err := b.Subscribe(ctx, topic, "solo")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer solo.Close()
+		e := next(t, solo)
+		if n, err := solo.Ack(ctx, e); err != nil || n != 1 {
+			t.Fatalf("fan-out ack count = %d, %v; want 1", n, err)
+		}
+		// The whole group is one distinct consumer.
+		m := groupSub(t, topic, "g", "m")
+		ge := next(t, m)
+		if n, err := m.Ack(ctx, ge); err != nil || n != 2 {
+			t.Fatalf("group ack count = %d, %v; want 2", n, err)
+		}
+		// Re-acking from the same member does not inflate the count.
+		if n, err := m.Ack(ctx, ge); err != nil || n != 2 {
+			t.Fatalf("repeat group ack count = %d, %v; want 2", n, err)
+		}
+	})
+
+	t.Run("GroupEndBarrier", func(t *testing.T) {
+		topic := freshTopic("gend")
+		for i := 1; i <= 2; i++ {
+			if err := b.Publish(ctx, topic, ev("p", uint64(i))); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+		}
+		end := pstream.Event{Producer: "p", Seq: 3, End: true}
+		if err := b.Publish(ctx, topic, end); err != nil {
+			t.Fatalf("Publish End: %v", err)
+		}
+		subA := groupSub(t, topic, "g", "a")
+		subB := groupSub(t, topic, "g", "b")
+		ea := next(t, subA)
+		eb := next(t, subB)
+		// Both payload events are claimed but unacked: the End must be
+		// withheld from every member.
+		for name, sub := range map[string]pstream.Subscription{"a": subA, "b": subB} {
+			if e, ok, err := sub.Poll(ctx); err != nil || ok {
+				t.Fatalf("%s got %+v before the End barrier (ok=%v err=%v)", name, e, ok, err)
+			}
+		}
+		if _, err := subA.Ack(ctx, ea); err != nil {
+			t.Fatalf("Ack a: %v", err)
+		}
+		if _, err := subB.Ack(ctx, eb); err != nil {
+			t.Fatalf("Ack b: %v", err)
+		}
+		// All work acked: the End broadcasts to every member.
+		if e := next(t, subA); !e.End {
+			t.Fatalf("member a got %+v, want End", e)
+		}
+		if e := next(t, subB); !e.End {
+			t.Fatalf("member b got %+v, want End", e)
+		}
+	})
+
+	if opts.ClaimLease > 0 {
+		t.Run("GroupReclaimsExpiredClaims", func(t *testing.T) {
+			topic := freshTopic("lease")
+			if err := b.Publish(ctx, topic, ev("p", 1)); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+			subA := groupSub(t, topic, "g", "a")
+			subB := groupSub(t, topic, "g", "b")
+			ea := next(t, subA) // a claims and stalls
+			// While a's lease is live, b sees nothing.
+			if _, ok, err := subB.Poll(ctx); err != nil || ok {
+				t.Fatalf("b claimed a leased event: ok=%v err=%v", ok, err)
+			}
+			time.Sleep(opts.ClaimLease + opts.ClaimLease/2)
+			// Lease expired: b reclaims and settles the event.
+			eb := next(t, subB)
+			if eb.Offset != ea.Offset {
+				t.Fatalf("b reclaimed offset %d, want %d", eb.Offset, ea.Offset)
+			}
+			if n, err := subB.Ack(ctx, eb); err != nil || n != 1 {
+				t.Fatalf("reclaim ack count = %d, %v; want 1", n, err)
+			}
+			// a's late ack is stale: a no-op that must not double-count.
+			if n, err := subA.Ack(ctx, ea); err != nil || n != 1 {
+				t.Fatalf("stale ack count = %d, %v; want 1", n, err)
+			}
+		})
+
+		t.Run("GroupMemberDeathReclamation", func(t *testing.T) {
+			topic := freshTopic("death")
+			const n = 5
+			for i := 1; i <= n; i++ {
+				if err := b.Publish(ctx, topic, ev("p", uint64(i))); err != nil {
+					t.Fatalf("Publish: %v", err)
+				}
+			}
+			if err := b.Publish(ctx, topic, pstream.Event{Producer: "p", Seq: n + 1, End: true}); err != nil {
+				t.Fatalf("Publish End: %v", err)
+			}
+			// The doomed member claims two events and dies without acking.
+			doomed := groupSub(t, topic, "g", "doomed")
+			next(t, doomed)
+			next(t, doomed)
+			doomed.Close()
+			// The survivor works the whole queue: three fresh events
+			// immediately, the two orphaned ones once their leases expire,
+			// then the End — delivery of which certifies every payload
+			// event was acked by somebody.
+			survivor := groupSub(t, topic, "g", "survivor")
+			got := make(map[uint64]bool)
+			for {
+				e := next(t, survivor)
+				if e.End {
+					break
+				}
+				if got[e.Offset] {
+					t.Fatalf("offset %d delivered twice to the survivor", e.Offset)
+				}
+				got[e.Offset] = true
+				if _, err := survivor.Ack(ctx, e); err != nil {
+					t.Fatalf("Ack: %v", err)
+				}
+			}
+			if len(got) != n {
+				t.Fatalf("survivor consumed %d events, want all %d", len(got), n)
+			}
+		})
+	}
+
+	// --- Fault injection --------------------------------------------------
+
+	t.Run("DuplicatePublishDelivered", func(t *testing.T) {
+		// Brokers are append-only logs: a producer that retries a publish
+		// (e.g. after a lost reply) appends a second copy. Both must be
+		// delivered intact at distinct offsets — duplicate suppression is
+		// the application's job, at-least-once is the broker's.
+		topic := freshTopic("dup")
+		e := ev("p", 1)
+		if err := b.Publish(ctx, topic, e); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		if err := b.Publish(ctx, topic, e); err != nil {
+			t.Fatalf("duplicate Publish: %v", err)
+		}
+		sub, err := b.Subscribe(ctx, topic, "c")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		defer sub.Close()
+		first := next(t, sub)
+		second := next(t, sub)
+		if first.Seq != 1 || second.Seq != 1 {
+			t.Fatalf("duplicate Seqs = %d, %d; want 1, 1", first.Seq, second.Seq)
+		}
+		if first.Offset == second.Offset {
+			t.Fatalf("duplicates share offset %d", first.Offset)
+		}
+		if _, err := sub.Ack(ctx, second); err != nil {
+			t.Fatalf("Ack past duplicates: %v", err)
+		}
+	})
+
+	t.Run("ConsumerCrashReplaysUnacked", func(t *testing.T) {
+		topic := freshTopic("crash")
+		const n = 4
+		for i := 1; i <= n; i++ {
+			if err := b.Publish(ctx, topic, ev("p", uint64(i))); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+		}
+		sub, err := b.Subscribe(ctx, topic, "fragile")
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		// Read three, ack only the first, then crash: the two delivered
+		// but unacked events must replay — at-least-once, not at-most-once.
+		first := next(t, sub)
+		next(t, sub)
+		next(t, sub)
+		if _, err := sub.Ack(ctx, first); err != nil {
+			t.Fatalf("Ack: %v", err)
+		}
+		sub.Close()
+
+		resumed, err := b.Subscribe(ctx, topic, "fragile")
+		if err != nil {
+			t.Fatalf("re-Subscribe: %v", err)
+		}
+		defer resumed.Close()
+		for want := uint64(1); want < n; want++ {
+			if e := next(t, resumed); e.Offset != want {
+				t.Fatalf("replay delivered offset %d, want %d", e.Offset, want)
+			}
+		}
+	})
+
+	if opts.Restart != nil {
+		t.Run("RestartMidStream", func(t *testing.T) {
+			topic := freshTopic("restart")
+			for i := 1; i <= 3; i++ {
+				if err := b.Publish(ctx, topic, ev("p", uint64(i))); err != nil {
+					t.Fatalf("Publish: %v", err)
+				}
+			}
+			sub, err := b.Subscribe(ctx, topic, "durable")
+			if err != nil {
+				t.Fatalf("Subscribe: %v", err)
+			}
+			next(t, sub)
+			second := next(t, sub)
+			if _, err := sub.Ack(ctx, second); err != nil {
+				t.Fatalf("Ack: %v", err)
+			}
+			sub.Close()
+
+			if err := opts.Restart(); err != nil {
+				t.Fatalf("Restart: %v", err)
+			}
+
+			// The log, offsets and ack counts must have survived; clients
+			// may need a few attempts while stale pooled connections drain.
+			retry(t, 8, "Publish after restart", func() (struct{}, error) {
+				return struct{}{}, b.Publish(ctx, topic, ev("p", 4))
+			})
+			resumed := retry(t, 8, "Subscribe after restart", func() (pstream.Subscription, error) {
+				return b.Subscribe(ctx, topic, "durable")
+			})
+			defer resumed.Close()
+			for want := uint64(2); want <= 3; want++ {
+				e := retry(t, 8, "Next after restart", func() (pstream.Event, error) {
+					nctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+					defer cancel()
+					return resumed.Next(nctx)
+				})
+				if e.Offset != want {
+					t.Fatalf("post-restart delivery at offset %d, want %d", e.Offset, want)
+				}
+				if want == 3 && e.Seq != 4 {
+					t.Fatalf("post-restart append has Seq %d, want 4", e.Seq)
+				}
+			}
+			e := ev("p", 4)
+			e.Offset = 3
+			if n, err := resumed.Ack(ctx, e); err != nil || n != 1 {
+				t.Fatalf("post-restart ack = %d, %v; want 1", n, err)
+			}
+		})
+	}
 
 	if !opts.SkipConcurrency {
 		t.Run("ConcurrentProducersKeepPerProducerOrder", func(t *testing.T) {

@@ -1,0 +1,93 @@
+package brokertest
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"proxystore/internal/pstream"
+)
+
+// JitterBroker wraps a Broker and sleeps a random, seeded duration before
+// every operation — publish, subscribe, fetch and ack alike — so
+// randomized tests can shake out ordering assumptions that only hold when
+// broker calls are instantaneous (claim races, End barriers, lease
+// expiry under load). Deterministic for a fixed seed and schedule.
+type JitterBroker struct {
+	inner pstream.Broker
+	max   time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewJitter wraps b, delaying every operation by up to max.
+func NewJitter(b pstream.Broker, seed int64, max time.Duration) *JitterBroker {
+	return &JitterBroker{inner: b, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (j *JitterBroker) sleep() {
+	if j.max <= 0 {
+		return
+	}
+	j.mu.Lock()
+	d := time.Duration(j.rng.Int63n(int64(j.max)))
+	j.mu.Unlock()
+	time.Sleep(d)
+}
+
+// Publish implements pstream.Broker.
+func (j *JitterBroker) Publish(ctx context.Context, topic string, ev pstream.Event) error {
+	j.sleep()
+	return j.inner.Publish(ctx, topic, ev)
+}
+
+// PublishBatch implements pstream.Broker.
+func (j *JitterBroker) PublishBatch(ctx context.Context, topic string, evs []pstream.Event) error {
+	j.sleep()
+	return j.inner.PublishBatch(ctx, topic, evs)
+}
+
+// Subscribe implements pstream.Broker.
+func (j *JitterBroker) Subscribe(ctx context.Context, topic, consumer string) (pstream.Subscription, error) {
+	j.sleep()
+	sub, err := j.inner.Subscribe(ctx, topic, consumer)
+	if err != nil {
+		return nil, err
+	}
+	return &jitterSub{Subscription: sub, j: j}, nil
+}
+
+// SubscribeGroup implements pstream.Broker.
+func (j *JitterBroker) SubscribeGroup(ctx context.Context, topic, group, member string) (pstream.Subscription, error) {
+	j.sleep()
+	sub, err := j.inner.SubscribeGroup(ctx, topic, group, member)
+	if err != nil {
+		return nil, err
+	}
+	return &jitterSub{Subscription: sub, j: j}, nil
+}
+
+// Close implements pstream.Broker.
+func (j *JitterBroker) Close() error { return j.inner.Close() }
+
+type jitterSub struct {
+	pstream.Subscription
+	j *JitterBroker
+}
+
+func (s *jitterSub) Next(ctx context.Context) (pstream.Event, error) {
+	s.j.sleep()
+	return s.Subscription.Next(ctx)
+}
+
+func (s *jitterSub) Poll(ctx context.Context) (pstream.Event, bool, error) {
+	s.j.sleep()
+	return s.Subscription.Poll(ctx)
+}
+
+func (s *jitterSub) Ack(ctx context.Context, ev pstream.Event) (int, error) {
+	s.j.sleep()
+	return s.Subscription.Ack(ctx, ev)
+}

@@ -29,6 +29,7 @@ type ConsumerOption func(*consumerConfig)
 type consumerConfig struct {
 	window int
 	ends   int
+	group  string
 }
 
 // WithWindow bounds the in-flight prefetch window: when a Next call finds
@@ -46,6 +47,19 @@ func WithWindow(n int) ConsumerOption {
 // consume forever.
 func WithEndCount(n int) ConsumerOption {
 	return func(c *consumerConfig) { c.ends = n }
+}
+
+// WithGroup makes the consumer a member of the named consumer group: the
+// topic becomes a work queue where each event is claimed by exactly one
+// live member, under the broker's claim lease. The consumer name passed
+// to NewConsumer identifies the member within the group. Members should
+// ack promptly — a claim whose lease expires before Ack is redelivered to
+// another member — and size the prefetch window so that
+// window × per-item-time stays well inside the lease. End markers are
+// delivered to every member (after all preceding work is acked), so
+// WithEndCount works unchanged.
+func WithGroup(group string) ConsumerOption {
+	return func(c *consumerConfig) { c.group = group }
 }
 
 // Item is one delivered stream element: the event record plus a lazy proxy
@@ -121,7 +135,9 @@ type Consumer[T any] struct {
 // NewConsumer subscribes consumer name to topic. Events carry
 // self-contained proxies, so no store handle is needed: proxies
 // materialize their stores from embedded configs, exactly like proxies
-// passed between processes.
+// passed between processes. With WithGroup, name identifies this member
+// inside the group and the subscription claims events instead of fanning
+// out.
 func NewConsumer[T any](ctx context.Context, b Broker, topic, name string, opts ...ConsumerOption) (*Consumer[T], error) {
 	cfg := consumerConfig{window: 16, ends: 1}
 	for _, o := range opts {
@@ -130,7 +146,13 @@ func NewConsumer[T any](ctx context.Context, b Broker, topic, name string, opts 
 	if cfg.window < 1 {
 		cfg.window = 1
 	}
-	sub, err := b.Subscribe(ctx, topic, name)
+	var sub Subscription
+	var err error
+	if cfg.group != "" {
+		sub, err = b.SubscribeGroup(ctx, topic, cfg.group, name)
+	} else {
+		sub, err = b.Subscribe(ctx, topic, name)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -4,33 +4,54 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"proxystore/internal/kvstore"
 )
 
-// KVBroker is the kvstore-backed broker: topic logs, committed offsets and
-// ack counters are plain RESP keys on a kvstore server, so the metadata
-// plane rides the same infrastructure as a redis data plane and survives
-// process restarts (with server persistence, even server restarts).
+// KVBroker is the kvstore-backed broker: topic logs, committed offsets,
+// ack counters and group claim records are plain RESP keys on a kvstore
+// server, so the metadata plane rides the same infrastructure as a redis
+// data plane and survives process restarts (with server persistence, even
+// server restarts).
 //
-// Layout, per topic T:
+// Layout, per topic T (and group G):
 //
-//	ps:T:len      INCR-maintained append counter (= log length)
+//	ps:T:len      INCR/INCRBY-maintained append counter (= log length)
 //	ps:T:e:<i>    encoded event at log index i
 //	ps:T:c:<name> consumer name's committed offset
 //	ps:T:a:<i>    INCR-maintained distinct-consumer ack count of event i
+//	ps:T:t        truncation floor: slots below it have been reclaimed
+//	ps:T:g:G:f    group G's claim floor (first offset not group-resolved)
+//	ps:T:g:G:c:<i> group G's claim record for slot i ("c|member|deadline"
+//	              while leased, "a" once acked)
 //
 // Appends reserve a slot with INCR (atomic on the server) and then SET the
-// event, so concurrent producers never collide; readers poll a slot until
-// its SET lands. Next polls with capped exponential backoff — brokered
-// delivery over a shared kv server trades latency for zero extra moving
-// parts.
+// event — PublishBatch reserves the whole range with one INCRBY and fills
+// it with one MSET — so concurrent producers never collide; readers poll a
+// slot until its SET lands. Next polls with capped exponential backoff —
+// brokered delivery over a shared kv server trades latency for zero extra
+// moving parts. Group members claim slots with server-side CAS on the
+// claim record, so an event can never be leased to two members at once.
 type KVBroker struct {
 	addr   string
 	client *kvstore.Client
 	// pollFloor/pollCap bound the Next polling backoff.
 	pollFloor, pollCap time.Duration
+	// lease bounds how long a group member may hold a claimed event
+	// before other members reclaim it.
+	lease time.Duration
+	// truncAfter, when positive, is the distinct-consumer ack count at
+	// which a log slot is considered fully consumed; contiguous fully
+	// consumed prefixes are garbage-collected from the server.
+	truncAfter int
+
+	// truncMu guards truncPending, ranged deletes owed a retry after a
+	// transient failure (the floor has already passed them).
+	truncMu      sync.Mutex
+	truncPending []pendingDel
 }
 
 // KVOption configures a KVBroker.
@@ -49,12 +70,39 @@ func WithPollInterval(floor, ceil time.Duration) KVOption {
 	}
 }
 
+// WithKVLease sets the claim lease for group subscriptions (default
+// DefaultLease).
+func WithKVLease(d time.Duration) KVOption {
+	return func(b *KVBroker) {
+		if d > 0 {
+			b.lease = d
+		}
+	}
+}
+
+// WithKVTruncate enables log truncation: once consumers distinct consumers
+// (count fan-out consumers plus groups) have acked a contiguous log
+// prefix, its event slots and ack counters are deleted from the server and
+// the truncation floor advances, so a fully consumed stream holds O(open
+// window) keys instead of O(history). consumers must cover every consumer
+// that will ever read the topic: an undercount truncates events a
+// late-joining consumer still needs (new subscribers are clamped to the
+// truncation floor).
+func WithKVTruncate(consumers int) KVOption {
+	return func(b *KVBroker) {
+		if consumers > 0 {
+			b.truncAfter = consumers
+		}
+	}
+}
+
 // NewKV returns a broker over the kvstore server at addr.
 func NewKV(addr string, opts ...KVOption) *KVBroker {
 	b := &KVBroker{
 		addr:      addr,
 		pollFloor: 500 * time.Microsecond,
 		pollCap:   10 * time.Millisecond,
+		lease:     DefaultLease,
 	}
 	for _, o := range opts {
 		o(b)
@@ -67,10 +115,18 @@ func kvLenKey(topic string) string { return "ps:" + topic + ":len" }
 func kvEventKey(topic string, i uint64) string {
 	return "ps:" + topic + ":e:" + strconv.FormatUint(i, 10)
 }
+func kvEventPrefix(topic string) string         { return "ps:" + topic + ":e:" }
 func kvOffsetKey(topic, consumer string) string { return "ps:" + topic + ":c:" + consumer }
 func kvAckKey(topic string, i uint64) string {
 	return "ps:" + topic + ":a:" + strconv.FormatUint(i, 10)
 }
+func kvAckPrefix(topic string) string            { return "ps:" + topic + ":a:" }
+func kvTruncKey(topic string) string             { return "ps:" + topic + ":t" }
+func kvGroupFloorKey(topic, group string) string { return "ps:" + topic + ":g:" + group + ":f" }
+func kvClaimKey(topic, group string, i uint64) string {
+	return "ps:" + topic + ":g:" + group + ":c:" + strconv.FormatUint(i, 10)
+}
+func kvClaimPrefix(topic, group string) string { return "ps:" + topic + ":g:" + group + ":c:" }
 
 // Publish implements Broker: INCR reserves the next log index, SET fills it.
 // The two steps are not atomic; if the SET fails, the reserved slot is
@@ -97,6 +153,37 @@ func (b *KVBroker) Publish(ctx context.Context, topic string, ev Event) error {
 	return nil
 }
 
+// PublishBatch implements Broker with O(1) round trips per batch: one
+// INCRBY reserves the whole slot range, one MSET fills it. Compare
+// Publish's 2 round trips per event — on WAN-shaped links the difference
+// is the publish path's latency budget.
+func (b *KVBroker) PublishBatch(ctx context.Context, topic string, evs []Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	n, err := b.client.IncrBy(ctx, kvLenKey(topic), int64(len(evs)))
+	if err != nil {
+		return fmt.Errorf("pstream: reserving %d log slots: %w", len(evs), err)
+	}
+	base := uint64(n) - uint64(len(evs))
+	pairs := make(map[string][]byte, len(evs))
+	for i := range evs {
+		evs[i].Topic = topic
+		evs[i].Offset = base + uint64(i)
+		data, err := EncodeEvent(evs[i])
+		if err != nil {
+			b.fillGapRange(ctx, topic, base, base+uint64(len(evs)))
+			return err
+		}
+		pairs[kvEventKey(topic, evs[i].Offset)] = data
+	}
+	if err := b.client.MSet(ctx, pairs); err != nil {
+		b.fillGapRange(ctx, topic, base, base+uint64(len(evs)))
+		return fmt.Errorf("pstream: appending batch: %w", err)
+	}
+	return nil
+}
+
 // fillGap writes a skip marker into a reserved-but-unfilled log slot so the
 // topic stays consumable after a failed append. The write runs detached
 // from the caller's cancellation: when the failed SET was itself a ctx
@@ -110,14 +197,52 @@ func (b *KVBroker) fillGap(ctx context.Context, topic string, offset uint64) err
 	return b.client.Set(context.WithoutCancel(ctx), kvEventKey(topic, offset), data)
 }
 
+// fillGapRange back-fills every slot of a failed batch append with gap
+// markers in one MSET, detached from the caller's cancellation like
+// fillGap.
+func (b *KVBroker) fillGapRange(ctx context.Context, topic string, start, end uint64) error {
+	pairs := make(map[string][]byte, end-start)
+	for i := start; i < end; i++ {
+		gap := Event{Topic: topic, Offset: i, Attrs: map[string]string{attrGap: "1"}}
+		data, err := EncodeEvent(gap)
+		if err != nil {
+			return err
+		}
+		pairs[kvEventKey(topic, i)] = data
+	}
+	return b.client.MSet(context.WithoutCancel(ctx), pairs)
+}
+
 // Subscribe implements Broker, resuming from the committed offset stored on
-// the server.
+// the server. The start offset is clamped to the truncation floor: slots
+// below it are gone, so a fresh consumer on a truncated topic begins at
+// the oldest surviving event instead of polling a deleted slot forever.
 func (b *KVBroker) Subscribe(ctx context.Context, topic, consumer string) (Subscription, error) {
 	off, err := b.committedOffset(ctx, topic, consumer)
 	if err != nil {
 		return nil, err
 	}
+	floor, err := b.counter(ctx, kvTruncKey(topic))
+	if err != nil {
+		return nil, err
+	}
+	if floor > off {
+		off = floor
+	}
 	return &kvSub{b: b, topic: topic, consumer: consumer, cursor: off, committed: off}, nil
+}
+
+// SubscribeGroup implements Broker. The member's End-broadcast cursor is
+// seeded at the truncation floor — not the group claim floor, which sweeps
+// past End markers: a member that (re)joins must still receive every
+// surviving End, exactly as a reconnecting fan-out consumer re-sees an
+// unacked End.
+func (b *KVBroker) SubscribeGroup(ctx context.Context, topic, group, member string) (Subscription, error) {
+	floor, err := b.counter(ctx, kvTruncKey(topic))
+	if err != nil {
+		return nil, err
+	}
+	return &kvGroupSub{b: b, topic: topic, group: group, member: member, endCursor: floor}, nil
 }
 
 func (b *KVBroker) committedOffset(ctx context.Context, topic, consumer string) (uint64, error) {
@@ -133,6 +258,22 @@ func (b *KVBroker) committedOffset(ctx context.Context, topic, consumer string) 
 		return 0, fmt.Errorf("pstream: corrupt committed offset %q: %w", raw, err)
 	}
 	return off, nil
+}
+
+// counter reads an unsigned decimal counter key, treating absence as 0.
+func (b *KVBroker) counter(ctx context.Context, key string) (uint64, error) {
+	raw, ok, err := b.client.Get(ctx, key)
+	if err != nil {
+		return 0, fmt.Errorf("pstream: reading %s: %w", key, err)
+	}
+	if !ok {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(string(raw), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pstream: corrupt counter %s=%q: %w", key, raw, err)
+	}
+	return n, nil
 }
 
 // Close implements Broker. Server-side logs and offsets persist.
@@ -154,7 +295,13 @@ type kvSub struct {
 // get returns the event at the cursor, or ok=false when the slot is still
 // empty.
 func (s *kvSub) get(ctx context.Context) (Event, bool, error) {
-	raw, ok, err := s.b.client.Get(ctx, kvEventKey(s.topic, s.cursor))
+	return s.b.eventAt(ctx, s.topic, s.cursor)
+}
+
+// eventAt reads and decodes the event at log index i; ok is false when the
+// slot is unfilled (or truncated).
+func (b *KVBroker) eventAt(ctx context.Context, topic string, i uint64) (Event, bool, error) {
+	raw, ok, err := b.client.Get(ctx, kvEventKey(topic, i))
 	if err != nil || !ok {
 		return Event{}, false, err
 	}
@@ -163,6 +310,36 @@ func (s *kvSub) get(ctx context.Context) (Event, bool, error) {
 		return Event{}, false, err
 	}
 	return ev, true, nil
+}
+
+// ackCount reads event i's distinct-consumer ack counter (0 when absent).
+func (b *KVBroker) ackCount(ctx context.Context, topic string, i uint64) (int64, error) {
+	raw, ok, err := b.client.Get(ctx, kvAckKey(topic, i))
+	if err != nil || !ok {
+		return 0, err
+	}
+	n, _ := strconv.ParseInt(string(raw), 10, 64)
+	return n, nil
+}
+
+// skipTruncated disambiguates a missing cursor slot: truncation may have
+// collected it while this subscription was idle (the slot was fully acked
+// by every counted consumer). The cursor jumps to the truncation floor —
+// retrying a deleted key would poll forever — and the committed mirror
+// follows, so a later Ack does not resurrect deleted ack counters.
+func (s *kvSub) skipTruncated(ctx context.Context) (bool, error) {
+	floor, err := s.b.counter(ctx, kvTruncKey(s.topic))
+	if err != nil {
+		return false, err
+	}
+	if floor <= s.cursor {
+		return false, nil // genuinely unfilled: a producer is mid-append
+	}
+	s.cursor = floor
+	if floor > s.committed {
+		s.committed = floor
+	}
+	return true, nil
 }
 
 // Next implements Subscription, polling the cursor slot with capped
@@ -178,6 +355,11 @@ func (s *kvSub) Next(ctx context.Context) (Event, error) {
 			s.cursor++
 			return ev, nil
 		}
+		if skipped, err := s.skipTruncated(ctx); err != nil {
+			return Event{}, err
+		} else if skipped {
+			continue
+		}
 		select {
 		case <-ctx.Done():
 			return Event{}, ctx.Err()
@@ -191,12 +373,19 @@ func (s *kvSub) Next(ctx context.Context) (Event, error) {
 
 // Poll implements Subscription: one GET round trip, no waiting.
 func (s *kvSub) Poll(ctx context.Context) (Event, bool, error) {
-	ev, ok, err := s.get(ctx)
-	if err != nil || !ok {
-		return Event{}, false, err
+	for {
+		ev, ok, err := s.get(ctx)
+		if err != nil {
+			return Event{}, false, err
+		}
+		if ok {
+			s.cursor++
+			return ev, true, nil
+		}
+		if skipped, err := s.skipTruncated(ctx); err != nil || !skipped {
+			return Event{}, false, err
+		}
 	}
-	s.cursor++
-	return ev, true, nil
 }
 
 // Ack implements Subscription: bump ack counters for every newly committed
@@ -211,11 +400,10 @@ func (s *kvSub) Ack(ctx context.Context, ev Event) (int, error) {
 	if ev.Offset < committed {
 		// Already covered by an earlier cumulative ack: report the current
 		// count without inflating it.
-		raw, ok, err := s.b.client.Get(ctx, kvAckKey(s.topic, ev.Offset))
-		if err != nil || !ok {
+		n, err := s.b.ackCount(ctx, s.topic, ev.Offset)
+		if err != nil {
 			return 0, err
 		}
-		n, _ := strconv.ParseInt(string(raw), 10, 64)
 		// The server-side offset trails after a failed commit; re-attempt
 		// it so resubscribes resume correctly.
 		if s.dirty {
@@ -240,6 +428,7 @@ func (s *kvSub) Ack(ctx context.Context, ev Event) (int, error) {
 		return 0, err
 	}
 	s.dirty = false
+	s.b.maybeTruncate(ctx, s.topic)
 	return int(last), nil
 }
 
@@ -253,3 +442,422 @@ func (s *kvSub) commitOffset(ctx context.Context, off uint64) error {
 
 // Close implements Subscription; the server keeps the committed offset.
 func (s *kvSub) Close() error { return nil }
+
+// --- Log truncation -------------------------------------------------------
+
+// truncChunk bounds how many slots one truncation pass collects, keeping
+// every ranged DEL far below the server's range cap no matter how large a
+// backlog one cumulative ack covers.
+const truncChunk = 1024
+
+// pendingDel is a ranged delete that failed and is owed a retry.
+type pendingDel struct {
+	prefix     string
+	start, end uint64
+}
+
+// deleteRange issues a ranged DEL, queueing the range for a later retry on
+// failure: the truncation floor has already moved past it, so no other
+// pass would ever revisit those keys.
+func (b *KVBroker) deleteRange(ctx context.Context, prefix string, start, end uint64) {
+	if _, err := b.client.DelRange(ctx, prefix, start, end); err != nil {
+		b.truncMu.Lock()
+		b.truncPending = append(b.truncPending, pendingDel{prefix: prefix, start: start, end: end})
+		b.truncMu.Unlock()
+	}
+}
+
+// retryPendingDeletes re-attempts owed ranged deletes; still-failing
+// ranges re-queue themselves.
+func (b *KVBroker) retryPendingDeletes(ctx context.Context) {
+	b.truncMu.Lock()
+	pending := b.truncPending
+	b.truncPending = nil
+	b.truncMu.Unlock()
+	for _, r := range pending {
+		b.deleteRange(ctx, r.prefix, r.start, r.end)
+	}
+}
+
+// maybeTruncate garbage-collects the fully consumed log prefix: starting
+// at the truncation floor, it walks forward while slots have reached the
+// configured ack threshold (gap slots, which nobody acks, pass
+// automatically; End markers stop the walk so rejoining consumers still
+// see them), then CASes the floor forward and deletes the covered event
+// slots and ack counters with two ranged DELs. Each pass collects at most
+// truncChunk slots and passes repeat until the walk stops, so one huge
+// cumulative ack cannot exceed the server's delete-range cap. The CAS
+// serializes concurrent truncators — a loser leaves the work to the
+// winner — and failed deletes are queued and retried on later calls (a
+// crash between the CAS and the delete still leaks the range: the price
+// of a two-step collect on a plain kv server). Truncation never fails the
+// ack that triggered it.
+func (b *KVBroker) maybeTruncate(ctx context.Context, topic string) {
+	if b.truncAfter == 0 {
+		return
+	}
+	b.retryPendingDeletes(ctx)
+	for b.truncatePass(ctx, topic) {
+	}
+}
+
+// truncatePass advances the truncation floor by up to truncChunk slots,
+// reporting whether it advanced (callers loop until it did not).
+func (b *KVBroker) truncatePass(ctx context.Context, topic string) bool {
+	floor, err := b.counter(ctx, kvTruncKey(topic))
+	if err != nil {
+		return false
+	}
+	length, err := b.counter(ctx, kvLenKey(topic))
+	if err != nil {
+		return false
+	}
+	f := floor
+	for f < length && f-floor < truncChunk {
+		n, err := b.ackCount(ctx, topic, f)
+		if err != nil {
+			return false
+		}
+		if n < int64(b.truncAfter) {
+			// Unacked slot: only a gap (which no consumer acks) may pass.
+			ev, ok, err := b.eventAt(ctx, topic, f)
+			if err != nil || !ok || !ev.isGap() {
+				break
+			}
+		} else {
+			ev, ok, err := b.eventAt(ctx, topic, f)
+			if err != nil {
+				return false
+			}
+			// An End marker survives truncation even once cumulative acks
+			// cover it: it is the only way a late or rejoining consumer
+			// learns the stream is over.
+			if ok && ev.End {
+				break
+			}
+		}
+		f++
+	}
+	if f == floor {
+		return false
+	}
+	var old []byte
+	if floor > 0 {
+		old = []byte(strconv.FormatUint(floor, 10))
+	}
+	ok, err := b.client.CAS(ctx, kvTruncKey(topic), old, []byte(strconv.FormatUint(f, 10)))
+	if err != nil || !ok {
+		return false
+	}
+	b.deleteRange(ctx, kvEventPrefix(topic), floor, f)
+	b.deleteRange(ctx, kvAckPrefix(topic), floor, f)
+	return true
+}
+
+// --- Consumer groups ------------------------------------------------------
+
+// claimAcked is the claim-record value of a settled (group-acked) slot.
+const claimAcked = "a"
+
+// claimRecord encodes a live lease.
+func claimRecord(member string, deadline time.Time) []byte {
+	return []byte("c|" + member + "|" + strconv.FormatInt(deadline.UnixNano(), 10))
+}
+
+// parseClaim decodes a live lease record; ok is false for the acked
+// marker or a corrupt record.
+func parseClaim(raw []byte) (member string, deadline time.Time, ok bool) {
+	parts := strings.SplitN(string(raw), "|", 3)
+	if len(parts) != 3 || parts[0] != "c" {
+		return "", time.Time{}, false
+	}
+	nanos, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return "", time.Time{}, false
+	}
+	return parts[1], time.Unix(0, nanos), true
+}
+
+// kvGroupSub is one group member's view of a topic work queue. All claim
+// state lives on the server as CAS-guarded claim records; the
+// subscription only carries the member's private End-broadcast cursor.
+type kvGroupSub struct {
+	b      *KVBroker
+	topic  string
+	group  string
+	member string
+	// endCursor: offsets below it hold no undelivered End marker for this
+	// member.
+	endCursor uint64
+	// pendingIncr holds offsets whose claim record was settled but whose
+	// ack-counter increment failed; only this subscription knows the
+	// increment is owed, so it retries before further work. (A crash
+	// before the retry loses the count — the unavoidable window of a
+	// two-step settle on a plain kv server.)
+	pendingIncr []uint64
+}
+
+// flushPendingIncr retries owed ack-counter increments.
+func (s *kvGroupSub) flushPendingIncr(ctx context.Context) error {
+	for len(s.pendingIncr) > 0 {
+		if _, err := s.b.client.Incr(ctx, kvAckKey(s.topic, s.pendingIncr[0])); err != nil {
+			return fmt.Errorf("pstream: retrying group ack count: %w", err)
+		}
+		s.pendingIncr = s.pendingIncr[1:]
+	}
+	return nil
+}
+
+// scan is one non-blocking pass over the work queue: advance the shared
+// group floor past resolved slots, deliver a pending End marker once its
+// barrier is met (floor swept past it), else claim the earliest available
+// payload slot with a CAS-guarded lease.
+func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
+	if err := s.flushPendingIncr(ctx); err != nil {
+		return Event{}, false, err
+	}
+	length, err := s.b.counter(ctx, kvLenKey(s.topic))
+	if err != nil {
+		return Event{}, false, err
+	}
+	floorKey := kvGroupFloorKey(s.topic, s.group)
+	floor, err := s.b.counter(ctx, floorKey)
+	if err != nil {
+		return Event{}, false, err
+	}
+
+	// A missing event slot is ambiguous: either a producer is mid-append
+	// (a hole — stop and wait) or log truncation collected a fully-acked
+	// slot (resolved — skip it). The truncation floor, fetched lazily on
+	// the first miss, tells them apart.
+	trunc, truncKnown := uint64(0), false
+	truncated := func(i uint64) (bool, error) {
+		if !truncKnown {
+			v, err := s.b.counter(ctx, kvTruncKey(s.topic))
+			if err != nil {
+				return false, err
+			}
+			trunc, truncKnown = v, true
+		}
+		return i < trunc, nil
+	}
+
+	// 1. Sweep the shared floor: gaps, Ends and truncated slots resolve on
+	// contact, payload slots once their claim record reads acked. The
+	// sweep is opportunistic — a lost CAS means another member advanced it
+	// — and advances at most truncChunk slots per scan, bounding both the
+	// sweep's round trips and the claim-record delete range below the
+	// server's cap.
+	f := floor
+	for f < length && f-floor < truncChunk {
+		ev, ok, err := s.b.eventAt(ctx, s.topic, f)
+		if err != nil {
+			return Event{}, false, err
+		}
+		if !ok {
+			tr, err := truncated(f)
+			if err != nil {
+				return Event{}, false, err
+			}
+			if tr {
+				f++
+				continue
+			}
+			break // unfilled slot: a producer is mid-append
+		}
+		if !ev.isGap() && !ev.End {
+			raw, held, err := s.b.client.Get(ctx, kvClaimKey(s.topic, s.group, f))
+			if err != nil {
+				return Event{}, false, err
+			}
+			if !held || string(raw) != claimAcked {
+				break
+			}
+		}
+		f++
+	}
+	if f > floor {
+		var old []byte
+		if floor > 0 {
+			old = []byte(strconv.FormatUint(floor, 10))
+		}
+		if ok, err := s.b.client.CAS(ctx, floorKey, old, []byte(strconv.FormatUint(f, 10))); err == nil && ok {
+			// Claim records below the floor are garbage now; a failed
+			// delete is queued and retried with the truncation ranges.
+			s.b.deleteRange(ctx, kvClaimPrefix(s.topic, s.group), floor, f)
+		}
+	}
+
+	// 2. End markers broadcast once all payload work before them is acked
+	// (the floor, which passes Ends freely, has swept beyond). Truncated
+	// slots cannot hold Ends — truncation stops at them — so they just
+	// advance the cursor.
+	for s.endCursor < length {
+		ev, ok, err := s.b.eventAt(ctx, s.topic, s.endCursor)
+		if err != nil {
+			return Event{}, false, err
+		}
+		if !ok {
+			tr, err := truncated(s.endCursor)
+			if err != nil {
+				return Event{}, false, err
+			}
+			if tr {
+				s.endCursor++
+				continue
+			}
+			break
+		}
+		if !ev.End {
+			s.endCursor++
+			continue
+		}
+		if f > s.endCursor {
+			s.endCursor++
+			return ev, true, nil
+		}
+		break
+	}
+
+	// 3. Claim the earliest available payload slot.
+	now := time.Now()
+	for i := f; i < length; i++ {
+		ev, ok, err := s.b.eventAt(ctx, s.topic, i)
+		if err != nil {
+			return Event{}, false, err
+		}
+		if !ok {
+			tr, err := truncated(i)
+			if err != nil {
+				return Event{}, false, err
+			}
+			if tr {
+				continue
+			}
+			break // hole: preserve log order, wait for the fill
+		}
+		if ev.isGap() || ev.End {
+			continue
+		}
+		key := kvClaimKey(s.topic, s.group, i)
+		raw, held, err := s.b.client.Get(ctx, key)
+		if err != nil {
+			return Event{}, false, err
+		}
+		record := claimRecord(s.member, now.Add(s.b.lease))
+		var win bool
+		if !held {
+			if win, err = s.b.client.CAS(ctx, key, nil, record); err != nil {
+				return Event{}, false, err
+			}
+		} else {
+			if string(raw) == claimAcked {
+				continue
+			}
+			if _, deadline, ok := parseClaim(raw); ok && now.After(deadline) {
+				// Expired lease: reclaim. CAS against the exact stale
+				// record, so two reclaimers can never both win.
+				if win, err = s.b.client.CAS(ctx, key, raw, record); err != nil {
+					return Event{}, false, err
+				}
+			}
+		}
+		if !win {
+			continue // leased elsewhere or lost the race; try the next slot
+		}
+		// Guard against resurrecting a settled slot: if the slot was acked
+		// and its record GC'd between our floor read and the CAS, our
+		// fresh claim would redeliver an event whose payload may already
+		// be evicted. The floor cannot pass a live claim, so if it is
+		// still at or below i now, it stays there until we ack or our
+		// lease expires — and if it already moved past, we undo the claim.
+		cur, err := s.b.counter(ctx, floorKey)
+		if err != nil {
+			return Event{}, false, err
+		}
+		if i < cur {
+			s.b.client.Del(ctx, key)
+			continue
+		}
+		return ev, true, nil
+	}
+	return Event{}, false, nil
+}
+
+// Next implements Subscription, polling the work queue with capped
+// exponential backoff (lease expirations surface on the next poll, so
+// reclamation needs no server-side timers).
+func (s *kvGroupSub) Next(ctx context.Context) (Event, error) {
+	delay := s.b.pollFloor
+	for {
+		ev, ok, err := s.scan(ctx)
+		if err != nil {
+			return Event{}, err
+		}
+		if ok {
+			return ev, nil
+		}
+		select {
+		case <-ctx.Done():
+			return Event{}, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > s.b.pollCap {
+			delay = s.b.pollCap
+		}
+	}
+}
+
+// Poll implements Subscription: one scan pass, no waiting.
+func (s *kvGroupSub) Poll(ctx context.Context) (Event, bool, error) {
+	return s.scan(ctx)
+}
+
+// Ack implements Subscription: settle the claim by CASing the exact claim
+// record to the acked marker, then bump the topic-level ack counter once
+// for the whole group. A stale ack — the record was reclaimed (different
+// member) or already settled — reports the current count without
+// inflating it, so a redelivered event is never double-counted.
+func (s *kvGroupSub) Ack(ctx context.Context, ev Event) (int, error) {
+	if err := s.flushPendingIncr(ctx); err != nil {
+		return 0, err
+	}
+	key := kvClaimKey(s.topic, s.group, ev.Offset)
+	raw, held, err := s.b.client.Get(ctx, key)
+	if err != nil {
+		return 0, err
+	}
+	stale := func() (int, error) {
+		n, err := s.b.ackCount(ctx, s.topic, ev.Offset)
+		return int(n), err
+	}
+	if !held || string(raw) == claimAcked {
+		// Settled (possibly by us, possibly GC'd below the floor).
+		return stale()
+	}
+	member, _, ok := parseClaim(raw)
+	if !ok || member != s.member {
+		return stale()
+	}
+	win, err := s.b.client.CAS(ctx, key, raw, []byte(claimAcked))
+	if err != nil {
+		return 0, err
+	}
+	if !win {
+		return stale() // reclaimed between the Get and the CAS
+	}
+	n, err := s.b.client.Incr(ctx, kvAckKey(s.topic, ev.Offset))
+	if err != nil {
+		// The claim is settled but the count is owed: a retried Ack would
+		// take the stale() path and never increment, so remember the debt
+		// and repay it on the next call.
+		s.pendingIncr = append(s.pendingIncr, ev.Offset)
+		return 0, fmt.Errorf("pstream: counting group ack: %w", err)
+	}
+	s.b.maybeTruncate(ctx, s.topic)
+	return int(n), nil
+}
+
+// Close implements Subscription. Unacked claims are left to expire, so
+// other members reclaim this member's unfinished work.
+func (s *kvGroupSub) Close() error { return nil }

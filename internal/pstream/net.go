@@ -25,9 +25,11 @@ type NetServer struct {
 	rdone chan struct{}
 }
 
-// ServeNet starts a broker server on addr (e.g. "127.0.0.1:0").
-func ServeNet(addr string) (*NetServer, error) {
-	s := &NetServer{core: NewMem()}
+// ServeNet starts a broker server on addr (e.g. "127.0.0.1:0"). Options
+// configure the backing MemBroker — notably WithMemLease, which sets the
+// claim lease applied to remote group members.
+func ServeNet(addr string, opts ...MemOption) (*NetServer, error) {
+	s := &NetServer{core: NewMem(opts...)}
 	srv, err := msgnet.NewServer(addr, s.handle)
 	if err != nil {
 		return nil, err
@@ -90,6 +92,9 @@ const (
 	opSubscribe
 	opFetch
 	opAck
+	opPublishBatch
+	opGroupFetch
+	opGroupAck
 )
 
 // netReq is the client→server request frame.
@@ -97,7 +102,9 @@ type netReq struct {
 	Op         byte
 	Topic      string
 	Consumer   string
+	Group      string
 	Event      Event
+	Events     []Event
 	Cursor     uint64
 	Offset     uint64
 	WaitMillis int64
@@ -108,6 +115,7 @@ type netResp struct {
 	Event  Event
 	Has    bool
 	Offset uint64
+	Cursor uint64
 	Acks   int64
 }
 
@@ -141,6 +149,26 @@ func (s *NetServer) handle(ctx context.Context, raw []byte) ([]byte, error) {
 		resp.Event, resp.Has = ev, ok
 	case opAck:
 		n, err := s.core.ack(req.Topic, req.Consumer, req.Offset)
+		if err != nil {
+			return nil, err
+		}
+		resp.Acks = int64(n)
+	case opPublishBatch:
+		if err := s.core.PublishBatch(ctx, req.Topic, req.Events); err != nil {
+			return nil, err
+		}
+	case opGroupFetch:
+		// req.Cursor carries the member's End-broadcast cursor; the claim
+		// itself lives in the core's shared group state, so a long-poll
+		// blocks server-side exactly like fan-out fetches.
+		wait := time.Duration(req.WaitMillis) * time.Millisecond
+		ev, cur, ok, err := s.core.fetchGroup(ctx, req.Topic, req.Group, req.Consumer, req.Cursor, wait)
+		if err != nil {
+			return nil, err
+		}
+		resp.Event, resp.Cursor, resp.Has = ev, cur, ok
+	case opGroupAck:
+		n, err := s.core.groupAck(req.Topic, req.Group, req.Consumer, req.Offset)
 		if err != nil {
 			return nil, err
 		}
@@ -216,6 +244,16 @@ func (b *NetBroker) Publish(ctx context.Context, topic string, ev Event) error {
 	return err
 }
 
+// PublishBatch implements Broker: the whole batch crosses the wire in one
+// request frame and lands in the core under one lock.
+func (b *NetBroker) PublishBatch(ctx context.Context, topic string, evs []Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	_, err := b.request(ctx, netReq{Op: opPublishBatch, Topic: topic, Events: evs})
+	return err
+}
+
 // Subscribe implements Broker.
 func (b *NetBroker) Subscribe(ctx context.Context, topic, consumer string) (Subscription, error) {
 	resp, err := b.request(ctx, netReq{Op: opSubscribe, Topic: topic, Consumer: consumer})
@@ -223,6 +261,13 @@ func (b *NetBroker) Subscribe(ctx context.Context, topic, consumer string) (Subs
 		return nil, err
 	}
 	return &netSub{b: b, topic: topic, consumer: consumer, cursor: resp.Offset}, nil
+}
+
+// SubscribeGroup implements Broker. Claim state lives server-side; the
+// subscription only tracks the member's End-broadcast cursor, which rides
+// along in each fetch request, so subscribing costs no round trip.
+func (b *NetBroker) SubscribeGroup(_ context.Context, topic, group, member string) (Subscription, error) {
+	return &netGroupSub{b: b, topic: topic, group: group, member: member}, nil
 }
 
 // Close implements Broker; the server and its logs keep running.
@@ -281,3 +326,68 @@ func (s *netSub) Ack(ctx context.Context, ev Event) (int, error) {
 
 // Close implements Subscription; the server keeps the committed offset.
 func (s *netSub) Close() error { return nil }
+
+// netGroupSub is one remote group member's cursor: claims and leases live
+// in the server's MemBroker core, the End-broadcast cursor travels with
+// each request.
+type netGroupSub struct {
+	b         *NetBroker
+	topic     string
+	group     string
+	member    string
+	endCursor uint64
+}
+
+func (s *netGroupSub) fetch(ctx context.Context, waitMillis int64) (Event, bool, error) {
+	resp, err := s.b.request(ctx, netReq{
+		Op: opGroupFetch, Topic: s.topic, Group: s.group, Consumer: s.member,
+		Cursor: s.endCursor, WaitMillis: waitMillis,
+	})
+	if err != nil {
+		return Event{}, false, err
+	}
+	if resp.Cursor > s.endCursor {
+		s.endCursor = resp.Cursor
+	}
+	if !resp.Has {
+		return Event{}, false, nil
+	}
+	return resp.Event, true, nil
+}
+
+// Next implements Subscription, long-polling the server; lease
+// reclamation happens server-side, so a blocked member wakes when another
+// member's claim expires without any client-side timers.
+func (s *netGroupSub) Next(ctx context.Context) (Event, error) {
+	for {
+		ev, ok, err := s.fetch(ctx, netPollWait.Milliseconds())
+		if err != nil {
+			return Event{}, err
+		}
+		if ok {
+			return ev, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return Event{}, err
+		}
+	}
+}
+
+// Poll implements Subscription: one round trip, zero wait.
+func (s *netGroupSub) Poll(ctx context.Context) (Event, bool, error) {
+	return s.fetch(ctx, 0)
+}
+
+// Ack implements Subscription.
+func (s *netGroupSub) Ack(ctx context.Context, ev Event) (int, error) {
+	resp, err := s.b.request(ctx, netReq{
+		Op: opGroupAck, Topic: s.topic, Group: s.group, Consumer: s.member, Offset: ev.Offset,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Acks), nil
+}
+
+// Close implements Subscription; unacked claims expire server-side.
+func (s *netGroupSub) Close() error { return nil }

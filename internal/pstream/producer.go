@@ -140,12 +140,21 @@ func (p *Producer[T]) unput(ctx context.Context, key connector.Key) {
 	p.st.Evict(context.WithoutCancel(ctx), key)
 }
 
-// SendBatch stores values with one batched backend operation (Store.
-// PutBatch) and publishes one event per value — the write half of the
-// batched streaming fast path.
-func (p *Producer[T]) SendBatch(ctx context.Context, values []T) error {
+// SendBatch stores values with one batched backend operation
+// (Store.PutBatch) and announces them with one batched broker operation
+// (Broker.PublishBatch) — both halves of the batched streaming fast path
+// pay O(1) round trips per batch. attrs, when non-nil, must be
+// len(values) long: attrs[i] travels in value i's event record.
+func (p *Producer[T]) SendBatch(ctx context.Context, values []T, attrs ...[]map[string]string) error {
 	if len(values) == 0 {
 		return nil
+	}
+	var perValue []map[string]string
+	if len(attrs) > 0 && attrs[0] != nil {
+		if len(attrs[0]) != len(values) {
+			return fmt.Errorf("pstream: SendBatch got %d attr maps for %d values", len(attrs[0]), len(values))
+		}
+		perValue = attrs[0]
 	}
 	anyValues := make([]any, len(values))
 	for i, v := range values {
@@ -155,18 +164,32 @@ func (p *Producer[T]) SendBatch(ctx context.Context, values []T) error {
 	if err != nil {
 		return err
 	}
-	for i, key := range keys {
-		ev, err := p.event(store.ProxyFromKey[T](p.st, key), key, nil)
-		if err == nil {
-			err = p.b.Publish(ctx, p.topic, ev)
+	unputAll := func() {
+		for _, k := range keys {
+			p.unput(ctx, k)
 		}
+	}
+	evs := make([]Event, len(keys))
+	for i, key := range keys {
+		var a map[string]string
+		if perValue != nil {
+			a = perValue[i]
+		}
+		ev, err := p.event(store.ProxyFromKey[T](p.st, key), key, a)
 		if err != nil {
-			// Values i..n-1 are stored but unannounced; reclaim them.
-			for _, k := range keys[i:] {
-				p.unput(ctx, k)
-			}
+			unputAll()
 			return err
 		}
+		evs[i] = ev
+	}
+	if err := p.b.PublishBatch(ctx, p.topic, evs); err != nil {
+		// None of the values were announced; reclaim them all. (A batch
+		// publish that failed after a partial server-side append leaves
+		// gap-marked slots, never half-announced values.)
+		unputAll()
+		return err
+	}
+	for _, key := range keys {
 		p.items.Add(1)
 		p.bytes.Add(uint64(key.Size))
 	}

@@ -10,7 +10,13 @@
 // offsets: every named consumer sees every event (fan-out), acks advance a
 // consumer's offset cumulatively (Kafka-style), and re-subscribing with the
 // same name resumes after the last acked event — at-least-once delivery.
-// Three implementations ship behind one conformance battery (brokertest):
+//
+// Alongside fan-out, topics support consumer groups (work-queue
+// semantics): members of a named group claim events so each event is
+// processed by exactly one member, claims carry leases so a crashed
+// member's unacked events are reclaimed and redelivered, and End markers
+// broadcast to every member once all preceding work is acked. Three
+// implementations ship behind one conformance battery (brokertest):
 // MemBroker (in-process, for tests and benches), KVBroker (append-to-log
 // over the kvstore RESP server), and NetBroker (msgnet request/reply to a
 // NetServer, discoverable through a relay for cross-site use).
@@ -110,15 +116,33 @@ func DecodeEvent(data []byte) (Event, error) {
 }
 
 // Broker is the metadata plane: an append-only event log per topic with
-// per-consumer committed offsets. Implementations must be safe for
-// concurrent use and must deliver every event to every named consumer.
+// per-consumer committed offsets (fan-out) and per-group claim state
+// (work queues). Implementations must be safe for concurrent use and must
+// deliver every event to every named fan-out consumer and to exactly one
+// live member of each group.
 type Broker interface {
 	// Publish appends ev to the topic's log. The broker assigns ev.Offset.
 	Publish(ctx context.Context, topic string, ev Event) error
+	// PublishBatch appends evs to the topic's log contiguously, assigning
+	// consecutive offsets, with O(1) broker round trips for remote brokers
+	// (one offset-range reservation plus one bulk write, instead of two
+	// round trips per event). Order within evs is preserved.
+	PublishBatch(ctx context.Context, topic string, evs []Event) error
 	// Subscribe attaches a named consumer to the topic at its committed
 	// offset — 0 for a consumer the broker has never seen, the offset of
 	// the first unacked event for one that reconnects.
 	Subscribe(ctx context.Context, topic, consumer string) (Subscription, error)
+	// SubscribeGroup attaches member to the topic as part of the named
+	// consumer group. Members of one group share the topic as a work
+	// queue: Next/Poll claim the earliest unclaimed, unacked event under a
+	// lease, so each event is delivered to exactly one live member; a
+	// claim whose lease expires before Ack (member crash, stall) is
+	// reclaimed by another member — at-least-once per group. End markers
+	// are not claimed: they broadcast to every member, and only once every
+	// payload event before them is group-acked, so a member that sees End
+	// knows no unfinished work precedes it. Distinct groups (and fan-out
+	// consumers) on one topic are independent.
+	SubscribeGroup(ctx context.Context, topic, group, member string) (Subscription, error)
 	// Close releases broker resources. Topic logs in external brokers
 	// survive Close.
 	Close() error
@@ -130,17 +154,25 @@ type Broker interface {
 type Subscription interface {
 	// Next blocks until the event at the read cursor is available and
 	// advances the cursor. The read cursor is local to the subscription;
-	// only Ack moves the durable committed offset.
+	// only Ack moves the durable committed offset. For group
+	// subscriptions, Next instead claims the earliest available event
+	// under the broker's claim lease.
 	Next(ctx context.Context) (Event, error)
 	// Poll is the non-blocking Next: ok is false when no event is pending.
 	Poll(ctx context.Context) (ev Event, ok bool, err error)
 	// Ack commits the consumer's offset cumulatively past ev (acking event
 	// k implies events 0..k are consumed) and returns how many distinct
 	// consumers have acked ev — the counter behind evict-on-ack. Re-acking
-	// an already-committed event does not inflate the count.
+	// an already-committed event does not inflate the count. For group
+	// subscriptions, Ack settles this member's claim on ev (per-event,
+	// not cumulative); the whole group counts as one distinct consumer in
+	// the returned count, and an ack of a claim that was reclaimed by
+	// another member after lease expiry is a no-op.
 	Ack(ctx context.Context, ev Event) (int, error)
 	// Close detaches the cursor. The committed offset survives, so a
-	// later Subscribe with the same consumer name resumes.
+	// later Subscribe with the same consumer name resumes. A group
+	// member's unacked claims are not released by Close; they expire with
+	// their leases and are then reclaimed by other members.
 	Close() error
 }
 
@@ -171,9 +203,26 @@ func (c *CountingBroker) Publish(ctx context.Context, topic string, ev Event) er
 	return c.Broker.Publish(ctx, topic, ev)
 }
 
+// PublishBatch implements Broker.
+func (c *CountingBroker) PublishBatch(ctx context.Context, topic string, evs []Event) error {
+	for _, ev := range evs {
+		c.published.Add(eventWireSize(ev))
+	}
+	return c.Broker.PublishBatch(ctx, topic, evs)
+}
+
 // Subscribe implements Broker.
 func (c *CountingBroker) Subscribe(ctx context.Context, topic, consumer string) (Subscription, error) {
 	sub, err := c.Broker.Subscribe(ctx, topic, consumer)
+	if err != nil {
+		return nil, err
+	}
+	return &countingSub{Subscription: sub, c: c}, nil
+}
+
+// SubscribeGroup implements Broker.
+func (c *CountingBroker) SubscribeGroup(ctx context.Context, topic, group, member string) (Subscription, error) {
+	sub, err := c.Broker.SubscribeGroup(ctx, topic, group, member)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -23,32 +24,52 @@ import (
 
 // --- Broker conformance ---------------------------------------------------
 
+// conformanceLease keeps the battery's lease-expiry subtests fast while
+// staying comfortably above scheduler noise under -race.
+const conformanceLease = 300 * time.Millisecond
+
 func TestMemBrokerConformance(t *testing.T) {
 	brokertest.Run(t, func(t *testing.T) pstream.Broker {
-		return pstream.NewMem()
-	}, brokertest.Options{})
+		return pstream.NewMem(pstream.WithMemLease(conformanceLease))
+	}, brokertest.Options{ClaimLease: conformanceLease})
 }
 
 func TestKVBrokerConformance(t *testing.T) {
-	brokertest.Run(t, func(t *testing.T) pstream.Broker {
-		srv, err := kvstore.NewServer("127.0.0.1:0")
-		if err != nil {
-			t.Fatalf("kvstore server: %v", err)
+	// The kv server persists to an AOF and is restarted in place by the
+	// battery's restart-mid-stream fault: logs, offsets, ack counters and
+	// claim records must all survive.
+	aof := filepath.Join(t.TempDir(), "broker.aof")
+	srv, err := kvstore.NewServer("127.0.0.1:0", kvstore.WithPersistence(aof))
+	if err != nil {
+		t.Fatalf("kvstore server: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	addr := srv.Addr()
+	restart := func() error {
+		if err := srv.Close(); err != nil {
+			return err
 		}
-		t.Cleanup(func() { srv.Close() })
-		return pstream.NewKV(srv.Addr())
-	}, brokertest.Options{})
+		next, err := kvstore.NewServer(addr, kvstore.WithPersistence(aof))
+		if err != nil {
+			return err
+		}
+		srv = next
+		return nil
+	}
+	brokertest.Run(t, func(t *testing.T) pstream.Broker {
+		return pstream.NewKV(addr, pstream.WithKVLease(conformanceLease))
+	}, brokertest.Options{ClaimLease: conformanceLease, Restart: restart})
 }
 
 func TestNetBrokerConformance(t *testing.T) {
 	brokertest.Run(t, func(t *testing.T) pstream.Broker {
-		srv, err := pstream.ServeNet("127.0.0.1:0")
+		srv, err := pstream.ServeNet("127.0.0.1:0", pstream.WithMemLease(conformanceLease))
 		if err != nil {
 			t.Fatalf("broker server: %v", err)
 		}
 		t.Cleanup(func() { srv.Close() })
 		return pstream.DialNet(srv.Addr())
-	}, brokertest.Options{})
+	}, brokertest.Options{ClaimLease: conformanceLease})
 }
 
 func TestNetBrokerRelayDiscovery(t *testing.T) {
