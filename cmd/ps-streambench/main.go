@@ -1,38 +1,56 @@
 // Command ps-streambench compares moving a stream of objects from one
 // producer to N consumers several ways:
 //
-//	inline   — eager blob fan-out: every payload travels through the broker
-//	           itself, once per consumer (the classic message-queue baseline)
-//	eager    — proxy streaming, window 1: events cross the broker, every
-//	           consumer resolves each payload with its own blob get
-//	batched  — proxy streaming, prefetch window: pending events drain
-//	           together and payloads arrive in batched store gets
-//	batchpub — batched on both halves: the producer's SendBatch reserves a
-//	           whole offset range with one broker operation (KVBroker: one
-//	           INCRBY + one MSET instead of 2 round trips per event)
-//	group    — with -groups: consumers form one consumer group, so the
-//	           stream is a work queue where each item is claimed by exactly
-//	           one member (total work = items, not items × consumers)
+//	inline     — eager blob fan-out: every payload travels through the broker
+//	             itself, once per consumer (the classic message-queue baseline)
+//	eager      — proxy streaming, window 1: events cross the broker, every
+//	             consumer resolves each payload with its own blob get
+//	batched    — proxy streaming, prefetch window: pending events drain
+//	             together and payloads arrive in batched store gets
+//	batchpub   — batched on both halves: the producer's SendBatch reserves a
+//	             whole offset range with one broker operation (KVBroker: one
+//	             INCRBY + one MSET instead of 2 round trips per event)
+//	event      — the delivery-latency profile: paced single-event sends
+//	             (-gap apart), consumers parked in blocking waits between
+//	             arrivals — push delivery's home turf. Runs twice on the kv
+//	             broker: push (server-side WAITGET) and poll (the
+//	             capped-backoff fallback), on the same server, so the
+//	             kv-cmds/item and latency columns are directly comparable.
+//	group      — with -groups: consumers form one consumer group, so the
+//	             stream is a work queue where each item is claimed by exactly
+//	             one member (total work = items, not items × consumers).
+//	             Paced like event; also run push vs poll on the kv broker.
 //
-// It reports items/sec plus bytes over the broker vs bytes over the store
-// — and, for the kv broker, server commands per item, making both
-// ProxyStream trades visible: the metadata plane stays O(KB) per item
-// while the data plane carries the bulk, and batching collapses the
-// publish path's round trips to O(1) per batch.
+// It reports items/sec, bytes over the broker vs bytes over the store, kv
+// server commands per item, and p50/p95/p99 publish→deliver latency —
+// making all three ProxyStream trades visible: the metadata plane stays
+// O(KB) per item while the data plane carries the bulk, batching collapses
+// the publish path's round trips, and push delivery collapses the delivery
+// path's polling (strictly fewer kv commands per item, sub-millisecond
+// wakes regardless of backoff state).
+//
+// -json writes the full result table as machine-readable JSON
+// (BENCH_pstream.json in CI) so runs can be tracked over time. -strict
+// exits non-zero if push delivery fails to beat the polling fallback on
+// kv-cmds/item in the event and group profiles.
 //
 // Usage:
 //
 //	ps-streambench [-items N] [-size BYTES] [-consumers N] [-window N]
-//	               [-batch N] [-broker mem|kv] [-groups] [-wan]
+//	               [-batch N] [-gap DUR] [-broker mem|kv] [-groups] [-wan]
+//	               [-json PATH] [-strict]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -46,23 +64,103 @@ import (
 	"proxystore/internal/store"
 )
 
+// attrT0 carries the publish timestamp (UnixNano) so consumers can measure
+// publish→deliver latency without shared clocks beyond the process's own.
+const attrT0 = "bench.t0"
+
+// profile is one benchmark row, printed as a table line and emitted to the
+// JSON report.
+type profile struct {
+	Name          string   `json:"name"`
+	ItemsPerSec   float64  `json:"items_per_sec"`
+	MBPerSec      float64  `json:"mb_per_sec"`
+	BrokerBytes   uint64   `json:"broker_bytes"`
+	StoreBytes    uint64   `json:"store_bytes"`
+	KVCmdsPerItem *float64 `json:"kv_cmds_per_item,omitempty"`
+	P50Ms         *float64 `json:"p50_ms,omitempty"`
+	P95Ms         *float64 `json:"p95_ms,omitempty"`
+	P99Ms         *float64 `json:"p99_ms,omitempty"`
+}
+
+// report is the -json document.
+type report struct {
+	Items     int       `json:"items"`
+	Size      int       `json:"size_bytes"`
+	Consumers int       `json:"consumers"`
+	Window    int       `json:"window"`
+	Batch     int       `json:"batch"`
+	GapMS     float64   `json:"gap_ms"`
+	Broker    string    `json:"broker"`
+	WAN       bool      `json:"wan"`
+	Profiles  []profile `json:"profiles"`
+}
+
+// latencies collects publish→deliver samples across consumer goroutines.
+type latencies struct {
+	mu      sync.Mutex
+	samples []float64 // milliseconds
+}
+
+func (l *latencies) record(ms float64) {
+	l.mu.Lock()
+	l.samples = append(l.samples, ms)
+	l.mu.Unlock()
+}
+
+// observe records the event's publish→deliver latency if it carries a
+// bench timestamp.
+func (l *latencies) observe(ev pstream.Event, now time.Time) {
+	raw := ev.Attr(attrT0)
+	if raw == "" {
+		return
+	}
+	nanos, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return
+	}
+	l.record(float64(now.Sub(time.Unix(0, nanos))) / float64(time.Millisecond))
+}
+
+// percentiles returns p50/p95/p99 in ms, or nil when no samples landed.
+func (l *latencies) percentiles() (p50, p95, p99 *float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return nil, nil, nil
+	}
+	sorted := append([]float64(nil), l.samples...)
+	sort.Float64s(sorted)
+	pct := func(q float64) *float64 {
+		v := sorted[int(q*float64(len(sorted)-1)+0.5)]
+		return &v
+	}
+	return pct(0.50), pct(0.95), pct(0.99)
+}
+
+func nowAttr() map[string]string {
+	return map[string]string{attrT0: strconv.FormatInt(time.Now().UnixNano(), 10)}
+}
+
 func main() {
 	items := flag.Int("items", 256, "objects to stream")
 	size := flag.Int("size", 256<<10, "object size in bytes")
 	consumers := flag.Int("consumers", 2, "consumer count (group members with -groups)")
 	window := flag.Int("window", 16, "batched-mode prefetch window")
-	batch := flag.Int("batch", 32, "batchpub/group-mode SendBatch size")
+	batch := flag.Int("batch", 32, "batchpub-mode SendBatch size")
+	gap := flag.Duration("gap", 2*time.Millisecond, "inter-send pacing for the event/group latency profiles")
 	brokerKind := flag.String("broker", "kv", "broker: mem | kv")
-	groups := flag.Bool("groups", false, "add the consumer-group work-queue profile")
+	groups := flag.Bool("groups", false, "add the consumer-group work-queue profiles")
 	wan := flag.Bool("wan", false, "model WAN delays on the redis data plane (kv broker only)")
+	jsonPath := flag.String("json", "", "write machine-readable results to this path")
+	strict := flag.Bool("strict", false, "exit non-zero unless push delivery beats polling on kv-cmds/item")
 	flag.Parse()
 
 	var srv *kvstore.Server
-	var mkBroker func() pstream.Broker
+	var mkBroker func(push bool) pstream.Broker
 	var mkStore func(run string) *store.Store
 	switch *brokerKind {
 	case "mem":
-		mkBroker = func() pstream.Broker { return pstream.NewMem() }
+		mkBroker = func(bool) pstream.Broker { return pstream.NewMem() }
 		mkStore = func(run string) *store.Store {
 			st, err := store.New("sb-"+run, local.New("sb-conn-"+run), store.WithCacheBytes(0))
 			if err != nil {
@@ -82,7 +180,9 @@ func main() {
 			redisc.SetNetwork(netsim.Testbed(5000))
 			opts = append(opts, redisc.WithSites(netsim.SiteEdge, netsim.SiteCloud))
 		}
-		mkBroker = func() pstream.Broker { return pstream.NewKV(srv.Addr()) }
+		mkBroker = func(push bool) pstream.Broker {
+			return pstream.NewKV(srv.Addr(), pstream.WithKVPush(push))
+		}
 		mkStore = func(run string) *store.Store {
 			st, err := store.New("sb-"+run, redisc.New(srv.Addr(), opts...),
 				store.WithSerializer(serial.Raw()), store.WithCacheBytes(0))
@@ -98,32 +198,54 @@ func main() {
 
 	fmt.Printf("streaming %d × %d KiB to %d consumers over %q broker\n\n",
 		*items, *size>>10, *consumers, *brokerKind)
-	fmt.Printf("%-8s %10s %10s %14s %14s %10s\n",
-		"mode", "items/s", "MB/s", "broker-bytes", "store-bytes", "kv-cmds/it")
+	fmt.Printf("%-10s %9s %8s %13s %13s %10s %8s %8s %8s\n",
+		"mode", "items/s", "MB/s", "broker-bytes", "store-bytes", "kv-cmds/it", "p50 ms", "p95 ms", "p99 ms")
 
-	run := func(mode string, f func(cb *pstream.CountingBroker, st *store.Store) error) {
+	results := make(map[string]profile)
+	var order []string
+	run := func(mode string, push bool, f func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error) {
 		st := mkStore(mode)
 		defer st.Close()
-		cb := pstream.NewCounting(mkBroker())
+		cb := pstream.NewCounting(mkBroker(push))
 		defer cb.Close()
+		lats := &latencies{}
 		var cmds0 uint64
 		if srv != nil {
 			cmds0 = srv.Commands()
 		}
 		start := time.Now()
-		if err := f(cb, st); err != nil {
+		if err := f(cb, st, lats); err != nil {
 			log.Fatalf("%s: %v", mode, err)
 		}
 		elapsed := time.Since(start)
 		m := st.Metrics()
-		rate := float64(*items) / elapsed.Seconds()
-		mbs := float64(*items**size) / 1e6 / elapsed.Seconds()
-		perItem := "-"
-		if srv != nil {
-			perItem = fmt.Sprintf("%.1f", float64(srv.Commands()-cmds0)/float64(*items))
+		p := profile{
+			Name:        mode,
+			ItemsPerSec: float64(*items) / elapsed.Seconds(),
+			MBPerSec:    float64(*items**size) / 1e6 / elapsed.Seconds(),
+			BrokerBytes: cb.BytesPublished() + cb.BytesDelivered(),
+			StoreBytes:  m.BytesPut + m.BytesGot,
 		}
-		fmt.Printf("%-8s %10.0f %10.1f %14d %14d %10s\n",
-			mode, rate, mbs, cb.BytesPublished()+cb.BytesDelivered(), m.BytesPut+m.BytesGot, perItem)
+		if srv != nil {
+			perItem := float64(srv.Commands()-cmds0) / float64(*items)
+			p.KVCmdsPerItem = &perItem
+		}
+		p.P50Ms, p.P95Ms, p.P99Ms = lats.percentiles()
+		results[mode] = p
+		order = append(order, mode)
+		opt := func(v *float64) string {
+			if v == nil {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", *v)
+		}
+		cmdsCol := "-"
+		if p.KVCmdsPerItem != nil {
+			cmdsCol = fmt.Sprintf("%.1f", *p.KVCmdsPerItem)
+		}
+		fmt.Printf("%-10s %9.0f %8.1f %13d %13d %10s %8s %8s %8s\n",
+			mode, p.ItemsPerSec, p.MBPerSec, p.BrokerBytes, p.StoreBytes,
+			cmdsCol, opt(p.P50Ms), opt(p.P95Ms), opt(p.P99Ms))
 	}
 
 	payload := make([]byte, *size)
@@ -131,28 +253,84 @@ func main() {
 		payload[i] = byte(i * 17)
 	}
 
-	run("inline", func(cb *pstream.CountingBroker, _ *store.Store) error {
-		return inlineFanOut(cb, payload, *items, *consumers)
+	run("inline", true, func(cb *pstream.CountingBroker, _ *store.Store, lats *latencies) error {
+		return inlineFanOut(cb, payload, *items, *consumers, lats)
 	})
-	run("eager", func(cb *pstream.CountingBroker, st *store.Store) error {
-		return proxyStream(cb, st, payload, *items, *consumers, 1, 0, false)
+	run("eager", true, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+		return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: 1}, lats)
 	})
-	run("batched", func(cb *pstream.CountingBroker, st *store.Store) error {
-		return proxyStream(cb, st, payload, *items, *consumers, *window, 0, false)
+	run("batched", true, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+		return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window}, lats)
 	})
-	run("batchpub", func(cb *pstream.CountingBroker, st *store.Store) error {
-		return proxyStream(cb, st, payload, *items, *consumers, *window, *batch, false)
+	run("batchpub", true, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+		return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window, sendBatch: *batch}, lats)
 	})
-	if *groups {
-		run("group", func(cb *pstream.CountingBroker, st *store.Store) error {
-			return proxyStream(cb, st, payload, *items, *consumers, *window, *batch, true)
+	// The latency profiles: paced sends, consumers blocked between events.
+	// On the kv broker the poll variant runs the same workload over the
+	// polling fallback — same server, same run — for a direct comparison.
+	run("event", true, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+		return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: 1, gap: *gap}, lats)
+	})
+	if srv != nil {
+		run("event-poll", false, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+			return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: 1, gap: *gap}, lats)
 		})
+	}
+	if *groups {
+		run("group", true, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+			return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window, gap: *gap, group: true}, lats)
+		})
+		if srv != nil {
+			run("group-poll", false, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+				return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window, gap: *gap, group: true}, lats)
+			})
+		}
+	}
+
+	pushWins := true
+	for _, pair := range [][2]string{{"event", "event-poll"}, {"group", "group-poll"}} {
+		push, ok1 := results[pair[0]]
+		poll, ok2 := results[pair[1]]
+		if !ok1 || !ok2 || push.KVCmdsPerItem == nil || poll.KVCmdsPerItem == nil {
+			continue
+		}
+		delta := (1 - *push.KVCmdsPerItem / *poll.KVCmdsPerItem) * 100
+		fmt.Printf("\n%s: push delivery %.1f kv-cmds/item vs polling %.1f (%.0f%% fewer)",
+			pair[0], *push.KVCmdsPerItem, *poll.KVCmdsPerItem, delta)
+		if *push.KVCmdsPerItem >= *poll.KVCmdsPerItem {
+			pushWins = false
+		}
+	}
+	fmt.Println()
+
+	if *jsonPath != "" {
+		rep := report{
+			Items: *items, Size: *size, Consumers: *consumers,
+			Window: *window, Batch: *batch,
+			GapMS:  float64(*gap) / float64(time.Millisecond),
+			Broker: *brokerKind, WAN: *wan,
+		}
+		for _, name := range order {
+			rep.Profiles = append(rep.Profiles, results[name])
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding report: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", *jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *strict && !pushWins {
+		fmt.Fprintln(os.Stderr, "strict: push delivery did not beat the polling fallback on kv-cmds/item")
+		os.Exit(1)
 	}
 }
 
 // inlineFanOut pushes payloads through the broker itself: the baseline
 // where the metadata plane is the data plane.
-func inlineFanOut(b pstream.Broker, payload []byte, items, consumers int) error {
+func inlineFanOut(b pstream.Broker, payload []byte, items, consumers int, lats *latencies) error {
 	ctx := context.Background()
 	var wg sync.WaitGroup
 	errs := make(chan error, consumers+1)
@@ -172,6 +350,7 @@ func inlineFanOut(b pstream.Broker, payload []byte, items, consumers int) error 
 					errs <- err
 					return
 				}
+				lats.observe(ev, time.Now())
 				if len(ev.ProxyData) != len(payload) {
 					errs <- fmt.Errorf("consumer %d: truncated inline payload", c)
 					return
@@ -187,7 +366,7 @@ func inlineFanOut(b pstream.Broker, payload []byte, items, consumers int) error 
 	go func() {
 		defer wg.Done()
 		for i := 0; i < items; i++ {
-			ev := pstream.Event{Producer: "p", Seq: uint64(i + 1), ProxyData: payload}
+			ev := pstream.Event{Producer: "p", Seq: uint64(i + 1), ProxyData: payload, Attrs: nowAttr()}
 			if err := b.Publish(ctx, "inline", ev); err != nil {
 				errs <- err
 				return
@@ -199,30 +378,41 @@ func inlineFanOut(b pstream.Broker, payload []byte, items, consumers int) error 
 	return <-errs
 }
 
+// streamOpts parameterizes one proxyStream run.
+type streamOpts struct {
+	items, consumers, window int
+	// sendBatch > 0 publishes in SendBatch chunks of that size.
+	sendBatch int
+	// gap paces sends, modeling an event stream rather than a bulk
+	// transfer: consumers park between arrivals, which is where push vs
+	// polling delivery diverges.
+	gap time.Duration
+	// group makes the consumers members of one consumer group (each item
+	// claimed by exactly one member) instead of independent fan-out readers.
+	group bool
+}
+
 // proxyStream is the ProxyStream pattern: payloads through the store,
 // events through the broker, consumers resolving with the given window.
-// sendBatch > 0 publishes in SendBatch chunks of that size; group makes
-// the consumers members of one consumer group (each item claimed by
-// exactly one member) instead of independent fan-out readers.
-func proxyStream(b pstream.Broker, st *store.Store, payload []byte, items, consumers, window, sendBatch int, group bool) error {
+func proxyStream(b pstream.Broker, st *store.Store, payload []byte, o streamOpts, lats *latencies) error {
 	ctx := context.Background()
 	topic := "px-" + connector.NewID()[:8]
-	evictAfter := consumers
-	if group {
+	evictAfter := o.consumers
+	if o.group {
 		evictAfter = 1 // the whole group counts as one consumer
 	}
 	var wg sync.WaitGroup
-	errs := make(chan error, consumers+1)
+	errs := make(chan error, o.consumers+1)
 	var consumed sync.Map
-	for c := 0; c < consumers; c++ {
+	for c := 0; c < o.consumers; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			opts := []pstream.ConsumerOption{pstream.WithWindow(window)}
-			if group {
-				opts = append(opts, pstream.WithGroup("pool"))
+			copts := []pstream.ConsumerOption{pstream.WithWindow(o.window)}
+			if o.group {
+				copts = append(copts, pstream.WithGroup("pool"))
 			}
-			cons, err := pstream.NewConsumer[[]byte](ctx, b, topic, fmt.Sprintf("c%d", c), opts...)
+			cons, err := pstream.NewConsumer[[]byte](ctx, b, topic, fmt.Sprintf("c%d", c), copts...)
 			if err != nil {
 				errs <- err
 				return
@@ -230,7 +420,7 @@ func proxyStream(b pstream.Broker, st *store.Store, payload []byte, items, consu
 			defer cons.Close()
 			n := 0
 			for {
-				v, err := cons.NextValue(ctx)
+				it, err := cons.Next(ctx)
 				if errors.Is(err, pstream.ErrEnd) {
 					consumed.Store(c, n)
 					return
@@ -239,8 +429,18 @@ func proxyStream(b pstream.Broker, st *store.Store, payload []byte, items, consu
 					errs <- err
 					return
 				}
+				lats.observe(it.Event, time.Now())
+				v, err := it.Value(ctx)
+				if err != nil {
+					errs <- err
+					return
+				}
 				if len(v) != len(payload) {
 					errs <- fmt.Errorf("consumer %d: truncated payload", c)
+					return
+				}
+				if err := it.Ack(ctx); err != nil {
+					errs <- err
 					return
 				}
 				n++
@@ -251,26 +451,38 @@ func proxyStream(b pstream.Broker, st *store.Store, payload []byte, items, consu
 	go func() {
 		defer wg.Done()
 		prod := pstream.NewProducer[[]byte](st, b, topic, pstream.WithEvictOnAck(evictAfter))
-		if sendBatch > 0 {
-			for sent := 0; sent < items; sent += sendBatch {
-				n := sendBatch
-				if items-sent < n {
-					n = items - sent
+		if o.sendBatch > 0 {
+			for sent := 0; sent < o.items; sent += o.sendBatch {
+				n := o.sendBatch
+				if o.items-sent < n {
+					n = o.items - sent
 				}
 				batch := make([][]byte, n)
+				attrs := make([]map[string]string, n)
 				for i := range batch {
 					batch[i] = payload
 				}
-				if err := prod.SendBatch(ctx, batch); err != nil {
+				// One timestamp per batch: the batch is published atomically.
+				t0 := nowAttr()
+				for i := range attrs {
+					attrs[i] = t0
+				}
+				if err := prod.SendBatch(ctx, batch, attrs); err != nil {
 					errs <- err
 					return
 				}
+				if o.gap > 0 {
+					time.Sleep(o.gap)
+				}
 			}
 		} else {
-			for i := 0; i < items; i++ {
-				if err := prod.Send(ctx, payload, nil); err != nil {
+			for i := 0; i < o.items; i++ {
+				if err := prod.Send(ctx, payload, nowAttr()); err != nil {
 					errs <- err
 					return
+				}
+				if o.gap > 0 {
+					time.Sleep(o.gap)
 				}
 			}
 		}
@@ -285,9 +497,9 @@ func proxyStream(b pstream.Broker, st *store.Store, payload []byte, items, consu
 	}
 	total := 0
 	consumed.Range(func(_, v any) bool { total += v.(int); return true })
-	want := items * consumers
-	if group {
-		want = items
+	want := o.items * o.consumers
+	if o.group {
+		want = o.items
 	}
 	if total != want {
 		return fmt.Errorf("consumed %d items in total, want %d", total, want)

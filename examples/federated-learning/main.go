@@ -14,18 +14,25 @@
 // ride the store's data plane — and evict-on-ack garbage-collects every
 // consumed blob, so a long-running training loop holds O(1) rounds of
 // weights, not O(rounds).
+//
+// -broker kv runs the same dataflow over a kvstore-backed broker with
+// push delivery: trainers waiting for the next round's tasks park in
+// server-side blocking waits (one command per delivered task while idle)
+// instead of polling, exactly as a cross-process deployment would.
 package main
 
 import (
 	"context"
 	"encoding/gob"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"sync"
 
 	"proxystore/internal/connectors/local"
 	"proxystore/internal/flox"
+	"proxystore/internal/kvstore"
 	"proxystore/internal/ml"
 	"proxystore/internal/pstream"
 	"proxystore/internal/store"
@@ -111,6 +118,8 @@ func worker(ctx context.Context, id int, arch flox.Arch, st *store.Store, broker
 }
 
 func main() {
+	brokerKind := flag.String("broker", "mem", "broker: mem | kv (kv = RESP server with push delivery)")
+	flag.Parse()
 	ctx := context.Background()
 
 	st, err := store.New("fl-store", local.New("fl-conn")) // gob: tasks are structs
@@ -118,7 +127,23 @@ func main() {
 		log.Fatal(err)
 	}
 	defer st.Close()
-	broker := pstream.NewCounting(pstream.NewMem())
+	var inner pstream.Broker
+	switch *brokerKind {
+	case "mem":
+		inner = pstream.NewMem()
+	case "kv":
+		srv, err := kvstore.NewServer("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		// Push delivery is the default: idle trainers block in server-side
+		// waits rather than polling the task queue.
+		inner = pstream.NewKV(srv.Addr())
+	default:
+		log.Fatalf("unknown broker %q", *brokerKind)
+	}
+	broker := pstream.NewCounting(inner)
 
 	arch := flox.Arch{InputDim: 28 * 28, HiddenDim: 32, Blocks: 2, Classes: 10}
 	model := arch.NewModel(1)

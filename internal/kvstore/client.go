@@ -3,14 +3,23 @@ package kvstore
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"proxystore/internal/netsim"
 )
+
+// ErrUnknownCommand wraps server replies to commands the server does not
+// implement, so callers talking to an older server can detect the
+// condition with errors.Is and fall back (e.g. pstream's push delivery
+// degrading to its polling loop).
+var ErrUnknownCommand = errors.New("unknown command")
 
 // ClientOption configures a Client.
 type ClientOption func(*Client)
@@ -58,6 +67,8 @@ type Client struct {
 	total  int
 	closed bool
 	cond   *sync.Cond
+
+	dials atomic.Uint64
 }
 
 type clientConn struct {
@@ -141,12 +152,18 @@ func (c *Client) release(cc *clientConn, broken bool) {
 	c.cond.Signal()
 }
 
+// Dials returns how many TCP connections the client has established —
+// observable pool churn, so tests can assert that clean protocol events
+// (like a timed-out blocking wait) do not burn and redial connections.
+func (c *Client) Dials() uint64 { return c.dials.Load() }
+
 func (c *Client) dial(ctx context.Context) (*clientConn, error) {
 	d := net.Dialer{Timeout: c.dialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: dialing %s: %w", c.addr, err)
 	}
+	c.dials.Add(1)
 	return &clientConn{
 		conn: conn,
 		r:    bufio.NewReaderSize(conn, 64<<10),
@@ -198,9 +215,140 @@ func (c *Client) do(ctx context.Context, name string, args ...[]byte) (value, er
 		return value{}, err
 	}
 	if v.kind == respError {
-		return value{}, fmt.Errorf("kvstore: server error: %s", v.str)
+		return value{}, serverError(v)
 	}
 	return v, nil
+}
+
+// serverError converts a RESP error reply into a Go error, tagging
+// unknown-command replies so callers can errors.Is-detect old servers.
+func serverError(v value) error {
+	if strings.HasPrefix(v.str, "ERR unknown command") {
+		return fmt.Errorf("kvstore: server error: %s: %w", v.str, ErrUnknownCommand)
+	}
+	return fmt.Errorf("kvstore: server error: %s", v.str)
+}
+
+// waitSlack is how long past the server-side wait timeout the client waits
+// for the reply before declaring the connection dead. Generous: it only
+// matters when the server vanished without closing the connection.
+const waitSlack = 5 * time.Second
+
+// doWait sends one blocking command and reads its (possibly long-delayed)
+// reply on a dedicated pooled connection. Unlike do, the read is armed
+// with a deadline — the server-side timeout plus slack — and context
+// cancellation collapses that deadline so a caller can abandon a wait
+// immediately (at the cost of the connection, which carries an
+// unconsumed reply and cannot be pooled again).
+func (c *Client) doWait(ctx context.Context, budget time.Duration, name string, args ...[]byte) (value, error) {
+	reqSize := len(name)
+	for _, a := range args {
+		reqSize += len(a)
+	}
+	if err := c.delay(ctx, reqSize); err != nil {
+		return value{}, err
+	}
+
+	cc, err := c.acquire(ctx)
+	if err != nil {
+		return value{}, err
+	}
+	if err := encodeCommand(cc.w, name, args...); err != nil {
+		c.release(cc, true)
+		return value{}, fmt.Errorf("kvstore: sending %s: %w", name, err)
+	}
+	if err := cc.w.Flush(); err != nil {
+		c.release(cc, true)
+		return value{}, fmt.Errorf("kvstore: sending %s: %w", name, err)
+	}
+
+	cc.conn.SetReadDeadline(time.Now().Add(budget + waitSlack))
+	watchDone := make(chan struct{})
+	// fired reports whether the watcher collapsed the deadline; receiving
+	// it joins the watcher, so no deadline write can race a later use of
+	// the connection (e.g. after it returns to the pool).
+	fired := make(chan bool, 1)
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Interrupt the blocked read now instead of at the deadline.
+			cc.conn.SetReadDeadline(time.Now())
+			fired <- true
+		case <-watchDone:
+			fired <- false
+		}
+	}()
+	v, err := readValue(cc.r)
+	close(watchDone)
+	collapsed := <-fired
+	if err != nil {
+		c.release(cc, true)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return value{}, ctxErr
+		}
+		return value{}, fmt.Errorf("kvstore: reading %s reply: %w", name, err)
+	}
+	if collapsed {
+		// The reply landed but the deadline was collapsed concurrently:
+		// hand the caller its value, but don't pool the connection.
+		c.release(cc, true)
+	} else {
+		cc.conn.SetReadDeadline(time.Time{})
+		c.release(cc, false)
+	}
+
+	respSize := len(v.bulk)
+	if err := c.delay(ctx, respSize); err != nil {
+		return value{}, err
+	}
+	if v.kind == respError {
+		return value{}, serverError(v)
+	}
+	return v, nil
+}
+
+// WaitGet blocks until key holds a value — delivered in the reply itself,
+// so a successful wait is one round trip with no follow-up GET — or until
+// timeout lapses server-side (ok=false, connection returned to the pool
+// clean). The wait dedicates one pooled connection for its duration.
+// Context cancellation aborts the wait promptly. Servers cap a single wait
+// (currently at 60s); callers wanting longer waits re-issue in rounds.
+// Against servers that predate the command the error satisfies
+// errors.Is(err, ErrUnknownCommand).
+func (c *Client) WaitGet(ctx context.Context, key string, timeout time.Duration) (val []byte, ok bool, err error) {
+	ms := timeout.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	v, err := c.doWait(ctx, timeout, "WAITGET", []byte(key), []byte(strconv.FormatInt(ms, 10)))
+	if err != nil {
+		return nil, false, err
+	}
+	if v.null {
+		return nil, false, nil
+	}
+	return v.bulk, true, nil
+}
+
+// WaitPrefix blocks until any key under prefix is mutated with a server
+// mutation-sequence number greater than after, or until timeout lapses;
+// either way it returns the server's current sequence number, which the
+// caller feeds into its next WaitPrefix after rescanning. after=0 is a
+// seed by definition and returns the current sequence immediately, as
+// does any sequence the server cannot reason about (older than its
+// recent-writes ring, or from before a restart) — the primitive is
+// conservative, never lossy.
+func (c *Client) WaitPrefix(ctx context.Context, prefix string, after uint64, timeout time.Duration) (uint64, error) {
+	ms := timeout.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	v, err := c.doWait(ctx, timeout, "WAITPREFIX", []byte(prefix),
+		[]byte(strconv.FormatUint(after, 10)), []byte(strconv.FormatInt(ms, 10)))
+	if err != nil {
+		return 0, err
+	}
+	return uint64(v.num), nil
 }
 
 // Ping round-trips a PING.

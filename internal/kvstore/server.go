@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ServerOption configures a Server.
@@ -29,11 +30,26 @@ func WithLogger(l *log.Logger) ServerOption {
 	return func(s *Server) { s.logger = l }
 }
 
+// WithoutWaitCommands disables the blocking WAITGET/WAITPREFIX commands:
+// the server answers them with an unknown-command error, exactly like a
+// build that predates them. Exists so clients' polling fallback paths can
+// be exercised against a live server.
+func WithoutWaitCommands() ServerOption {
+	return func(s *Server) { s.noWait = true }
+}
+
 // Server is a RESP2 key-value server.
 type Server struct {
 	ln      net.Listener
 	aofPath string
 	logger  *log.Logger
+	noWait  bool
+
+	// notify parks blocked WAITGET/WAITPREFIX handlers and is poked by
+	// every mutation. It has its own lock: waiters never hold (or block
+	// behind) the data mutex, and Close wakes them like it hangs up idle
+	// connections.
+	notify *notifier
 
 	mu   sync.RWMutex
 	data map[string][]byte
@@ -57,6 +73,7 @@ func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 		data:   make(map[string][]byte),
 		conns:  make(map[net.Conn]struct{}),
 		logger: log.New(io.Discard, "", 0),
+		notify: newNotifier(),
 	}
 	for _, o := range opts {
 		o(s)
@@ -97,6 +114,10 @@ func (s *Server) Close() error {
 		return nil
 	}
 	err := s.ln.Close()
+	// Wake parked WAITGET/WAITPREFIX handlers before waiting on them:
+	// their connections are about to be closed, and a blocked wait must
+	// not pin Close for its full timeout.
+	s.notify.close()
 	s.connMu.Lock()
 	for conn := range s.conns {
 		conn.Close()
@@ -176,7 +197,9 @@ func (s *Server) execute(cmd command) value {
 		if len(cmd.args) != 2 {
 			return errorValue("ERR wrong number of arguments for 'set'")
 		}
-		s.set(string(cmd.args[0]), cmd.args[1])
+		key := string(cmd.args[0])
+		s.set(key, cmd.args[1])
+		s.notify.published(key)
 		return simpleString("OK")
 	case "GET":
 		if len(cmd.args) != 1 {
@@ -190,8 +213,10 @@ func (s *Server) execute(cmd command) value {
 	case "DEL":
 		var n int64
 		for _, a := range cmd.args {
-			if s.del(string(a)) {
+			key := string(a)
+			if s.del(key) {
 				n++
+				s.notify.published(key)
 			}
 		}
 		return integerValue(n)
@@ -217,18 +242,24 @@ func (s *Server) execute(cmd command) value {
 		if len(cmd.args) == 0 || len(cmd.args)%2 != 0 {
 			return errorValue("ERR wrong number of arguments for 'mset'")
 		}
+		keys := make([]string, 0, len(cmd.args)/2)
 		for i := 0; i < len(cmd.args); i += 2 {
-			s.set(string(cmd.args[i]), cmd.args[i+1])
+			key := string(cmd.args[i])
+			s.set(key, cmd.args[i+1])
+			keys = append(keys, key)
 		}
+		s.notify.published(keys...)
 		return simpleString("OK")
 	case "INCR":
 		if len(cmd.args) != 1 {
 			return errorValue("ERR wrong number of arguments for 'incr'")
 		}
-		n, err := s.incrBy(string(cmd.args[0]), 1)
+		key := string(cmd.args[0])
+		n, err := s.incrBy(key, 1)
 		if err != nil {
 			return errorValue("ERR " + err.Error())
 		}
+		s.notify.published(key)
 		return integerValue(n)
 	case "INCRBY":
 		if len(cmd.args) != 2 {
@@ -238,16 +269,20 @@ func (s *Server) execute(cmd command) value {
 		if err != nil {
 			return errorValue("ERR value is not an integer or out of range")
 		}
-		n, err := s.incrBy(string(cmd.args[0]), delta)
+		key := string(cmd.args[0])
+		n, err := s.incrBy(key, delta)
 		if err != nil {
 			return errorValue("ERR " + err.Error())
 		}
+		s.notify.published(key)
 		return integerValue(n)
 	case "CAS":
 		if len(cmd.args) != 3 {
 			return errorValue("ERR wrong number of arguments for 'cas'")
 		}
-		if s.cas(string(cmd.args[0]), cmd.args[1], cmd.args[2]) {
+		key := string(cmd.args[0])
+		if s.cas(key, cmd.args[1], cmd.args[2]) {
+			s.notify.published(key)
 			return integerValue(1)
 		}
 		return integerValue(0)
@@ -260,9 +295,13 @@ func (s *Server) execute(cmd command) value {
 		if err1 != nil || err2 != nil {
 			return errorValue("ERR value is not an integer or out of range")
 		}
-		n, err := s.delRange(string(cmd.args[0]), start, end)
+		prefix := string(cmd.args[0])
+		n, err := s.delRange(prefix, start, end)
 		if err != nil {
 			return errorValue("ERR " + err.Error())
+		}
+		if n > 0 {
+			s.notify.publishedRange(prefix)
 		}
 		return integerValue(n)
 	case "DBSIZE":
@@ -274,10 +313,120 @@ func (s *Server) execute(cmd command) value {
 		s.mu.Lock()
 		s.data = make(map[string][]byte)
 		s.mu.Unlock()
+		s.notify.publishedAll()
 		return simpleString("OK")
-	default:
-		return errorValue(fmt.Sprintf("ERR unknown command '%s'", cmd.name))
+	case "WAITGET":
+		if s.noWait {
+			break
+		}
+		if len(cmd.args) != 2 {
+			return errorValue("ERR wrong number of arguments for 'waitget'")
+		}
+		ms, err := strconv.ParseInt(string(cmd.args[1]), 10, 64)
+		if err != nil || ms <= 0 {
+			return errorValue("ERR timeout is not a positive integer")
+		}
+		return s.waitGet(string(cmd.args[0]), clampWait(ms))
+	case "WAITPREFIX":
+		if s.noWait {
+			break
+		}
+		if len(cmd.args) != 3 {
+			return errorValue("ERR wrong number of arguments for 'waitprefix'")
+		}
+		after, err1 := strconv.ParseUint(string(cmd.args[1]), 10, 64)
+		ms, err2 := strconv.ParseInt(string(cmd.args[2]), 10, 64)
+		if err1 != nil || err2 != nil || ms <= 0 {
+			return errorValue("ERR value is not an integer or out of range")
+		}
+		return s.waitPrefix(string(cmd.args[0]), after, clampWait(ms))
 	}
+	// Unknown command — or a wait command on a server configured without
+	// them (WithoutWaitCommands), which must answer exactly like a build
+	// that predates them so clients exercise their polling fallback.
+	return errorValue(fmt.Sprintf("ERR unknown command '%s'", cmd.name))
+}
+
+// maxWaitMS caps a server-side blocking wait at one minute: clients
+// re-issue waits in rounds, and an unbounded wait would pin its handler
+// (and its pooled connection) on both ends arbitrarily long.
+const maxWaitMS = 60_000
+
+// clampWait converts a client-supplied timeout to a bounded duration.
+func clampWait(ms int64) time.Duration {
+	if ms > maxWaitMS {
+		ms = maxWaitMS
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// waitGet blocks until key holds a value (returned as a bulk string) or
+// the timeout lapses (null bulk). The handler registers a waiter BEFORE
+// checking the data map, so a write landing between check and park is
+// never missed; wakes caused by deletes simply re-park. A server shutdown
+// wakes the waiter with an error reply.
+func (s *Server) waitGet(key string, timeout time.Duration) value {
+	deadline := time.Now().Add(timeout)
+	for {
+		w := s.notify.registerKey(key)
+		if w == nil {
+			return errorValue("ERR server closed")
+		}
+		if v, ok := s.get(key); ok {
+			s.notify.cancelKey(key, w)
+			return bulkValue(v)
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			s.notify.cancelKey(key, w)
+			return nullBulk()
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-w.ch:
+			timer.Stop()
+			// Woken by a mutation of key: loop to re-read it. A delete wake
+			// finds nothing and parks again.
+		case <-timer.C:
+			s.notify.cancelKey(key, w)
+			// A write may have raced the timer; prefer the value.
+			if v, ok := s.get(key); ok {
+				return bulkValue(v)
+			}
+			return nullBulk()
+		case <-s.notify.done:
+			timer.Stop()
+			s.notify.cancelKey(key, w)
+			return errorValue("ERR server closed")
+		}
+	}
+}
+
+// waitPrefix blocks until any key under prefix is mutated with sequence
+// number > after, then returns the current mutation sequence (an integer
+// reply). The timeout path also returns the current sequence — callers
+// rescan either way and carry the returned sequence into their next wait,
+// so the wake itself carries no payload and can afford to be conservative
+// (ring overflow, server restart) without ever being lossy.
+func (s *Server) waitPrefix(prefix string, after uint64, timeout time.Duration) value {
+	w, cur, fired := s.notify.registerPrefix(prefix, after)
+	if fired {
+		return integerValue(int64(cur))
+	}
+	if w == nil {
+		return errorValue("ERR server closed")
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+	case <-timer.C:
+		s.notify.cancelPrefix(w)
+	case <-s.notify.done:
+		s.notify.cancelPrefix(w)
+		return errorValue("ERR server closed")
+	}
+	return integerValue(int64(s.notify.currentSeq()))
 }
 
 func (s *Server) set(key string, val []byte) {

@@ -36,7 +36,23 @@ type Options struct {
 	// state is process-local (MemBroker, NetServer) have nothing durable
 	// to restart and leave it nil.
 	Restart func() error
+	// Commands reports the backing service's cumulative command count
+	// (e.g. kvstore Server.Commands). When non-nil the battery asserts
+	// push delivery: a subscriber blocked in Next issues O(1) backing
+	// commands over a quiet window, instead of a poll per backoff tick.
+	// Leave nil for brokers with no command-counted backing service.
+	Commands func() uint64
 }
+
+// idleCommandBudget is the command allowance for a subscriber blocked in
+// Next across the idle window: registering the blocking wait takes a
+// handful of commands, and a push-delivery implementation issues nothing
+// further until woken. A polling implementation at a 10ms backoff cap
+// issues dozens over the same window and fails decisively.
+const idleCommandBudget = 6
+
+// idleWindow is the quiet period over which a blocked Next is observed.
+const idleWindow = 500 * time.Millisecond
 
 // retry re-attempts f until it succeeds or attempts run out. After a
 // backing-service restart, pooled client connections are dead and the
@@ -625,6 +641,149 @@ func Run(t *testing.T, newBroker func(t *testing.T) pstream.Broker, opts Options
 			}
 			if len(got) != n {
 				t.Fatalf("survivor consumed %d events, want all %d", len(got), n)
+			}
+		})
+	}
+
+	// --- Push delivery ----------------------------------------------------
+
+	if opts.Commands != nil {
+		t.Run("IdleBlockedNextIsO1Commands", func(t *testing.T) {
+			topic := freshTopic("idle")
+			sub, err := b.Subscribe(ctx, topic, "c1")
+			if err != nil {
+				t.Fatalf("Subscribe: %v", err)
+			}
+			defer sub.Close()
+			nctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			defer cancel()
+			got := make(chan pstream.Event, 1)
+			errs := make(chan error, 1)
+			go func() {
+				e, err := sub.Next(nctx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got <- e
+			}()
+			time.Sleep(100 * time.Millisecond) // let Next park in its wait
+			before := opts.Commands()
+			time.Sleep(idleWindow)
+			if delta := opts.Commands() - before; delta > idleCommandBudget {
+				t.Errorf("blocked Next issued %d commands over a %v quiet window, budget %d (polling, not push)",
+					delta, idleWindow, idleCommandBudget)
+			}
+			// The parked subscriber must wake promptly on publish.
+			start := time.Now()
+			if err := b.Publish(ctx, topic, ev("p", 1)); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+			select {
+			case e := <-got:
+				if e.Seq != 1 {
+					t.Fatalf("woke with Seq %d", e.Seq)
+				}
+				if wake := time.Since(start); wake > 2*time.Second {
+					t.Errorf("wake latency %v", wake)
+				}
+			case err := <-errs:
+				t.Fatalf("blocked Next: %v", err)
+			case <-time.After(10 * time.Second):
+				t.Fatal("blocked Next did not wake on publish")
+			}
+		})
+
+		t.Run("IdleBlockedGroupNextIsO1Commands", func(t *testing.T) {
+			topic := freshTopic("idleg")
+			sub, err := b.SubscribeGroup(ctx, topic, "g", "m")
+			if err != nil {
+				t.Fatalf("SubscribeGroup: %v", err)
+			}
+			defer sub.Close()
+			nctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			defer cancel()
+			got := make(chan pstream.Event, 1)
+			errs := make(chan error, 1)
+			go func() {
+				e, err := sub.Next(nctx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got <- e
+			}()
+			time.Sleep(100 * time.Millisecond)
+			before := opts.Commands()
+			time.Sleep(idleWindow)
+			if delta := opts.Commands() - before; delta > idleCommandBudget {
+				t.Errorf("blocked group Next issued %d commands over a %v quiet window, budget %d",
+					delta, idleWindow, idleCommandBudget)
+			}
+			if err := b.Publish(ctx, topic, ev("p", 1)); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+			select {
+			case e := <-got:
+				if e.Seq != 1 {
+					t.Fatalf("woke with Seq %d", e.Seq)
+				}
+				if _, err := sub.Ack(ctx, e); err != nil {
+					t.Fatalf("Ack: %v", err)
+				}
+			case err := <-errs:
+				t.Fatalf("blocked group Next: %v", err)
+			case <-time.After(10 * time.Second):
+				t.Fatal("blocked group Next did not wake on publish")
+			}
+		})
+	}
+
+	if opts.Restart != nil {
+		t.Run("RestartMidBlockedWait", func(t *testing.T) {
+			// The backing service restarts while a consumer is parked in a
+			// blocking wait. The severed wait surfaces an error; retrying
+			// Next on the same subscription must resume without loss (the
+			// cursor is subscription-local) and deliver the first
+			// post-restart publish.
+			topic := freshTopic("restartwait")
+			sub, err := b.Subscribe(ctx, topic, "durable")
+			if err != nil {
+				t.Fatalf("Subscribe: %v", err)
+			}
+			defer sub.Close()
+			nctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			defer cancel()
+			got := make(chan pstream.Event, 1)
+			go func() {
+				for {
+					e, err := sub.Next(nctx)
+					if err == nil {
+						got <- e
+						return
+					}
+					if nctx.Err() != nil {
+						return
+					}
+					// Stale pooled connections drain while the service
+					// restarts; keep retrying.
+					time.Sleep(20 * time.Millisecond)
+				}
+			}()
+			time.Sleep(100 * time.Millisecond) // park in the blocked wait
+			if err := opts.Restart(); err != nil {
+				t.Fatalf("Restart: %v", err)
+			}
+			retry(t, 8, "Publish after restart", func() (struct{}, error) {
+				return struct{}{}, b.Publish(ctx, topic, ev("p", 1))
+			})
+			select {
+			case e := <-got:
+				if e.Seq != 1 || e.Offset != 0 {
+					t.Fatalf("resumed consumer got {Seq %d @%d}, want {1 @0}", e.Seq, e.Offset)
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatal("consumer did not resume after restart mid-wait")
 			}
 		})
 	}

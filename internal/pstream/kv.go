@@ -2,10 +2,12 @@ package pstream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"proxystore/internal/kvstore"
@@ -30,16 +32,36 @@ import (
 //
 // Appends reserve a slot with INCR (atomic on the server) and then SET the
 // event — PublishBatch reserves the whole range with one INCRBY and fills
-// it with one MSET — so concurrent producers never collide; readers poll a
-// slot until its SET lands. Next polls with capped exponential backoff —
-// brokered delivery over a shared kv server trades latency for zero extra
-// moving parts. Group members claim slots with server-side CAS on the
-// claim record, so an event can never be leased to two members at once.
+// it with one MSET — so concurrent producers never collide; delivery is
+// push: a blocked Next parks in one server-side WAITGET on its cursor slot
+// (group members in one WAITPREFIX over the topic keyspace) and the write
+// that fills it wakes the waiter — O(1) commands while idle and wake
+// latency independent of any backoff state. Against servers that predate
+// the wait commands (or with WithKVPush(false)), Next degrades to the
+// original capped-exponential-backoff polling loop. Group members claim
+// slots with server-side CAS on the claim record, so an event can never
+// be leased to two members at once.
 type KVBroker struct {
 	addr   string
 	client *kvstore.Client
-	// pollFloor/pollCap bound the Next polling backoff.
+	// waitClient carries only the blocking waits, each of which pins a
+	// pooled connection for up to a wait round. On a separate pool (sized
+	// waitPool), parked subscriptions can never starve the command path —
+	// with a shared pool, enough parked consumers would block the very
+	// Publish whose write is supposed to wake them.
+	waitClient *kvstore.Client
+	waitPool   int
+	// pollFloor/pollCap bound the polling-fallback backoff.
 	pollFloor, pollCap time.Duration
+	// waitRound bounds one server-side blocking wait; blocked consumers
+	// re-arm in rounds so truncation sweeps and lease expiries are
+	// re-checked at least this often.
+	waitRound time.Duration
+	// pushOff disables blocking-wait delivery: set by WithKVPush(false), or
+	// latched at runtime when the server answers WAITGET with an
+	// unknown-command error (an old build) — the polling fallback keeps the
+	// broker working either way.
+	pushOff atomic.Bool
 	// lease bounds how long a group member may hold a claimed event
 	// before other members reclaim it.
 	lease time.Duration
@@ -57,8 +79,41 @@ type KVBroker struct {
 // KVOption configures a KVBroker.
 type KVOption func(*KVBroker)
 
-// WithPollInterval overrides the Next polling backoff bounds (defaults
-// 500µs floor, 10ms cap).
+// WithKVPush toggles push delivery (default on): blocked Next calls park
+// in server-side WAITGET/WAITPREFIX waits instead of polling. Disabled —
+// or against a server that predates the wait commands, which is detected
+// automatically — subscriptions use the capped-backoff polling loop, the
+// pre-push behavior, bounded by WithPollInterval.
+func WithKVPush(on bool) KVOption {
+	return func(b *KVBroker) { b.pushOff.Store(!on) }
+}
+
+// WithKVWaitRound bounds a single server-side blocking wait (default 15s).
+// Longer rounds cost nothing while idle; shorter ones re-check truncation
+// floors more eagerly after missed wakes.
+func WithKVWaitRound(d time.Duration) KVOption {
+	return func(b *KVBroker) {
+		if d > 0 {
+			b.waitRound = d
+		}
+	}
+}
+
+// WithKVWaitPool sets how many subscriptions can be parked in blocking
+// waits concurrently (default 64). Each parked subscription holds one
+// connection of a pool dedicated to waits; a subscription past the limit
+// queues for a slot instead of starving command traffic.
+func WithKVWaitPool(n int) KVOption {
+	return func(b *KVBroker) {
+		if n > 0 {
+			b.waitPool = n
+		}
+	}
+}
+
+// WithPollInterval overrides the polling-fallback backoff bounds (defaults
+// 500µs floor, 10ms cap). The fallback runs only when push delivery is
+// off — WithKVPush(false) or an old server.
 func WithPollInterval(floor, ceil time.Duration) KVOption {
 	return func(b *KVBroker) {
 		if floor > 0 {
@@ -102,12 +157,15 @@ func NewKV(addr string, opts ...KVOption) *KVBroker {
 		addr:      addr,
 		pollFloor: 500 * time.Microsecond,
 		pollCap:   10 * time.Millisecond,
+		waitRound: 15 * time.Second,
+		waitPool:  64,
 		lease:     DefaultLease,
 	}
 	for _, o := range opts {
 		o(b)
 	}
 	b.client = kvstore.NewClient(addr)
+	b.waitClient = kvstore.NewClient(addr, kvstore.WithPoolSize(b.waitPool))
 	return b
 }
 
@@ -127,6 +185,24 @@ func kvClaimKey(topic, group string, i uint64) string {
 	return "ps:" + topic + ":g:" + group + ":c:" + strconv.FormatUint(i, 10)
 }
 func kvClaimPrefix(topic, group string) string { return "ps:" + topic + ":g:" + group + ":c:" }
+
+// kvTopicPrefix covers every key of one topic — log slots, counters, acks
+// and claim records — so one WAITPREFIX watch observes appends, settles
+// and floor sweeps alike.
+func kvTopicPrefix(topic string) string { return "ps:" + topic + ":" }
+
+// pushOK reports whether blocking-wait delivery is live.
+func (b *KVBroker) pushOK() bool { return !b.pushOff.Load() }
+
+// disablePushIfUnknown latches the polling fallback when err shows the
+// server predates the wait commands, reporting whether it did.
+func (b *KVBroker) disablePushIfUnknown(err error) bool {
+	if errors.Is(err, kvstore.ErrUnknownCommand) {
+		b.pushOff.Store(true)
+		return true
+	}
+	return false
+}
 
 // Publish implements Broker: INCR reserves the next log index, SET fills it.
 // The two steps are not atomic; if the SET fails, the reserved slot is
@@ -277,7 +353,13 @@ func (b *KVBroker) counter(ctx context.Context, key string) (uint64, error) {
 }
 
 // Close implements Broker. Server-side logs and offsets persist.
-func (b *KVBroker) Close() error { return b.client.Close() }
+func (b *KVBroker) Close() error {
+	err := b.client.Close()
+	if werr := b.waitClient.Close(); err == nil {
+		err = werr
+	}
+	return err
+}
 
 type kvSub struct {
 	b        *KVBroker
@@ -342,10 +424,44 @@ func (s *kvSub) skipTruncated(ctx context.Context) (bool, error) {
 	return true, nil
 }
 
-// Next implements Subscription, polling the cursor slot with capped
-// exponential backoff.
+// Next implements Subscription. With push delivery (the default against
+// current servers) a miss parks in one server-side WAITGET on the cursor
+// slot: the SET that fills the slot ships the value back in the wait's own
+// reply, so a quiet consumer costs O(1) commands per delivered event —
+// not O(poll rate) — and wakes in sub-millisecond time regardless of how
+// long it idled. Each wait round is bounded so truncation of the cursor
+// slot (collected while we watched it) is re-detected; the polling
+// fallback with capped exponential backoff serves old servers and
+// WithKVPush(false).
 func (s *kvSub) Next(ctx context.Context) (Event, error) {
 	delay := s.b.pollFloor
+	for s.b.pushOK() {
+		// WAITGET returns an already-filled slot immediately, so it IS the
+		// read — the fast path costs the same one command as a plain GET,
+		// and a miss parks instead of returning. Truncation of the watched
+		// slot (possible only for a consumer left out of the topic's ack
+		// threshold) produces no SET, so it is re-checked when a wait round
+		// lapses rather than before every arm.
+		raw, ok, err := s.b.waitClient.WaitGet(ctx, kvEventKey(s.topic, s.cursor), s.b.waitRound)
+		if err != nil {
+			if s.b.disablePushIfUnknown(err) {
+				break
+			}
+			return Event{}, err
+		}
+		if !ok {
+			if _, err := s.skipTruncated(ctx); err != nil {
+				return Event{}, err
+			}
+			continue // re-arm (at the floor, if the slot was collected)
+		}
+		ev, err := DecodeEvent(raw)
+		if err != nil {
+			return Event{}, err
+		}
+		s.cursor++
+		return ev, nil
+	}
 	for {
 		ev, ok, err := s.get(ctx)
 		if err != nil {
@@ -589,6 +705,23 @@ type kvGroupSub struct {
 	// endCursor: offsets below it hold no undelivered End marker for this
 	// member.
 	endCursor uint64
+	// lastSeq is the server mutation sequence carried between WAITPREFIX
+	// rounds: the next wait fires only for topic writes newer than it, so
+	// rescans happen exactly once per batch of wakes.
+	lastSeq uint64
+	// nextLease is the earliest live claim deadline the latest scan saw
+	// (zero if none). Lease expiry produces no server write, so a blocked
+	// wait must be capped at it for reclamation to happen on time.
+	nextLease time.Time
+	// endPending marks a scan that found an End marker withheld by its
+	// barrier: the wake that matters is then a claim settling (so the
+	// floor can sweep), not just an append, and the blocking watch widens
+	// from a single log slot to the whole topic keyspace.
+	endPending bool
+	// parkSlot is where the latest scan stopped: the first unfilled log
+	// slot. A pushed park watches exactly that slot with WAITGET — new
+	// claimable work cannot appear anywhere earlier.
+	parkSlot uint64
 	// pendingIncr holds offsets whose claim record was settled but whose
 	// ack-counter increment failed; only this subscription knows the
 	// increment is owed, so it retries before further work. (A crash
@@ -608,11 +741,28 @@ func (s *kvGroupSub) flushPendingIncr(ctx context.Context) error {
 	return nil
 }
 
+// trackLease records a live claim deadline so Next can cap its blocking
+// wait at the earliest one.
+func (s *kvGroupSub) trackLease(raw []byte, now time.Time) {
+	if _, deadline, ok := parseClaim(raw); ok && deadline.After(now) {
+		s.trackLeaseDeadline(deadline)
+	}
+}
+
+func (s *kvGroupSub) trackLeaseDeadline(deadline time.Time) {
+	if s.nextLease.IsZero() || deadline.Before(s.nextLease) {
+		s.nextLease = deadline
+	}
+}
+
 // scan is one non-blocking pass over the work queue: advance the shared
 // group floor past resolved slots, deliver a pending End marker once its
 // barrier is met (floor swept past it), else claim the earliest available
-// payload slot with a CAS-guarded lease.
+// payload slot with a CAS-guarded lease. As a side effect it refreshes
+// nextLease with the earliest live claim deadline encountered.
 func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
+	s.nextLease = time.Time{}
+	s.endPending = false
 	if err := s.flushPendingIncr(ctx); err != nil {
 		return Event{}, false, err
 	}
@@ -671,6 +821,9 @@ func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
 				return Event{}, false, err
 			}
 			if !held || string(raw) != claimAcked {
+				if held {
+					s.trackLease(raw, time.Now())
+				}
 				break
 			}
 		}
@@ -716,11 +869,14 @@ func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
 			s.endCursor++
 			return ev, true, nil
 		}
+		s.endPending = true
 		break
 	}
 
-	// 3. Claim the earliest available payload slot.
-	now := time.Now()
+	// 3. Claim the earliest available payload slot. parkSlot ends at the
+	// first unfilled slot — the only place new claimable work can appear —
+	// which is where a pushed park points its blocking watch.
+	s.parkSlot = length
 	for i := f; i < length; i++ {
 		ev, ok, err := s.b.eventAt(ctx, s.topic, i)
 		if err != nil {
@@ -734,59 +890,161 @@ func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
 			if tr {
 				continue
 			}
+			s.parkSlot = i
 			break // hole: preserve log order, wait for the fill
 		}
 		if ev.isGap() || ev.End {
 			continue
 		}
-		key := kvClaimKey(s.topic, s.group, i)
-		raw, held, err := s.b.client.Get(ctx, key)
+		won, err := s.tryClaim(ctx, i)
 		if err != nil {
 			return Event{}, false, err
 		}
-		record := claimRecord(s.member, now.Add(s.b.lease))
-		var win bool
-		if !held {
-			if win, err = s.b.client.CAS(ctx, key, nil, record); err != nil {
-				return Event{}, false, err
-			}
-		} else {
-			if string(raw) == claimAcked {
-				continue
-			}
-			if _, deadline, ok := parseClaim(raw); ok && now.After(deadline) {
-				// Expired lease: reclaim. CAS against the exact stale
-				// record, so two reclaimers can never both win.
-				if win, err = s.b.client.CAS(ctx, key, raw, record); err != nil {
-					return Event{}, false, err
-				}
-			}
+		if won {
+			return ev, true, nil
 		}
-		if !win {
-			continue // leased elsewhere or lost the race; try the next slot
-		}
-		// Guard against resurrecting a settled slot: if the slot was acked
-		// and its record GC'd between our floor read and the CAS, our
-		// fresh claim would redeliver an event whose payload may already
-		// be evicted. The floor cannot pass a live claim, so if it is
-		// still at or below i now, it stays there until we ack or our
-		// lease expires — and if it already moved past, we undo the claim.
-		cur, err := s.b.counter(ctx, floorKey)
-		if err != nil {
-			return Event{}, false, err
-		}
-		if i < cur {
-			s.b.client.Del(ctx, key)
-			continue
-		}
-		return ev, true, nil
 	}
 	return Event{}, false, nil
 }
 
-// Next implements Subscription, polling the work queue with capped
-// exponential backoff (lease expirations surface on the next poll, so
-// reclamation needs no server-side timers).
+// tryClaim attempts to lease payload slot i: SETNX-CAS for a fresh claim,
+// exact-record CAS to reclaim an expired lease, and the floor guard
+// against resurrecting a settled slot — if the slot was acked and its
+// record GC'd between the read and the CAS, a fresh claim would redeliver
+// an event whose payload may already be evicted. The floor cannot pass a
+// live claim, so if it is still at or below i it stays there until we ack
+// or our lease expires; if it already moved past, the claim is undone.
+// Live peer leases observed along the way feed nextLease.
+func (s *kvGroupSub) tryClaim(ctx context.Context, i uint64) (bool, error) {
+	key := kvClaimKey(s.topic, s.group, i)
+	raw, held, err := s.b.client.Get(ctx, key)
+	if err != nil {
+		return false, err
+	}
+	now := time.Now()
+	record := claimRecord(s.member, now.Add(s.b.lease))
+	var win bool
+	if !held {
+		if win, err = s.b.client.CAS(ctx, key, nil, record); err != nil {
+			return false, err
+		}
+		if !win {
+			// Lost the race to a peer whose lease starts about now.
+			s.trackLeaseDeadline(now.Add(s.b.lease))
+		}
+	} else {
+		if string(raw) == claimAcked {
+			return false, nil
+		}
+		if _, deadline, ok := parseClaim(raw); ok && now.After(deadline) {
+			// Expired lease: reclaim. CAS against the exact stale record,
+			// so two reclaimers can never both win.
+			if win, err = s.b.client.CAS(ctx, key, raw, record); err != nil {
+				return false, err
+			}
+		} else {
+			s.trackLease(raw, now)
+		}
+	}
+	if !win {
+		return false, nil
+	}
+	cur, err := s.b.counter(ctx, kvGroupFloorKey(s.topic, s.group))
+	if err != nil {
+		return false, err
+	}
+	if i < cur {
+		s.b.client.Del(ctx, key)
+		return false, nil
+	}
+	return true, nil
+}
+
+// waitTimeout returns the bound for one blocking wait: the broker's wait
+// round, capped just past the earliest live claim deadline the member has
+// seen. Lease expiry produces no server write, so only this cap makes
+// reclamation after a member crash happen on lease time — with no
+// server-side timers.
+func (s *kvGroupSub) waitTimeout() time.Duration {
+	timeout := s.b.waitRound
+	if !s.nextLease.IsZero() {
+		if until := time.Until(s.nextLease) + 2*time.Millisecond; until < timeout {
+			timeout = until
+		}
+	}
+	if timeout < time.Millisecond {
+		timeout = time.Millisecond
+	}
+	return timeout
+}
+
+// parkPush blocks until new work may exist for this member. The watch is
+// the narrowest possible: one WAITGET on the first unfilled log slot (the
+// only place claimable work can appear), whose filling write delivers the
+// event in the wait's own reply — the member then claims it directly,
+// with no rescan, and a member that loses the claim race just advances
+// its watch to the next slot, still without rescanning. Peer claims,
+// settles and floor sweeps never wake a parked member. The exception is a
+// withheld End marker (endPending): its barrier clears on a claim
+// settling, so the watch widens to a WAITPREFIX over the whole topic.
+//
+// Returns ok=true with a claimed event, or ok=false when the caller must
+// rescan: a wait round lapsed (lease expiry → reclamation, truncation), a
+// delivered End or endPending wake (the barrier logic lives in scan), or
+// push delivery just latched off.
+func (s *kvGroupSub) parkPush(ctx context.Context) (Event, bool, error) {
+	parkSlot := s.parkSlot
+	for {
+		if s.endPending {
+			seq, err := s.b.waitClient.WaitPrefix(ctx, kvTopicPrefix(s.topic), s.lastSeq, s.waitTimeout())
+			if err != nil {
+				if s.b.disablePushIfUnknown(err) {
+					return Event{}, false, nil
+				}
+				return Event{}, false, err
+			}
+			s.lastSeq = seq
+			return Event{}, false, nil
+		}
+		raw, ok, err := s.b.waitClient.WaitGet(ctx, kvEventKey(s.topic, parkSlot), s.waitTimeout())
+		if err != nil {
+			if s.b.disablePushIfUnknown(err) {
+				return Event{}, false, nil
+			}
+			return Event{}, false, err
+		}
+		if !ok {
+			return Event{}, false, nil // wait round lapsed
+		}
+		ev, err := DecodeEvent(raw)
+		if err != nil {
+			return Event{}, false, err
+		}
+		if ev.isGap() {
+			parkSlot++
+			continue
+		}
+		if ev.End {
+			return Event{}, false, nil
+		}
+		won, err := s.tryClaim(ctx, ev.Offset)
+		if err != nil {
+			return Event{}, false, err
+		}
+		if won {
+			return ev, true, nil
+		}
+		parkSlot++ // a peer holds it; watch the next slot
+	}
+}
+
+// Next implements Subscription. With push delivery an empty scan parks in
+// a blocking wait (see parkPush) instead of polling: an idle member costs
+// O(1) commands regardless of how long it idles, wakes carry the
+// triggering event, and an append burst is consumed claim-by-claim
+// without rescans. The polling fallback (capped exponential backoff,
+// lease expirations surfacing on the next poll) serves old servers and
+// WithKVPush(false).
 func (s *kvGroupSub) Next(ctx context.Context) (Event, error) {
 	delay := s.b.pollFloor
 	for {
@@ -796,6 +1054,16 @@ func (s *kvGroupSub) Next(ctx context.Context) (Event, error) {
 		}
 		if ok {
 			return ev, nil
+		}
+		if s.b.pushOK() {
+			ev, ok, err := s.parkPush(ctx)
+			if err != nil {
+				return Event{}, err
+			}
+			if ok {
+				return ev, nil
+			}
+			continue
 		}
 		select {
 		case <-ctx.Done():

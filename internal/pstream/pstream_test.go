@@ -58,7 +58,89 @@ func TestKVBrokerConformance(t *testing.T) {
 	}
 	brokertest.Run(t, func(t *testing.T) pstream.Broker {
 		return pstream.NewKV(addr, pstream.WithKVLease(conformanceLease))
-	}, brokertest.Options{ClaimLease: conformanceLease, Restart: restart})
+	}, brokertest.Options{
+		ClaimLease: conformanceLease,
+		Restart:    restart,
+		Commands:   func() uint64 { return srv.Commands() },
+	})
+}
+
+// TestKVBrokerPollingFallbackConformance runs the whole battery over the
+// pre-push polling path (WithKVPush(false)): the fallback that serves old
+// servers must stay fully conformant, not merely limp.
+func TestKVBrokerPollingFallbackConformance(t *testing.T) {
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("kvstore server: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	brokertest.Run(t, func(t *testing.T) pstream.Broker {
+		return pstream.NewKV(srv.Addr(),
+			pstream.WithKVLease(conformanceLease), pstream.WithKVPush(false))
+	}, brokertest.Options{ClaimLease: conformanceLease})
+}
+
+// TestKVBrokerFallsBackOnLegacyServer drives a broker with push enabled
+// against a server that answers WAITGET/WAITPREFIX with unknown-command
+// errors (a build predating them): the broker must degrade to polling
+// transparently — blocked Next still wakes, nothing errors to the caller.
+func TestKVBrokerFallsBackOnLegacyServer(t *testing.T) {
+	srv, err := kvstore.NewServer("127.0.0.1:0", kvstore.WithoutWaitCommands())
+	if err != nil {
+		t.Fatalf("kvstore server: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	b := pstream.NewKV(srv.Addr(), pstream.WithKVLease(conformanceLease))
+	t.Cleanup(func() { b.Close() })
+	ctx := context.Background()
+
+	sub, err := b.Subscribe(ctx, "legacy", "c1")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Close()
+	got := make(chan pstream.Event, 1)
+	errs := make(chan error, 1)
+	go func() {
+		nctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		e, err := sub.Next(nctx)
+		if err != nil {
+			errs <- err
+			return
+		}
+		got <- e
+	}()
+	time.Sleep(50 * time.Millisecond) // Next hits the unknown command, falls back
+	if err := b.Publish(ctx, "legacy", pstream.Event{Producer: "p", Seq: 1}); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	select {
+	case e := <-got:
+		if e.Seq != 1 {
+			t.Fatalf("fallback Next delivered Seq %d", e.Seq)
+		}
+	case err := <-errs:
+		t.Fatalf("Next against legacy server: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("fallback Next did not deliver")
+	}
+
+	// Group members degrade the same way.
+	gsub, err := b.SubscribeGroup(ctx, "legacy", "g", "m")
+	if err != nil {
+		t.Fatalf("SubscribeGroup: %v", err)
+	}
+	defer gsub.Close()
+	nctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	e, err := gsub.Next(nctx)
+	if err != nil || e.Seq != 1 {
+		t.Fatalf("group Next on legacy server = %+v, %v", e, err)
+	}
+	if _, err := gsub.Ack(ctx, e); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
 }
 
 func TestNetBrokerConformance(t *testing.T) {
