@@ -1,5 +1,20 @@
-// Command ps-streambench compares moving a stream of objects from one
-// producer to N consumers several ways:
+// Command ps-streambench measures the pstream planes under three
+// profiles, selected with -profile:
+//
+//	stream (default) — one producer fanning a stream of objects out to N
+//	consumers, across the delivery modes below
+//	tasks            — the task plane: a stream-backed faas executor
+//	                   submits paced tasks to an endpoint worker pool
+//	                   (consumer-group claims over the broker), reporting
+//	                   submit→execute→result latency per task and
+//	                   kv-cmds/task; on the kv broker the same workload
+//	                   repeats over the polling fallback (tasks-poll)
+//	multi            — the stream profile's batched mode over a
+//	                   multi-connector store: small payloads route to an
+//	                   in-memory child, large ones to a file child, the
+//	                   broker carrying the same O(100 B) events either way
+//
+// The stream profile's delivery modes:
 //
 //	inline     — eager blob fan-out: every payload travels through the broker
 //	             itself, once per consumer (the classic message-queue baseline)
@@ -36,9 +51,9 @@
 //
 // Usage:
 //
-//	ps-streambench [-items N] [-size BYTES] [-consumers N] [-window N]
-//	               [-batch N] [-gap DUR] [-broker mem|kv] [-groups] [-wan]
-//	               [-json PATH] [-strict]
+//	ps-streambench [-profile stream|tasks|multi] [-items N] [-size BYTES]
+//	               [-consumers N] [-window N] [-batch N] [-gap DUR]
+//	               [-broker mem|kv] [-groups] [-wan] [-json PATH] [-strict]
 package main
 
 import (
@@ -55,8 +70,11 @@ import (
 	"time"
 
 	"proxystore/internal/connector"
+	"proxystore/internal/connectors/file"
 	"proxystore/internal/connectors/local"
+	"proxystore/internal/connectors/multi"
 	"proxystore/internal/connectors/redisc"
+	"proxystore/internal/faas"
 	"proxystore/internal/kvstore"
 	"proxystore/internal/netsim"
 	"proxystore/internal/pstream"
@@ -84,6 +102,7 @@ type profile struct {
 
 // report is the -json document.
 type report struct {
+	Profile   string    `json:"profile"`
 	Items     int       `json:"items"`
 	Size      int       `json:"size_bytes"`
 	Consumers int       `json:"consumers"`
@@ -142,14 +161,15 @@ func nowAttr() map[string]string {
 }
 
 func main() {
-	items := flag.Int("items", 256, "objects to stream")
-	size := flag.Int("size", 256<<10, "object size in bytes")
-	consumers := flag.Int("consumers", 2, "consumer count (group members with -groups)")
+	profileKind := flag.String("profile", "stream", "benchmark profile: stream | tasks | multi")
+	items := flag.Int("items", 256, "objects to stream (tasks with -profile tasks)")
+	size := flag.Int("size", 256<<10, "object size in bytes (task argument size with -profile tasks)")
+	consumers := flag.Int("consumers", 2, "consumer count (group members with -groups, endpoint workers with -profile tasks)")
 	window := flag.Int("window", 16, "batched-mode prefetch window")
 	batch := flag.Int("batch", 32, "batchpub-mode SendBatch size")
-	gap := flag.Duration("gap", 2*time.Millisecond, "inter-send pacing for the event/group latency profiles")
+	gap := flag.Duration("gap", 2*time.Millisecond, "inter-send pacing for the event/group/tasks latency profiles")
 	brokerKind := flag.String("broker", "kv", "broker: mem | kv")
-	groups := flag.Bool("groups", false, "add the consumer-group work-queue profiles")
+	groups := flag.Bool("groups", false, "add the consumer-group work-queue profiles (stream profile)")
 	wan := flag.Bool("wan", false, "model WAN delays on the redis data plane (kv broker only)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this path")
 	strict := flag.Bool("strict", false, "exit non-zero unless push delivery beats polling on kv-cmds/item")
@@ -157,11 +177,14 @@ func main() {
 
 	var srv *kvstore.Server
 	var mkBroker func(push bool) pstream.Broker
-	var mkStore func(run string) *store.Store
+	// mkStore builds the run's data-plane store; gobSer selects the
+	// default gob serializer (needed for the tasks profile's struct
+	// payloads) over the raw []byte serializer.
+	var mkStore func(run string, gobSer bool) *store.Store
 	switch *brokerKind {
 	case "mem":
 		mkBroker = func(bool) pstream.Broker { return pstream.NewMem() }
-		mkStore = func(run string) *store.Store {
+		mkStore = func(run string, _ bool) *store.Store {
 			st, err := store.New("sb-"+run, local.New("sb-conn-"+run), store.WithCacheBytes(0))
 			if err != nil {
 				log.Fatal(err)
@@ -183,9 +206,12 @@ func main() {
 		mkBroker = func(push bool) pstream.Broker {
 			return pstream.NewKV(srv.Addr(), pstream.WithKVPush(push))
 		}
-		mkStore = func(run string) *store.Store {
-			st, err := store.New("sb-"+run, redisc.New(srv.Addr(), opts...),
-				store.WithSerializer(serial.Raw()), store.WithCacheBytes(0))
+		mkStore = func(run string, gobSer bool) *store.Store {
+			sopts := []store.Option{store.WithCacheBytes(0)}
+			if !gobSer {
+				sopts = append(sopts, store.WithSerializer(serial.Raw()))
+			}
+			st, err := store.New("sb-"+run, redisc.New(srv.Addr(), opts...), sopts...)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -196,15 +222,46 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("streaming %d × %d KiB to %d consumers over %q broker\n\n",
-		*items, *size>>10, *consumers, *brokerKind)
-	fmt.Printf("%-10s %9s %8s %13s %13s %10s %8s %8s %8s\n",
-		"mode", "items/s", "MB/s", "broker-bytes", "store-bytes", "kv-cmds/it", "p50 ms", "p95 ms", "p99 ms")
+	unit, rate := "it", "items/s"
+	if *profileKind == "tasks" {
+		unit, rate = "task", "tasks/s"
+	}
+	switch *profileKind {
+	case "tasks":
+		fmt.Printf("%d tasks × %d KiB args to a %d-worker endpoint over %q broker (submit→execute→result)\n\n",
+			*items, *size>>10, *consumers, *brokerKind)
+	case "multi":
+		fmt.Printf("streaming %d × {4 KiB, %d KiB} to %d consumers over %q broker via a multi-connector store\n\n",
+			*items, *size>>10, *consumers, *brokerKind)
+	default:
+		fmt.Printf("streaming %d × %d KiB to %d consumers over %q broker\n\n",
+			*items, *size>>10, *consumers, *brokerKind)
+	}
+	fmt.Printf("%-11s %9s %8s %13s %13s %10s %8s %8s %8s\n",
+		"mode", rate, "MB/s", "broker-bytes", "store-bytes", "kv-cmds/"+unit, "p50 ms", "p95 ms", "p99 ms")
 
 	results := make(map[string]profile)
 	var order []string
-	run := func(mode string, push bool, f func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error) {
-		st := mkStore(mode)
+	// The multi profile spools its file-connector child into temp dirs;
+	// fatalf removes them before exiting, because log.Fatal bypasses
+	// defers and would otherwise strand items×size bytes in /tmp on
+	// every failed run.
+	var multiDirs []string
+	rmMultiDirs := func() {
+		for _, d := range multiDirs {
+			os.RemoveAll(d)
+		}
+	}
+	defer rmMultiDirs()
+	fatalf := func(format string, args ...any) {
+		rmMultiDirs()
+		log.Fatalf(format, args...)
+	}
+	// run executes one benchmark row. newStore builds the row's store
+	// (so the multi profile can swap connectors) and rowSize is the
+	// payload size behind the MB/s column.
+	run := func(mode string, push bool, newStore func(run string) *store.Store, rowSize int, f func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error) {
+		st := newStore(mode)
 		defer st.Close()
 		cb := pstream.NewCounting(mkBroker(push))
 		defer cb.Close()
@@ -215,14 +272,14 @@ func main() {
 		}
 		start := time.Now()
 		if err := f(cb, st, lats); err != nil {
-			log.Fatalf("%s: %v", mode, err)
+			fatalf("%s: %v", mode, err)
 		}
 		elapsed := time.Since(start)
 		m := st.Metrics()
 		p := profile{
 			Name:        mode,
 			ItemsPerSec: float64(*items) / elapsed.Seconds(),
-			MBPerSec:    float64(*items**size) / 1e6 / elapsed.Seconds(),
+			MBPerSec:    float64(*items*rowSize) / 1e6 / elapsed.Seconds(),
 			BrokerBytes: cb.BytesPublished() + cb.BytesDelivered(),
 			StoreBytes:  m.BytesPut + m.BytesGot,
 		}
@@ -243,9 +300,36 @@ func main() {
 		if p.KVCmdsPerItem != nil {
 			cmdsCol = fmt.Sprintf("%.1f", *p.KVCmdsPerItem)
 		}
-		fmt.Printf("%-10s %9.0f %8.1f %13d %13d %10s %8s %8s %8s\n",
+		fmt.Printf("%-11s %9.0f %8.1f %13d %13d %10s %8s %8s %8s\n",
 			mode, p.ItemsPerSec, p.MBPerSec, p.BrokerBytes, p.StoreBytes,
 			cmdsCol, opt(p.P50Ms), opt(p.P95Ms), opt(p.P99Ms))
+	}
+	rawStore := func(run string) *store.Store { return mkStore(run, false) }
+	gobStore := func(run string) *store.Store { return mkStore(run, true) }
+	// multiStore builds a policy-routed multi-connector store: payloads up
+	// to 64 KiB land in an in-memory child, larger ones in a file child.
+	multiStore := func(run string) *store.Store {
+		dir, err := os.MkdirTemp("", "sb-multi-*")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		multiDirs = append(multiDirs, dir)
+		bulk, err := file.New(dir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		router, err := multi.New(
+			multi.Child{Name: "fast", Connector: local.New("sbm-fast-" + run), Policy: multi.Policy{MaxSize: 64 << 10, Priority: 10}},
+			multi.Child{Name: "bulk", Connector: bulk, Policy: multi.Policy{Priority: 5}},
+		)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		st, err := store.New("sbm-"+run, router, store.WithSerializer(serial.Raw()), store.WithCacheBytes(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return st
 	}
 
 	payload := make([]byte, *size)
@@ -253,42 +337,70 @@ func main() {
 		payload[i] = byte(i * 17)
 	}
 
-	run("inline", true, func(cb *pstream.CountingBroker, _ *store.Store, lats *latencies) error {
-		return inlineFanOut(cb, payload, *items, *consumers, lats)
-	})
-	run("eager", true, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
-		return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: 1}, lats)
-	})
-	run("batched", true, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
-		return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window}, lats)
-	})
-	run("batchpub", true, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
-		return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window, sendBatch: *batch}, lats)
-	})
-	// The latency profiles: paced sends, consumers blocked between events.
-	// On the kv broker the poll variant runs the same workload over the
-	// polling fallback — same server, same run — for a direct comparison.
-	run("event", true, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
-		return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: 1, gap: *gap}, lats)
-	})
-	if srv != nil {
-		run("event-poll", false, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
-			return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: 1, gap: *gap}, lats)
-		})
-	}
-	if *groups {
-		run("group", true, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
-			return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window, gap: *gap, group: true}, lats)
+	switch *profileKind {
+	case "tasks":
+		run("tasks", true, gobStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+			return taskRoundTrips(cb, st, payload, *items, *consumers, *gap, lats)
 		})
 		if srv != nil {
-			run("group-poll", false, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
-				return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window, gap: *gap, group: true}, lats)
+			run("tasks-poll", false, gobStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+				return taskRoundTrips(cb, st, payload, *items, *consumers, *gap, lats)
 			})
 		}
+	case "multi":
+		// Same batched streaming workload, two payload classes: 4 KiB
+		// routes to the in-memory child, -size to the file child.
+		small := make([]byte, 4<<10)
+		for i := range small {
+			small[i] = byte(i * 31)
+		}
+		run("multi-small", true, multiStore, len(small), func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+			return proxyStream(cb, st, small, streamOpts{items: *items, consumers: *consumers, window: *window}, lats)
+		})
+		run("multi-large", true, multiStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+			return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window}, lats)
+		})
+	case "stream":
+		run("inline", true, rawStore, *size, func(cb *pstream.CountingBroker, _ *store.Store, lats *latencies) error {
+			return inlineFanOut(cb, payload, *items, *consumers, lats)
+		})
+		run("eager", true, rawStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+			return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: 1}, lats)
+		})
+		run("batched", true, rawStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+			return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window}, lats)
+		})
+		run("batchpub", true, rawStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+			return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window, sendBatch: *batch}, lats)
+		})
+		// The latency profiles: paced sends, consumers blocked between events.
+		// On the kv broker the poll variant runs the same workload over the
+		// polling fallback — same server, same run — for a direct comparison.
+		run("event", true, rawStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+			return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: 1, gap: *gap}, lats)
+		})
+		if srv != nil {
+			run("event-poll", false, rawStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+				return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: 1, gap: *gap}, lats)
+			})
+		}
+		if *groups {
+			run("group", true, rawStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+				return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window, gap: *gap, group: true}, lats)
+			})
+			if srv != nil {
+				run("group-poll", false, rawStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+					return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window, gap: *gap, group: true}, lats)
+				})
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profileKind)
+		os.Exit(2)
 	}
 
 	pushWins := true
-	for _, pair := range [][2]string{{"event", "event-poll"}, {"group", "group-poll"}} {
+	for _, pair := range [][2]string{{"event", "event-poll"}, {"group", "group-poll"}, {"tasks", "tasks-poll"}} {
 		push, ok1 := results[pair[0]]
 		poll, ok2 := results[pair[1]]
 		if !ok1 || !ok2 || push.KVCmdsPerItem == nil || poll.KVCmdsPerItem == nil {
@@ -305,7 +417,8 @@ func main() {
 
 	if *jsonPath != "" {
 		rep := report{
-			Items: *items, Size: *size, Consumers: *consumers,
+			Profile: *profileKind,
+			Items:   *items, Size: *size, Consumers: *consumers,
 			Window: *window, Batch: *batch,
 			GapMS:  float64(*gap) / float64(time.Millisecond),
 			Broker: *brokerKind, WAN: *wan,
@@ -326,6 +439,66 @@ func main() {
 		fmt.Fprintln(os.Stderr, "strict: push delivery did not beat the polling fallback on kv-cmds/item")
 		os.Exit(1)
 	}
+}
+
+// benchFnOnce registers the tasks profile's function exactly once (the
+// faas registry is process-global).
+var benchFnOnce sync.Once
+
+// taskRoundTrips drives the stream-backed task plane: paced submissions
+// through a StreamExecutor to a StreamEndpoint worker pool, recording each
+// task's submit→execute→result latency. The broker carries only task and
+// result events; the -size argument bytes ride the store.
+func taskRoundTrips(b pstream.Broker, st *store.Store, payload []byte, tasks, workers int, gap time.Duration, lats *latencies) error {
+	benchFnOnce.Do(func() {
+		faas.RegisterFunction("bench-len", func(_ context.Context, args []any) (any, error) {
+			return len(args[0].([]byte)), nil
+		})
+	})
+	// A hard deadline turns a lost result (or any task-plane regression)
+	// into a diagnosable failure instead of a hung CI job — scaled by the
+	// run's own pacing so large -items/-gap combinations stay legal.
+	ctx, cancel := context.WithTimeout(context.Background(),
+		2*time.Minute+2*time.Duration(tasks)*gap)
+	defer cancel()
+	epName := "bench-" + connector.NewID()[:8]
+	ep := faas.StartStreamEndpoint(st, b, epName, workers)
+	defer ep.Close()
+	exec, err := faas.NewStreamExecutor(st, b, epName)
+	if err != nil {
+		return err
+	}
+	defer exec.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, tasks)
+	for i := 0; i < tasks; i++ {
+		t0 := time.Now()
+		fut, err := exec.Submit(ctx, "bench-len", payload)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := fut.Result(ctx)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if v.(int) != len(payload) {
+				errs <- fmt.Errorf("task saw %v bytes, want %d", v, len(payload))
+				return
+			}
+			lats.record(float64(time.Since(t0)) / float64(time.Millisecond))
+		}()
+		if gap > 0 {
+			time.Sleep(gap)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
 }
 
 // inlineFanOut pushes payloads through the broker itself: the baseline

@@ -1,6 +1,11 @@
-// FaaS offload: the Go equivalent of the paper's Listing 2 — submit a task
-// to a Globus-Compute-like executor, passing inputs by proxy so the data
-// bypasses the cloud service (and its 5 MB payload limit).
+// FaaS offload, stream-backed: the task plane runs over pstream instead
+// of a cloud service. Submissions are O(100 B) events on a task topic
+// claimed by the endpoint's worker pool (a consumer group over the
+// KVBroker, parked in server-side blocking waits); bulk arguments and
+// results ride the redis data plane. The classic cloud-routed executor is
+// kept for contrast: it rejects the same payload at its 5 MB service
+// limit, while the stream executor has no service in the data path at
+// all.
 package main
 
 import (
@@ -12,54 +17,53 @@ import (
 	"proxystore/internal/faas"
 	"proxystore/internal/kvstore"
 	"proxystore/internal/netsim"
-	"proxystore/internal/proxy"
-	"proxystore/internal/serial"
+	"proxystore/internal/pstream"
 	"proxystore/internal/store"
 )
 
 func main() {
 	ctx := context.Background()
-	net := netsim.Testbed(100) // compress WAN time 100x
 
-	// A mini Redis server is the mediated channel.
+	// A mini Redis server carries BOTH planes: the pstream metadata log
+	// (task/result events) and the bulk bytes.
 	kv, err := kvstore.NewServer("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer kv.Close()
 
-	st, err := store.New("offload-store", redisc.New(kv.Addr()),
-		store.WithSerializer(serial.Raw()))
+	// Default gob serializer: task payloads are structs, not raw bytes.
+	st, err := store.New("offload-store", redisc.New(kv.Addr()))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer st.Close()
 
-	// The FaaS fabric: cloud service + a compute endpoint on Theta.
-	cloud := faas.NewCloud(net, netsim.SiteCloud)
-	ep := faas.StartEndpoint(cloud, "theta-ep", netsim.SiteTheta, 4)
-	defer ep.Close()
-	gce := faas.NewExecutor(cloud, "theta-ep", netsim.SiteThetaLogin)
+	// CountingBroker makes the headline property visible: how many bytes
+	// the metadata plane actually moved.
+	broker := pstream.NewCounting(pstream.NewKV(kv.Addr()))
+	defer broker.Close()
 
-	proxy.RegisterGob[[]byte]()
 	faas.RegisterFunction("my_function", func(ctx context.Context, args []any) (any, error) {
-		p := args[0].(*proxy.Proxy[[]byte])
-		data, err := p.Value(ctx) // resolved on the worker, not via the cloud
-		if err != nil {
-			return nil, err
-		}
+		data := args[0].([]byte) // arrived via the store, not the broker
 		return fmt.Sprintf("worker saw %d bytes", len(data)), nil
 	})
 
-	// 8 MB of data: larger than the 5 MB cloud payload limit, but the task
-	// payload is just the proxy.
-	data := make([]byte, 8<<20)
-	p, err := store.NewProxy(ctx, st, data)
+	// The stream-backed fabric: a worker pool claiming tasks from the
+	// endpoint's topic as a consumer group.
+	ep := faas.StartStreamEndpoint(st, broker, "theta-ep", 4)
+	defer ep.Close()
+	gce, err := faas.NewStreamExecutor(st, broker, "theta-ep")
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer gce.Close()
 
-	fut, err := gce.Submit(ctx, "my_function", p)
+	// 8 MB of data, submitted by value — larger than Globus Compute's
+	// 5 MB payload cap, but here the task event is O(100 B) and the bytes
+	// ride the bulk plane.
+	data := make([]byte, 8<<20)
+	fut, err := gce.Submit(ctx, "my_function", data)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,9 +72,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("task result:", result)
+	fmt.Printf("broker moved %d bytes of metadata for %d bytes of arguments\n",
+		broker.BytesPublished()+broker.BytesDelivered(), len(data))
 
-	// The same submission by value is rejected by the service.
-	if _, err := gce.Submit(ctx, "my_function", data); err != nil {
-		fmt.Println("by-value submission:", err)
+	// The same submission through the classic cloud-routed executor is
+	// rejected at the service limit.
+	cloud := faas.NewCloud(netsim.Testbed(100), netsim.SiteCloud)
+	classic := faas.NewExecutor(cloud, "theta-ep", netsim.SiteThetaLogin)
+	if _, err := classic.Submit(ctx, "my_function", data); err != nil {
+		fmt.Println("classic by-value submission:", err)
 	}
 }

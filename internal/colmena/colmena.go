@@ -8,6 +8,16 @@
 // and results larger than the threshold are replaced by proxies before they
 // enter the task server's data path, relieving the workflow system of the
 // heavy bytes.
+//
+// Two task servers share the Submit/Results API. Server dispatches to an
+// in-process workflow.Engine over its modeled hub-spoke channel.
+// StreamServer rebuilds the same loop on pstream: Submit publishes a task
+// event on the server's task topic, a pool of workers claims events as a
+// consumer group (leases reclaim a crashed worker's tasks), and completed
+// results flow back on a result topic feeding the Results channel — so
+// bulk inputs/outputs ride the store data plane while the broker moves
+// only O(100 B) per task, and the steering loop runs unchanged across
+// processes or sites wherever a Broker reaches.
 package colmena
 
 import (
@@ -55,16 +65,51 @@ type StorePolicy struct {
 	ProxyResults bool
 }
 
+// registry is the method/policy table shared by Server and StreamServer.
+type registry struct {
+	mu       sync.RWMutex
+	methods  map[string]Method
+	policies map[string]StorePolicy
+}
+
+func newRegistry() registry {
+	return registry{
+		methods:  make(map[string]Method),
+		policies: make(map[string]StorePolicy),
+	}
+}
+
+// RegisterMethod installs a task implementation.
+func (r *registry) RegisterMethod(name string, m Method) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.methods[name] = m
+}
+
+// RegisterStore attaches a proxying policy to a method (paper: "users can
+// register a Store and associated threshold for each task type").
+func (r *registry) RegisterStore(method string, p StorePolicy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policies[method] = p
+}
+
+// lookup returns a method and its policy; ok is false when unregistered.
+func (r *registry) lookup(method string) (m Method, policy StorePolicy, hasPolicy, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok = r.methods[method]
+	policy, hasPolicy = r.policies[method]
+	return m, policy, hasPolicy, ok
+}
+
 // Server is the Colmena Task Server.
 //
 // A Server is safe for concurrent use.
 type Server struct {
+	registry
 	engine  *workflow.Engine
 	results chan Result
-
-	mu       sync.RWMutex
-	methods  map[string]Method
-	policies map[string]StorePolicy
 }
 
 // NewServer wraps a workflow engine.
@@ -73,26 +118,10 @@ func NewServer(engine *workflow.Engine, resultDepth int) *Server {
 		resultDepth = 4096
 	}
 	return &Server{
+		registry: newRegistry(),
 		engine:   engine,
 		results:  make(chan Result, resultDepth),
-		methods:  make(map[string]Method),
-		policies: make(map[string]StorePolicy),
 	}
-}
-
-// RegisterMethod installs a task implementation.
-func (s *Server) RegisterMethod(name string, m Method) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.methods[name] = m
-}
-
-// RegisterStore attaches a proxying policy to a method (paper: "users can
-// register a Store and associated threshold for each task type").
-func (s *Server) RegisterStore(method string, p StorePolicy) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.policies[method] = p
 }
 
 // Results is the stream of completed tasks.
@@ -102,10 +131,7 @@ func (s *Server) Results() <-chan Result { return s.results }
 // policy before entering the engine's data path. tag is returned with the
 // result for correlation.
 func (s *Server) Submit(ctx context.Context, method string, input any, tag any) error {
-	s.mu.RLock()
-	m, ok := s.methods[method]
-	policy, hasPolicy := s.policies[method]
-	s.mu.RUnlock()
+	m, policy, hasPolicy, ok := s.lookup(method)
 	if !ok {
 		return fmt.Errorf("colmena: method %q not registered", method)
 	}

@@ -1,0 +1,406 @@
+package colmena
+
+// The stream-backed Task Server: Submit/Results become a pstream
+// producer/consumer pair. Task inputs and outputs ride the store data
+// plane; the broker moves only compact task/result events, so the
+// steering loop works unchanged over MemBroker (in-process) or KVBroker
+// (cross-process, push delivery).
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/proxy"
+	"proxystore/internal/pstream"
+	"proxystore/internal/serial"
+	"proxystore/internal/store"
+)
+
+// streamGroup is the consumer group StreamServer workers join on the task
+// topic: each task is claimed by exactly one live worker.
+const streamGroup = "workers"
+
+// attrStreamID carries the task ID on task and result events so the
+// results loop routes without resolving bulk payloads; attrStreamReply
+// carries the submitting instance's result topic on task events so a
+// worker can report a resolution failure without the payload.
+const (
+	attrStreamID    = "colmena.id"
+	attrStreamReply = "colmena.rt"
+)
+
+// streamTask is the bulk payload of one submission.
+type streamTask struct {
+	ID     string
+	Method string
+	// Input is the gob-encoded input value (see encodeAny); empty for a
+	// nil input.
+	Input []byte
+	// ResultTopic is the submitting instance's private result topic.
+	// Tasks from several instances of one server name share the task
+	// topic (one worker group), but each instance's results flow home.
+	ResultTopic string
+}
+
+// streamResult is the bulk payload of one completed task.
+type streamResult struct {
+	ID string
+	// Value is the gob-encoded output (a proxy when the method's policy
+	// proxies results); empty for a nil output.
+	Value []byte
+	Err   string
+}
+
+func init() {
+	gob.Register(streamTask{})
+	gob.Register(streamResult{})
+}
+
+// encodeAny serializes an arbitrary value with the default gob codec
+// (serial.Default, the same wire format stores use); nil encodes to nil
+// bytes, which gob itself cannot express.
+func encodeAny(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	return serial.Default().Encode(v)
+}
+
+// decodeAny is the inverse of encodeAny.
+func decodeAny(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	return serial.Default().Decode(data)
+}
+
+// evictProxyTarget best-effort reclaims a proxy's stored payload —
+// cleanup for proxies minted into policy stores that will never reach a
+// consumer. Detached from the caller's cancellation, which may be the
+// very reason the proxy is being abandoned.
+func evictProxyTarget(ctx context.Context, p *proxy.Proxy[[]byte]) {
+	if p == nil {
+		return
+	}
+	if st, key, ok, err := store.KeyOf(p); err == nil && ok {
+		_ = st.Evict(context.WithoutCancel(ctx), key)
+	}
+}
+
+// pendingTask is the Thinker-side state kept per in-flight submission, so
+// tags and timestamps never cross the wire.
+type pendingTask struct {
+	method    string
+	tag       any
+	submitted time.Time
+}
+
+// StreamServer is the Colmena Task Server rebuilt on pstream: Submit is a
+// producer on the server's task topic, the worker pool is a consumer
+// group on that topic, and the Results channel is fed by a consumer on
+// the server's result topic. Method registration and store policies work
+// exactly as on Server; with ProxyResults the Result.Value delivered to
+// the Thinker is a lazy proxy, resolved (if ever) via ResolveResult.
+//
+// A StreamServer is safe for concurrent use.
+type StreamServer struct {
+	registry
+	st      *store.Store
+	b       pstream.Broker
+	name    string
+	reply   string // this instance's private result topic
+	results chan Result
+	prod    *pstream.Producer[streamTask]
+
+	pmu     sync.Mutex
+	pending map[string]pendingTask
+	closed  bool
+
+	// resolveStrikes bounds redelivery of tasks whose payloads cannot be
+	// resolved (pstream.SettleAfterStrikes, shared with faas).
+	resolveStrikes *pstream.Strikes
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// taskTopic names the shared task stream for a server name; resultTopic
+// names one instance's private result stream — results must flow back to
+// the instance whose pending map holds the submission, not to whichever
+// same-named instance reads a shared topic first.
+func taskTopic(name string) string             { return "colmena.t." + name }
+func resultTopic(name, instance string) string { return "colmena.r." + name + "." + instance }
+
+// NewStreamServer starts a stream-backed task server with the given
+// worker-pool size. st stores task and result payloads (its serializer
+// must handle gob — the default does); b carries the O(100 B) events.
+func NewStreamServer(st *store.Store, b pstream.Broker, name string, workers, resultDepth int) (*StreamServer, error) {
+	if workers < 1 {
+		workers = 4
+	}
+	if resultDepth < 1 {
+		resultDepth = 4096
+	}
+	// The instance ID keeps same-named server processes apart everywhere
+	// identity matters: the result topic (each instance's results flow
+	// only to it) and worker member names (a stale ack from one process
+	// must not settle a same-named peer's live claim).
+	instance := connector.NewID()[:8]
+	ctx, cancel := context.WithCancel(context.Background())
+	reply := resultTopic(name, instance)
+	cons, err := pstream.NewConsumer[streamResult](ctx, b, reply, "thinker",
+		pstream.WithEndCount(0))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s := &StreamServer{
+		registry: newRegistry(),
+		st:       st,
+		b:        b,
+		name:     name,
+		reply:    reply,
+		results:  make(chan Result, resultDepth),
+		// One logical consumer — the worker group — reads each task, so
+		// claim settlement reclaims the task payload from the store.
+		prod:           pstream.NewProducer[streamTask](st, b, taskTopic(name), pstream.WithEvictOnAck(1)),
+		pending:        make(map[string]pendingTask),
+		resolveStrikes: pstream.NewStrikes(),
+		cancel:         cancel,
+	}
+	s.wg.Add(1)
+	go s.resultLoop(ctx, cons)
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker(ctx, fmt.Sprintf("%s-%s-w%d", name, instance, i))
+	}
+	return s, nil
+}
+
+// Results is the stream of completed tasks.
+func (s *StreamServer) Results() <-chan Result { return s.results }
+
+// Submit publishes the task to the server's task topic. Large []byte
+// inputs are proxied into the method's registered policy store first, so
+// they land in the store the user chose for that task type; either way
+// the broker carries only the task event.
+func (s *StreamServer) Submit(ctx context.Context, method string, input any, tag any) error {
+	_, policy, hasPolicy, ok := s.lookup(method)
+	if !ok {
+		return fmt.Errorf("colmena: method %q not registered", method)
+	}
+	submitted := time.Now()
+
+	arg := input
+	var proxied *proxy.Proxy[[]byte]
+	if hasPolicy && policy.Store != nil {
+		if data, isBytes := input.([]byte); isBytes && len(data) >= policy.Threshold {
+			p, err := store.NewProxy(ctx, policy.Store, data)
+			if err != nil {
+				return fmt.Errorf("colmena: proxying input: %w", err)
+			}
+			arg, proxied = p, p
+		}
+	}
+	// unproxy reclaims the policy-store payload when the task never makes
+	// it onto the topic — no worker could ever learn the key, so leaving
+	// it would leak on persistent stores.
+	unproxy := func() { evictProxyTarget(ctx, proxied) }
+	inputGob, err := encodeAny(arg)
+	if err != nil {
+		unproxy()
+		return err
+	}
+
+	id := connector.NewID()
+	s.pmu.Lock()
+	if s.closed {
+		s.pmu.Unlock()
+		unproxy()
+		return fmt.Errorf("colmena: stream server closed")
+	}
+	s.pending[id] = pendingTask{method: method, tag: tag, submitted: submitted}
+	s.pmu.Unlock()
+
+	tk := streamTask{ID: id, Method: method, Input: inputGob, ResultTopic: s.reply}
+	attrs := map[string]string{attrStreamID: id, attrStreamReply: s.reply}
+	if err := s.prod.Send(ctx, tk, attrs); err != nil {
+		s.pmu.Lock()
+		delete(s.pending, id)
+		s.pmu.Unlock()
+		unproxy()
+		return err
+	}
+	return nil
+}
+
+// worker claims tasks from the task topic, executes methods, and publishes
+// results. The claim is settled only after the result publish succeeds, so
+// a crashed worker's tasks are re-executed by survivors on lease expiry.
+func (s *StreamServer) worker(ctx context.Context, member string) {
+	defer s.wg.Done()
+	pstream.ConsumeLoop(ctx, 0, func() (*pstream.Consumer[streamTask], error) {
+		return pstream.NewConsumer[streamTask](ctx, s.b, taskTopic(s.name), member,
+			pstream.WithGroup(streamGroup), pstream.WithEndCount(0), pstream.WithWindow(1))
+	}, s.execute)
+}
+
+// replyProducer builds the producer for one task's result topic. Per-task
+// construction (producers are tiny stateless handles): tasks on one
+// shared task topic come from different submitting instances, each with
+// its own result topic. Exactly one consumer — the submitting instance's
+// thinker — reads it, so evict-on-ack reclaims result payloads.
+func (s *StreamServer) replyProducer(topic string) *pstream.Producer[streamResult] {
+	return pstream.NewProducer[streamResult](s.st, s.b, topic, pstream.WithEvictOnAck(1))
+}
+
+// failResolve handles a payload-resolution failure inside a claimed task
+// via the shared poison-task policy (pstream.SettleAfterStrikes): leases
+// retry transient failures, strikes bound the poison case. reply is the
+// task's result topic (from the event attrs when the payload itself is
+// what failed to resolve).
+func (s *StreamServer) failResolve(ctx context.Context, it *pstream.Item[streamTask], reply, id string, cause error) {
+	if reply == "" {
+		return
+	}
+	pstream.SettleAfterStrikes(ctx, s.resolveStrikes, it, pstream.DefaultSettleStrikes, func() error {
+		res := streamResult{ID: id, Err: fmt.Sprintf("resolving task payload: %v", cause)}
+		return s.replyProducer(reply).Send(ctx, res, map[string]string{attrStreamID: id})
+	})
+}
+
+func (s *StreamServer) execute(ctx context.Context, it *pstream.Item[streamTask]) {
+	tk, err := it.Value(ctx)
+	if err != nil {
+		s.failResolve(ctx, it, it.Event.Attr(attrStreamReply), it.Event.Attr(attrStreamID), err)
+		return
+	}
+	res := streamResult{ID: tk.ID}
+	var resultProxy *proxy.Proxy[[]byte] // minted under ProxyResults; ours until the result ships
+	m, policy, hasPolicy, ok := s.lookup(tk.Method)
+	if !ok {
+		res.Err = fmt.Sprintf("method %q not registered", tk.Method)
+	} else if in, err := decodeAny(tk.Input); err != nil {
+		res.Err = err.Error()
+	} else {
+		// Transparent resolution on the worker: a proxied input resolves
+		// to its target before the method runs, exactly as on Server.
+		if p, isProxy := in.(*proxy.Proxy[[]byte]); isProxy {
+			data, err := p.Value(ctx)
+			if err != nil {
+				s.failResolve(ctx, it, tk.ResultTopic, tk.ID, err)
+				return
+			}
+			in = data
+		}
+		out, err := m(ctx, in)
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			if hasPolicy && policy.ProxyResults && policy.Store != nil {
+				if data, isBytes := out.([]byte); isBytes && len(data) >= policy.Threshold {
+					p, err := store.NewProxy(ctx, policy.Store, data)
+					if err != nil {
+						res.Err = fmt.Sprintf("proxying result: %v", err)
+						out = nil
+					} else {
+						out = p
+						resultProxy = p
+					}
+				}
+			}
+			if res.Err == "" {
+				if res.Value, err = encodeAny(out); err != nil {
+					res.Err = err.Error()
+					res.Value = nil
+				}
+			}
+		}
+	}
+	if res.Err != "" {
+		// Any failure after the result proxy was minted (encode error)
+		// orphans it — the error result ships without it.
+		evictProxyTarget(ctx, resultProxy)
+		resultProxy = nil
+	}
+	if err := s.replyProducer(tk.ResultTopic).Send(ctx, res, map[string]string{attrStreamID: res.ID}); err != nil {
+		// The result never shipped: the lease will re-run the task, which
+		// mints a fresh proxy — reclaim this one or it leaks.
+		evictProxyTarget(ctx, resultProxy)
+		return
+	}
+	s.resolveStrikes.Clear(it.Event.Offset)
+	_ = it.Ack(ctx)
+}
+
+// resultLoop feeds the Results channel from the result topic.
+func (s *StreamServer) resultLoop(ctx context.Context, cons *pstream.Consumer[streamResult]) {
+	defer s.wg.Done()
+	pstream.ConsumeLoop(ctx, 0,
+		func() (*pstream.Consumer[streamResult], error) { return cons, nil },
+		s.handleResult)
+}
+
+// handleResult correlates one result item with its pending submission by
+// task ID and emits it on Results. Duplicate results (a worker died
+// between publish and claim settlement, and the task re-ran) are acked
+// and dropped.
+func (s *StreamServer) handleResult(ctx context.Context, it *pstream.Item[streamResult]) {
+	id := it.Event.Attr(attrStreamID)
+	r, resolveErr := it.Value(ctx)
+	if resolveErr == nil {
+		id = r.ID
+	}
+	v, decErr := decodeAny(r.Value)
+	_ = it.Ack(ctx)
+	s.pmu.Lock()
+	p, ok := s.pending[id]
+	delete(s.pending, id)
+	s.pmu.Unlock()
+	if !ok {
+		// A duplicate (the task re-ran after a worker died post-publish)
+		// or a stray: the Thinker never sees it, so an embedded
+		// ProxyResults proxy must be reclaimed here — each execution
+		// minted its own copy in the policy store.
+		if p, isProxy := v.(*proxy.Proxy[[]byte]); isProxy {
+			evictProxyTarget(ctx, p)
+		}
+		return
+	}
+	result := Result{
+		Method:      p.method,
+		Value:       v,
+		SubmittedAt: p.submitted,
+		CompletedAt: time.Now(),
+		Tag:         p.tag,
+	}
+	switch {
+	case resolveErr != nil:
+		result.Value = nil
+		result.Err = fmt.Errorf("colmena: resolving result: %w", resolveErr)
+	case r.Err != "":
+		result.Err = fmt.Errorf("colmena: %s", r.Err)
+	case decErr != nil:
+		result.Err = decErr
+	}
+	select {
+	case s.results <- result:
+	case <-ctx.Done():
+	}
+}
+
+// Close stops the workers and the results loop. Tasks already claimed but
+// unsettled expire with their leases; submissions still pending never
+// complete (their producers should drain Results before Close).
+func (s *StreamServer) Close() error {
+	s.pmu.Lock()
+	s.closed = true
+	s.pmu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,282 @@
+package colmena
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/local"
+	"proxystore/internal/connectors/redisc"
+	"proxystore/internal/kvstore"
+	"proxystore/internal/proxy"
+	"proxystore/internal/pstream"
+	"proxystore/internal/store"
+)
+
+// newStreamServer wires a StreamServer over the given broker with a fresh
+// local store.
+func newStreamServer(t *testing.T, b pstream.Broker, workers int) *StreamServer {
+	t.Helper()
+	t.Cleanup(func() { b.Close() })
+	id := connector.NewID()[:8]
+	st, err := store.New("colmena-stream-"+id, local.New("colmena-stream-conn-"+id))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("colmena-stream-" + id) })
+	s, err := NewStreamServer(st, b, "srv-"+id, workers, 64)
+	if err != nil {
+		t.Fatalf("NewStreamServer: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// awaitResult reads one Result with a timeout so a broken stream fails
+// fast instead of hanging the suite.
+func awaitResult(t *testing.T, s *StreamServer) Result {
+	t.Helper()
+	select {
+	case res := <-s.Results():
+		return res
+	case <-time.After(60 * time.Second):
+		t.Fatal("no result within 60s")
+		return Result{}
+	}
+}
+
+func TestStreamSubmitAndReceiveResult(t *testing.T) {
+	s := newStreamServer(t, pstream.NewMem(), 2)
+	s.RegisterMethod("noop", func(_ context.Context, in any) (any, error) {
+		return in, nil
+	})
+	ctx := context.Background()
+	if err := s.Submit(ctx, "noop", []byte("task input"), "tag-1"); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res := awaitResult(t, s)
+	if res.Err != nil {
+		t.Fatalf("result error: %v", res.Err)
+	}
+	if res.Tag != "tag-1" || res.Method != "noop" {
+		t.Fatalf("result = %+v", res)
+	}
+	if !bytes.Equal(res.Value.([]byte), []byte("task input")) {
+		t.Fatalf("Value = %v", res.Value)
+	}
+	if res.RTT() <= 0 {
+		t.Fatal("RTT not positive")
+	}
+}
+
+func TestStreamUnknownMethod(t *testing.T) {
+	s := newStreamServer(t, pstream.NewMem(), 1)
+	if err := s.Submit(context.Background(), "ghost", nil, nil); err == nil {
+		t.Fatal("Submit accepted unknown method")
+	}
+}
+
+func TestStreamMethodErrorPropagates(t *testing.T) {
+	s := newStreamServer(t, pstream.NewMem(), 1)
+	s.RegisterMethod("boom", func(context.Context, any) (any, error) {
+		return nil, fmt.Errorf("simulation diverged")
+	})
+	if err := s.Submit(context.Background(), "boom", nil, "tag"); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res := awaitResult(t, s)
+	if res.Err == nil {
+		t.Fatal("method error did not propagate")
+	}
+	if res.Tag != "tag" {
+		t.Fatalf("Tag = %v", res.Tag)
+	}
+}
+
+func TestStreamInputProxiedAboveThreshold(t *testing.T) {
+	s := newStreamServer(t, pstream.NewMem(), 1)
+	st, err := store.New("colmena-sin", local.New("colmena-sin-conn"))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("colmena-sin") })
+
+	sawBytes := make(chan bool, 1)
+	s.RegisterMethod("check", func(_ context.Context, in any) (any, error) {
+		_, isBytes := in.([]byte)
+		sawBytes <- isBytes
+		return nil, nil
+	})
+	s.RegisterStore("check", StorePolicy{Store: st, Threshold: 1024})
+
+	ctx := context.Background()
+	if err := s.Submit(ctx, "check", make([]byte, 10_000), nil); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res := awaitResult(t, s)
+	if res.Err != nil {
+		t.Fatalf("result error: %v", res.Err)
+	}
+	if !<-sawBytes {
+		t.Fatal("method did not receive resolved bytes")
+	}
+	// The input landed in the method's registered policy store, not just
+	// the server's stream store.
+	if st.Metrics().Proxies != 1 {
+		t.Fatalf("policy store minted %d proxies, want 1", st.Metrics().Proxies)
+	}
+}
+
+func TestStreamResultProxying(t *testing.T) {
+	s := newStreamServer(t, pstream.NewMem(), 1)
+	st, err := store.New("colmena-sout", local.New("colmena-sout-conn"))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("colmena-sout") })
+	s.RegisterMethod("produce", func(context.Context, any) (any, error) {
+		return make([]byte, 50_000), nil
+	})
+	s.RegisterStore("produce", StorePolicy{Store: st, Threshold: 1024, ProxyResults: true})
+
+	ctx := context.Background()
+	if err := s.Submit(ctx, "produce", nil, nil); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res := awaitResult(t, s)
+	if res.Err != nil {
+		t.Fatalf("result error: %v", res.Err)
+	}
+	p, isProxy := res.Value.(*proxy.Proxy[[]byte])
+	if !isProxy {
+		t.Fatalf("result value is %T, want a proxy", res.Value)
+	}
+	data, err := ResolveResult(ctx, p)
+	if err != nil {
+		t.Fatalf("ResolveResult: %v", err)
+	}
+	if len(data.([]byte)) != 50_000 {
+		t.Fatalf("resolved %d bytes", len(data.([]byte)))
+	}
+}
+
+func TestStreamTwoInstancesSameNameRouteResultsHome(t *testing.T) {
+	// Two processes (here: two StreamServers) hosting the same server
+	// name share one task topic — their worker pools form one group — but
+	// each instance's results must flow back to the instance that holds
+	// the submission, whichever instance's worker executed it.
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	mk := func(tag string) *StreamServer {
+		b := pstream.NewKV(srv.Addr())
+		t.Cleanup(func() { b.Close() })
+		st, err := store.New("colmena-twin-"+tag, redisc.New(srv.Addr()))
+		if err != nil {
+			t.Fatalf("store.New: %v", err)
+		}
+		t.Cleanup(func() { store.Unregister("colmena-twin-" + tag) })
+		s, err := NewStreamServer(st, b, "twin", 2, 64)
+		if err != nil {
+			t.Fatalf("NewStreamServer: %v", err)
+		}
+		t.Cleanup(func() { s.Close() })
+		s.RegisterMethod("echo", func(_ context.Context, in any) (any, error) { return in, nil })
+		return s
+	}
+	id := connector.NewID()[:8]
+	s1, s2 := mk(id+"-1"), mk(id+"-2")
+
+	ctx := context.Background()
+	const per = 4
+	for i := 0; i < per; i++ {
+		if err := s1.Submit(ctx, "echo", []byte("one"), fmt.Sprintf("a%d", i)); err != nil {
+			t.Fatalf("s1 Submit: %v", err)
+		}
+		if err := s2.Submit(ctx, "echo", []byte("two"), fmt.Sprintf("b%d", i)); err != nil {
+			t.Fatalf("s2 Submit: %v", err)
+		}
+	}
+	for name, s := range map[string]*StreamServer{"a": s1, "b": s2} {
+		seen := make(map[any]bool)
+		for i := 0; i < per; i++ {
+			res := awaitResult(t, s)
+			if res.Err != nil {
+				t.Fatalf("instance %s result error: %v", name, res.Err)
+			}
+			tag := res.Tag.(string)
+			if tag[:1] != name {
+				t.Fatalf("instance %s received tag %q — another instance's result", name, tag)
+			}
+			if seen[tag] {
+				t.Fatalf("instance %s saw tag %q twice", name, tag)
+			}
+			seen[tag] = true
+		}
+	}
+}
+
+func TestStreamOverKVBrokerPushDelivery(t *testing.T) {
+	// The steering loop over the kvstore metadata plane: several rounds of
+	// submissions flow submit→claim→execute→result with the broker moving
+	// only event records (workers park in server-side blocking waits
+	// between tasks).
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	cb := pstream.NewCounting(pstream.NewKV(srv.Addr()))
+	t.Cleanup(func() { cb.Close() })
+	id := connector.NewID()[:8]
+	st, err := store.New("colmena-kv-"+id, redisc.New(srv.Addr()))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("colmena-kv-" + id) })
+	s, err := NewStreamServer(st, cb, "kvsrv-"+id, 2, 64)
+	if err != nil {
+		t.Fatalf("NewStreamServer: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	payload := make([]byte, 128<<10)
+	s.RegisterMethod("size", func(_ context.Context, in any) (any, error) {
+		return len(in.([]byte)), nil
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const tasks = 6
+	for i := 0; i < tasks; i++ {
+		if err := s.Submit(ctx, "size", payload, i); err != nil {
+			t.Fatalf("Submit #%d: %v", i, err)
+		}
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < tasks; i++ {
+		res := awaitResult(t, s)
+		if res.Err != nil {
+			t.Fatalf("result error: %v", res.Err)
+		}
+		if res.Value.(int) != len(payload) {
+			t.Fatalf("Value = %v", res.Value)
+		}
+		tag := res.Tag.(int)
+		if seen[tag] {
+			t.Fatalf("tag %d delivered twice", tag)
+		}
+		seen[tag] = true
+	}
+	brokerBytes := cb.BytesPublished() + cb.BytesDelivered()
+	if brokerBytes > 128<<10 {
+		t.Fatalf("broker moved %d bytes for %d tasks of %d-byte inputs", brokerBytes, tasks, len(payload))
+	}
+}

@@ -10,6 +10,17 @@
 // 5 MB payload limit. Functions are Go closures in a process-global
 // registry (Go cannot pickle code); proxies travel inside gob-encoded
 // argument lists exactly as they do inside pickled payloads in Python.
+//
+// Two executors share one futures API. The classic Executor/Endpoint pair
+// above routes every task through the Cloud. The stream-backed
+// StreamExecutor/StreamEndpoint pair replaces the cloud's per-endpoint
+// channel queue with a pstream task topic: submissions are O(100 B)
+// events claimed by endpoint worker pools as a consumer group
+// (claims/leases give exactly-one-live-member dispatch and crash
+// reclamation), bulk arguments and results ride the store data plane, and
+// results flow back on a per-client result topic as self-contained proxy
+// events. Both executors return *Future, so callers are written once; see
+// README.md for the wire format and delivery guarantees.
 package faas
 
 import (
@@ -263,10 +274,12 @@ func NewExecutor(cloud *Cloud, endpoint, clientSite string) *Executor {
 	return &Executor{cloud: cloud, endpoint: endpoint, site: clientSite}
 }
 
-// Future is a pending task result.
+// Future is a pending task result. It is the adapter both executors hand
+// out: the classic executor resolves it from the cloud's result channel,
+// the stream executor from the client's result topic. Either way the
+// result payload moves toward the client only on first retrieval.
 type Future struct {
-	exec *Executor
-	t    *task
+	wait func(ctx context.Context) (any, error)
 
 	once  sync.Once
 	value any
@@ -300,29 +313,28 @@ func (e *Executor) Submit(ctx context.Context, function string, args ...any) (*F
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
-	return &Future{exec: e, t: t}, nil
+	return &Future{wait: func(ctx context.Context) (any, error) {
+		select {
+		case res := <-t.result:
+			if res.err != "" {
+				return nil, fmt.Errorf("faas: task %s: %s", t.id, res.err)
+			}
+			// Result travels cloud -> client.
+			if err := e.cloud.delay(ctx, e.cloud.site, e.site, len(res.payload)); err != nil {
+				return nil, err
+			}
+			return decodeValue(res.payload)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}}, nil
 }
 
 // Result blocks until the task completes, returning its value. The result
-// payload pays the cloud -> client leg on first retrieval.
+// payload pays its final leg (cloud -> client, or store -> client for the
+// stream executor) on first retrieval.
 func (f *Future) Result(ctx context.Context) (any, error) {
-	f.once.Do(func() {
-		select {
-		case res := <-f.t.result:
-			if res.err != "" {
-				f.err = fmt.Errorf("faas: task %s: %s", f.t.id, res.err)
-				return
-			}
-			// Result travels cloud -> client.
-			if err := f.exec.cloud.delay(ctx, f.exec.cloud.site, f.exec.site, len(res.payload)); err != nil {
-				f.err = err
-				return
-			}
-			f.value, f.err = decodeValue(res.payload)
-		case <-ctx.Done():
-			f.err = ctx.Err()
-		}
-	})
+	f.once.Do(func() { f.value, f.err = f.wait(ctx) })
 	return f.value, f.err
 }
 

@@ -11,8 +11,17 @@ import (
 	"proxystore/internal/connectors/local"
 	"proxystore/internal/netsim"
 	"proxystore/internal/proxy"
+	"proxystore/internal/pstream"
 	"proxystore/internal/store"
 )
+
+// platform abstracts the two executors so one suite exercises both: the
+// classic cloud-routed path and the stream-backed path behind the same
+// futures API.
+type platform struct {
+	submit   func(ctx context.Context, fn string, args ...any) (*Future, error)
+	executed func() uint64
+}
 
 func newPlatform(t *testing.T, clientSite, endpointSite string) (*Cloud, *Executor, *Endpoint) {
 	t.Helper()
@@ -21,6 +30,21 @@ func newPlatform(t *testing.T, clientSite, endpointSite string) (*Cloud, *Execut
 	ep := StartEndpoint(cloud, "test-ep", endpointSite, 4)
 	t.Cleanup(func() { ep.Close() })
 	return cloud, NewExecutor(cloud, "test-ep", clientSite), ep
+}
+
+// forEachMode runs the shared suite body against the classic executor and
+// the stream-backed executor (over MemBroker; KVBroker coverage lives in
+// stream_test.go). This is the futures-adapter contract: the same test
+// assertions must hold whichever plane moves the tasks.
+func forEachMode(t *testing.T, fn func(t *testing.T, p platform)) {
+	t.Run("classic", func(t *testing.T) {
+		_, exec, ep := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
+		fn(t, platform{submit: exec.Submit, executed: ep.Executed})
+	})
+	t.Run("stream", func(t *testing.T) {
+		p := newStreamPlatform(t, pstream.NewMem())
+		fn(t, p)
+	})
 }
 
 func init() {
@@ -52,62 +76,69 @@ func init() {
 }
 
 func TestRoundTrip(t *testing.T) {
-	_, exec, _ := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
-	ctx := context.Background()
-	fut, err := exec.Submit(ctx, "echo", []byte("hello faas"))
-	if err != nil {
-		t.Fatalf("Submit: %v", err)
-	}
-	v, err := fut.Result(ctx)
-	if err != nil {
-		t.Fatalf("Result: %v", err)
-	}
-	if !bytes.Equal(v.([]byte), []byte("hello faas")) {
-		t.Fatalf("Result = %v", v)
-	}
+	forEachMode(t, func(t *testing.T, p platform) {
+		ctx := context.Background()
+		fut, err := p.submit(ctx, "echo", []byte("hello faas"))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		v, err := fut.Result(ctx)
+		if err != nil {
+			t.Fatalf("Result: %v", err)
+		}
+		if !bytes.Equal(v.([]byte), []byte("hello faas")) {
+			t.Fatalf("Result = %v", v)
+		}
+	})
 }
 
 func TestMultipleArgs(t *testing.T) {
-	_, exec, _ := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
-	ctx := context.Background()
-	fut, err := exec.Submit(ctx, "sum", 1, 2, 3, 4)
-	if err != nil {
-		t.Fatalf("Submit: %v", err)
-	}
-	v, err := fut.Result(ctx)
-	if err != nil {
-		t.Fatalf("Result: %v", err)
-	}
-	if v.(int) != 10 {
-		t.Fatalf("Result = %v", v)
-	}
+	forEachMode(t, func(t *testing.T, p platform) {
+		ctx := context.Background()
+		fut, err := p.submit(ctx, "sum", 1, 2, 3, 4)
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		v, err := fut.Result(ctx)
+		if err != nil {
+			t.Fatalf("Result: %v", err)
+		}
+		if v.(int) != 10 {
+			t.Fatalf("Result = %v", v)
+		}
+	})
 }
 
 func TestTaskErrorPropagates(t *testing.T) {
-	_, exec, _ := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
-	ctx := context.Background()
-	fut, err := exec.Submit(ctx, "fail")
-	if err != nil {
-		t.Fatalf("Submit: %v", err)
-	}
-	if _, err := fut.Result(ctx); err == nil {
-		t.Fatal("Result succeeded for failing task")
-	}
+	forEachMode(t, func(t *testing.T, p platform) {
+		ctx := context.Background()
+		fut, err := p.submit(ctx, "fail")
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		if _, err := fut.Result(ctx); err == nil {
+			t.Fatal("Result succeeded for failing task")
+		}
+	})
 }
 
 func TestUnknownFunction(t *testing.T) {
-	_, exec, _ := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
-	ctx := context.Background()
-	fut, err := exec.Submit(ctx, "not-registered")
-	if err != nil {
-		t.Fatalf("Submit: %v", err)
-	}
-	if _, err := fut.Result(ctx); err == nil {
-		t.Fatal("Result succeeded for unregistered function")
-	}
+	forEachMode(t, func(t *testing.T, p platform) {
+		ctx := context.Background()
+		fut, err := p.submit(ctx, "not-registered")
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		if _, err := fut.Result(ctx); err == nil {
+			t.Fatal("Result succeeded for unregistered function")
+		}
+	})
 }
 
 func TestPayloadLimitEnforced(t *testing.T) {
+	// Classic-only: the limit belongs to the cloud service. The stream
+	// executor has none — bulk arguments ride the store (see
+	// TestStreamNoPayloadLimit).
 	_, exec, _ := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
 	big := make([]byte, PayloadLimit+1)
 	if _, err := exec.Submit(context.Background(), "echo", big); !errors.Is(err, ErrPayloadTooLarge) {
@@ -118,35 +149,37 @@ func TestPayloadLimitEnforced(t *testing.T) {
 func TestProxyBypassesPayloadLimit(t *testing.T) {
 	// The paper's headline capability: task payloads above the cloud's
 	// limit travel by proxy with no changes to the service.
-	_, exec, _ := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
-	s, err := store.New("faas-proxy-store", local.New("faas-proxy-conn"))
-	if err != nil {
-		t.Fatalf("store.New: %v", err)
-	}
-	t.Cleanup(func() { store.Unregister("faas-proxy-store") })
+	forEachMode(t, func(t *testing.T, p platform) {
+		s, err := store.New("faas-proxy-store", local.New("faas-proxy-conn"))
+		if err != nil {
+			t.Fatalf("store.New: %v", err)
+		}
+		t.Cleanup(func() { store.Unregister("faas-proxy-store") })
 
-	ctx := context.Background()
-	big := make([]byte, PayloadLimit*2)
-	p, err := store.NewProxy(ctx, s, big)
-	if err != nil {
-		t.Fatalf("NewProxy: %v", err)
-	}
-	fut, err := exec.Submit(ctx, "resolve-proxy", p)
-	if err != nil {
-		t.Fatalf("Submit with proxy: %v", err)
-	}
-	v, err := fut.Result(ctx)
-	if err != nil {
-		t.Fatalf("Result: %v", err)
-	}
-	if v.(int) != len(big) {
-		t.Fatalf("task saw %v bytes, want %d", v, len(big))
-	}
+		ctx := context.Background()
+		big := make([]byte, PayloadLimit*2)
+		px, err := store.NewProxy(ctx, s, big)
+		if err != nil {
+			t.Fatalf("NewProxy: %v", err)
+		}
+		fut, err := p.submit(ctx, "resolve-proxy", px)
+		if err != nil {
+			t.Fatalf("Submit with proxy: %v", err)
+		}
+		v, err := fut.Result(ctx)
+		if err != nil {
+			t.Fatalf("Result: %v", err)
+		}
+		if v.(int) != len(big) {
+			t.Fatalf("task saw %v bytes, want %d", v, len(big))
+		}
+	})
 }
 
 func TestCloudPathPaysWANDelay(t *testing.T) {
 	// Same-site client and endpoint still route through the cloud: the
-	// round trip must pay at least two cloud-link RTTs.
+	// round trip must pay at least two cloud-link RTTs. (Classic-only by
+	// construction — the stream path has no cloud in the loop.)
 	n := netsim.Testbed(100)
 	cloud := NewCloud(n, netsim.SiteCloud)
 	ep := StartEndpoint(cloud, "wan-ep", netsim.SiteTheta, 1)
@@ -170,26 +203,27 @@ func TestCloudPathPaysWANDelay(t *testing.T) {
 }
 
 func TestConcurrentTasks(t *testing.T) {
-	_, exec, ep := newPlatform(t, netsim.SiteThetaLogin, netsim.SiteTheta)
-	ctx := context.Background()
-	futures := make([]*Future, 32)
-	for i := range futures {
-		fut, err := exec.Submit(ctx, "echo", i)
-		if err != nil {
-			t.Fatalf("Submit #%d: %v", i, err)
+	forEachMode(t, func(t *testing.T, p platform) {
+		ctx := context.Background()
+		futures := make([]*Future, 32)
+		for i := range futures {
+			fut, err := p.submit(ctx, "echo", i)
+			if err != nil {
+				t.Fatalf("Submit #%d: %v", i, err)
+			}
+			futures[i] = fut
 		}
-		futures[i] = fut
-	}
-	for i, fut := range futures {
-		v, err := fut.Result(ctx)
-		if err != nil {
-			t.Fatalf("Result #%d: %v", i, err)
+		for i, fut := range futures {
+			v, err := fut.Result(ctx)
+			if err != nil {
+				t.Fatalf("Result #%d: %v", i, err)
+			}
+			if v.(int) != i {
+				t.Fatalf("Result #%d = %v", i, v)
+			}
 		}
-		if v.(int) != i {
-			t.Fatalf("Result #%d = %v", i, v)
+		if p.executed() != 32 {
+			t.Fatalf("endpoint executed %d tasks, want 32", p.executed())
 		}
-	}
-	if ep.Executed() != 32 {
-		t.Fatalf("endpoint executed %d tasks, want 32", ep.Executed())
-	}
+	})
 }

@@ -1,0 +1,444 @@
+package faas
+
+// The stream-backed task plane: submissions are pstream events on a task
+// topic, claimed by endpoint worker pools as a consumer group; results
+// flow back on a per-client result topic. Bulk arguments and results ride
+// the store data plane, so the broker moves only O(100 B) of metadata per
+// task and there is no service payload limit to bypass.
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/pstream"
+	"proxystore/internal/store"
+)
+
+// TaskTopic returns the pstream topic on which the named endpoint's
+// worker pool claims task submissions.
+func TaskTopic(endpoint string) string { return "faas.t." + endpoint }
+
+// ResultTopic returns the topic a client's results flow back on.
+func ResultTopic(client string) string { return "faas.r." + client }
+
+// TaskGroup is the consumer group endpoint workers join on a task topic:
+// one group per endpoint, so each submission is executed by exactly one
+// live worker and a crashed worker's claims are reclaimed on lease expiry.
+const TaskGroup = "workers"
+
+// Event attributes carried on task and result events. They duplicate
+// fields of the stored payload so that dispatchers and observers can route
+// without resolving the bulk payload.
+const (
+	// AttrTaskID is the task's ID, on both task and result events.
+	AttrTaskID = "faas.id"
+	// AttrTaskFunction is the registered function name, on task events.
+	AttrTaskFunction = "faas.fn"
+	// AttrResultTopic is the submitting client's result topic, on task
+	// events.
+	AttrResultTopic = "faas.rt"
+)
+
+// TaskRequest is the bulk payload of one submission, stored through the
+// data plane and carried by the task event's self-contained proxy.
+type TaskRequest struct {
+	// ID correlates the request with its TaskResult.
+	ID string
+	// Function names a registry entry on the executing worker.
+	Function string
+	// Args is the gob-encoded argument list — the same codec as the
+	// classic executor, so proxies travel inside it unchanged.
+	Args []byte
+	// ResultTopic is where the executing worker publishes the TaskResult.
+	ResultTopic string
+}
+
+// TaskResult is the bulk payload of one completed task, published on the
+// submitting client's result topic.
+type TaskResult struct {
+	// ID echoes the TaskRequest ID.
+	ID string
+	// Value is the gob-encoded result value; nil when Err is set.
+	Value []byte
+	// Err is the task error, if any.
+	Err string
+}
+
+func init() {
+	gob.Register(TaskRequest{})
+	gob.Register(TaskResult{})
+}
+
+// ErrExecutorClosed is returned by Submit after Close, and by pending
+// futures whose executor shuts down before their result arrives.
+var ErrExecutorClosed = errors.New("faas: stream executor closed")
+
+// StreamExecutor submits tasks as pstream events instead of routing them
+// through a Cloud. Each Submit stores a TaskRequest through the store
+// (bulk plane) and publishes a compact event on the endpoint's task topic
+// (metadata plane); a background dispatcher consumes the executor's result
+// topic and completes futures by task ID. There is no payload limit:
+// arguments of any size ride the store.
+//
+// A StreamExecutor is safe for concurrent use.
+type StreamExecutor struct {
+	id    string
+	topic string // result topic
+	prod  *pstream.Producer[TaskRequest]
+
+	mu      sync.Mutex
+	pending map[string]*pendingResult
+	closed  bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	submitted atomic.Uint64
+}
+
+// pendingResult tracks one in-flight submission from Submit until its
+// future consumes the result (or Close reclaims it). delivered flips when
+// the dispatcher hands the item to ch, so later results with the same ID
+// are recognized as duplicates.
+type pendingResult struct {
+	ch        chan *pstream.Item[TaskResult]
+	delivered bool
+}
+
+// evictResult best-effort reclaims a result item's stored payload without
+// touching its subscription, so it is safe from any goroutine. Detached
+// from the caller's cancellation — cleanup runs on paths where that
+// context is dying (Close, expired Result calls).
+func evictResult(ctx context.Context, it *pstream.Item[TaskResult]) {
+	if st, key, ok, err := store.KeyOf(it.Proxy); err == nil && ok {
+		_ = st.Evict(context.WithoutCancel(ctx), key)
+	}
+}
+
+// NewStreamExecutor returns an executor submitting to the named endpoint's
+// task topic, storing payloads in st and events through b. The store must
+// use a serializer that can encode TaskRequest/TaskResult (the default gob
+// serializer does). The executor owns a consumer on its private result
+// topic until Close.
+func NewStreamExecutor(st *store.Store, b pstream.Broker, endpoint string) (*StreamExecutor, error) {
+	id := connector.NewID()
+	topic := ResultTopic(id)
+	ctx, cancel := context.WithCancel(context.Background())
+	// Window 1: prefetch would eagerly batch-resolve bulk result payloads
+	// into executor memory; result bytes must move only when a future's
+	// Result asks for them.
+	cons, err := pstream.NewConsumer[TaskResult](ctx, b, topic, "client",
+		pstream.WithEndCount(0), pstream.WithWindow(1))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	e := &StreamExecutor{
+		id:    id,
+		topic: topic,
+		// Exactly one consumer (this executor) reads each result, so its
+		// ack reclaims the result payload from the store.
+		prod:    pstream.NewProducer[TaskRequest](st, b, TaskTopic(endpoint), pstream.WithEvictOnAck(1)),
+		pending: make(map[string]*pendingResult),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	go e.dispatch(ctx, cons)
+	return e, nil
+}
+
+// ID returns the executor's client identity (its result topic suffix).
+func (e *StreamExecutor) ID() string { return e.id }
+
+// Submitted returns the number of tasks published to the task topic.
+func (e *StreamExecutor) Submitted() uint64 { return e.submitted.Load() }
+
+// dispatch routes result items to pending futures by task ID, retrying
+// transient broker errors (ConsumeLoop) — results are durable in the log,
+// so a broker hiccup must never condemn the executor. Duplicate results —
+// a worker died after publishing but before settling its claim, and the
+// task was re-executed — are dropped and their payloads evicted, so
+// re-execution is invisible to callers and leaks nothing.
+func (e *StreamExecutor) dispatch(ctx context.Context, cons *pstream.Consumer[TaskResult]) {
+	defer close(e.done)
+	pstream.ConsumeLoop(ctx, 0,
+		func() (*pstream.Consumer[TaskResult], error) { return cons, nil },
+		e.handleResult)
+}
+
+func (e *StreamExecutor) handleResult(ctx context.Context, it *pstream.Item[TaskResult]) {
+	// Ack here, on the goroutine that owns the subscription: it commits
+	// the offset so KVBroker truncation can compact the result log, and —
+	// result producers setting no evict-on-ack — has no payload side
+	// effect (futures evict payloads themselves as they consume).
+	_ = it.Ack(ctx)
+	id := it.Event.Attr(AttrTaskID)
+	e.mu.Lock()
+	p := e.pending[id]
+	if p == nil || p.delivered {
+		e.mu.Unlock()
+		evictResult(ctx, it)
+		return
+	}
+	p.delivered = true
+	e.mu.Unlock()
+	p.ch <- it // buffered; exactly one delivery per ID
+}
+
+// Submit publishes the task to the endpoint's topic. Unlike the classic
+// executor there is no service payload limit: serialized arguments of any
+// size ride the data plane, and the broker carries O(100 B).
+func (e *StreamExecutor) Submit(ctx context.Context, function string, args ...any) (*Future, error) {
+	payload, err := encodeArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	id := connector.NewID()
+	pr := &pendingResult{ch: make(chan *pstream.Item[TaskResult], 1)}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrExecutorClosed
+	}
+	e.pending[id] = pr
+	e.mu.Unlock()
+
+	req := TaskRequest{ID: id, Function: function, Args: payload, ResultTopic: e.topic}
+	attrs := map[string]string{
+		AttrTaskID:       id,
+		AttrTaskFunction: function,
+		AttrResultTopic:  e.topic,
+	}
+	if err := e.prod.Send(ctx, req, attrs); err != nil {
+		e.mu.Lock()
+		delete(e.pending, id)
+		e.mu.Unlock()
+		return nil, err
+	}
+	e.submitted.Add(1)
+	// resolve runs on the CALLER's goroutine, so it must never touch the
+	// dispatcher's subscription (Subscriptions are single-goroutine; a
+	// concurrent Ack races Next). The result topic is private to this
+	// executor and never resumed, so the only thing a broker ack would
+	// buy is evict-on-ack — evicting the payload directly through the
+	// store achieves that without the subscription.
+	resolve := func(ctx context.Context, it *pstream.Item[TaskResult]) (any, error) {
+		res, err := it.Value(ctx)
+		e.mu.Lock()
+		delete(e.pending, id)
+		e.mu.Unlock()
+		// Reclaim the payload either way: on success it has been copied
+		// out; on failure Result caches the error, so the value is
+		// unreachable regardless (evictResult detaches from ctx, which
+		// may be the very reason it.Value died).
+		evictResult(ctx, it)
+		if err != nil {
+			return nil, fmt.Errorf("faas: resolving result for task %s: %w", id, err)
+		}
+		if res.Err != "" {
+			return nil, fmt.Errorf("faas: task %s: %s", id, res.Err)
+		}
+		return decodeValue(res.Value)
+	}
+	return &Future{wait: func(ctx context.Context) (any, error) {
+		select {
+		case it := <-pr.ch:
+			return resolve(ctx, it)
+		case <-e.done:
+			// A result delivered before shutdown still wins. The
+			// delivered flag is the authority: if set, the item is in
+			// pr.ch now or is transiently held by Close's prime-and-ack
+			// drain, which always puts it back — so block on the channel,
+			// not on a racy non-blocking peek.
+			e.mu.Lock()
+			delivered := pr.delivered
+			e.mu.Unlock()
+			if delivered {
+				select {
+				case it := <-pr.ch:
+					return resolve(ctx, it)
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			return nil, ErrExecutorClosed
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}}, nil
+}
+
+// Close stops the result dispatcher. Futures whose result never arrived
+// fail with ErrExecutorClosed; futures whose result was already
+// delivered still resolve it after Close. Delivered-but-unconsumed
+// results — abandoned futures, Result calls whose context expired — are
+// resolved into their proxies here and their stored payloads evicted, so
+// nothing leaks either way. Close does not close the store or broker,
+// which the executor borrows, and publishes no End on the task topic —
+// the endpoint is long-lived and may serve other executors.
+func (e *StreamExecutor) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.cancel()
+	<-e.done
+	e.mu.Lock()
+	remaining := e.pending
+	e.pending = make(map[string]*pendingResult)
+	e.mu.Unlock()
+	ctx := context.Background()
+	for _, pr := range remaining {
+		select {
+		case it := <-pr.ch:
+			// Prime the proxy's cache before evicting the stored copy: a
+			// Result call issued after Close must still find the value.
+			// The item goes back in the buffered channel for that call.
+			_, _ = it.Proxy.Value(ctx)
+			evictResult(ctx, it)
+			pr.ch <- it
+		default:
+		}
+	}
+	return nil
+}
+
+// StreamEndpoint is a compute endpoint whose workers claim tasks from the
+// endpoint's task topic as a consumer group, replacing the classic
+// per-endpoint channel queue. A worker resolves the request's bulk payload
+// from the data plane, executes the registered function, publishes the
+// result on the submitting client's result topic, and only then settles
+// its claim — so a worker that dies mid-task loses its lease and the task
+// is re-executed by a surviving member (at-least-once execution,
+// exactly-once result delivery via the client's dedup).
+type StreamEndpoint struct {
+	st   *store.Store
+	b    pstream.Broker
+	name string
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// resolveStrikes tracks per-offset payload-resolution failures, so a
+	// poison task is eventually reported as an error result instead of
+	// cycling through the group's leases forever (SettleAfterStrikes).
+	resolveStrikes *pstream.Strikes
+
+	executed atomic.Uint64
+}
+
+// StartStreamEndpoint subscribes a pool of workers to the named endpoint's
+// task topic. st stores result payloads (and must use a serializer that
+// can encode TaskResult — the default gob serializer does).
+func StartStreamEndpoint(st *store.Store, b pstream.Broker, name string, workers int) *StreamEndpoint {
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ep := &StreamEndpoint{
+		st:             st,
+		b:              b,
+		name:           name,
+		cancel:         cancel,
+		resolveStrikes: pstream.NewStrikes(),
+	}
+	// Member names carry a fresh ID: two processes running the same
+	// endpoint must not collide on member identity, or a stale ack from
+	// one could settle a same-named peer's live claim.
+	instance := connector.NewID()[:8]
+	for i := 0; i < workers; i++ {
+		ep.wg.Add(1)
+		go ep.worker(ctx, fmt.Sprintf("%s-%s-w%d", name, instance, i))
+	}
+	return ep
+}
+
+// Executed returns the number of tasks whose function this endpoint ran,
+// like the classic Endpoint's counter. A task whose result publish fails
+// is still counted (and re-executed elsewhere after its lease expires).
+func (ep *StreamEndpoint) Executed() uint64 { return ep.executed.Load() }
+
+// Close stops the endpoint's workers. Unsettled claims are not released;
+// they expire with their leases and are reclaimed by surviving members of
+// the endpoint's group (possibly in another process).
+func (ep *StreamEndpoint) Close() error {
+	ep.cancel()
+	ep.wg.Wait()
+	return nil
+}
+
+// producer builds a producer for a client's result topic. Producers are
+// tiny stateless handles, so one per task beats caching them: a
+// long-lived endpoint serving a churn of short-lived executors (each
+// with its own UUID result topic) must not accumulate per-topic state.
+// No evict-on-ack: the submitting executor evicts result payloads
+// directly as its futures consume them (its subscription is pure-read,
+// so futures resolving concurrently never share broker state).
+func (ep *StreamEndpoint) producer(topic string) *pstream.Producer[TaskResult] {
+	return pstream.NewProducer[TaskResult](ep.st, ep.b, topic)
+}
+
+func (ep *StreamEndpoint) worker(ctx context.Context, member string) {
+	defer ep.wg.Done()
+	pstream.ConsumeLoop(ctx, 0, func() (*pstream.Consumer[TaskRequest], error) {
+		// Window 1: a group member should never claim work it cannot start
+		// within its lease.
+		return pstream.NewConsumer[TaskRequest](ctx, ep.b, TaskTopic(ep.name), member,
+			pstream.WithGroup(TaskGroup), pstream.WithEndCount(0), pstream.WithWindow(1))
+	}, ep.execute)
+}
+
+// execute runs one claimed task. The claim is settled only after the
+// result publish succeeds; any earlier failure leaves the claim to expire
+// so another member retries the task.
+func (ep *StreamEndpoint) execute(ctx context.Context, it *pstream.Item[TaskRequest]) {
+	req, err := it.Value(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			return
+		}
+		// Bulk payload unresolvable. Transient store failures heal across
+		// lease redeliveries, so the claim is normally left to expire —
+		// but a poison task is eventually reported as the task's result,
+		// routed via the event attrs (which exist precisely so a worker
+		// can report without the payload).
+		id, rt := it.Event.Attr(AttrTaskID), it.Event.Attr(AttrResultTopic)
+		if rt == "" {
+			return // nowhere to report; keep the lease cadence
+		}
+		pstream.SettleAfterStrikes(ctx, ep.resolveStrikes, it, pstream.DefaultSettleStrikes, func() error {
+			res := TaskResult{ID: id, Err: fmt.Sprintf("resolving task payload: %v", err)}
+			return ep.producer(rt).Send(ctx, res, map[string]string{AttrTaskID: id})
+		})
+		return
+	}
+	ep.resolveStrikes.Clear(it.Event.Offset)
+	res := TaskResult{ID: req.ID}
+	if args, err := decodeArgs(req.Args); err != nil {
+		res.Err = err.Error()
+	} else if fn, err := lookupFunction(req.Function); err != nil {
+		res.Err = err.Error()
+	} else if out, err := fn(ctx, args); err != nil {
+		res.Err = err.Error()
+	} else if payload, err := encodeValue(out); err != nil {
+		res.Err = err.Error()
+	} else {
+		res.Value = payload
+	}
+	// Count before publishing: the instant Send returns, the client's
+	// future can resolve on another goroutine, and callers joining on
+	// futures legitimately expect Executed to cover their tasks.
+	ep.executed.Add(1)
+	prod := ep.producer(req.ResultTopic)
+	if err := prod.Send(ctx, res, map[string]string{AttrTaskID: res.ID}); err != nil {
+		return
+	}
+	// Task payload was resolved and the result is durable: settle the
+	// claim. The ack reclaims the request payload (evict-on-ack, one
+	// logical consumer — the group).
+	_ = it.Ack(ctx)
+}

@@ -1,0 +1,369 @@
+package faas
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/local"
+	"proxystore/internal/connectors/redisc"
+	"proxystore/internal/kvstore"
+	"proxystore/internal/pstream"
+	"proxystore/internal/pstream/brokertest"
+	"proxystore/internal/store"
+)
+
+// newStreamPlatform wires a stream-backed executor/endpoint pair over the
+// given broker with a fresh local store, returning the shared-suite
+// platform handle.
+func newStreamPlatform(t *testing.T, b pstream.Broker) platform {
+	t.Helper()
+	t.Cleanup(func() { b.Close() })
+	id := connector.NewID()[:8]
+	st, err := store.New("faas-stream-"+id, local.New("faas-stream-conn-"+id))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("faas-stream-" + id) })
+	epName := "ep-" + id
+	ep := StartStreamEndpoint(st, b, epName, 4)
+	t.Cleanup(func() { ep.Close() })
+	exec, err := NewStreamExecutor(st, b, epName)
+	if err != nil {
+		t.Fatalf("NewStreamExecutor: %v", err)
+	}
+	t.Cleanup(func() { exec.Close() })
+	return platform{submit: exec.Submit, executed: ep.Executed}
+}
+
+func TestStreamNoPayloadLimit(t *testing.T) {
+	// The classic cloud rejects >5 MB payloads; the stream executor has no
+	// service in the data path, so by-value arguments of any size ride the
+	// store bulk plane.
+	p := newStreamPlatform(t, pstream.NewMem())
+	ctx := context.Background()
+	big := make([]byte, PayloadLimit+PayloadLimit/4)
+	fut, err := p.submit(ctx, "echo", big)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	v, err := fut.Result(ctx)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if len(v.([]byte)) != len(big) {
+		t.Fatalf("Result carried %d bytes, want %d", len(v.([]byte)), len(big))
+	}
+}
+
+func TestStreamKVRoundTripMovesMetadataOnly(t *testing.T) {
+	// Full stream plane over a kvstore server with push delivery: the
+	// broker must carry O(KB) per task while the 256 KiB arguments and
+	// results ride the redis data plane.
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	cb := pstream.NewCounting(pstream.NewKV(srv.Addr()))
+	t.Cleanup(func() { cb.Close() })
+	id := connector.NewID()[:8]
+	st, err := store.New("faas-kv-"+id, redisc.New(srv.Addr()))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("faas-kv-" + id) })
+
+	epName := "kv-ep-" + id
+	ep := StartStreamEndpoint(st, cb, epName, 2)
+	t.Cleanup(func() { ep.Close() })
+	exec, err := NewStreamExecutor(st, cb, epName)
+	if err != nil {
+		t.Fatalf("NewStreamExecutor: %v", err)
+	}
+	t.Cleanup(func() { exec.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const tasks = 4
+	arg := make([]byte, 256<<10)
+	futures := make([]*Future, tasks)
+	for i := range futures {
+		fut, err := exec.Submit(ctx, "echo", arg)
+		if err != nil {
+			t.Fatalf("Submit #%d: %v", i, err)
+		}
+		futures[i] = fut
+	}
+	for i, fut := range futures {
+		v, err := fut.Result(ctx)
+		if err != nil {
+			t.Fatalf("Result #%d: %v", i, err)
+		}
+		if len(v.([]byte)) != len(arg) {
+			t.Fatalf("Result #%d carried %d bytes", i, len(v.([]byte)))
+		}
+	}
+	brokerBytes := cb.BytesPublished() + cb.BytesDelivered()
+	if brokerBytes > 128<<10 {
+		t.Fatalf("broker moved %d bytes for %d tasks of %d-byte args — payloads leaked onto the metadata plane",
+			brokerBytes, tasks, len(arg))
+	}
+}
+
+func TestStreamConcurrentResultResolution(t *testing.T) {
+	// Futures resolve on caller goroutines and must never touch the
+	// dispatcher's subscription (Subscriptions are single-goroutine;
+	// payload cleanup goes directly through the store). Hammer many
+	// concurrent Result calls over KVBroker — under -race this fails if
+	// resolution ever shares broker state.
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	b := pstream.NewKV(srv.Addr())
+	t.Cleanup(func() { b.Close() })
+	id := connector.NewID()[:8]
+	st, err := store.New("faas-conc-"+id, redisc.New(srv.Addr()))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("faas-conc-" + id) })
+	epName := "conc-ep-" + id
+	ep := StartStreamEndpoint(st, b, epName, 4)
+	t.Cleanup(func() { ep.Close() })
+	exec, err := NewStreamExecutor(st, b, epName)
+	if err != nil {
+		t.Fatalf("NewStreamExecutor: %v", err)
+	}
+	t.Cleanup(func() { exec.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		fut, err := exec.Submit(ctx, "echo", i)
+		if err != nil {
+			t.Fatalf("Submit #%d: %v", i, err)
+		}
+		wg.Add(1)
+		go func(i int, fut *Future) {
+			defer wg.Done()
+			v, err := fut.Result(ctx)
+			if err != nil {
+				t.Errorf("Result #%d: %v", i, err)
+				return
+			}
+			if v.(int) != i {
+				t.Errorf("Result #%d = %v", i, v)
+			}
+		}(i, fut)
+	}
+	wg.Wait()
+}
+
+func TestStreamExactlyOnceUnderKilledWorker(t *testing.T) {
+	// The group-fault guarantee, end to end over KVBroker: a worker claims
+	// tasks and dies before executing them; its leases expire, survivors
+	// reclaim, and every task is executed exactly once with every future
+	// resolving. JitterBroker shakes the claim/ack timing.
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// The lease must comfortably exceed any survivor stall (GC pause,
+	// loaded CI runner): a live worker's claim that expires mid-execution
+	// would be legitimately re-executed, which this test's exactly-once
+	// assertion would misread as a failure. 2 s dwarfs the milliseconds a
+	// healthy claim stays open while keeping reclamation (and the test)
+	// fast.
+	lease := 2 * time.Second
+	b := brokertest.NewJitter(pstream.NewKV(srv.Addr(), pstream.WithKVLease(lease)), 7, 5*time.Millisecond)
+	t.Cleanup(func() { b.Close() })
+	id := connector.NewID()[:8]
+	st, err := store.New("faas-kill-"+id, redisc.New(srv.Addr()))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("faas-kill-" + id) })
+
+	var mu sync.Mutex
+	execCount := make(map[int]int)
+	fnName := "track-" + id
+	RegisterFunction(fnName, func(_ context.Context, args []any) (any, error) {
+		i := args[0].(int)
+		mu.Lock()
+		execCount[i]++
+		mu.Unlock()
+		return i * 10, nil
+	})
+
+	epName := "kill-ep-" + id
+	exec, err := NewStreamExecutor(st, b, epName)
+	if err != nil {
+		t.Fatalf("NewStreamExecutor: %v", err)
+	}
+	t.Cleanup(func() { exec.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	const tasks = 6
+	futures := make([]*Future, tasks)
+	for i := range futures {
+		fut, err := exec.Submit(ctx, fnName, i)
+		if err != nil {
+			t.Fatalf("Submit #%d: %v", i, err)
+		}
+		futures[i] = fut
+	}
+
+	// The doomed worker: claims two tasks off the group queue and dies
+	// without executing or acking either.
+	doomed, err := b.SubscribeGroup(ctx, TaskTopic(epName), TaskGroup, "doomed")
+	if err != nil {
+		t.Fatalf("SubscribeGroup(doomed): %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := doomed.Next(ctx); err != nil {
+			t.Fatalf("doomed claim #%d: %v", i, err)
+		}
+	}
+	doomed.Close()
+
+	// Survivors: a real worker pool on the same group. The four unclaimed
+	// tasks run immediately; the two orphans run after lease expiry.
+	ep := StartStreamEndpoint(st, b, epName, 2)
+	t.Cleanup(func() { ep.Close() })
+
+	for i, fut := range futures {
+		v, err := fut.Result(ctx)
+		if err != nil {
+			t.Fatalf("Result #%d: %v", i, err)
+		}
+		if v.(int) != i*10 {
+			t.Fatalf("Result #%d = %v, want %d", i, v, i*10)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(execCount) != tasks {
+		t.Fatalf("executed %d distinct tasks, want %d", len(execCount), tasks)
+	}
+	for i := 0; i < tasks; i++ {
+		if execCount[i] != 1 {
+			t.Fatalf("task %d executed %d times, want exactly once", i, execCount[i])
+		}
+	}
+	if got := ep.Executed(); got != tasks {
+		t.Fatalf("surviving endpoint executed %d tasks, want %d", got, tasks)
+	}
+}
+
+func TestStreamResultSurvivesClose(t *testing.T) {
+	// A result delivered before Close must still resolve after it: Close
+	// primes and acks unconsumed deliveries (reclaiming their payloads)
+	// but leaves the value reachable for a late Result call.
+	b := pstream.NewMem()
+	t.Cleanup(func() { b.Close() })
+	id := connector.NewID()[:8]
+	st, err := store.New("faas-close-"+id, local.New("faas-close-conn-"+id))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("faas-close-" + id) })
+	epName := "close-ep-" + id
+	ep := StartStreamEndpoint(st, b, epName, 1)
+	t.Cleanup(func() { ep.Close() })
+	exec, err := NewStreamExecutor(st, b, epName)
+	if err != nil {
+		t.Fatalf("NewStreamExecutor: %v", err)
+	}
+
+	ctx := context.Background()
+	fut, err := exec.Submit(ctx, "echo", 7)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Wait (white-box) until the dispatcher has handed the result item to
+	// the future's channel, so Close deterministically runs after delivery.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		exec.mu.Lock()
+		delivered := false
+		for _, pr := range exec.pending {
+			delivered = pr.delivered
+		}
+		exec.mu.Unlock()
+		if delivered {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("result never delivered to the future")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	exec.Close()
+	v, err := fut.Result(ctx)
+	if err != nil {
+		t.Fatalf("Result after Close: %v", err)
+	}
+	if v.(int) != 7 {
+		t.Fatalf("Result after Close = %v, want 7", v)
+	}
+}
+
+func TestStreamDuplicateResultDropped(t *testing.T) {
+	// A worker that dies between result publish and claim settlement makes
+	// the task re-run, publishing a second result with the same ID. The
+	// executor's dispatcher must drop (and ack) the stray so callers never
+	// see it, and keep serving later tasks.
+	b := pstream.NewMem()
+	t.Cleanup(func() { b.Close() })
+	id := connector.NewID()[:8]
+	st, err := store.New("faas-dup-"+id, local.New("faas-dup-conn-"+id))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("faas-dup-" + id) })
+	epName := "dup-ep-" + id
+	ep := StartStreamEndpoint(st, b, epName, 1)
+	t.Cleanup(func() { ep.Close() })
+	exec, err := NewStreamExecutor(st, b, epName)
+	if err != nil {
+		t.Fatalf("NewStreamExecutor: %v", err)
+	}
+	t.Cleanup(func() { exec.Close() })
+
+	ctx := context.Background()
+	fut, err := exec.Submit(ctx, "echo", 1)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := fut.Result(ctx); err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+
+	// Forge a duplicate/unknown result on the executor's result topic.
+	stray := pstream.NewProducer[TaskResult](st, b, ResultTopic(exec.ID()))
+	if err := stray.Send(ctx, TaskResult{ID: "stray"}, map[string]string{AttrTaskID: "stray"}); err != nil {
+		t.Fatalf("stray Send: %v", err)
+	}
+
+	fut2, err := exec.Submit(ctx, "echo", 2)
+	if err != nil {
+		t.Fatalf("Submit after stray: %v", err)
+	}
+	v, err := fut2.Result(ctx)
+	if err != nil {
+		t.Fatalf("Result after stray: %v", err)
+	}
+	if v.(int) != 2 {
+		t.Fatalf("Result = %v, want 2", v)
+	}
+}

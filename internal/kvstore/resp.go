@@ -2,9 +2,38 @@
 // server and client over TCP. It stands in for the Redis/KeyDB servers the
 // paper uses as hybrid intra-site mediated channels (§4.1.2), exposing the
 // subset of commands the RedisConnector needs (GET/SET/DEL/EXISTS/...) plus
-// enough extras (MGET/MSET/DBSIZE/FLUSHALL/PING) to feel like the real
-// thing. An optional append-only persistence file provides the "hybrid
-// memory/disk" property.
+// enough extras (MGET/MSET/INCR/INCRBY/CAS/DELRANGE/DBSIZE/FLUSHALL/PING)
+// to feel like the real thing. An optional append-only persistence file
+// provides the "hybrid memory/disk" property.
+//
+// # Blocking reads (the wait/notify protocol)
+//
+// Two commands turn the server into a push-delivery substrate — the
+// mechanism behind pstream's KVBroker push mode:
+//
+//   - WAITGET key timeout_ms blocks until key holds a value (any of
+//     SET/MSET/CAS/INCR/INCRBY filling it) and returns that value in the
+//     wait's own reply, so the wake carries the payload and no follow-up
+//     GET is needed. A lapsed timeout returns a null bulk; the connection
+//     stays clean either way, so pooled clients do not redial across
+//     timed-out waits.
+//   - WAITPREFIX prefix after_seq timeout_ms blocks until any key under
+//     prefix is mutated with a server mutation-sequence number >
+//     after_seq, then returns the current sequence for the caller to
+//     carry into its next wait. The server answers "nothing changed"
+//     from a bounded recent-writes ring; callers whose after_seq is
+//     older than the ring's reach (or predates a restart) get a
+//     conservative immediate wake and rescan — spurious wakes are
+//     possible, missed wakes are not.
+//
+// Server-side, waiters park in a notification registry with its own lock
+// (they never hold the data mutex), Close hangs up blocked waiters like
+// idle connections, and waits append nothing to the AOF. Client-side,
+// WaitGet/WaitPrefix dedicate a pooled connection per wait on a pool
+// separate from command traffic, honor context cancellation via
+// collapsed read deadlines, and tag replies from servers that predate
+// the commands with ErrUnknownCommand so callers can fall back to
+// polling (WithoutWaitCommands simulates such servers in tests).
 package kvstore
 
 import (

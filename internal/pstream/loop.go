@@ -1,0 +1,107 @@
+package pstream
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Strikes counts failed deliveries per log offset, so task-plane workers
+// can tell transient payload-resolution failures (leave the claim to its
+// lease and retry on redelivery) from permanent ones (report an error
+// result and settle after a bounded number of strikes, instead of
+// livelocking the whole group on lease cadence over a poison task).
+// Safe for concurrent use; zero value not usable — see NewStrikes.
+type Strikes struct {
+	mu     sync.Mutex
+	counts map[uint64]int
+}
+
+// NewStrikes returns an empty counter.
+func NewStrikes() *Strikes { return &Strikes{counts: make(map[uint64]int)} }
+
+// Strike records one failure for offset and returns the total so far.
+func (s *Strikes) Strike(offset uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counts[offset]++
+	return s.counts[offset]
+}
+
+// Clear forgets an offset (call on success or after settling it).
+func (s *Strikes) Clear(offset uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.counts, offset)
+}
+
+// DefaultSettleStrikes is how many failed deliveries of one task (one
+// lease cycle each) a worker pool tolerates before treating the payload
+// as permanently lost: transient store outages heal within a strike or
+// two, and a poison task stops burning broker commands.
+const DefaultSettleStrikes = 3
+
+// SettleAfterStrikes is the poison-task policy shared by the task plane's
+// workers (faas endpoints, colmena servers): record one strike for the
+// item's offset and, once strikes reach max, run publish (the caller
+// reports the failure as the task's result), then clear the offset and
+// settle the claim. Below the threshold — or if publish fails — it does
+// nothing, leaving the claim to its lease so the task is redelivered.
+func SettleAfterStrikes[T any](ctx context.Context, strikes *Strikes, it *Item[T], max int, publish func() error) {
+	if ctx.Err() != nil {
+		return
+	}
+	if strikes.Strike(it.Event.Offset) < max {
+		return
+	}
+	if err := publish(); err != nil {
+		return
+	}
+	strikes.Clear(it.Event.Offset)
+	_ = it.Ack(ctx)
+}
+
+// ConsumeLoop drives a long-lived consumer until ctx is canceled: it
+// retries subscribe (every retry interval, default 50 ms) until it
+// succeeds — brokers over external services can fail transiently at
+// startup — then delivers every item to handle, backing off on transient
+// Next errors. It returns when ctx is canceled or the stream ends
+// (ErrEnd). It is the shared worker loop behind the stream-backed task
+// plane: faas endpoint workers, colmena workers, and result dispatchers
+// all run it.
+//
+// handle owns each item's lifecycle (resolve, ack); the loop never acks.
+func ConsumeLoop[T any](ctx context.Context, retry time.Duration, subscribe func() (*Consumer[T], error), handle func(context.Context, *Item[T])) {
+	if retry <= 0 {
+		retry = 50 * time.Millisecond
+	}
+	pause := func() bool {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(retry):
+			return true
+		}
+	}
+	var cons *Consumer[T]
+	for cons == nil {
+		var err error
+		if cons, err = subscribe(); err != nil {
+			if !pause() {
+				return
+			}
+		}
+	}
+	defer cons.Close()
+	for {
+		it, err := cons.Next(ctx)
+		if err != nil {
+			if errors.Is(err, ErrEnd) || ctx.Err() != nil || !pause() {
+				return
+			}
+			continue
+		}
+		handle(ctx, it)
+	}
+}

@@ -8,6 +8,13 @@
 // main process and workers), so large values pay real serialization cost
 // plus a modeled channel delay proportional to their size. Passing proxies
 // instead of values shrinks those payloads to a few hundred bytes.
+//
+// The engine is the classic backend for colmena.Server and the repo's
+// stand-in for workflow systems generally. Its stream-plane counterpart
+// is the pstream consumer group: colmena.StreamServer and
+// faas.StreamEndpoint replace the hub-spoke channel with a broker task
+// topic, turning futures into task streams — see those packages for the
+// task-plane variants.
 package workflow
 
 import (
