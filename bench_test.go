@@ -301,6 +301,42 @@ func BenchmarkLargeObjectStore(b *testing.B) {
 		}
 	})
 
+	// The binary codec is the typed middle ground: PutObject/GetObject
+	// semantics (any value, registry-named codec in the factory) at
+	// near-raw cost — the length-prefixed frame writes the payload's
+	// backing bytes straight through and decodes into one exact
+	// allocation, where gob materializes the whole encoded message on
+	// both sides.
+	sb, err := store.New("bench-large-binary", conn,
+		store.WithCacheBytes(0), store.WithSerializer(serial.Binary()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Unregister("bench-large-binary") })
+
+	b.Run("object-binary-stream", func(b *testing.B) {
+		payload := make([]byte, size)
+		b.SetBytes(size)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key, err := sb.PutObject(ctx, payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, err := sb.GetObject(ctx, key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got, ok := v.([]byte); !ok || len(got) != size {
+				b.Fatalf("got %T, %d bytes", v, len(got))
+			}
+			if err := sb.Evict(ctx, key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	b.Run("reader-raw-stream", func(b *testing.B) {
 		b.SetBytes(size)
 		b.ReportAllocs()

@@ -13,6 +13,16 @@
 //	                   multi-connector store: small payloads route to an
 //	                   in-memory child, large ones to a file child, the
 //	                   broker carrying the same O(100 B) events either way
+//	pipeline         — the client-transport profile (kv broker only): the
+//	                   same streaming workloads with the data plane moved
+//	                   off the kv server (local store), so the kv-cmds,
+//	                   round-trip and connection columns isolate the
+//	                   broker's own transport. pipe-fanout measures
+//	                   cmds-per-round-trip (>1 ⇔ the pipelined ack/publish
+//	                   paths amortize flushes); pipe-group parks ≥16 group
+//	                   members and measures conns-per-consumer (≤1 ⇔ the
+//	                   wait multiplexer shares one blocking-wait
+//	                   connection instead of pinning one per member)
 //
 // The stream profile's delivery modes:
 //
@@ -47,11 +57,14 @@
 // -json writes the full result table as machine-readable JSON
 // (BENCH_pstream.json in CI) so runs can be tracked over time. -strict
 // exits non-zero if push delivery fails to beat the polling fallback on
-// kv-cmds/item in the event and group profiles.
+// kv-cmds/item in the event and group profiles, or — in the pipeline
+// profile — if pipelining fails to amortize round trips (cmds/rtt ≤ 1.02)
+// or parked group members fail to share the wait connection
+// (conns/consumer > 1).
 //
 // Usage:
 //
-//	ps-streambench [-profile stream|tasks|multi] [-items N] [-size BYTES]
+//	ps-streambench [-profile stream|tasks|multi|pipeline] [-items N] [-size BYTES]
 //	               [-consumers N] [-window N] [-batch N] [-gap DUR]
 //	               [-broker mem|kv] [-groups] [-wan] [-json PATH] [-strict]
 package main
@@ -95,9 +108,18 @@ type profile struct {
 	BrokerBytes   uint64   `json:"broker_bytes"`
 	StoreBytes    uint64   `json:"store_bytes"`
 	KVCmdsPerItem *float64 `json:"kv_cmds_per_item,omitempty"`
-	P50Ms         *float64 `json:"p50_ms,omitempty"`
-	P95Ms         *float64 `json:"p95_ms,omitempty"`
-	P99Ms         *float64 `json:"p99_ms,omitempty"`
+	// CmdsPerRTT is kv server commands over client request flushes: >1
+	// means pipelining packed multiple commands into one round trip.
+	// Reported by the pipeline profile, where the kv server carries only
+	// broker traffic.
+	CmdsPerRTT *float64 `json:"cmds_per_rtt,omitempty"`
+	// ConnsPerConsumer is broker TCP connections (Dials) over consumer
+	// count: ≤1 means parked consumers share connections (the wait
+	// multiplexer) instead of pinning one each.
+	ConnsPerConsumer *float64 `json:"conns_per_consumer,omitempty"`
+	P50Ms            *float64 `json:"p50_ms,omitempty"`
+	P95Ms            *float64 `json:"p95_ms,omitempty"`
+	P99Ms            *float64 `json:"p99_ms,omitempty"`
 }
 
 // report is the -json document.
@@ -161,7 +183,7 @@ func nowAttr() map[string]string {
 }
 
 func main() {
-	profileKind := flag.String("profile", "stream", "benchmark profile: stream | tasks | multi")
+	profileKind := flag.String("profile", "stream", "benchmark profile: stream | tasks | multi | pipeline")
 	items := flag.Int("items", 256, "objects to stream (tasks with -profile tasks)")
 	size := flag.Int("size", 256<<10, "object size in bytes (task argument size with -profile tasks)")
 	consumers := flag.Int("consumers", 2, "consumer count (group members with -groups, endpoint workers with -profile tasks)")
@@ -172,7 +194,7 @@ func main() {
 	groups := flag.Bool("groups", false, "add the consumer-group work-queue profiles (stream profile)")
 	wan := flag.Bool("wan", false, "model WAN delays on the redis data plane (kv broker only)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this path")
-	strict := flag.Bool("strict", false, "exit non-zero unless push delivery beats polling on kv-cmds/item")
+	strict := flag.Bool("strict", false, "exit non-zero unless push delivery beats polling on kv-cmds/item (pipeline profile: cmds/rtt and conns/consumer gates)")
 	flag.Parse()
 
 	var srv *kvstore.Server
@@ -233,12 +255,19 @@ func main() {
 	case "multi":
 		fmt.Printf("streaming %d × {4 KiB, %d KiB} to %d consumers over %q broker via a multi-connector store\n\n",
 			*items, *size>>10, *consumers, *brokerKind)
+	case "pipeline":
+		fmt.Printf("transport profile: %d × %d KiB items over %q broker, local data plane (kv server carries broker traffic only)\n\n",
+			*items, *size>>10, *brokerKind)
 	default:
 		fmt.Printf("streaming %d × %d KiB to %d consumers over %q broker\n\n",
 			*items, *size>>10, *consumers, *brokerKind)
 	}
-	fmt.Printf("%-11s %9s %8s %13s %13s %10s %8s %8s %8s\n",
-		"mode", rate, "MB/s", "broker-bytes", "store-bytes", "kv-cmds/"+unit, "p50 ms", "p95 ms", "p99 ms")
+	hdrExtra := ""
+	if *profileKind == "pipeline" {
+		hdrExtra = fmt.Sprintf(" %9s %10s", "cmds/rtt", "conns/cons")
+	}
+	fmt.Printf("%-11s %9s %8s %13s %13s %10s %8s %8s %8s%s\n",
+		"mode", rate, "MB/s", "broker-bytes", "store-bytes", "kv-cmds/"+unit, "p50 ms", "p95 ms", "p99 ms", hdrExtra)
 
 	results := make(map[string]profile)
 	var order []string
@@ -257,6 +286,10 @@ func main() {
 		rmMultiDirs()
 		log.Fatalf(format, args...)
 	}
+	// rowConsumers is the consumer count behind the pipeline profile's
+	// conns/consumer column; the pipe-group row overrides it to its
+	// (possibly widened) member count before calling run.
+	rowConsumers := *consumers
 	// run executes one benchmark row. newStore builds the row's store
 	// (so the multi profile can swap connectors) and rowSize is the
 	// payload size behind the MB/s column.
@@ -288,6 +321,18 @@ func main() {
 			p.KVCmdsPerItem = &perItem
 		}
 		p.P50Ms, p.P95Ms, p.P99Ms = lats.percentiles()
+		if *profileKind == "pipeline" && srv != nil {
+			if kvb, ok := cb.Broker.(*pstream.KVBroker); ok {
+				if rtts := kvb.RoundTrips(); rtts > 0 {
+					v := float64(srv.Commands()-cmds0) / float64(rtts)
+					p.CmdsPerRTT = &v
+				}
+				if rowConsumers > 0 {
+					cc := float64(kvb.Dials()) / float64(rowConsumers)
+					p.ConnsPerConsumer = &cc
+				}
+			}
+		}
 		results[mode] = p
 		order = append(order, mode)
 		opt := func(v *float64) string {
@@ -300,9 +345,13 @@ func main() {
 		if p.KVCmdsPerItem != nil {
 			cmdsCol = fmt.Sprintf("%.1f", *p.KVCmdsPerItem)
 		}
-		fmt.Printf("%-11s %9.0f %8.1f %13d %13d %10s %8s %8s %8s\n",
+		rowExtra := ""
+		if *profileKind == "pipeline" {
+			rowExtra = fmt.Sprintf(" %9s %10s", opt(p.CmdsPerRTT), opt(p.ConnsPerConsumer))
+		}
+		fmt.Printf("%-11s %9.0f %8.1f %13d %13d %10s %8s %8s %8s%s\n",
 			mode, p.ItemsPerSec, p.MBPerSec, p.BrokerBytes, p.StoreBytes,
-			cmdsCol, opt(p.P50Ms), opt(p.P95Ms), opt(p.P99Ms))
+			cmdsCol, opt(p.P50Ms), opt(p.P95Ms), opt(p.P99Ms), rowExtra)
 	}
 	rawStore := func(run string) *store.Store { return mkStore(run, false) }
 	gobStore := func(run string) *store.Store { return mkStore(run, true) }
@@ -394,6 +443,38 @@ func main() {
 				})
 			}
 		}
+	case "pipeline":
+		if srv == nil {
+			fmt.Fprintln(os.Stderr, "the pipeline profile requires -broker kv")
+			os.Exit(2)
+		}
+		// The data plane stays in-process (local connector), so every
+		// command the kv server sees belongs to the broker: cmds/rtt and
+		// conns/consumer are pure metadata-plane transport measurements.
+		localStore := func(run string) *store.Store {
+			st, err := store.New("sb-"+run, local.New("sb-conn-"+run), store.WithSerializer(serial.Raw()), store.WithCacheBytes(0))
+			if err != nil {
+				fatalf("%v", err)
+			}
+			return st
+		}
+		// pipe-fanout exercises the pipelined ack path: windowed consumers
+		// commit ranges of offsets, so cmds/rtt > 1 ⇔ those commits pack
+		// multiple INCRs into one flush.
+		run("pipe-fanout", true, localStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+			return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: *consumers, window: *window}, lats)
+		})
+		// pipe-group parks enough group members that connection sharing is
+		// unambiguous: without the wait multiplexer, N parked members would
+		// pin N blocking-wait connections (conns/consumer ≥ 1).
+		pipeMembers := *consumers
+		if pipeMembers < 16 {
+			pipeMembers = 16
+		}
+		rowConsumers = pipeMembers
+		run("pipe-group", true, localStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
+			return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: pipeMembers, window: *window, gap: *gap, group: true}, lats)
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profileKind)
 		os.Exit(2)
@@ -411,6 +492,19 @@ func main() {
 			pair[0], *push.KVCmdsPerItem, *poll.KVCmdsPerItem, delta)
 		if *push.KVCmdsPerItem >= *poll.KVCmdsPerItem {
 			pushWins = false
+		}
+	}
+	pipeOK := true
+	if p, ok := results["pipe-fanout"]; ok && p.CmdsPerRTT != nil {
+		fmt.Printf("\npipe-fanout: %.2f kv commands per round trip (pipelining amortizes flushes when > 1)", *p.CmdsPerRTT)
+		if *p.CmdsPerRTT <= 1.02 {
+			pipeOK = false
+		}
+	}
+	if p, ok := results["pipe-group"]; ok && p.ConnsPerConsumer != nil {
+		fmt.Printf("\npipe-group: %.2f connections per parked member (mux shares the wait connection when ≤ 1)", *p.ConnsPerConsumer)
+		if *p.ConnsPerConsumer > 1 {
+			pipeOK = false
 		}
 	}
 	fmt.Println()
@@ -437,6 +531,10 @@ func main() {
 	}
 	if *strict && !pushWins {
 		fmt.Fprintln(os.Stderr, "strict: push delivery did not beat the polling fallback on kv-cmds/item")
+		os.Exit(1)
+	}
+	if *strict && !pipeOK {
+		fmt.Fprintln(os.Stderr, "strict: pipelining/mux transport gates failed (need cmds/rtt > 1.02 and conns/consumer ≤ 1)")
 		os.Exit(1)
 	}
 }

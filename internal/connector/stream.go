@@ -47,6 +47,24 @@ type StreamPutter interface {
 	PutFrom(ctx context.Context, r io.Reader) (Key, error)
 }
 
+// TaggedPutter is implemented by connectors whose placement can be
+// constrained with tags — the multi connector routes a tagged put to the
+// highest-priority child whose policy carries every required tag. Plain
+// single-backend connectors do not implement it; callers that require tag
+// placement must treat its absence as an error rather than silently
+// dropping the constraint.
+type TaggedPutter interface {
+	// PutTagged stores data under the placement constraints in tags (nil
+	// means unconstrained, equivalent to Put).
+	PutTagged(ctx context.Context, data []byte, tags []string) (Key, error)
+}
+
+// TaggedStreamPutter is the streaming pair of TaggedPutter: ingest from a
+// reader under tag placement constraints without materializing the object.
+type TaggedStreamPutter interface {
+	PutFromTagged(ctx context.Context, r io.Reader, tags []string) (Key, error)
+}
+
 // StreamGetter is implemented by connectors that can emit an object into a
 // writer without materializing it.
 type StreamGetter interface {

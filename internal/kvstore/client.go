@@ -62,13 +62,28 @@ type Client struct {
 	clientSite string
 	serverSite string
 
-	mu     sync.Mutex
-	idle   []*clientConn
-	total  int
-	closed bool
-	cond   *sync.Cond
+	mu      sync.Mutex
+	idle    []*clientConn
+	total   int
+	closed  bool
+	waiters []chan poolGrant
 
-	dials atomic.Uint64
+	// mux parks all tagged blocking waits on one shared connection; muxOff
+	// latches when the server answers tagged waits with unknown-command, so
+	// a legacy server pays the detection round trip once per client.
+	mux    *waitMux
+	muxOff atomic.Bool
+
+	dials      atomic.Uint64
+	roundTrips atomic.Uint64
+}
+
+// poolGrant is what a parked acquirer receives: a connection handed off
+// directly, a permit to dial (capacity already reserved on its behalf), or
+// — both zero — the news that the client closed.
+type poolGrant struct {
+	cc     *clientConn
+	permit bool
 }
 
 type clientConn struct {
@@ -84,15 +99,16 @@ func NewClient(addr string, opts ...ClientOption) *Client {
 	for _, o := range opts {
 		o(c)
 	}
-	c.cond = sync.NewCond(&c.mu)
+	c.mux = newWaitMux(c)
 	return c
 }
 
-// Close tears down all pooled connections. In-flight requests fail.
+// Close tears down all pooled connections and the wait multiplexer.
+// In-flight requests fail; parked acquirers wake with an error.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
@@ -100,62 +116,145 @@ func (c *Client) Close() error {
 		cc.conn.Close()
 	}
 	c.idle = nil
-	c.cond.Broadcast()
+	for _, ch := range c.waiters {
+		ch <- poolGrant{}
+	}
+	c.waiters = nil
+	c.mu.Unlock()
+	c.mux.close()
 	return nil
 }
 
+// acquire hands out a pooled connection. When the pool is exhausted the
+// caller parks in a FIFO queue and release hands its connection (or, when
+// a connection broke, a permit to dial) directly to the queue head: every
+// waiter is served in arrival order, a stream of fresh acquirers cannot
+// starve a parked one, and context cancellation takes effect while parked
+// — not merely on the next wake-up.
 func (c *Client) acquire(ctx context.Context) (*clientConn, error) {
 	c.mu.Lock()
-	for {
-		if c.closed {
-			c.mu.Unlock()
-			return nil, fmt.Errorf("kvstore: client closed")
-		}
-		if n := len(c.idle); n > 0 {
-			cc := c.idle[n-1]
-			c.idle = c.idle[:n-1]
-			c.mu.Unlock()
-			return cc, nil
-		}
-		if c.total < c.poolSize {
-			c.total++
-			c.mu.Unlock()
-			cc, err := c.dial(ctx)
-			if err != nil {
-				c.mu.Lock()
-				c.total--
-				c.cond.Signal()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("kvstore: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	if c.total < c.poolSize {
+		c.total++
+		c.mu.Unlock()
+		return c.dialSlot(ctx)
+	}
+	ch := make(chan poolGrant, 1)
+	c.waiters = append(c.waiters, ch)
+	c.mu.Unlock()
+	select {
+	case g := <-ch:
+		return c.redeem(ctx, g)
+	case <-ctx.Done():
+		c.mu.Lock()
+		for i, w := range c.waiters {
+			if w == ch {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
 				c.mu.Unlock()
-				return nil, err
+				return nil, ctx.Err()
 			}
-			return cc, nil
 		}
-		// Pool exhausted: wait for a release. Context cancellation is
-		// checked after wake-up; busy pools wake often enough in practice.
-		if err := ctx.Err(); err != nil {
-			c.mu.Unlock()
-			return nil, err
+		c.mu.Unlock()
+		// A grant raced the cancellation: pass it on so the slot is not lost.
+		g := <-ch
+		if g.cc != nil {
+			c.release(g.cc, false)
+		} else if g.permit {
+			c.releasePermit()
 		}
-		c.cond.Wait()
+		return nil, ctx.Err()
+	}
+}
+
+// redeem converts a pool grant into a usable connection.
+func (c *Client) redeem(ctx context.Context, g poolGrant) (*clientConn, error) {
+	switch {
+	case g.cc != nil:
+		return g.cc, nil
+	case g.permit:
+		return c.dialSlot(ctx)
+	default:
+		return nil, fmt.Errorf("kvstore: client closed")
+	}
+}
+
+// dialSlot dials with a pool slot already reserved (total incremented),
+// unwinding the reservation — or passing it to the next waiter — on
+// failure.
+func (c *Client) dialSlot(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.total--
+		c.mu.Unlock()
+		return nil, fmt.Errorf("kvstore: client closed")
+	}
+	c.mu.Unlock()
+	cc, err := c.dial(ctx)
+	if err != nil {
+		c.releasePermit()
+		return nil, err
+	}
+	return cc, nil
+}
+
+// releasePermit gives up a reserved pool slot, handing it to the queue
+// head as a dial permit if anyone is parked.
+func (c *Client) releasePermit() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total--
+	if len(c.waiters) > 0 && !c.closed {
+		ch := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		c.total++
+		ch <- poolGrant{permit: true}
 	}
 }
 
 func (c *Client) release(cc *clientConn, broken bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if broken || c.closed {
 		cc.conn.Close()
 		c.total--
-	} else {
-		c.idle = append(c.idle, cc)
+		if len(c.waiters) > 0 && !c.closed {
+			ch := c.waiters[0]
+			c.waiters = c.waiters[1:]
+			c.total++
+			ch <- poolGrant{permit: true}
+		}
+		c.mu.Unlock()
+		return
 	}
-	c.cond.Signal()
+	if len(c.waiters) > 0 {
+		ch := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		c.mu.Unlock()
+		ch <- poolGrant{cc: cc}
+		return
+	}
+	c.idle = append(c.idle, cc)
+	c.mu.Unlock()
 }
 
 // Dials returns how many TCP connections the client has established —
 // observable pool churn, so tests can assert that clean protocol events
 // (like a timed-out blocking wait) do not burn and redial connections.
 func (c *Client) Dials() uint64 { return c.dials.Load() }
+
+// RoundTrips returns how many client→server request flushes the client has
+// performed. A pipelined batch of N commands counts as one round trip per
+// flushed window, so commands-per-round-trip (server Commands() over this)
+// is the direct measure of how much the pipeline amortizes.
+func (c *Client) RoundTrips() uint64 { return c.roundTrips.Load() }
 
 func (c *Client) dial(ctx context.Context) (*clientConn, error) {
 	d := net.Dialer{Timeout: c.dialTimeout}
@@ -200,6 +299,7 @@ func (c *Client) do(ctx context.Context, name string, args ...[]byte) (value, er
 		c.release(cc, true)
 		return value{}, fmt.Errorf("kvstore: sending %s: %w", name, err)
 	}
+	c.roundTrips.Add(1)
 	v, err := readValue(cc.r)
 	if err != nil {
 		c.release(cc, true)
@@ -261,6 +361,7 @@ func (c *Client) doWait(ctx context.Context, budget time.Duration, name string, 
 		c.release(cc, true)
 		return value{}, fmt.Errorf("kvstore: sending %s: %w", name, err)
 	}
+	c.roundTrips.Add(1)
 
 	cc.conn.SetReadDeadline(time.Now().Add(budget + waitSlack))
 	watchDone := make(chan struct{})
@@ -309,18 +410,35 @@ func (c *Client) doWait(ctx context.Context, budget time.Duration, name string, 
 
 // WaitGet blocks until key holds a value — delivered in the reply itself,
 // so a successful wait is one round trip with no follow-up GET — or until
-// timeout lapses server-side (ok=false, connection returned to the pool
-// clean). The wait dedicates one pooled connection for its duration.
-// Context cancellation aborts the wait promptly. Servers cap a single wait
-// (currently at 60s); callers wanting longer waits re-issue in rounds.
-// Against servers that predate the command the error satisfies
-// errors.Is(err, ErrUnknownCommand).
+// timeout lapses server-side (ok=false). The wait parks on the client's
+// shared multiplexer connection (TWAITGET), so any number of concurrent
+// waits hold one connection between them; against a server that predates
+// tagged waits the client latches onto the untagged WAITGET, which
+// dedicates one pooled connection per wait, and against a server that
+// predates waits entirely the error satisfies errors.Is(err,
+// ErrUnknownCommand). Context cancellation aborts the wait promptly.
+// Servers cap a single wait (currently at 60s); callers wanting longer
+// waits re-issue in rounds.
 func (c *Client) WaitGet(ctx context.Context, key string, timeout time.Duration) (val []byte, ok bool, err error) {
 	ms := timeout.Milliseconds()
 	if ms < 1 {
 		ms = 1
 	}
-	v, err := c.doWait(ctx, timeout, "WAITGET", []byte(key), []byte(strconv.FormatInt(ms, 10)))
+	msArg := []byte(strconv.FormatInt(ms, 10))
+	if !c.muxOff.Load() {
+		v, err := c.mux.do(ctx, timeout, "TWAITGET", []byte(key), msArg)
+		if err == nil {
+			if v.null {
+				return nil, false, nil
+			}
+			return v.bulk, true, nil
+		}
+		if !errors.Is(err, ErrUnknownCommand) {
+			return nil, false, err
+		}
+		c.muxOff.Store(true)
+	}
+	v, err := c.doWait(ctx, timeout, "WAITGET", []byte(key), msArg)
 	if err != nil {
 		return nil, false, err
 	}
@@ -343,8 +461,19 @@ func (c *Client) WaitPrefix(ctx context.Context, prefix string, after uint64, ti
 	if ms < 1 {
 		ms = 1
 	}
-	v, err := c.doWait(ctx, timeout, "WAITPREFIX", []byte(prefix),
-		[]byte(strconv.FormatUint(after, 10)), []byte(strconv.FormatInt(ms, 10)))
+	afterArg := []byte(strconv.FormatUint(after, 10))
+	msArg := []byte(strconv.FormatInt(ms, 10))
+	if !c.muxOff.Load() {
+		v, err := c.mux.do(ctx, timeout, "TWAITPREFIX", []byte(prefix), afterArg, msArg)
+		if err == nil {
+			return uint64(v.num), nil
+		}
+		if !errors.Is(err, ErrUnknownCommand) {
+			return 0, err
+		}
+		c.muxOff.Store(true)
+	}
+	v, err := c.doWait(ctx, timeout, "WAITPREFIX", []byte(prefix), afterArg, msArg)
 	if err != nil {
 		return 0, err
 	}

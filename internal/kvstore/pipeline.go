@@ -1,0 +1,182 @@
+package kvstore
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+)
+
+// pipelineWindow bounds how many commands Exec leaves in flight before
+// draining their replies. RESP answers pipelined commands strictly in
+// order, but a client that writes without reading can deadlock against a
+// server blocked writing replies into a full TCP buffer; draining every
+// window keeps both sides moving regardless of batch size.
+const pipelineWindow = 128
+
+// Pipeline queues commands and sends them in batched round trips: N queued
+// commands cost ceil(N/window) flushes instead of N, while the server
+// still executes them strictly in order. Build one with Client.Pipeline,
+// queue commands (each enqueue returns a *PipeReply resolved by Exec),
+// then call Exec once.
+//
+// Per-command server errors land on the individual PipeReply; Exec itself
+// only fails on transport errors, which also fail every unresolved reply.
+// Queue only non-blocking commands: a blocking wait (WAITGET) inside a
+// pipeline would stall every command queued behind it.
+//
+// A Pipeline is not safe for concurrent use and is single-shot: discard it
+// after Exec.
+type Pipeline struct {
+	c    *Client
+	cmds []pipeCmd
+	reps []*PipeReply
+}
+
+type pipeCmd struct {
+	name string
+	args [][]byte
+}
+
+// PipeReply is the eventual reply to one pipelined command; it is resolved
+// when Exec returns.
+type PipeReply struct {
+	v   value
+	err error
+}
+
+// Err returns the command's server error, the pipeline's transport error,
+// or nil.
+func (r *PipeReply) Err() error { return r.err }
+
+// Bytes returns a bulk reply; ok is false for a null bulk (missing key).
+func (r *PipeReply) Bytes() ([]byte, bool, error) {
+	if r.err != nil {
+		return nil, false, r.err
+	}
+	if r.v.null {
+		return nil, false, nil
+	}
+	return r.v.bulk, true, nil
+}
+
+// Int returns an integer reply.
+func (r *PipeReply) Int() (int64, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	return r.v.num, nil
+}
+
+// Pipeline returns an empty command pipeline.
+func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
+
+// Len reports how many commands are queued.
+func (p *Pipeline) Len() int { return len(p.cmds) }
+
+// Do queues an arbitrary command.
+func (p *Pipeline) Do(name string, args ...[]byte) *PipeReply {
+	r := &PipeReply{}
+	p.cmds = append(p.cmds, pipeCmd{name: name, args: args})
+	p.reps = append(p.reps, r)
+	return r
+}
+
+// Get queues a GET.
+func (p *Pipeline) Get(key string) *PipeReply { return p.Do("GET", []byte(key)) }
+
+// Set queues a SET.
+func (p *Pipeline) Set(key string, val []byte) *PipeReply {
+	return p.Do("SET", []byte(key), val)
+}
+
+// Del queues a DEL of one key.
+func (p *Pipeline) Del(key string) *PipeReply { return p.Do("DEL", []byte(key)) }
+
+// Incr queues an INCR.
+func (p *Pipeline) Incr(key string) *PipeReply { return p.Do("INCR", []byte(key)) }
+
+// IncrBy queues an INCRBY.
+func (p *Pipeline) IncrBy(key string, delta int64) *PipeReply {
+	return p.Do("INCRBY", []byte(key), []byte(strconv.FormatInt(delta, 10)))
+}
+
+// CAS queues a CAS (see Client.CAS for semantics).
+func (p *Pipeline) CAS(key string, old, new []byte) *PipeReply {
+	return p.Do("CAS", []byte(key), old, new)
+}
+
+// failFrom marks every not-yet-resolved reply (index i on) as failed with
+// err, so a transport error mid-pipeline leaves no reply silently
+// unresolved.
+func (p *Pipeline) failFrom(i int, err error) {
+	for ; i < len(p.reps); i++ {
+		p.reps[i].err = err
+	}
+}
+
+// Exec flushes the queued commands in windows over one pooled connection
+// and resolves every PipeReply. It returns the first transport error, if
+// any; per-command server errors are reported only on their replies.
+func (p *Pipeline) Exec(ctx context.Context) error {
+	if len(p.cmds) == 0 {
+		return nil
+	}
+	reqSize := 0
+	for _, cmd := range p.cmds {
+		reqSize += len(cmd.name)
+		for _, a := range cmd.args {
+			reqSize += len(a)
+		}
+	}
+	if err := p.c.delay(ctx, reqSize); err != nil {
+		p.failFrom(0, err)
+		return err
+	}
+	cc, err := p.c.acquire(ctx)
+	if err != nil {
+		p.failFrom(0, err)
+		return err
+	}
+	respSize := 0
+	for base := 0; base < len(p.cmds); base += pipelineWindow {
+		end := base + pipelineWindow
+		if end > len(p.cmds) {
+			end = len(p.cmds)
+		}
+		for i := base; i < end; i++ {
+			if err := encodeCommand(cc.w, p.cmds[i].name, p.cmds[i].args...); err != nil {
+				p.c.release(cc, true)
+				err = fmt.Errorf("kvstore: sending pipelined %s: %w", p.cmds[i].name, err)
+				p.failFrom(base, err)
+				return err
+			}
+		}
+		if err := cc.w.Flush(); err != nil {
+			p.c.release(cc, true)
+			err = fmt.Errorf("kvstore: sending pipeline: %w", err)
+			p.failFrom(base, err)
+			return err
+		}
+		p.c.roundTrips.Add(1)
+		for i := base; i < end; i++ {
+			v, err := readValue(cc.r)
+			if err != nil {
+				p.c.release(cc, true)
+				err = fmt.Errorf("kvstore: reading pipelined %s reply: %w", p.cmds[i].name, err)
+				p.failFrom(i, err)
+				return err
+			}
+			if v.kind == respError {
+				p.reps[i].err = serverError(v)
+			} else {
+				p.reps[i].v = v
+			}
+			respSize += len(v.bulk)
+			for _, el := range v.arr {
+				respSize += len(el.bulk)
+			}
+		}
+	}
+	p.c.release(cc, false)
+	return p.c.delay(ctx, respSize)
+}

@@ -1,0 +1,223 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Parked acquirers are served strictly in arrival order: release hands the
+// connection directly to the queue head, so a waiter can never be passed
+// over by one that arrived later.
+func TestPoolAcquireIsFIFO(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli := NewClient(srv.Addr(), WithPoolSize(1))
+	t.Cleanup(func() { cli.Close() })
+	ctx := context.Background()
+
+	holder, err := cli.acquire(ctx)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	const waiters = 8
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cc, err := cli.acquire(ctx)
+			if err != nil {
+				t.Errorf("waiter %d acquire: %v", i, err)
+				return
+			}
+			order <- i
+			cli.release(cc, false)
+		}(i)
+		time.Sleep(20 * time.Millisecond) // serialize arrival order
+	}
+	cli.release(holder, false)
+	wg.Wait()
+	close(order)
+	prev := -1
+	for got := range order {
+		if got != prev+1 {
+			t.Fatalf("waiter %d served out of order (after %d)", got, prev)
+		}
+		prev = got
+	}
+}
+
+// A parked waiter whose context is cancelled must return promptly — not
+// wait for the next release to wake it — and must not leak the pool slot
+// if a grant raced the cancellation.
+func TestPoolAcquireHonorsCancelWhileParked(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli := NewClient(srv.Addr(), WithPoolSize(1))
+	t.Cleanup(func() { cli.Close() })
+	ctx := context.Background()
+
+	holder, err := cli.acquire(ctx)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	parked := make(chan error, 1)
+	go func() {
+		_, err := cli.acquire(cctx)
+		parked <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-parked:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parked acquire after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled parked acquire did not return; the pool never woke it")
+	}
+	// The slot is intact: releasing the holder makes it acquirable again.
+	cli.release(holder, false)
+	cc, err := cli.acquire(ctx)
+	if err != nil {
+		t.Fatalf("acquire after cancelled waiter: %v", err)
+	}
+	cli.release(cc, false)
+}
+
+// A long-parked waiter completes even while fresh acquirers churn the
+// pool: direct handoff to the queue head means newcomers queue behind it
+// instead of stealing the idle connection.
+func TestPoolNoStarvationUnderChurn(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli := NewClient(srv.Addr(), WithPoolSize(1))
+	t.Cleanup(func() { cli.Close() })
+	ctx := context.Background()
+
+	holder, err := cli.acquire(ctx)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	starved := make(chan struct{})
+	go func() {
+		cc, err := cli.acquire(ctx)
+		if err == nil {
+			cli.release(cc, false)
+		}
+		close(starved)
+	}()
+	time.Sleep(50 * time.Millisecond) // park the victim first
+
+	// Churners hammer the pool; all of them queue behind the victim.
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cc, err := cli.acquire(ctx)
+				if err != nil {
+					return
+				}
+				cli.release(cc, false)
+			}
+		}()
+	}
+	cli.release(holder, false)
+	select {
+	case <-starved:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked waiter starved behind churning acquirers")
+	}
+	close(stop)
+	churn.Wait()
+}
+
+// A broken connection's pool slot converts into a dial permit for the
+// queue head rather than silently shrinking the pool.
+func TestPoolBrokenConnGrantsDialPermit(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli := NewClient(srv.Addr(), WithPoolSize(1))
+	t.Cleanup(func() { cli.Close() })
+	ctx := context.Background()
+
+	holder, err := cli.acquire(ctx)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	parked := make(chan error, 1)
+	go func() {
+		cc, err := cli.acquire(ctx)
+		if err == nil {
+			cli.release(cc, false)
+		}
+		parked <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cli.release(holder, true) // broken: waiter gets a permit, dials fresh
+	select {
+	case err := <-parked:
+		if err != nil {
+			t.Fatalf("waiter after broken release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke after a broken-connection release")
+	}
+}
+
+// Close wakes parked acquirers with an error instead of stranding them.
+func TestPoolCloseWakesParkedAcquirers(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli := NewClient(srv.Addr(), WithPoolSize(1))
+	ctx := context.Background()
+
+	holder, err := cli.acquire(ctx)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	parked := make(chan error, 1)
+	go func() {
+		_, err := cli.acquire(ctx)
+		parked <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cli.Close()
+	select {
+	case err := <-parked:
+		if err == nil {
+			t.Fatal("parked acquire succeeded after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close stranded a parked acquirer")
+	}
+	cli.release(holder, false) // releasing into a closed pool must not panic
+}

@@ -29,11 +29,58 @@
 // Server-side, waiters park in a notification registry with its own lock
 // (they never hold the data mutex), Close hangs up blocked waiters like
 // idle connections, and waits append nothing to the AOF. Client-side,
-// WaitGet/WaitPrefix dedicate a pooled connection per wait on a pool
-// separate from command traffic, honor context cancellation via
-// collapsed read deadlines, and tag replies from servers that predate
-// the commands with ErrUnknownCommand so callers can fall back to
-// polling (WithoutWaitCommands simulates such servers in tests).
+// WaitGet/WaitPrefix honor context cancellation and tag replies from
+// servers that predate the commands with ErrUnknownCommand so callers can
+// fall back to polling (WithoutWaitCommands simulates such servers in
+// tests).
+//
+// # Pipelining
+//
+// RESP replies to pipelined commands strictly in submission order, so
+// batching needs no protocol extension: Client.Pipeline queues commands
+// and Exec flushes them in windows (pipelineWindow commands per flush,
+// draining replies between windows so neither side blocks on a full TCP
+// buffer). N commands cost ceil(N/window) round trips instead of N.
+// Client.RoundTrips exposes the flush count so commands-per-round-trip is
+// observable; pstream's broker uses the pipeline for its ack paths.
+// Blocking waits must not be pipelined — a parked WAITGET would stall
+// every command queued behind it.
+//
+// # Tagged replies (the wait multiplexer)
+//
+// Plain blocking waits occupy one connection each, because the connection
+// is the only thing that names the wait. Two tagged variants lift that
+// restriction by naming the wait explicitly:
+//
+//	TWAITGET    tag key timeout_ms
+//	TWAITPREFIX tag prefix after_seq timeout_ms
+//
+// The server answers a tagged wait whenever it resolves — out of order
+// with other traffic on the connection — with a two-element array
+// [tag, reply], where reply is exactly what the untagged command would
+// have returned. Tagged waits park in per-wait server goroutines (bounded
+// per connection by maxConnTaggedWaits) that are cancelled when the
+// connection drops, and replies interleave under a per-connection write
+// lock.
+//
+// The client parks ALL its blocking waits on one dedicated multiplexer
+// connection carrying only tagged commands, dispatching replies to waiters
+// by tag: an idle fleet of N consumers holds one connection instead of N.
+// A context-cancelled wait is deregistered client-side and its late reply
+// dropped; the server side burns out on its own (bounded) timeout.
+//
+// # Legacy-fallback matrix
+//
+// Every protocol extension degrades transparently, latching once per
+// client on the first unknown-command reply:
+//
+//	server build            WaitGet/WaitPrefix path      connections held
+//	current                 TWAITGET on the multiplexer  O(1) for any number of waits
+//	pre-mux (WithoutTaggedWaits)  untagged WAITGET       one pooled conn per wait
+//	pre-wait (WithoutWaitCommands) ErrUnknownCommand     callers poll (pstream does)
+//
+// Pipelining needs no fallback: it is plain RESP ordering that every
+// server build honors.
 package kvstore
 
 import (

@@ -30,20 +30,31 @@ func WithLogger(l *log.Logger) ServerOption {
 	return func(s *Server) { s.logger = l }
 }
 
-// WithoutWaitCommands disables the blocking WAITGET/WAITPREFIX commands:
-// the server answers them with an unknown-command error, exactly like a
-// build that predates them. Exists so clients' polling fallback paths can
-// be exercised against a live server.
+// WithoutWaitCommands disables the blocking WAITGET/WAITPREFIX commands
+// (and their tagged TWAITGET/TWAITPREFIX forms): the server answers them
+// with an unknown-command error, exactly like a build that predates them.
+// Exists so clients' polling fallback paths can be exercised against a
+// live server.
 func WithoutWaitCommands() ServerOption {
 	return func(s *Server) { s.noWait = true }
 }
 
+// WithoutTaggedWaits disables only the tagged TWAITGET/TWAITPREFIX
+// commands, answering them with unknown-command errors while the plain
+// blocking waits keep working — exactly like a build that has blocking
+// waits but predates the wait multiplexer. Exists so clients'
+// untagged-wait fallback can be exercised against a live server.
+func WithoutTaggedWaits() ServerOption {
+	return func(s *Server) { s.noTagged = true }
+}
+
 // Server is a RESP2 key-value server.
 type Server struct {
-	ln      net.Listener
-	aofPath string
-	logger  *log.Logger
-	noWait  bool
+	ln       net.Listener
+	aofPath  string
+	logger   *log.Logger
+	noWait   bool
+	noTagged bool
 
 	// notify parks blocked WAITGET/WAITPREFIX handlers and is poked by
 	// every mutation. It has its own lock: waiters never hold (or block
@@ -161,6 +172,27 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 64<<10)
 	w := bufio.NewWriterSize(conn, 64<<10)
+	// Tagged waits (TWAITGET/TWAITPREFIX) park in their own goroutines and
+	// write [tag, reply] arrays through write whenever they resolve, out of
+	// order with the synchronous reply stream. The write mutex keeps frames
+	// whole; connDone unparks every tagged waiter when the read loop exits,
+	// so a client hangup (or Close) never waits out a full wait timeout.
+	var wmu sync.Mutex
+	write := func(v value) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := writeValue(w, v); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	connDone := make(chan struct{})
+	var waitWG sync.WaitGroup
+	var inflight atomic.Int64
+	defer func() {
+		close(connDone)
+		waitWG.Wait()
+	}()
 	for {
 		v, err := readValue(r)
 		if err != nil {
@@ -173,16 +205,97 @@ func (s *Server) serveConn(conn net.Conn) {
 		var reply value
 		if err != nil {
 			reply = errorValue("ERR " + err.Error())
+		} else if handled, sync := s.startTaggedWait(cmd, write, connDone, &waitWG, &inflight); handled {
+			s.commands.Add(1)
+			if sync != nil {
+				if err := write(*sync); err != nil {
+					return
+				}
+			}
+			continue
 		} else {
 			reply = s.execute(cmd)
 		}
 		s.commands.Add(1)
-		if err := writeValue(w, reply); err != nil {
+		if err := write(reply); err != nil {
 			return
 		}
-		if err := w.Flush(); err != nil {
-			return
+	}
+}
+
+// maxConnTaggedWaits bounds how many tagged waits one connection may have
+// parked at once, so a misbehaving client cannot grow goroutines without
+// limit. Rejections are tagged error replies, visible to the one wait that
+// overflowed rather than the whole connection.
+const maxConnTaggedWaits = 4096
+
+// taggedReply frames a tagged wait's resolution as [tag, reply].
+func taggedReply(tag []byte, v value) value {
+	return arrayValue([]value{bulkValue(tag), v})
+}
+
+// startTaggedWait handles TWAITGET/TWAITPREFIX. It reports whether cmd was
+// a tagged wait it accepted responsibility for; when the wait could not
+// even start (bad arguments, overload), sync carries the immediate tagged
+// error reply for the caller to write in-line. On a server built without
+// tagged waits it reports handled=false so execute answers with the same
+// unknown-command error a predating build would — the client's cue to fall
+// back to untagged waits.
+func (s *Server) startTaggedWait(cmd command, write func(value) error, cancel <-chan struct{}, wg *sync.WaitGroup, inflight *atomic.Int64) (handled bool, sync *value) {
+	if cmd.name != "TWAITGET" && cmd.name != "TWAITPREFIX" {
+		return false, nil
+	}
+	if s.noWait || s.noTagged {
+		return false, nil
+	}
+	if len(cmd.args) < 1 {
+		v := errorValue("ERR wrong number of arguments for '" + cmd.name + "'")
+		return true, &v
+	}
+	tag := cmd.args[0]
+	fail := func(msg string) (bool, *value) {
+		v := taggedReply(tag, errorValue(msg))
+		return true, &v
+	}
+	if inflight.Load() >= maxConnTaggedWaits {
+		return fail("ERR too many in-flight tagged waits")
+	}
+	switch cmd.name {
+	case "TWAITGET":
+		if len(cmd.args) != 3 {
+			return fail("ERR wrong number of arguments for 'twaitget'")
 		}
+		ms, err := strconv.ParseInt(string(cmd.args[2]), 10, 64)
+		if err != nil || ms <= 0 {
+			return fail("ERR timeout is not a positive integer")
+		}
+		key := string(cmd.args[1])
+		inflight.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			write(taggedReply(tag, s.waitGet(key, clampWait(ms), cancel)))
+		}()
+		return true, nil
+	default: // TWAITPREFIX
+		if len(cmd.args) != 4 {
+			return fail("ERR wrong number of arguments for 'twaitprefix'")
+		}
+		after, err1 := strconv.ParseUint(string(cmd.args[2]), 10, 64)
+		ms, err2 := strconv.ParseInt(string(cmd.args[3]), 10, 64)
+		if err1 != nil || err2 != nil || ms <= 0 {
+			return fail("ERR value is not an integer or out of range")
+		}
+		prefix := string(cmd.args[1])
+		inflight.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			write(taggedReply(tag, s.waitPrefix(prefix, after, clampWait(ms), cancel)))
+		}()
+		return true, nil
 	}
 }
 
@@ -326,7 +439,7 @@ func (s *Server) execute(cmd command) value {
 		if err != nil || ms <= 0 {
 			return errorValue("ERR timeout is not a positive integer")
 		}
-		return s.waitGet(string(cmd.args[0]), clampWait(ms))
+		return s.waitGet(string(cmd.args[0]), clampWait(ms), nil)
 	case "WAITPREFIX":
 		if s.noWait {
 			break
@@ -339,7 +452,7 @@ func (s *Server) execute(cmd command) value {
 		if err1 != nil || err2 != nil || ms <= 0 {
 			return errorValue("ERR value is not an integer or out of range")
 		}
-		return s.waitPrefix(string(cmd.args[0]), after, clampWait(ms))
+		return s.waitPrefix(string(cmd.args[0]), after, clampWait(ms), nil)
 	}
 	// Unknown command — or a wait command on a server configured without
 	// them (WithoutWaitCommands), which must answer exactly like a build
@@ -364,8 +477,9 @@ func clampWait(ms int64) time.Duration {
 // the timeout lapses (null bulk). The handler registers a waiter BEFORE
 // checking the data map, so a write landing between check and park is
 // never missed; wakes caused by deletes simply re-park. A server shutdown
-// wakes the waiter with an error reply.
-func (s *Server) waitGet(key string, timeout time.Duration) value {
+// wakes the waiter with an error reply, and a close of cancel (the owning
+// connection went away — only tagged waits pass one) unparks it too.
+func (s *Server) waitGet(key string, timeout time.Duration, cancel <-chan struct{}) value {
 	deadline := time.Now().Add(timeout)
 	for {
 		w := s.notify.registerKey(key)
@@ -394,6 +508,10 @@ func (s *Server) waitGet(key string, timeout time.Duration) value {
 				return bulkValue(v)
 			}
 			return nullBulk()
+		case <-cancel:
+			timer.Stop()
+			s.notify.cancelKey(key, w)
+			return errorValue("ERR connection closed")
 		case <-s.notify.done:
 			timer.Stop()
 			s.notify.cancelKey(key, w)
@@ -408,7 +526,7 @@ func (s *Server) waitGet(key string, timeout time.Duration) value {
 // rescan either way and carry the returned sequence into their next wait,
 // so the wake itself carries no payload and can afford to be conservative
 // (ring overflow, server restart) without ever being lossy.
-func (s *Server) waitPrefix(prefix string, after uint64, timeout time.Duration) value {
+func (s *Server) waitPrefix(prefix string, after uint64, timeout time.Duration, cancel <-chan struct{}) value {
 	w, cur, fired := s.notify.registerPrefix(prefix, after)
 	if fired {
 		return integerValue(int64(cur))
@@ -422,6 +540,9 @@ func (s *Server) waitPrefix(prefix string, after uint64, timeout time.Duration) 
 	case <-w.ch:
 	case <-timer.C:
 		s.notify.cancelPrefix(w)
+	case <-cancel:
+		s.notify.cancelPrefix(w)
+		return errorValue("ERR connection closed")
 	case <-s.notify.done:
 		s.notify.cancelPrefix(w)
 		return errorValue("ERR server closed")

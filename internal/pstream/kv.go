@@ -361,6 +361,69 @@ func (b *KVBroker) Close() error {
 	return err
 }
 
+// Dials reports how many TCP connections the broker's clients have
+// established, command pool and wait multiplexer together. An idle
+// N-member group should hold O(1) of them — the wait multiplexer parks
+// every blocked Next on one shared connection — and benches report this
+// as connections-per-consumer.
+func (b *KVBroker) Dials() uint64 { return b.client.Dials() + b.waitClient.Dials() }
+
+// RoundTrips reports how many request flushes the broker's clients have
+// performed; commands-per-round-trip (server commands over this) measures
+// how much the pipelined ack and batched scan paths amortize.
+func (b *KVBroker) RoundTrips() uint64 { return b.client.RoundTrips() + b.waitClient.RoundTrips() }
+
+// kvScanWindow is how many adjacent slots one batched scan read fetches.
+const kvScanWindow = 32
+
+// kvWindow is a batched read-through view over a run of indexed keys —
+// event slots, claim records, ack counters. at() serves single-slot reads
+// from a window fetched with one MGET, collapsing the O(slots) GET walks
+// of group scans and truncation passes into O(slots/window) commands. The
+// window is a snapshot: a slot that fills (or settles) after its window
+// was fetched still reads as missing/stale, which every caller already
+// treats conservatively — stop the walk, park, rescan — because the
+// per-slot GETs it replaces were just as racy against concurrent writers.
+// All mutation points remain CAS-guarded, so batching changes command
+// counts, never outcomes.
+type kvWindow struct {
+	b    *KVBroker
+	key  func(uint64) string
+	base uint64
+	raws [][]byte
+}
+
+// at returns the value at index i, fetching a fresh window when i falls
+// outside the current one; ok is false for a missing key.
+func (w *kvWindow) at(ctx context.Context, i uint64) ([]byte, bool, error) {
+	if w.raws == nil || i < w.base || i >= w.base+uint64(len(w.raws)) {
+		keys := make([]string, kvScanWindow)
+		for j := range keys {
+			keys[j] = w.key(i + uint64(j))
+		}
+		raws, err := w.b.client.MGet(ctx, keys...)
+		if err != nil {
+			return nil, false, err
+		}
+		w.base, w.raws = i, raws
+	}
+	raw := w.raws[i-w.base]
+	return raw, raw != nil, nil
+}
+
+// event decodes the event at index i; ok is false for an unfilled slot.
+func (w *kvWindow) event(ctx context.Context, i uint64) (Event, bool, error) {
+	raw, ok, err := w.at(ctx, i)
+	if err != nil || !ok {
+		return Event{}, false, err
+	}
+	ev, err := DecodeEvent(raw)
+	if err != nil {
+		return Event{}, false, err
+	}
+	return ev, true, nil
+}
+
 type kvSub struct {
 	b        *KVBroker
 	topic    string
@@ -505,12 +568,15 @@ func (s *kvSub) Poll(ctx context.Context) (Event, bool, error) {
 }
 
 // Ack implements Subscription: bump ack counters for every newly committed
-// event, then persist the advanced offset. The local committed mirror is
-// advanced as soon as the counters are bumped, before the offset write: a
-// same-subscription retry after a failed offset commit then takes the
-// already-covered path instead of re-running the Incr loop, so counts
-// cannot double. (A crash before the offset write still re-delivers and
-// re-counts on resubscribe — the documented at-least-once trade.)
+// event, then persist the advanced offset — all in ONE pipelined round
+// trip (the server executes the queued commands strictly in order, so the
+// offset lands after its counters exactly as the sequential loop did).
+// The local committed mirror is advanced as soon as the counters are
+// bumped: a same-subscription retry after a failed offset commit then
+// takes the already-covered path instead of re-running the Incrs, so
+// counts cannot double. (A crash before the offset write still
+// re-delivers and re-counts on resubscribe — the documented
+// at-least-once trade.)
 func (s *kvSub) Ack(ctx context.Context, ev Event) (int, error) {
 	committed := s.committed
 	if ev.Offset < committed {
@@ -530,18 +596,27 @@ func (s *kvSub) Ack(ctx context.Context, ev Event) (int, error) {
 		}
 		return int(n), nil
 	}
-	var last int64
+	pipe := s.b.client.Pipeline()
+	incrs := make([]*kvstore.PipeReply, 0, ev.Offset-committed+1)
 	for i := committed; i <= ev.Offset; i++ {
-		n, err := s.b.client.Incr(ctx, kvAckKey(s.topic, i))
+		incrs = append(incrs, pipe.Incr(kvAckKey(s.topic, i)))
+	}
+	offRep := pipe.Set(kvOffsetKey(s.topic, s.consumer), []byte(strconv.FormatUint(ev.Offset+1, 10)))
+	if err := pipe.Exec(ctx); err != nil {
+		return 0, fmt.Errorf("pstream: counting ack: %w", err)
+	}
+	var last int64
+	for _, r := range incrs {
+		n, err := r.Int()
 		if err != nil {
 			return 0, fmt.Errorf("pstream: counting ack: %w", err)
 		}
 		last = n
 	}
 	s.committed = ev.Offset + 1
-	if err := s.commitOffset(ctx, s.committed); err != nil {
+	if err := offRep.Err(); err != nil {
 		s.dirty = true
-		return 0, err
+		return 0, fmt.Errorf("pstream: committing offset: %w", err)
 	}
 	s.dirty = false
 	s.b.maybeTruncate(ctx, s.topic)
@@ -618,7 +693,11 @@ func (b *KVBroker) maybeTruncate(ctx context.Context, topic string) {
 }
 
 // truncatePass advances the truncation floor by up to truncChunk slots,
-// reporting whether it advanced (callers loop until it did not).
+// reporting whether it advanced (callers loop until it did not). Both
+// per-slot reads — ack counter and event — go through MGET windows, so a
+// full chunk costs 2*truncChunk/kvScanWindow read commands, not
+// 2*truncChunk. A stale window only under-reports acks, which stops the
+// walk early; the CAS on the floor still serializes the actual collect.
 func (b *KVBroker) truncatePass(ctx context.Context, topic string) bool {
 	floor, err := b.counter(ctx, kvTruncKey(topic))
 	if err != nil {
@@ -628,20 +707,26 @@ func (b *KVBroker) truncatePass(ctx context.Context, topic string) bool {
 	if err != nil {
 		return false
 	}
+	ackWin := kvWindow{b: b, key: func(i uint64) string { return kvAckKey(topic, i) }}
+	evWin := kvWindow{b: b, key: func(i uint64) string { return kvEventKey(topic, i) }}
 	f := floor
 	for f < length && f-floor < truncChunk {
-		n, err := b.ackCount(ctx, topic, f)
+		raw, ok, err := ackWin.at(ctx, f)
 		if err != nil {
 			return false
 		}
+		var n int64
+		if ok {
+			n, _ = strconv.ParseInt(string(raw), 10, 64)
+		}
 		if n < int64(b.truncAfter) {
 			// Unacked slot: only a gap (which no consumer acks) may pass.
-			ev, ok, err := b.eventAt(ctx, topic, f)
+			ev, ok, err := evWin.event(ctx, f)
 			if err != nil || !ok || !ev.isGap() {
 				break
 			}
 		} else {
-			ev, ok, err := b.eventAt(ctx, topic, f)
+			ev, ok, err := evWin.event(ctx, f)
 			if err != nil {
 				return false
 			}
@@ -730,14 +815,29 @@ type kvGroupSub struct {
 	pendingIncr []uint64
 }
 
-// flushPendingIncr retries owed ack-counter increments.
+// flushPendingIncr retries owed ack-counter increments, all in one
+// pipelined round trip. A transport failure keeps the whole debt; a
+// per-command failure keeps only the unpaid tail (the server executed the
+// pipeline in order, so everything before the failing command landed).
 func (s *kvGroupSub) flushPendingIncr(ctx context.Context) error {
-	for len(s.pendingIncr) > 0 {
-		if _, err := s.b.client.Incr(ctx, kvAckKey(s.topic, s.pendingIncr[0])); err != nil {
+	if len(s.pendingIncr) == 0 {
+		return nil
+	}
+	pipe := s.b.client.Pipeline()
+	reps := make([]*kvstore.PipeReply, len(s.pendingIncr))
+	for i, off := range s.pendingIncr {
+		reps[i] = pipe.Incr(kvAckKey(s.topic, off))
+	}
+	if err := pipe.Exec(ctx); err != nil {
+		return fmt.Errorf("pstream: retrying group ack count: %w", err)
+	}
+	for i, r := range reps {
+		if err := r.Err(); err != nil {
+			s.pendingIncr = s.pendingIncr[i:]
 			return fmt.Errorf("pstream: retrying group ack count: %w", err)
 		}
-		s.pendingIncr = s.pendingIncr[1:]
 	}
+	s.pendingIncr = nil
 	return nil
 }
 
@@ -760,12 +860,19 @@ func (s *kvGroupSub) trackLeaseDeadline(deadline time.Time) {
 // barrier is met (floor swept past it), else claim the earliest available
 // payload slot with a CAS-guarded lease. As a side effect it refreshes
 // nextLease with the earliest live claim deadline encountered.
+//
+// All three walks read through MGET windows (kvWindow), so a scan over a
+// deep backlog costs O(slots/kvScanWindow) commands instead of O(slots).
+// Claim mutations (tryClaim) still read the record fresh right before the
+// CAS — only the walk reads are batched.
 func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
 	s.nextLease = time.Time{}
 	s.endPending = false
 	if err := s.flushPendingIncr(ctx); err != nil {
 		return Event{}, false, err
 	}
+	evWin := kvWindow{b: s.b, key: func(i uint64) string { return kvEventKey(s.topic, i) }}
+	clWin := kvWindow{b: s.b, key: func(i uint64) string { return kvClaimKey(s.topic, s.group, i) }}
 	length, err := s.b.counter(ctx, kvLenKey(s.topic))
 	if err != nil {
 		return Event{}, false, err
@@ -800,7 +907,7 @@ func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
 	// server's cap.
 	f := floor
 	for f < length && f-floor < truncChunk {
-		ev, ok, err := s.b.eventAt(ctx, s.topic, f)
+		ev, ok, err := evWin.event(ctx, f)
 		if err != nil {
 			return Event{}, false, err
 		}
@@ -816,7 +923,7 @@ func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
 			break // unfilled slot: a producer is mid-append
 		}
 		if !ev.isGap() && !ev.End {
-			raw, held, err := s.b.client.Get(ctx, kvClaimKey(s.topic, s.group, f))
+			raw, held, err := clWin.at(ctx, f)
 			if err != nil {
 				return Event{}, false, err
 			}
@@ -846,7 +953,7 @@ func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
 	// slots cannot hold Ends — truncation stops at them — so they just
 	// advance the cursor.
 	for s.endCursor < length {
-		ev, ok, err := s.b.eventAt(ctx, s.topic, s.endCursor)
+		ev, ok, err := evWin.event(ctx, s.endCursor)
 		if err != nil {
 			return Event{}, false, err
 		}
@@ -878,7 +985,7 @@ func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
 	// which is where a pushed park points its blocking watch.
 	s.parkSlot = length
 	for i := f; i < length; i++ {
-		ev, ok, err := s.b.eventAt(ctx, s.topic, i)
+		ev, ok, err := evWin.event(ctx, i)
 		if err != nil {
 			return Event{}, false, err
 		}

@@ -80,6 +80,95 @@ func TestKVBrokerPollingFallbackConformance(t *testing.T) {
 	}, brokertest.Options{ClaimLease: conformanceLease})
 }
 
+// TestKVBrokerTaggedFallbackConformance runs the full battery — restart
+// fault included — against a server that has the blocking waits but
+// predates their tagged (multiplexed) variants: the client must latch the
+// untagged per-connection protocol after one unknown-command reply and
+// stay fully conformant on it.
+func TestKVBrokerTaggedFallbackConformance(t *testing.T) {
+	aof := filepath.Join(t.TempDir(), "broker.aof")
+	srv, err := kvstore.NewServer("127.0.0.1:0",
+		kvstore.WithPersistence(aof), kvstore.WithoutTaggedWaits())
+	if err != nil {
+		t.Fatalf("kvstore server: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	addr := srv.Addr()
+	restart := func() error {
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		next, err := kvstore.NewServer(addr,
+			kvstore.WithPersistence(aof), kvstore.WithoutTaggedWaits())
+		if err != nil {
+			return err
+		}
+		srv = next
+		return nil
+	}
+	brokertest.Run(t, func(t *testing.T) pstream.Broker {
+		return pstream.NewKV(addr, pstream.WithKVLease(conformanceLease))
+	}, brokertest.Options{
+		ClaimLease: conformanceLease,
+		Restart:    restart,
+		Commands:   func() uint64 { return srv.Commands() },
+	})
+}
+
+// TestKVBrokerIdleGroupHoldsOneWaitConnection is the connection-scaling
+// guarantee behind the wait multiplexer: N parked group members share ONE
+// blocking-wait connection instead of pinning one each, so an idle group
+// holds O(1) TCP connections total. Member starts are staggered so their
+// scan commands reuse the single pooled command connection — everything
+// the count then measures is what parking actually costs.
+func TestKVBrokerIdleGroupHoldsOneWaitConnection(t *testing.T) {
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("kvstore server: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	b := pstream.NewKV(srv.Addr())
+	t.Cleanup(func() { b.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const members = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, members)
+	for i := 0; i < members; i++ {
+		sub, err := b.SubscribeGroup(ctx, "idle-conns", "g", fmt.Sprintf("m%d", i))
+		if err != nil {
+			t.Fatalf("SubscribeGroup: %v", err)
+		}
+		defer sub.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sub.Next(ctx); err != nil {
+				errs <- err
+			}
+		}()
+		time.Sleep(20 * time.Millisecond) // serialize the pre-park scans
+	}
+	time.Sleep(200 * time.Millisecond) // all members parked in blocking waits
+	if got := b.Dials(); got > 4 {
+		t.Fatalf("%d idle group members hold %d connections, want O(1) (<=4: one command conn + one shared wait mux)", members, got)
+	}
+	// Unpark everyone: one event per member.
+	evs := make([]pstream.Event, members)
+	for i := range evs {
+		evs[i] = pstream.Event{Producer: "p", Seq: uint64(i + 1)}
+	}
+	if err := b.PublishBatch(ctx, "idle-conns", evs); err != nil {
+		t.Fatalf("PublishBatch: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
 // TestKVBrokerFallsBackOnLegacyServer drives a broker with push enabled
 // against a server that answers WAITGET/WAITPREFIX with unknown-command
 // errors (a build predating them): the broker must degrade to polling

@@ -1,0 +1,167 @@
+package serial
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRegistered(t *testing.T) {
+	s, err := Lookup(BinaryID)
+	if err != nil {
+		t.Fatalf("Lookup(%q): %v", BinaryID, err)
+	}
+	if s.ID() != BinaryID {
+		t.Fatalf("ID() = %q", s.ID())
+	}
+}
+
+// TestBinaryRoundTrip covers every native frame type plus the gob
+// envelope, checking the documented normalization: signed → int64,
+// unsigned → uint64, floats → float64.
+func TestBinaryRoundTrip(t *testing.T) {
+	cases := []struct {
+		in, want any
+	}{
+		{nil, nil},
+		{[]byte{}, []byte{}},
+		{[]byte("payload\x00with\xffbinary"), []byte("payload\x00with\xffbinary")},
+		{"", ""},
+		{"hello", "hello"},
+		{42, int64(42)},
+		{int8(-5), int64(-5)},
+		{int64(math.MinInt64), int64(math.MinInt64)},
+		{uint(7), uint64(7)},
+		{uint64(math.MaxUint64), uint64(math.MaxUint64)},
+		{uint8(255), uint64(255)},
+		{3.5, 3.5},
+		{float32(0.25), 0.25},
+		{math.Inf(-1), math.Inf(-1)},
+		{true, true},
+		{false, false},
+		// Non-native types ride the gob envelope.
+		{[]float64{1, 2, 3}, []float64{1, 2, 3}},
+		{map[string]string{"k": "v"}, map[string]string{"k": "v"}},
+	}
+	s := Binary()
+	for _, c := range cases {
+		data, err := s.Encode(c.in)
+		if err != nil {
+			t.Fatalf("Encode(%T %v): %v", c.in, c.in, err)
+		}
+		got, err := s.Decode(data)
+		if err != nil {
+			t.Fatalf("Decode(%T %v): %v", c.in, c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("round trip %T %v = %T %v, want %T %v", c.in, c.in, got, got, c.want, c.want)
+		}
+	}
+}
+
+// TestBinaryFramesAreSelfDelimiting decodes two frames written back to
+// back off one reader: the first decode must consume exactly its frame,
+// leaving the second intact.
+func TestBinaryFramesAreSelfDelimiting(t *testing.T) {
+	var buf bytes.Buffer
+	enc := Binary().(StreamEncoder)
+	if err := enc.EncodeTo(&buf, []byte("first")); err != nil {
+		t.Fatalf("EncodeTo: %v", err)
+	}
+	if err := enc.EncodeTo(&buf, int64(-99)); err != nil {
+		t.Fatalf("EncodeTo: %v", err)
+	}
+	if err := enc.EncodeTo(&buf, "third"); err != nil {
+		t.Fatalf("EncodeTo: %v", err)
+	}
+	dec := Binary().(StreamDecoder)
+	v1, err := dec.DecodeFrom(&buf)
+	if err != nil || string(v1.([]byte)) != "first" {
+		t.Fatalf("frame 1 = %v, %v", v1, err)
+	}
+	v2, err := dec.DecodeFrom(&buf)
+	if err != nil || v2.(int64) != -99 {
+		t.Fatalf("frame 2 = %v, %v", v2, err)
+	}
+	v3, err := dec.DecodeFrom(&buf)
+	if err != nil || v3.(string) != "third" {
+		t.Fatalf("frame 3 = %v, %v", v3, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left after the last frame", buf.Len())
+	}
+}
+
+// TestBinaryStreamEncodeIsZeroCopyForBytes proves the []byte fast path
+// writes the payload's backing array straight through: the writer sees
+// exactly one header write and one payload write whose slice aliases the
+// input.
+func TestBinaryStreamEncodeIsZeroCopyForBytes(t *testing.T) {
+	payload := make([]byte, 1<<20)
+	payload[0], payload[len(payload)-1] = 0xAA, 0xBB
+	var w aliasRecordingWriter
+	if err := Binary().(StreamEncoder).EncodeTo(&w, payload); err != nil {
+		t.Fatalf("EncodeTo: %v", err)
+	}
+	if len(w.writes) != 2 {
+		t.Fatalf("EncodeTo issued %d writes, want 2 (header + payload)", len(w.writes))
+	}
+	if &w.writes[1][0] != &payload[0] {
+		t.Fatal("payload write does not alias the input slice — a copy was made")
+	}
+}
+
+type aliasRecordingWriter struct{ writes [][]byte }
+
+func (w *aliasRecordingWriter) Write(p []byte) (int, error) {
+	w.writes = append(w.writes, p)
+	return len(p), nil
+}
+
+// TestBinaryDecodeTruncatedAndCorrupt exercises the failure surface: a
+// truncated payload, an unknown frame type, and a length prefix past the
+// allocation cap must all error instead of hanging or over-allocating.
+func TestBinaryDecodeTruncatedAndCorrupt(t *testing.T) {
+	s := Binary()
+	data, err := s.Encode([]byte("0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decode(data[:len(data)-3]); err == nil {
+		t.Fatal("decoding a truncated frame succeeded")
+	}
+	if _, err := s.Decode([]byte{0xEE}); err == nil {
+		t.Fatal("decoding an unknown frame type succeeded")
+	}
+	// binBytes frame declaring ~2^62 bytes: must be rejected by the cap,
+	// not attempted as an allocation.
+	huge := []byte{binBytes, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x3f}
+	if _, err := s.Decode(huge); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("oversized length prefix: %v", err)
+	}
+	if _, err := s.Decode(nil); err == nil {
+		t.Fatal("decoding empty input succeeded")
+	}
+}
+
+// TestBinaryDecodeFromReaderWithTrailingData decodes a frame from a
+// reader carrying unrelated trailing bytes: the decoder must not consume
+// past its frame even when the reader would happily give it more.
+func TestBinaryDecodeFromReaderWithTrailingData(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Binary().(StreamEncoder).EncodeTo(&buf, "exact"); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("TRAILER")
+	v, err := Binary().(StreamDecoder).DecodeFrom(&buf)
+	if err != nil || v.(string) != "exact" {
+		t.Fatalf("DecodeFrom = %v, %v", v, err)
+	}
+	rest, _ := io.ReadAll(&buf)
+	if string(rest) != "TRAILER" {
+		t.Fatalf("decoder consumed past its frame; %q left", rest)
+	}
+}

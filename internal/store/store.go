@@ -218,18 +218,63 @@ func (s *Store) Metrics() Metrics {
 	}
 }
 
+// PutOption constrains a single put.
+type PutOption func(*putOptions)
+
+type putOptions struct {
+	tags []string
+}
+
+// WithTags constrains the object's placement: the connector must route it
+// to a backend carrying every given tag (e.g. "persistent", "fast" — the
+// multi connector's policy tags). Putting with tags through a connector
+// that cannot honor them (no connector.TaggedPutter) is an error, never a
+// silent drop of the constraint.
+func WithTags(tags ...string) PutOption {
+	return func(o *putOptions) { o.tags = append(o.tags, tags...) }
+}
+
 // PutObject serializes v and stores it through the connector. When both the
 // serializer and the connector can stream, serialization is piped straight
 // into the connector's streaming path so the encoded form is never
-// materialized; otherwise the classic blob path is used.
-func (s *Store) PutObject(ctx context.Context, v any) (connector.Key, error) {
+// materialized; otherwise the classic blob path is used. Placement
+// constraints (WithTags) route through the connector's tagged put surface.
+func (s *Store) PutObject(ctx context.Context, v any, opts ...PutOption) (connector.Key, error) {
+	var o putOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	enc, encOK := s.ser.(serial.StreamEncoder)
-	if _, connOK := s.conn.(connector.StreamPutter); connOK && encOK {
+	streamPut := func(r io.Reader) (connector.Key, error) { return connector.PutFrom(ctx, s.conn, r) }
+	blobPut := func(data []byte) (connector.Key, error) { return s.conn.Put(ctx, data) }
+	_, useStream := s.conn.(connector.StreamPutter)
+	if len(o.tags) > 0 {
+		tsp, tspOK := s.conn.(connector.TaggedStreamPutter)
+		tp, tpOK := s.conn.(connector.TaggedPutter)
+		switch {
+		case tspOK:
+			useStream = true
+			streamPut = func(r io.Reader) (connector.Key, error) { return tsp.PutFromTagged(ctx, r, o.tags) }
+			// Even a non-streaming serializer keeps its tags: the encoded
+			// blob rides the tagged streaming path through a reader.
+			blobPut = func(data []byte) (connector.Key, error) {
+				return tsp.PutFromTagged(ctx, bytes.NewReader(data), o.tags)
+			}
+		case tpOK:
+			useStream = false // no tagged streaming: encode, then tagged blob put
+			blobPut = func(data []byte) (connector.Key, error) { return tp.PutTagged(ctx, data, o.tags) }
+		default:
+			return connector.Key{}, fmt.Errorf("store %q: connector %q does not support placement tags %v",
+				s.name, s.conn.Type(), o.tags)
+		}
+	}
+
+	if useStream && encOK {
 		pr, pw := io.Pipe()
 		go func() {
 			pw.CloseWithError(enc.EncodeTo(pw, v))
 		}()
-		key, err := connector.PutFrom(ctx, s.conn, pr)
+		key, err := streamPut(pr)
 		pr.Close() // unblock the encoder if the connector bailed early
 		if err != nil {
 			return connector.Key{}, fmt.Errorf("store %q: stream put: %w", s.name, err)
@@ -245,7 +290,7 @@ func (s *Store) PutObject(ctx context.Context, v any) (connector.Key, error) {
 		return connector.Key{}, fmt.Errorf("store %q: serializing: %w", s.name, err)
 	}
 	s.m.serialized.Add(1)
-	key, err := s.conn.Put(ctx, data)
+	key, err := blobPut(data)
 	if err != nil {
 		return connector.Key{}, fmt.Errorf("store %q: put: %w", s.name, err)
 	}
@@ -405,7 +450,8 @@ func Get[T any](ctx context.Context, s *Store, key connector.Key) (T, error) {
 type ProxyOption func(*proxyOptions)
 
 type proxyOptions struct {
-	evict bool
+	evict   bool
+	putTags []string
 }
 
 // WithEvict makes the proxy evict the object from the mediated channel when
@@ -415,10 +461,26 @@ func WithEvict() ProxyOption {
 	return func(o *proxyOptions) { o.evict = true }
 }
 
+// WithPutTags constrains where NewProxy places the target object, exactly
+// like PutObject's WithTags: the connector must route it to a backend
+// carrying every tag. The tags affect only the put; the minted factory
+// carries the resulting key like any other.
+func WithPutTags(tags ...string) ProxyOption {
+	return func(o *proxyOptions) { o.putTags = append(o.putTags, tags...) }
+}
+
 // NewProxy stores v and returns a lazy proxy whose factory can resolve it
 // in any process. This is the paper's Store.proxy.
 func NewProxy[T any](ctx context.Context, s *Store, v T, opts ...ProxyOption) (*proxy.Proxy[T], error) {
-	key, err := s.PutObject(ctx, v)
+	var o proxyOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var putOpts []PutOption
+	if len(o.putTags) > 0 {
+		putOpts = append(putOpts, WithTags(o.putTags...))
+	}
+	key, err := s.PutObject(ctx, v, putOpts...)
 	if err != nil {
 		return nil, err
 	}
