@@ -10,11 +10,13 @@ import (
 	"syscall"
 
 	"proxystore/internal/kvstore"
+	"proxystore/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6379", "listen address")
 	aof := flag.String("persist", "", "append-only persistence file (empty: memory only)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty: off)")
 	flag.Parse()
 
 	var opts []kvstore.ServerOption
@@ -28,9 +30,23 @@ func main() {
 	}
 	fmt.Printf("kvserver listening on %s\n", srv.Addr())
 
+	if *metricsAddr != "" {
+		ms, err := telemetry.Serve(*metricsAddr, srv.Telemetry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvserver: metrics:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("kvserver metrics on http://%s/metrics\n", ms.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("kvserver shutting down (%d commands served)\n", srv.Commands())
+	// Dump the final INFO snapshot before Close so the lifetime totals —
+	// per-command counts and latencies, bytes moved, peak waiters — land
+	// in the log even without a metrics endpoint.
+	fmt.Printf("kvserver shutting down\n%s", srv.InfoText())
+	os.Stdout.Sync()
 	srv.Close()
 }

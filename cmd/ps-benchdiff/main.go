@@ -41,7 +41,13 @@ type row struct {
 	Name          string   `json:"name"`
 	ItemsPerSec   float64  `json:"items_per_sec"`
 	KVCmdsPerItem *float64 `json:"kv_cmds_per_item"`
-	P95Ms         *float64 `json:"p95_ms"`
+	// Dials and RoundTrips are the broker client's transport totals.
+	// Reported as warn-only deltas, never gated: connection and flush
+	// counts shift legitimately with pool sizing and pipelining windows,
+	// but a silent 10× jump is worth a line in the log.
+	Dials      *uint64  `json:"dials"`
+	RoundTrips *uint64  `json:"round_trips"`
+	P95Ms      *float64 `json:"p95_ms"`
 }
 
 // benchReport mirrors the ps-streambench -json document.
@@ -118,6 +124,14 @@ func main() {
 			fmt.Printf("  p95 %.2f→%.2fms", *b.P95Ms, *n.P95Ms)
 		}
 		fmt.Println()
+		if b.Dials != nil && n.Dials != nil && *n.Dials != *b.Dials {
+			fmt.Printf("  warn: %s dials %d→%d (%s) — informational, not gated\n",
+				b.Name, *b.Dials, *n.Dials, pct(float64(*n.Dials), float64(*b.Dials)))
+		}
+		if b.RoundTrips != nil && n.RoundTrips != nil && *n.RoundTrips != *b.RoundTrips {
+			fmt.Printf("  warn: %s round trips %d→%d (%s) — informational, not gated\n",
+				b.Name, *b.RoundTrips, *n.RoundTrips, pct(float64(*n.RoundTrips), float64(*b.RoundTrips)))
+		}
 		if b.KVCmdsPerItem != nil && n.KVCmdsPerItem != nil &&
 			*n.KVCmdsPerItem > *b.KVCmdsPerItem*(1+*tol) {
 			fail("%s kv_cmds_per_item %.2f exceeds baseline %.2f by more than %.0f%%",

@@ -12,12 +12,14 @@ import (
 	"syscall"
 
 	"proxystore/internal/endpoint"
+	"proxystore/internal/telemetry"
 )
 
 func main() {
 	apiAddr := flag.String("addr", "127.0.0.1:0", "client API listen address")
 	relayAddr := flag.String("relay", "127.0.0.1:8765", "relay server address")
 	uuid := flag.String("uuid", "", "endpoint UUID (empty: relay assigns one)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty: off)")
 	flag.Parse()
 
 	ep, err := endpoint.Start(*apiAddr, *relayAddr, endpoint.Options{UUID: *uuid})
@@ -26,6 +28,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("ps-endpoint %s serving on %s (relay %s)\n", ep.UUID(), ep.Addr(), *relayAddr)
+
+	if *metricsAddr != "" {
+		ms, err := telemetry.Serve(*metricsAddr, telemetry.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ps-endpoint: metrics:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("ps-endpoint metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

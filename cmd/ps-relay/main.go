@@ -10,10 +10,12 @@ import (
 	"syscall"
 
 	"proxystore/internal/relay"
+	"proxystore/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8765", "listen address")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty: off)")
 	flag.Parse()
 
 	srv, err := relay.NewServer(*addr)
@@ -22,6 +24,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("ps-relay listening on %s\n", srv.Addr())
+
+	if *metricsAddr != "" {
+		ms, err := telemetry.Serve(*metricsAddr, telemetry.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ps-relay: metrics:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("ps-relay metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -77,7 +77,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -93,6 +92,7 @@ import (
 	"proxystore/internal/pstream"
 	"proxystore/internal/serial"
 	"proxystore/internal/store"
+	"proxystore/internal/telemetry"
 )
 
 // attrT0 carries the publish timestamp (UnixNano) so consumers can measure
@@ -117,9 +117,14 @@ type profile struct {
 	// count: ≤1 means parked consumers share connections (the wait
 	// multiplexer) instead of pinning one each.
 	ConnsPerConsumer *float64 `json:"conns_per_consumer,omitempty"`
-	P50Ms            *float64 `json:"p50_ms,omitempty"`
-	P95Ms            *float64 `json:"p95_ms,omitempty"`
-	P99Ms            *float64 `json:"p99_ms,omitempty"`
+	// Dials / RoundTrips are the KVBroker's client transport totals for
+	// the row (kv broker only): TCP connections opened and request
+	// flushes, from the broker's telemetry-backed counters.
+	Dials      *uint64  `json:"dials,omitempty"`
+	RoundTrips *uint64  `json:"round_trips,omitempty"`
+	P50Ms      *float64 `json:"p50_ms,omitempty"`
+	P95Ms      *float64 `json:"p95_ms,omitempty"`
+	P99Ms      *float64 `json:"p99_ms,omitempty"`
 }
 
 // report is the -json document.
@@ -136,16 +141,16 @@ type report struct {
 	Profiles  []profile `json:"profiles"`
 }
 
-// latencies collects publish→deliver samples across consumer goroutines.
+// latencies collects publish→deliver samples across consumer goroutines,
+// backed by the telemetry histogram: lock-free nanosecond observations
+// instead of the old mutex-guarded sorted-sample percentile math, at
+// ≲6% relative quantile error.
 type latencies struct {
-	mu      sync.Mutex
-	samples []float64 // milliseconds
+	h telemetry.Histogram
 }
 
-func (l *latencies) record(ms float64) {
-	l.mu.Lock()
-	l.samples = append(l.samples, ms)
-	l.mu.Unlock()
+func (l *latencies) record(d time.Duration) {
+	l.h.Observe(int64(d))
 }
 
 // observe records the event's publish→deliver latency if it carries a
@@ -159,20 +164,17 @@ func (l *latencies) observe(ev pstream.Event, now time.Time) {
 	if err != nil {
 		return
 	}
-	l.record(float64(now.Sub(time.Unix(0, nanos))) / float64(time.Millisecond))
+	l.record(now.Sub(time.Unix(0, nanos)))
 }
 
 // percentiles returns p50/p95/p99 in ms, or nil when no samples landed.
 func (l *latencies) percentiles() (p50, p95, p99 *float64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.samples) == 0 {
+	s := l.h.Snapshot()
+	if s.Count == 0 {
 		return nil, nil, nil
 	}
-	sorted := append([]float64(nil), l.samples...)
-	sort.Float64s(sorted)
 	pct := func(q float64) *float64 {
-		v := sorted[int(q*float64(len(sorted)-1)+0.5)]
+		v := s.Quantile(q) / float64(time.Millisecond)
 		return &v
 	}
 	return pct(0.50), pct(0.95), pct(0.99)
@@ -321,14 +323,16 @@ func main() {
 			p.KVCmdsPerItem = &perItem
 		}
 		p.P50Ms, p.P95Ms, p.P99Ms = lats.percentiles()
-		if *profileKind == "pipeline" && srv != nil {
-			if kvb, ok := cb.Broker.(*pstream.KVBroker); ok {
-				if rtts := kvb.RoundTrips(); rtts > 0 {
+		if kvb, ok := cb.Broker.(*pstream.KVBroker); ok {
+			dials, rtts := kvb.Dials(), kvb.RoundTrips()
+			p.Dials, p.RoundTrips = &dials, &rtts
+			if *profileKind == "pipeline" && srv != nil {
+				if rtts > 0 {
 					v := float64(srv.Commands()-cmds0) / float64(rtts)
 					p.CmdsPerRTT = &v
 				}
 				if rowConsumers > 0 {
-					cc := float64(kvb.Dials()) / float64(rowConsumers)
+					cc := float64(dials) / float64(rowConsumers)
 					p.ConnsPerConsumer = &cc
 				}
 			}
@@ -588,7 +592,7 @@ func taskRoundTrips(b pstream.Broker, st *store.Store, payload []byte, tasks, wo
 				errs <- fmt.Errorf("task saw %v bytes, want %d", v, len(payload))
 				return
 			}
-			lats.record(float64(time.Since(t0)) / float64(time.Millisecond))
+			lats.record(time.Since(t0))
 		}()
 		if gap > 0 {
 			time.Sleep(gap)

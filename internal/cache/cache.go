@@ -59,18 +59,25 @@ func NewCost(capacity int64) *LRU {
 // Get returns the cached value for key and whether it was present,
 // promoting the entry to most recently used.
 func (c *LRU) Get(key string) (any, bool) {
+	v, _, ok := c.GetCost(key)
+	return v, ok
+}
+
+// GetCost is Get but also reports the charged cost of the hit entry, so
+// callers can attribute cache-served bytes without a second lookup.
+func (c *LRU) GetCost(key string) (any, int64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, 0, false
 	}
 	c.hits++
 	e := el.Value.(*entry)
 	c.hitBytes += uint64(e.cost)
 	c.order.MoveToFront(el)
-	return e.value, true
+	return e.value, e.cost, true
 }
 
 // Set stores value under key with unit cost, evicting least recently used

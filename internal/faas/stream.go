@@ -17,6 +17,7 @@ import (
 	"proxystore/internal/connector"
 	"proxystore/internal/pstream"
 	"proxystore/internal/store"
+	"proxystore/internal/telemetry"
 )
 
 // TaskTopic returns the pstream topic on which the named endpoint's
@@ -172,6 +173,11 @@ func (e *StreamExecutor) dispatch(ctx context.Context, cons *pstream.Consumer[Ta
 }
 
 func (e *StreamExecutor) handleResult(ctx context.Context, it *pstream.Item[TaskResult]) {
+	// "deliver" closes the trace the submit opened: the result event is
+	// back on the submitting client, about to complete its future.
+	if trace := it.Event.Attr(telemetry.AttrTrace); trace != "" {
+		defer telemetry.Default().StartSpan(trace, it.Event.Attr(telemetry.AttrSpan), "deliver").End()
+	}
 	// Ack here, on the goroutine that owns the subscription: it commits
 	// the offset so KVBroker truncation can compact the result log, and —
 	// result producers setting no evict-on-ack — has no payload side
@@ -209,12 +215,19 @@ func (e *StreamExecutor) Submit(ctx context.Context, function string, args ...an
 	e.mu.Unlock()
 
 	req := TaskRequest{ID: id, Function: function, Args: payload, ResultTopic: e.topic}
+	// Every submission roots a trace. The span context rides the task
+	// event's attrs, so each later hop — producer publish, endpoint
+	// execute, result delivery — continues the same trace.
+	sp := telemetry.Default().StartSpan("", "", "submit")
 	attrs := map[string]string{
 		AttrTaskID:       id,
 		AttrTaskFunction: function,
 		AttrResultTopic:  e.topic,
 	}
-	if err := e.prod.Send(ctx, req, attrs); err != nil {
+	sp.Inject(attrs)
+	err = e.prod.Send(ctx, req, attrs)
+	sp.End()
+	if err != nil {
 		e.mu.Lock()
 		delete(e.pending, id)
 		e.mu.Unlock()
@@ -417,6 +430,13 @@ func (ep *StreamEndpoint) execute(ctx context.Context, it *pstream.Item[TaskRequ
 		return
 	}
 	ep.resolveStrikes.Clear(it.Event.Offset)
+	// Continue the submitter's trace: "execute" parents under the task
+	// event's span and is in turn the parent the result event carries, so
+	// the result publish and delivery hops stay on the same trace.
+	var sp *telemetry.Span
+	if trace := it.Event.Attr(telemetry.AttrTrace); trace != "" {
+		sp = telemetry.Default().StartSpan(trace, it.Event.Attr(telemetry.AttrSpan), "execute")
+	}
 	res := TaskResult{ID: req.ID}
 	if args, err := decodeArgs(req.Args); err != nil {
 		res.Err = err.Error()
@@ -434,7 +454,11 @@ func (ep *StreamEndpoint) execute(ctx context.Context, it *pstream.Item[TaskRequ
 	// futures legitimately expect Executed to cover their tasks.
 	ep.executed.Add(1)
 	prod := ep.producer(req.ResultTopic)
-	if err := prod.Send(ctx, res, map[string]string{AttrTaskID: res.ID}); err != nil {
+	resAttrs := map[string]string{AttrTaskID: res.ID}
+	sp.Inject(resAttrs)
+	err = prod.Send(ctx, res, resAttrs)
+	sp.End()
+	if err != nil {
 		return
 	}
 	// Task payload was resolved and the result is durable: settle the

@@ -1,0 +1,113 @@
+package faas
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/local"
+	"proxystore/internal/kvstore"
+	"proxystore/internal/pstream"
+	"proxystore/internal/store"
+	"proxystore/internal/telemetry"
+)
+
+// TestStreamTaskTrace drives one task through the full stream plane over
+// a KVBroker and reconstructs its trace from the process registry: the
+// submit on the client, the task-event publish, the execute on the
+// endpoint, the result-event publish, and the delivery back to the
+// client's dispatcher must all share one trace ID with parent links
+// mirroring the hops.
+func TestStreamTaskTrace(t *testing.T) {
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	b := pstream.NewKV(srv.Addr())
+	t.Cleanup(func() { b.Close() })
+	id := connector.NewID()[:8]
+	st, err := store.New("faas-trace-"+id, local.New("faas-trace-conn-"+id))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("faas-trace-" + id) })
+
+	epName := "trace-ep-" + id
+	ep := StartStreamEndpoint(st, b, epName, 2)
+	t.Cleanup(func() { ep.Close() })
+	exec, err := NewStreamExecutor(st, b, epName)
+	if err != nil {
+		t.Fatalf("NewStreamExecutor: %v", err)
+	}
+	t.Cleanup(func() { exec.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fut, err := exec.Submit(ctx, "echo", []byte("traced"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := fut.Result(ctx); err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+
+	// The "deliver" span is recorded by the dispatcher goroutine right
+	// around the future's delivery; give it a beat to land in the ring.
+	var spans []telemetry.SpanRecord
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// The registry is process-global: pick out our task's trace as the
+		// one rooted by a parentless submit whose children are all present.
+		for _, root := range telemetry.Default().Snapshot().Spans {
+			if root.Name != "submit" || root.Parent != "" {
+				continue
+			}
+			tr := telemetry.Default().Snapshot().Trace(root.Trace)
+			if len(tr) >= 5 {
+				spans = tr
+			}
+		}
+		if spans != nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if spans == nil {
+		t.Fatalf("no complete trace found in registry snapshot")
+	}
+
+	byName := map[string][]telemetry.SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	for _, want := range []string{"submit", "execute", "deliver"} {
+		if len(byName[want]) != 1 {
+			t.Fatalf("trace has %d %q spans, want 1 (trace: %+v)", len(byName[want]), want, spans)
+		}
+	}
+	if len(byName["publish"]) != 2 {
+		t.Fatalf("trace has %d publish spans, want 2 (task + result)", len(byName["publish"]))
+	}
+
+	submit, execute, deliver := byName["submit"][0], byName["execute"][0], byName["deliver"][0]
+	if execute.Parent != submit.ID {
+		t.Fatalf("execute parent = %q, want submit %q", execute.Parent, submit.ID)
+	}
+	if deliver.Parent != execute.ID {
+		t.Fatalf("deliver parent = %q, want execute %q", deliver.Parent, execute.ID)
+	}
+	var taskPub, resPub bool
+	for _, p := range byName["publish"] {
+		switch p.Parent {
+		case submit.ID:
+			taskPub = true
+		case execute.ID:
+			resPub = true
+		}
+	}
+	if !taskPub || !resPub {
+		t.Fatalf("publish spans not parented under submit and execute: %+v", byName["publish"])
+	}
+}

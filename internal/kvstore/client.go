@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"proxystore/internal/netsim"
+	"proxystore/internal/telemetry"
 )
 
 // ErrUnknownCommand wraps server replies to commands the server does not
@@ -49,6 +50,13 @@ func WithDialTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.dialTimeout = d }
 }
 
+// WithClientTelemetry makes the client record its metrics (RTTs, pool
+// waits, mux fallbacks, pipeline depth) into reg instead of a private
+// registry.
+func WithClientTelemetry(reg *telemetry.Registry) ClientOption {
+	return func(c *Client) { c.reg = reg }
+}
+
 // Client is a pooled RESP2 client.
 //
 // A Client is safe for concurrent use; each in-flight request holds one
@@ -76,6 +84,18 @@ type Client struct {
 
 	dials      atomic.Uint64
 	roundTrips atomic.Uint64
+
+	// reg collects client metrics; the handles below are resolved once at
+	// construction so hot paths skip the registry's name lookup.
+	reg          *telemetry.Registry
+	mRTT         *telemetry.Histogram // kvc.rtt.ns: flush → last reply read
+	mWait        *telemetry.Histogram // kvc.wait.ns: blocking-wait park time
+	mPoolWaitNs  *telemetry.Histogram // kvc.pool.wait.ns: time parked for a conn
+	mPoolWaits   *telemetry.Counter   // kvc.pool.waits
+	mMuxFallback *telemetry.Counter   // kvc.mux.fallbacks
+	mPipeDepth   *telemetry.Histogram // kvc.pipeline.depth: commands per Exec
+	mDials       *telemetry.Counter   // kvc.dials (mirrors Dials())
+	mTrips       *telemetry.Counter   // kvc.round_trips (mirrors RoundTrips())
 }
 
 // poolGrant is what a parked acquirer receives: a connection handed off
@@ -99,8 +119,29 @@ func NewClient(addr string, opts ...ClientOption) *Client {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.reg == nil {
+		c.reg = telemetry.NewRegistry()
+	}
+	c.mRTT = c.reg.Histogram("kvc.rtt.ns")
+	c.mWait = c.reg.Histogram("kvc.wait.ns")
+	c.mPoolWaitNs = c.reg.Histogram("kvc.pool.wait.ns")
+	c.mPoolWaits = c.reg.Counter("kvc.pool.waits")
+	c.mMuxFallback = c.reg.Counter("kvc.mux.fallbacks")
+	c.mPipeDepth = c.reg.Histogram("kvc.pipeline.depth")
+	c.mDials = c.reg.Counter("kvc.dials")
+	c.mTrips = c.reg.Counter("kvc.round_trips")
 	c.mux = newWaitMux(c)
 	return c
+}
+
+// Telemetry returns the client's metrics registry.
+func (c *Client) Telemetry() *telemetry.Registry { return c.reg }
+
+// trip counts one request flush in both the RoundTrips atomic and the
+// registry.
+func (c *Client) trip() {
+	c.roundTrips.Add(1)
+	c.mTrips.Inc()
 }
 
 // Close tears down all pooled connections and the wait multiplexer.
@@ -151,8 +192,11 @@ func (c *Client) acquire(ctx context.Context) (*clientConn, error) {
 	ch := make(chan poolGrant, 1)
 	c.waiters = append(c.waiters, ch)
 	c.mu.Unlock()
+	c.mPoolWaits.Inc()
+	parked := time.Now()
 	select {
 	case g := <-ch:
+		c.mPoolWaitNs.Since(parked)
 		return c.redeem(ctx, g)
 	case <-ctx.Done():
 		c.mu.Lock()
@@ -263,6 +307,7 @@ func (c *Client) dial(ctx context.Context) (*clientConn, error) {
 		return nil, fmt.Errorf("kvstore: dialing %s: %w", c.addr, err)
 	}
 	c.dials.Add(1)
+	c.mDials.Inc()
 	return &clientConn{
 		conn: conn,
 		r:    bufio.NewReaderSize(conn, 64<<10),
@@ -295,16 +340,18 @@ func (c *Client) do(ctx context.Context, name string, args ...[]byte) (value, er
 		c.release(cc, true)
 		return value{}, fmt.Errorf("kvstore: sending %s: %w", name, err)
 	}
+	sent := time.Now()
 	if err := cc.w.Flush(); err != nil {
 		c.release(cc, true)
 		return value{}, fmt.Errorf("kvstore: sending %s: %w", name, err)
 	}
-	c.roundTrips.Add(1)
+	c.trip()
 	v, err := readValue(cc.r)
 	if err != nil {
 		c.release(cc, true)
 		return value{}, fmt.Errorf("kvstore: reading %s reply: %w", name, err)
 	}
+	c.mRTT.Since(sent)
 	c.release(cc, false)
 
 	respSize := len(v.bulk)
@@ -361,7 +408,9 @@ func (c *Client) doWait(ctx context.Context, budget time.Duration, name string, 
 		c.release(cc, true)
 		return value{}, fmt.Errorf("kvstore: sending %s: %w", name, err)
 	}
-	c.roundTrips.Add(1)
+	c.trip()
+	sent := time.Now()
+	defer c.mWait.Since(sent)
 
 	cc.conn.SetReadDeadline(time.Now().Add(budget + waitSlack))
 	watchDone := make(chan struct{})
@@ -437,6 +486,7 @@ func (c *Client) WaitGet(ctx context.Context, key string, timeout time.Duration)
 			return nil, false, err
 		}
 		c.muxOff.Store(true)
+		c.mMuxFallback.Inc()
 	}
 	v, err := c.doWait(ctx, timeout, "WAITGET", []byte(key), msArg)
 	if err != nil {
@@ -472,6 +522,7 @@ func (c *Client) WaitPrefix(ctx context.Context, prefix string, after uint64, ti
 			return 0, err
 		}
 		c.muxOff.Store(true)
+		c.mMuxFallback.Inc()
 	}
 	v, err := c.doWait(ctx, timeout, "WAITPREFIX", []byte(prefix), afterArg, msArg)
 	if err != nil {
@@ -620,4 +671,17 @@ func (c *Client) DBSize(ctx context.Context) (int64, error) {
 func (c *Client) FlushAll(ctx context.Context) error {
 	_, err := c.do(ctx, "FLUSHALL")
 	return err
+}
+
+// Info returns the server's introspection dump (see the package doc's
+// INFO section): "name value" lines covering uptime, key/connection
+// counts, and the server's full telemetry snapshot. Against a server
+// that predates INFO the error satisfies errors.Is(err,
+// ErrUnknownCommand).
+func (c *Client) Info(ctx context.Context) (string, error) {
+	v, err := c.do(ctx, "INFO")
+	if err != nil {
+		return "", err
+	}
+	return string(v.bulk), nil
 }

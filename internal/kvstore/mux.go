@@ -134,7 +134,7 @@ func (m *waitMux) do(ctx context.Context, budget time.Duration, name string, arg
 		return value{}, fmt.Errorf("kvstore: sending %s: %w", name, err)
 	}
 	m.mu.Unlock()
-	m.c.roundTrips.Add(1)
+	m.c.trip()
 
 	select {
 	case rep := <-ch:

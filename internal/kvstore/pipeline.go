@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"time"
 )
 
 // pipelineWindow bounds how many commands Exec leaves in flight before
@@ -137,6 +138,7 @@ func (p *Pipeline) Exec(ctx context.Context) error {
 		p.failFrom(0, err)
 		return err
 	}
+	p.c.mPipeDepth.Observe(int64(len(p.cmds)))
 	respSize := 0
 	for base := 0; base < len(p.cmds); base += pipelineWindow {
 		end := base + pipelineWindow
@@ -151,13 +153,14 @@ func (p *Pipeline) Exec(ctx context.Context) error {
 				return err
 			}
 		}
+		sent := time.Now()
 		if err := cc.w.Flush(); err != nil {
 			p.c.release(cc, true)
 			err = fmt.Errorf("kvstore: sending pipeline: %w", err)
 			p.failFrom(base, err)
 			return err
 		}
-		p.c.roundTrips.Add(1)
+		p.c.trip()
 		for i := base; i < end; i++ {
 			v, err := readValue(cc.r)
 			if err != nil {
@@ -176,6 +179,7 @@ func (p *Pipeline) Exec(ctx context.Context) error {
 				respSize += len(el.bulk)
 			}
 		}
+		p.c.mRTT.Since(sent)
 	}
 	p.c.release(cc, false)
 	return p.c.delay(ctx, respSize)

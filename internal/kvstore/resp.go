@@ -81,6 +81,19 @@
 //
 // Pipelining needs no fallback: it is plain RESP ordering that every
 // server build honors.
+//
+// # Introspection (INFO)
+//
+// INFO (no arguments) returns a bulk string of "name value" lines: a few
+// server-level facts (server.uptime_ns, server.keys, server.conns,
+// server.commands) followed by the server's full telemetry snapshot —
+// per-command counters/latency histograms (kv.cmd.<NAME>.count/.ns/.bytes),
+// byte totals (kv.bytes_in/out), live and peak parked waiters
+// (kv.waiters/.peak), and open connections (kv.conns) — the same text
+// format the -metrics-addr HTTP endpoint serves at /metrics. Clients call
+// it via Client.Info; cmd/kvserver prints it as its shutdown summary.
+// Like any new command it answers ERR unknown command on older builds,
+// which Client.Info surfaces as ErrUnknownCommand.
 package kvstore
 
 import (
@@ -115,6 +128,33 @@ func integerValue(n int64) value  { return value{kind: respInteger, num: n} }
 func bulkValue(b []byte) value    { return value{kind: respBulkString, bulk: b} }
 func nullBulk() value             { return value{kind: respBulkString, null: true} }
 func arrayValue(vs []value) value { return value{kind: respArray, arr: vs} }
+
+// encodedSize returns the RESP-encoded size of v in bytes — cheap
+// arithmetic (no encoding) used by the server's per-command byte
+// accounting.
+func (v value) encodedSize() int {
+	switch v.kind {
+	case respSimpleString, respError:
+		return len(v.str) + 3 // marker + CRLF
+	case respInteger:
+		return len(strconv.FormatInt(v.num, 10)) + 3
+	case respBulkString:
+		if v.null {
+			return 5 // $-1\r\n
+		}
+		return len(strconv.Itoa(len(v.bulk))) + len(v.bulk) + 5
+	case respArray:
+		if v.null {
+			return 5
+		}
+		n := len(strconv.Itoa(len(v.arr))) + 3
+		for _, el := range v.arr {
+			n += el.encodedSize()
+		}
+		return n
+	}
+	return 0
+}
 
 // writeValue encodes v in RESP2 framing.
 func writeValue(w *bufio.Writer, v value) error {

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"proxystore/internal/telemetry"
 )
 
 // ServerOption configures a Server.
@@ -48,6 +50,12 @@ func WithoutTaggedWaits() ServerOption {
 	return func(s *Server) { s.noTagged = true }
 }
 
+// WithTelemetry makes the server record its metrics into reg instead of
+// a private registry — so a daemon can serve one merged /metrics view.
+func WithTelemetry(reg *telemetry.Registry) ServerOption {
+	return func(s *Server) { s.reg = reg }
+}
+
 // Server is a RESP2 key-value server.
 type Server struct {
 	ln       net.Listener
@@ -76,18 +84,68 @@ type Server struct {
 	closed   atomic.Bool
 	connWG   sync.WaitGroup
 	commands atomic.Uint64
+
+	// reg collects the server's metrics (metric names in the package
+	// doc); cmdMetrics caches per-command metric handles so the hot path
+	// pays one sync.Map load instead of three registry lookups plus a
+	// name concatenation per command.
+	reg        *telemetry.Registry
+	cmdMetrics sync.Map // command name -> *cmdMetrics
+	started    time.Time
+}
+
+// cmdMetrics is the per-command instrument bundle: how many times the
+// command ran, its server-side latency (for blocking waits this is park
+// time), and the approximate request+reply bytes it moved.
+type cmdMetrics struct {
+	count *telemetry.Counter
+	ns    *telemetry.Histogram
+	bytes *telemetry.Counter
+}
+
+func (s *Server) metricsFor(name string) *cmdMetrics {
+	if m, ok := s.cmdMetrics.Load(name); ok {
+		return m.(*cmdMetrics)
+	}
+	m := &cmdMetrics{
+		count: s.reg.Counter("kv.cmd." + name + ".count"),
+		ns:    s.reg.Histogram("kv.cmd." + name + ".ns"),
+		bytes: s.reg.Counter("kv.cmd." + name + ".bytes"),
+	}
+	actual, _ := s.cmdMetrics.LoadOrStore(name, m)
+	return actual.(*cmdMetrics)
+}
+
+// observe records one served command: count, latency, and bytes (request
+// payload plus encoded reply size).
+func (s *Server) observe(cmd command, start time.Time, reply value) {
+	m := s.metricsFor(cmd.name)
+	m.count.Inc()
+	m.ns.Since(start)
+	n := len(cmd.name)
+	for _, a := range cmd.args {
+		n += len(a)
+	}
+	r := reply.encodedSize()
+	m.bytes.Add(uint64(n + r))
+	s.reg.Counter("kv.bytes_in").Add(uint64(n))
+	s.reg.Counter("kv.bytes_out").Add(uint64(r))
 }
 
 // NewServer starts a server listening on addr (e.g. "127.0.0.1:0").
 func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 	s := &Server{
-		data:   make(map[string][]byte),
-		conns:  make(map[net.Conn]struct{}),
-		logger: log.New(io.Discard, "", 0),
-		notify: newNotifier(),
+		data:    make(map[string][]byte),
+		conns:   make(map[net.Conn]struct{}),
+		logger:  log.New(io.Discard, "", 0),
+		notify:  newNotifier(),
+		started: time.Now(),
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
 	}
 	if s.aofPath != "" {
 		if err := s.loadAOF(); err != nil {
@@ -116,6 +174,25 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Commands returns the number of commands served.
 func (s *Server) Commands() uint64 { return s.commands.Load() }
+
+// Telemetry returns the server's metrics registry (per-command
+// count/latency/bytes, live and peak waiters, open connections).
+func (s *Server) Telemetry() *telemetry.Registry { return s.reg }
+
+// InfoText renders the INFO command's reply: a few server-level lines
+// (uptime, key count, connections, total commands) followed by the full
+// registry snapshot in /metrics text format.
+func (s *Server) InfoText() string {
+	s.mu.RLock()
+	keys := len(s.data)
+	s.mu.RUnlock()
+	s.connMu.Lock()
+	conns := len(s.conns)
+	s.connMu.Unlock()
+	return fmt.Sprintf("server.uptime_ns %d\nserver.keys %d\nserver.conns %d\nserver.commands %d\n%s",
+		time.Since(s.started).Nanoseconds(), keys, conns, s.commands.Load(),
+		s.reg.Snapshot().Text())
+}
 
 // Close stops accepting connections, hangs up on connected clients (idle
 // pooled clients would otherwise pin the server open forever), and waits
@@ -155,6 +232,7 @@ func (s *Server) acceptLoop() {
 		s.connMu.Lock()
 		s.conns[conn] = struct{}{}
 		s.connMu.Unlock()
+		s.reg.Gauge("kv.conns").Inc()
 		s.connWG.Add(1)
 		go func() {
 			defer s.connWG.Done()
@@ -162,6 +240,7 @@ func (s *Server) acceptLoop() {
 				s.connMu.Lock()
 				delete(s.conns, conn)
 				s.connMu.Unlock()
+				s.reg.Gauge("kv.conns").Dec()
 				conn.Close()
 			}()
 			s.serveConn(conn)
@@ -214,7 +293,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			continue
 		} else {
+			start := time.Now()
 			reply = s.execute(cmd)
+			s.observe(cmd, start, reply)
 		}
 		s.commands.Add(1)
 		if err := write(reply); err != nil {
@@ -275,7 +356,10 @@ func (s *Server) startTaggedWait(cmd command, write func(value) error, cancel <-
 		go func() {
 			defer wg.Done()
 			defer inflight.Add(-1)
-			write(taggedReply(tag, s.waitGet(key, clampWait(ms), cancel)))
+			start := time.Now()
+			rep := taggedReply(tag, s.waitGet(key, clampWait(ms), cancel))
+			s.observe(cmd, start, rep)
+			write(rep)
 		}()
 		return true, nil
 	default: // TWAITPREFIX
@@ -293,7 +377,10 @@ func (s *Server) startTaggedWait(cmd command, write func(value) error, cancel <-
 		go func() {
 			defer wg.Done()
 			defer inflight.Add(-1)
-			write(taggedReply(tag, s.waitPrefix(prefix, after, clampWait(ms), cancel)))
+			start := time.Now()
+			rep := taggedReply(tag, s.waitPrefix(prefix, after, clampWait(ms), cancel))
+			s.observe(cmd, start, rep)
+			write(rep)
 		}()
 		return true, nil
 	}
@@ -422,6 +509,11 @@ func (s *Server) execute(cmd command) value {
 		n := int64(len(s.data))
 		s.mu.RUnlock()
 		return integerValue(n)
+	case "INFO":
+		if len(cmd.args) != 0 {
+			return errorValue("ERR wrong number of arguments for 'info'")
+		}
+		return bulkValue([]byte(s.InfoText()))
 	case "FLUSHALL":
 		s.mu.Lock()
 		s.data = make(map[string][]byte)
@@ -480,6 +572,9 @@ func clampWait(ms int64) time.Duration {
 // wakes the waiter with an error reply, and a close of cancel (the owning
 // connection went away — only tagged waits pass one) unparks it too.
 func (s *Server) waitGet(key string, timeout time.Duration, cancel <-chan struct{}) value {
+	waiters := s.reg.Gauge("kv.waiters")
+	waiters.Inc()
+	defer waiters.Dec()
 	deadline := time.Now().Add(timeout)
 	for {
 		w := s.notify.registerKey(key)
@@ -527,6 +622,9 @@ func (s *Server) waitGet(key string, timeout time.Duration, cancel <-chan struct
 // so the wake itself carries no payload and can afford to be conservative
 // (ring overflow, server restart) without ever being lossy.
 func (s *Server) waitPrefix(prefix string, after uint64, timeout time.Duration, cancel <-chan struct{}) value {
+	waiters := s.reg.Gauge("kv.waiters")
+	waiters.Inc()
+	defer waiters.Dec()
 	w, cur, fired := s.notify.registerPrefix(prefix, after)
 	if fired {
 		return integerValue(int64(cur))

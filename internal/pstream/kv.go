@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"proxystore/internal/kvstore"
+	"proxystore/internal/telemetry"
 )
 
 // KVBroker is the kvstore-backed broker: topic logs, committed offsets,
@@ -74,6 +75,16 @@ type KVBroker struct {
 	// transient failure (the floor has already passed them).
 	truncMu      sync.Mutex
 	truncPending []pendingDel
+
+	// reg collects broker metrics; handles resolved once at construction.
+	reg          *telemetry.Registry
+	mPublishNs   *telemetry.Histogram // ps.kv.publish.ns: append op latency
+	mDeliverNs   *telemetry.Histogram // ps.kv.deliver.ns: publish→deliver
+	mPublished   *telemetry.Counter   // ps.kv.published events
+	mClaims      *telemetry.Counter   // ps.kv.claims: fresh lease wins
+	mReclaims    *telemetry.Counter   // ps.kv.reclaims: expired-lease takeovers
+	mTruncSweeps *telemetry.Counter   // ps.kv.trunc.sweeps
+	mTruncSlots  *telemetry.Counter   // ps.kv.trunc.slots collected
 }
 
 // KVOption configures a KVBroker.
@@ -135,6 +146,13 @@ func WithKVLease(d time.Duration) KVOption {
 	}
 }
 
+// WithKVTelemetry makes the broker record its metrics (publish latency,
+// publish→deliver histogram, claims, lease reclaims, truncation sweeps)
+// into reg instead of a private registry.
+func WithKVTelemetry(reg *telemetry.Registry) KVOption {
+	return func(b *KVBroker) { b.reg = reg }
+}
+
 // WithKVTruncate enables log truncation: once consumers distinct consumers
 // (count fan-out consumers plus groups) have acked a contiguous log
 // prefix, its event slots and ack counters are deleted from the server and
@@ -164,9 +182,43 @@ func NewKV(addr string, opts ...KVOption) *KVBroker {
 	for _, o := range opts {
 		o(b)
 	}
-	b.client = kvstore.NewClient(addr)
-	b.waitClient = kvstore.NewClient(addr, kvstore.WithPoolSize(b.waitPool))
+	if b.reg == nil {
+		b.reg = telemetry.NewRegistry()
+	}
+	b.mPublishNs = b.reg.Histogram("ps.kv.publish.ns")
+	b.mDeliverNs = b.reg.Histogram("ps.kv.deliver.ns")
+	b.mPublished = b.reg.Counter("ps.kv.published")
+	b.mClaims = b.reg.Counter("ps.kv.claims")
+	b.mReclaims = b.reg.Counter("ps.kv.reclaims")
+	b.mTruncSweeps = b.reg.Counter("ps.kv.trunc.sweeps")
+	b.mTruncSlots = b.reg.Counter("ps.kv.trunc.slots")
+	b.client = kvstore.NewClient(addr, kvstore.WithClientTelemetry(b.reg))
+	b.waitClient = kvstore.NewClient(addr,
+		kvstore.WithPoolSize(b.waitPool), kvstore.WithClientTelemetry(b.reg))
 	return b
+}
+
+// Telemetry returns the broker's metrics registry. It also carries the
+// underlying kvstore clients' metrics (kvc.* names), so one snapshot
+// answers both "what did the broker do" and "what did it cost on the
+// wire".
+func (b *KVBroker) Telemetry() *telemetry.Registry { return b.reg }
+
+// observeDeliver records the publish→deliver latency for a delivered
+// event when its producer stamped a publish timestamp (the ot.pub attr
+// Producer.Send adds).
+func (b *KVBroker) observeDeliver(ev Event) {
+	raw := ev.Attr(AttrPubTime)
+	if raw == "" {
+		return
+	}
+	nanos, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return
+	}
+	if d := time.Now().UnixNano() - nanos; d >= 0 {
+		b.mDeliverNs.Observe(d)
+	}
 }
 
 func kvLenKey(topic string) string { return "ps:" + topic + ":len" }
@@ -211,6 +263,8 @@ func (b *KVBroker) disablePushIfUnknown(err error) bool {
 // between the two steps still wedges the topic — the price of a log built
 // from plain kv primitives; see the package doc.)
 func (b *KVBroker) Publish(ctx context.Context, topic string, ev Event) error {
+	start := time.Now()
+	defer b.mPublishNs.Since(start)
 	n, err := b.client.Incr(ctx, kvLenKey(topic))
 	if err != nil {
 		return fmt.Errorf("pstream: reserving log slot: %w", err)
@@ -226,6 +280,7 @@ func (b *KVBroker) Publish(ctx context.Context, topic string, ev Event) error {
 		b.fillGap(ctx, topic, ev.Offset)
 		return fmt.Errorf("pstream: appending event: %w", err)
 	}
+	b.mPublished.Inc()
 	return nil
 }
 
@@ -237,6 +292,8 @@ func (b *KVBroker) PublishBatch(ctx context.Context, topic string, evs []Event) 
 	if len(evs) == 0 {
 		return nil
 	}
+	start := time.Now()
+	defer b.mPublishNs.Since(start)
 	n, err := b.client.IncrBy(ctx, kvLenKey(topic), int64(len(evs)))
 	if err != nil {
 		return fmt.Errorf("pstream: reserving %d log slots: %w", len(evs), err)
@@ -257,6 +314,7 @@ func (b *KVBroker) PublishBatch(ctx context.Context, topic string, evs []Event) 
 		b.fillGapRange(ctx, topic, base, base+uint64(len(evs)))
 		return fmt.Errorf("pstream: appending batch: %w", err)
 	}
+	b.mPublished.Add(uint64(len(evs)))
 	return nil
 }
 
@@ -523,6 +581,7 @@ func (s *kvSub) Next(ctx context.Context) (Event, error) {
 			return Event{}, err
 		}
 		s.cursor++
+		s.b.observeDeliver(ev)
 		return ev, nil
 	}
 	for {
@@ -532,6 +591,7 @@ func (s *kvSub) Next(ctx context.Context) (Event, error) {
 		}
 		if ok {
 			s.cursor++
+			s.b.observeDeliver(ev)
 			return ev, nil
 		}
 		if skipped, err := s.skipTruncated(ctx); err != nil {
@@ -559,6 +619,7 @@ func (s *kvSub) Poll(ctx context.Context) (Event, bool, error) {
 		}
 		if ok {
 			s.cursor++
+			s.b.observeDeliver(ev)
 			return ev, true, nil
 		}
 		if skipped, err := s.skipTruncated(ctx); err != nil || !skipped {
@@ -752,6 +813,8 @@ func (b *KVBroker) truncatePass(ctx context.Context, topic string) bool {
 	}
 	b.deleteRange(ctx, kvEventPrefix(topic), floor, f)
 	b.deleteRange(ctx, kvAckPrefix(topic), floor, f)
+	b.mTruncSweeps.Inc()
+	b.mTruncSlots.Add(f - floor)
 	return true
 }
 
@@ -1008,6 +1071,7 @@ func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
 			return Event{}, false, err
 		}
 		if won {
+			s.b.observeDeliver(ev)
 			return ev, true, nil
 		}
 	}
@@ -1030,7 +1094,7 @@ func (s *kvGroupSub) tryClaim(ctx context.Context, i uint64) (bool, error) {
 	}
 	now := time.Now()
 	record := claimRecord(s.member, now.Add(s.b.lease))
-	var win bool
+	var win, reclaimed bool
 	if !held {
 		if win, err = s.b.client.CAS(ctx, key, nil, record); err != nil {
 			return false, err
@@ -1049,6 +1113,7 @@ func (s *kvGroupSub) tryClaim(ctx context.Context, i uint64) (bool, error) {
 			if win, err = s.b.client.CAS(ctx, key, raw, record); err != nil {
 				return false, err
 			}
+			reclaimed = win
 		} else {
 			s.trackLease(raw, now)
 		}
@@ -1063,6 +1128,11 @@ func (s *kvGroupSub) tryClaim(ctx context.Context, i uint64) (bool, error) {
 	if i < cur {
 		s.b.client.Del(ctx, key)
 		return false, nil
+	}
+	if reclaimed {
+		s.b.mReclaims.Inc()
+	} else {
+		s.b.mClaims.Inc()
 	}
 	return true, nil
 }
@@ -1139,6 +1209,7 @@ func (s *kvGroupSub) parkPush(ctx context.Context) (Event, bool, error) {
 			return Event{}, false, err
 		}
 		if won {
+			s.b.observeDeliver(ev)
 			return ev, true, nil
 		}
 		parkSlot++ // a peer holds it; watch the next slot

@@ -5,11 +5,20 @@ import (
 	"fmt"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"proxystore/internal/connector"
 	"proxystore/internal/proxy"
 	"proxystore/internal/store"
+	"proxystore/internal/telemetry"
 )
+
+// AttrPubTime stamps each payload event with the producer's publish
+// wall-clock (UnixNano, decimal). Brokers that can observe delivery —
+// today KVBroker — subtract it from the delivery time to feed their
+// publish→deliver histograms. Like the ot.trace/ot.span pair it lives
+// in the "ot." attr namespace reserved for cross-plane telemetry.
+const AttrPubTime = "ot.pub"
 
 // ProducerStats are cumulative per-producer counters.
 type ProducerStats struct {
@@ -96,16 +105,27 @@ func (p *Producer[T]) event(pxy *proxy.Proxy[T], key connector.Key, attrs map[st
 		Key:       key,
 		ProxyData: data,
 	}
-	if len(attrs) > 0 || p.cfg.evictAfter > 0 {
-		ev.Attrs = make(map[string]string, len(attrs)+1)
-		for k, v := range attrs {
-			ev.Attrs[k] = v
-		}
-		if p.cfg.evictAfter > 0 {
-			ev.Attrs[attrEvictAfter] = strconv.Itoa(p.cfg.evictAfter)
-		}
+	ev.Attrs = make(map[string]string, len(attrs)+2)
+	for k, v := range attrs {
+		ev.Attrs[k] = v
 	}
+	if p.cfg.evictAfter > 0 {
+		ev.Attrs[attrEvictAfter] = strconv.Itoa(p.cfg.evictAfter)
+	}
+	ev.Attrs[AttrPubTime] = strconv.FormatInt(time.Now().UnixNano(), 10)
 	return ev, nil
+}
+
+// publishSpan opens a "publish" span when the caller's attrs carry a
+// trace (ot.trace), parented under the caller's span (ot.span). Returns
+// nil — inert — for untraced sends, so the hot path pays only a map
+// lookup.
+func publishSpan(attrs map[string]string) *telemetry.Span {
+	trace := attrs[telemetry.AttrTrace]
+	if trace == "" {
+		return nil
+	}
+	return telemetry.Default().StartSpan(trace, attrs[telemetry.AttrSpan], "publish")
 }
 
 // Send stores v and publishes its event. Large payloads stream into the
@@ -114,6 +134,8 @@ func (p *Producer[T]) event(pxy *proxy.Proxy[T], key connector.Key, attrs map[st
 // attrs, if given, travel in the event record — keep them small; names
 // starting with "ps." are reserved.
 func (p *Producer[T]) Send(ctx context.Context, v T, attrs map[string]string) error {
+	sp := publishSpan(attrs)
+	defer sp.End()
 	key, err := p.st.PutObject(ctx, v)
 	if err != nil {
 		return err

@@ -1,0 +1,94 @@
+package pstream_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"proxystore/internal/connector"
+	"proxystore/internal/connectors/local"
+	"proxystore/internal/kvstore"
+	"proxystore/internal/pstream"
+	"proxystore/internal/store"
+	"proxystore/internal/telemetry"
+)
+
+// TestTraceAttrPropagation sends traced events through a KVBroker round
+// trip and checks (a) the ot.trace/ot.span attrs survive the encode →
+// server → decode path verbatim, (b) the producer recorded a "publish"
+// span for the trace in the process registry, and (c) the broker's
+// publish→deliver histogram saw the deliveries (via the ot.pub stamp).
+func TestTraceAttrPropagation(t *testing.T) {
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	b := pstream.NewKV(srv.Addr())
+	defer b.Close()
+	id := connector.NewID()[:8]
+	st, err := store.New("trace-"+id, local.New("trace-conn-"+id))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	defer store.Unregister("trace-" + id)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	root := telemetry.Default().StartSpan("", "", "submit")
+	attrs := map[string]string{}
+	root.Inject(attrs)
+
+	prod := pstream.NewProducer[[]byte](st, b, "traced")
+	if err := prod.Send(ctx, []byte("payload"), attrs); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	root.End()
+
+	sub, err := b.Subscribe(ctx, "traced", "c1")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Close()
+	ev, err := sub.Next(ctx)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if got := ev.Attr(telemetry.AttrTrace); got != root.Trace {
+		t.Fatalf("delivered ot.trace = %q, want %q", got, root.Trace)
+	}
+	if got := ev.Attr(telemetry.AttrSpan); got != root.ID {
+		t.Fatalf("delivered ot.span = %q, want %q", got, root.ID)
+	}
+	if ev.Attr(pstream.AttrPubTime) == "" {
+		t.Fatal("delivered event missing ot.pub stamp")
+	}
+
+	tr := telemetry.Default().Snapshot().Trace(root.Trace)
+	var names []string
+	for _, s := range tr {
+		names = append(names, s.Name)
+	}
+	if len(tr) != 2 || tr[0].Name != "submit" || tr[1].Name != "publish" {
+		t.Fatalf("trace spans = %v, want [submit publish]", names)
+	}
+	if tr[1].Parent != root.ID {
+		t.Fatalf("publish span parent = %q, want %q", tr[1].Parent, root.ID)
+	}
+
+	snap := b.Telemetry().Snapshot()
+	if snap.Histograms["ps.kv.deliver.ns"].Count == 0 {
+		t.Fatal("ps.kv.deliver.ns never observed a delivery")
+	}
+	if snap.Counters["ps.kv.published"] != 1 {
+		t.Fatalf("ps.kv.published = %d, want 1", snap.Counters["ps.kv.published"])
+	}
+	if snap.Histograms["ps.kv.publish.ns"].Count != 1 {
+		t.Fatal("ps.kv.publish.ns missing the publish")
+	}
+	// The broker's registry also carries its kv clients' wire metrics.
+	if snap.Counters["kvc.round_trips"] == 0 {
+		t.Fatal("broker registry missing client round trips")
+	}
+}

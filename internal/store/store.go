@@ -18,12 +18,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"proxystore/internal/cache"
 	"proxystore/internal/connector"
 	"proxystore/internal/proxy"
 	"proxystore/internal/serial"
+	"proxystore/internal/telemetry"
 )
 
 // Option configures a Store at construction.
@@ -60,7 +61,19 @@ func WithCacheSize(n int) Option {
 	return func(st *Store) { st.cacheBytes = int64(n) * (4 << 20) }
 }
 
+// WithTelemetry backs the store's counters with the given registry
+// instead of a fresh private one, merging its metrics into a snapshot the
+// caller already aggregates (e.g. the process default registry exposed on
+// a -metrics-addr endpoint).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(st *Store) { st.reg = reg }
+}
+
 // Metrics counts store operations; all fields are cumulative.
+//
+// Metrics is a stable snapshot view over the store's telemetry registry
+// (see Telemetry), which additionally carries the per-connector operation
+// latency histograms store.put.ns / store.get.ns.
 type Metrics struct {
 	Puts       uint64
 	Gets       uint64
@@ -77,11 +90,33 @@ type Metrics struct {
 	CacheEvictions uint64
 }
 
-type metrics struct {
-	puts, gets, evicts atomic.Uint64
-	bytesPut, bytesGot atomic.Uint64
-	cacheHits, proxies atomic.Uint64
-	serialized         atomic.Uint64
+// storeMetrics caches the store's registry handles so hot paths never
+// take the registry lock.
+type storeMetrics struct {
+	puts, gets, evicts *telemetry.Counter
+	bytesPut, bytesGot *telemetry.Counter
+	cacheHits, proxies *telemetry.Counter
+	serialized         *telemetry.Counter
+	cacheHitBytes      *telemetry.Counter
+	putNs, getNs       *telemetry.Histogram
+	resolveNs          *telemetry.Histogram
+}
+
+func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
+	return storeMetrics{
+		puts:          reg.Counter("store.puts"),
+		gets:          reg.Counter("store.gets"),
+		evicts:        reg.Counter("store.evicts"),
+		bytesPut:      reg.Counter("store.bytes_put"),
+		bytesGot:      reg.Counter("store.bytes_got"),
+		cacheHits:     reg.Counter("store.cache.hits"),
+		proxies:       reg.Counter("store.proxies"),
+		serialized:    reg.Counter("store.serialized"),
+		cacheHitBytes: reg.Counter("store.cache.hit_bytes"),
+		putNs:         reg.Histogram("store.put.ns"),
+		getNs:         reg.Histogram("store.get.ns"),
+		resolveNs:     reg.Histogram("store.proxy_resolve.ns"),
+	}
 }
 
 // Store mediates object storage through a Connector.
@@ -93,7 +128,8 @@ type Store struct {
 	ser        serial.Serializer
 	cacheBytes int64
 	cache      *cache.LRU
-	m          metrics
+	reg        *telemetry.Registry
+	m          storeMetrics
 }
 
 var (
@@ -116,6 +152,10 @@ func New(name string, conn connector.Connector, opts ...Option) (*Store, error) 
 		o(s)
 	}
 	s.cache = cache.NewCost(s.cacheBytes)
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	s.m = newStoreMetrics(s.reg)
 
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -163,6 +203,8 @@ func GetOrInit(name string, cfg connector.Config, serializerID string) (*Store, 
 	}
 	s := &Store{name: name, conn: conn, ser: ser, cacheBytes: DefaultCacheBytes}
 	s.cache = cache.NewCost(s.cacheBytes)
+	s.reg = telemetry.NewRegistry()
+	s.m = newStoreMetrics(s.reg)
 	registry[name] = s
 	return s, nil
 }
@@ -205,18 +247,24 @@ func (s *Store) Serializer() serial.Serializer { return s.ser }
 // Metrics returns a snapshot of operation counters.
 func (s *Store) Metrics() Metrics {
 	return Metrics{
-		Puts:           s.m.puts.Load(),
-		Gets:           s.m.gets.Load(),
-		Evicts:         s.m.evicts.Load(),
-		BytesPut:       s.m.bytesPut.Load(),
-		BytesGot:       s.m.bytesGot.Load(),
-		CacheHits:      s.m.cacheHits.Load(),
-		Proxies:        s.m.proxies.Load(),
-		Serialized:     s.m.serialized.Load(),
+		Puts:           s.m.puts.Value(),
+		Gets:           s.m.gets.Value(),
+		Evicts:         s.m.evicts.Value(),
+		BytesPut:       s.m.bytesPut.Value(),
+		BytesGot:       s.m.bytesGot.Value(),
+		CacheHits:      s.m.cacheHits.Value(),
+		Proxies:        s.m.proxies.Value(),
+		Serialized:     s.m.serialized.Value(),
 		CacheHitBytes:  s.cache.HitBytes(),
 		CacheEvictions: s.cache.Evictions(),
 	}
 }
+
+// Telemetry returns the store's metric registry: the Metrics counters
+// under store.* names plus the connector op latency histograms
+// store.put.ns / store.get.ns and, for proxies minted with
+// WithProxyMetrics, store.proxy_resolve.ns.
+func (s *Store) Telemetry() *telemetry.Registry { return s.reg }
 
 // PutOption constrains a single put.
 type PutOption func(*putOptions)
@@ -240,6 +288,7 @@ func WithTags(tags ...string) PutOption {
 // materialized; otherwise the classic blob path is used. Placement
 // constraints (WithTags) route through the connector's tagged put surface.
 func (s *Store) PutObject(ctx context.Context, v any, opts ...PutOption) (connector.Key, error) {
+	start := time.Now()
 	var o putOptions
 	for _, opt := range opts {
 		opt(&o)
@@ -282,6 +331,7 @@ func (s *Store) PutObject(ctx context.Context, v any, opts ...PutOption) (connec
 		s.m.serialized.Add(1)
 		s.m.puts.Add(1)
 		s.m.bytesPut.Add(uint64(key.Size))
+		s.m.putNs.Since(start)
 		return key, nil
 	}
 
@@ -296,6 +346,7 @@ func (s *Store) PutObject(ctx context.Context, v any, opts ...PutOption) (connec
 	}
 	s.m.puts.Add(1)
 	s.m.bytesPut.Add(uint64(len(data)))
+	s.m.putNs.Since(start)
 	return key, nil
 }
 
@@ -304,10 +355,12 @@ func (s *Store) PutObject(ctx context.Context, v any, opts ...PutOption) (connec
 // connector can stream, the object is decoded straight off the connector's
 // streaming path through a pipe; otherwise the blob path is used.
 func (s *Store) GetObject(ctx context.Context, key connector.Key) (any, error) {
-	if v, ok := s.cache.Get(key.ID); ok {
+	if v, cost, ok := s.cache.GetCost(key.ID); ok {
 		s.m.cacheHits.Add(1)
+		s.m.cacheHitBytes.Add(uint64(cost))
 		return v, nil
 	}
+	start := time.Now()
 	dec, decOK := s.ser.(serial.StreamDecoder)
 	sg, connOK := s.conn.(connector.StreamGetter)
 	if connOK && decOK {
@@ -319,6 +372,7 @@ func (s *Store) GetObject(ctx context.Context, key connector.Key) (any, error) {
 	}
 	s.m.gets.Add(1)
 	s.m.bytesGot.Add(uint64(len(data)))
+	s.m.getNs.Since(start)
 	v, err := s.ser.Decode(data)
 	if err != nil {
 		return nil, fmt.Errorf("store %q: deserializing %s: %w", s.name, key, err)
@@ -332,6 +386,7 @@ func (s *Store) GetObject(ctx context.Context, key connector.Key) (any, error) {
 // surfaces to the decoder as a truncated input), except for the pipe-closed
 // error we cause ourselves when the decoder stops early.
 func (s *Store) getStreamed(ctx context.Context, key connector.Key, sg connector.StreamGetter, dec serial.StreamDecoder) (any, error) {
+	start := time.Now()
 	pr, pw := io.Pipe()
 	getErr := make(chan error, 1)
 	go func() {
@@ -356,6 +411,7 @@ func (s *Store) getStreamed(ctx context.Context, key connector.Key, sg connector
 	}
 	s.m.gets.Add(1)
 	s.m.bytesGot.Add(uint64(cr.n))
+	s.m.getNs.Since(start)
 	s.cache.SetCost(key.ID, v, cr.n+cacheEntryOverhead)
 	return v, nil
 }
@@ -375,12 +431,14 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // serializer. It is the byte-stream half of the data plane: peak memory is
 // O(chunk) when the connector streams natively.
 func (s *Store) PutReader(ctx context.Context, r io.Reader) (connector.Key, error) {
+	start := time.Now()
 	key, err := connector.PutFrom(ctx, s.conn, r)
 	if err != nil {
 		return connector.Key{}, fmt.Errorf("store %q: stream put: %w", s.name, err)
 	}
 	s.m.puts.Add(1)
 	s.m.bytesPut.Add(uint64(key.Size))
+	s.m.putNs.Since(start)
 	return key, nil
 }
 
@@ -388,12 +446,14 @@ func (s *Store) PutReader(ctx context.Context, r io.Reader) (connector.Key, erro
 // and the deserialized-object cache. The caller must Close the reader; a
 // transfer failure (including ErrNotFound) surfaces as a read error.
 func (s *Store) GetReader(ctx context.Context, key connector.Key) (io.ReadCloser, error) {
+	start := time.Now()
 	pr, pw := io.Pipe()
 	go func() {
 		err := connector.GetTo(ctx, s.conn, key, pw)
 		if err == nil {
 			s.m.gets.Add(1)
 			s.m.bytesGot.Add(uint64(key.Size))
+			s.m.getNs.Since(start)
 		}
 		pw.CloseWithError(err)
 	}()
@@ -451,6 +511,7 @@ type ProxyOption func(*proxyOptions)
 
 type proxyOptions struct {
 	evict   bool
+	metrics bool
 	putTags []string
 }
 
@@ -459,6 +520,15 @@ type proxyOptions struct {
 // values (paper §3.5).
 func WithEvict() ProxyOption {
 	return func(o *proxyOptions) { o.evict = true }
+}
+
+// WithProxyMetrics marks the minted proxy for resolve timing: each
+// resolution records its wall-clock duration into the resolving store's
+// store.proxy_resolve.ns histogram (Telemetry). The flag travels in the
+// factory state, so resolutions on consumer processes are timed too. Off
+// by default — untimed proxies pay nothing.
+func WithProxyMetrics() ProxyOption {
+	return func(o *proxyOptions) { o.metrics = true }
 }
 
 // WithPutTags constrains where NewProxy places the target object, exactly
@@ -500,6 +570,7 @@ func ProxyFromKey[T any](s *Store, key connector.Key, opts ...ProxyOption) *prox
 		Key:        key,
 		Evict:      o.evict,
 		Serializer: s.ser.ID(),
+		Metrics:    o.metrics,
 	}}
 	return proxy.NewFromAny[T](f)
 }
@@ -518,6 +589,7 @@ func (s *Store) PutBatch(ctx context.Context, values []any) ([]connector.Key, er
 	}
 	s.m.serialized.Add(uint64(len(values)))
 
+	start := time.Now()
 	keys, err := connector.Stream(s.conn).PutBatch(ctx, blobs)
 	if err != nil {
 		return nil, fmt.Errorf("store %q: batch put: %w", s.name, err)
@@ -526,6 +598,7 @@ func (s *Store) PutBatch(ctx context.Context, values []any) ([]connector.Key, er
 		s.m.bytesPut.Add(uint64(len(b)))
 	}
 	s.m.puts.Add(uint64(len(blobs)))
+	s.m.putNs.Since(start)
 	return keys, nil
 }
 
@@ -538,8 +611,9 @@ func (s *Store) GetBatch(ctx context.Context, keys []connector.Key) ([]any, erro
 	var missing []connector.Key
 	var missingIdx []int
 	for i, k := range keys {
-		if v, ok := s.cache.Get(k.ID); ok {
+		if v, cost, ok := s.cache.GetCost(k.ID); ok {
 			s.m.cacheHits.Add(1)
+			s.m.cacheHitBytes.Add(uint64(cost))
 			out[i] = v
 			continue
 		}
@@ -549,10 +623,12 @@ func (s *Store) GetBatch(ctx context.Context, keys []connector.Key) ([]any, erro
 	if len(missing) == 0 {
 		return out, nil
 	}
+	start := time.Now()
 	blobs, err := connector.Stream(s.conn).GetBatch(ctx, missing)
 	if err != nil {
 		return nil, fmt.Errorf("store %q: batch get: %w", s.name, err)
 	}
+	s.m.getNs.Since(start)
 	for j, data := range blobs {
 		v, err := s.ser.Decode(data)
 		if err != nil {
@@ -702,6 +778,9 @@ type factoryState struct {
 	Key        connector.Key
 	Evict      bool
 	Serializer string
+	// Metrics opts the proxy into resolve timing (WithProxyMetrics). New
+	// field: gob decodes payloads from builds without it to false.
+	Metrics bool
 }
 
 // storeFactory resolves a target object through a (possibly reconstructed)
@@ -717,6 +796,9 @@ func (f *storeFactory) ResolveAny(ctx context.Context) (any, error) {
 	s, err := GetOrInit(f.state.StoreName, f.state.Connector, f.state.Serializer)
 	if err != nil {
 		return nil, err
+	}
+	if f.state.Metrics {
+		defer s.m.resolveNs.Since(time.Now())
 	}
 	v, err := s.GetObject(ctx, f.state.Key)
 	if err != nil {

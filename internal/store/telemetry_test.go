@@ -1,0 +1,103 @@
+package store_test
+
+import (
+	"context"
+	"testing"
+
+	"proxystore/internal/proxy"
+	"proxystore/internal/store"
+	"proxystore/internal/telemetry"
+)
+
+// TestTelemetryBacksMetrics checks the Metrics API and the registry are
+// two views of the same counters, and that the op-latency histograms see
+// the connector round trips.
+func TestTelemetryBacksMetrics(t *testing.T) {
+	s := newTestStore(t, "telemetry")
+	ctx := context.Background()
+
+	key, err := store.Put(ctx, s, []byte("abc"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	for i := 0; i < 2; i++ { // miss then hit
+		if _, err := s.GetObject(ctx, key); err != nil {
+			t.Fatalf("GetObject: %v", err)
+		}
+	}
+
+	m := s.Metrics()
+	snap := s.Telemetry().Snapshot()
+	if got := snap.Counters["store.puts"]; got != m.Puts || got != 1 {
+		t.Fatalf("store.puts = %d, Metrics.Puts = %d, want both 1", got, m.Puts)
+	}
+	if got := snap.Counters["store.gets"]; got != m.Gets || got != 1 {
+		t.Fatalf("store.gets = %d, Metrics.Gets = %d, want both 1", got, m.Gets)
+	}
+	if got := snap.Counters["store.cache.hits"]; got != m.CacheHits || got != 1 {
+		t.Fatalf("store.cache.hits = %d, Metrics.CacheHits = %d, want both 1", got, m.CacheHits)
+	}
+	if got := snap.Counters["store.cache.hit_bytes"]; got == 0 || got != m.CacheHitBytes {
+		t.Fatalf("store.cache.hit_bytes = %d, Metrics.CacheHitBytes = %d, want equal and > 0", got, m.CacheHitBytes)
+	}
+	if snap.Histograms["store.put.ns"].Count != 1 {
+		t.Fatalf("store.put.ns count = %d, want 1", snap.Histograms["store.put.ns"].Count)
+	}
+	if snap.Histograms["store.get.ns"].Count != 1 {
+		t.Fatalf("store.get.ns count = %d, want 1 (cache hit must not count)", snap.Histograms["store.get.ns"].Count)
+	}
+}
+
+// TestWithTelemetry merges a store's metrics into a caller-owned registry.
+func TestWithTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := newTestStore(t, "shared-reg", store.WithTelemetry(reg))
+	if s.Telemetry() != reg {
+		t.Fatal("store did not adopt the supplied registry")
+	}
+	if _, err := store.Put(context.Background(), s, []byte("x")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if reg.Snapshot().Counters["store.puts"] != 1 {
+		t.Fatal("supplied registry missed the put")
+	}
+}
+
+// TestWithProxyMetrics times resolutions of opted-in proxies into the
+// resolving store's registry — and leaves untimed proxies untimed.
+func TestWithProxyMetrics(t *testing.T) {
+	s := newTestStore(t, "proxy-metrics")
+	ctx := context.Background()
+
+	plain, err := store.NewProxy(ctx, s, []byte("untimed"))
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	if _, err := plain.Value(ctx); err != nil {
+		t.Fatalf("Value: %v", err)
+	}
+	if n := s.Telemetry().Histogram("store.proxy_resolve.ns").Snapshot().Count; n != 0 {
+		t.Fatalf("untimed proxy recorded %d resolves", n)
+	}
+
+	timed, err := store.NewProxy(ctx, s, []byte("timed"), store.WithProxyMetrics())
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	// Round-trip through the wire form: the flag must survive factory
+	// serialization so consumer-process resolutions are timed too.
+	data, err := timed.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	var revived proxy.Proxy[[]byte]
+	if err := revived.UnmarshalBinary(data); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if _, err := revived.Value(ctx); err != nil {
+		t.Fatalf("Value: %v", err)
+	}
+	if n := s.Telemetry().Histogram("store.proxy_resolve.ns").Snapshot().Count; n != 1 {
+		t.Fatalf("store.proxy_resolve.ns count = %d, want 1", n)
+	}
+}

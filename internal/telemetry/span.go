@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Trace attrs as they appear on the wire. A span's trace ID and span ID
+// ride pstream event attrs under these names, so a hop on any plane can
+// continue the trace the previous hop started. The "ot." prefix keeps
+// them clear of pstream's reserved "ps." attr namespace and of
+// application attrs.
+const (
+	// AttrTrace carries the 16-hex-digit trace ID.
+	AttrTrace = "ot.trace"
+	// AttrSpan carries the sending hop's span ID; the receiving hop
+	// uses it as its parent.
+	AttrSpan = "ot.span"
+)
+
+// NewTraceID returns a random 16-hex-digit identifier, used for both
+// trace and span IDs.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID
+		// is still a functioning (if colliding) identifier.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SpanRecord is a finished span as stored in a registry snapshot.
+type SpanRecord struct {
+	Trace  string
+	ID     string
+	Parent string
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+}
+
+// Span is an in-flight timed operation belonging to a trace. Spans are
+// cheap: two IDs and a timestamp. A nil *Span is inert — call sites can
+// unconditionally defer sp.End().
+type Span struct {
+	Trace  string
+	ID     string
+	Parent string
+	Name   string
+	reg    *Registry
+	start  time.Time
+}
+
+// StartSpan opens a span. An empty trace starts a new trace; parent may
+// be empty for root spans. The finished span lands in this registry's
+// snapshot (recent-span ring plus a "span.<name>" duration histogram).
+func (r *Registry) StartSpan(trace, parent, name string) *Span {
+	if trace == "" {
+		trace = NewTraceID()
+	}
+	return &Span{
+		Trace:  trace,
+		ID:     NewTraceID(),
+		Parent: parent,
+		Name:   name,
+		reg:    r,
+		start:  time.Now(),
+	}
+}
+
+// End records the span. Safe on a nil span; idempotent is not required
+// (call once).
+func (s *Span) End() {
+	if s == nil || s.reg == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.reg.Histogram("span." + s.Name).Observe(int64(d))
+	s.reg.spans.add(SpanRecord{
+		Trace:  s.Trace,
+		ID:     s.ID,
+		Parent: s.Parent,
+		Name:   s.Name,
+		Start:  s.start,
+		Dur:    d,
+	})
+	s.reg = nil
+}
+
+// Inject writes the span's trace context into an event-attr map (the
+// ot.trace / ot.span wire format). The map must be non-nil.
+func (s *Span) Inject(attrs map[string]string) {
+	if s == nil {
+		return
+	}
+	attrs[AttrTrace] = s.Trace
+	attrs[AttrSpan] = s.ID
+}
+
+// spanRing keeps the most recent finished spans, bounded so a
+// long-running daemon's registry stays O(1).
+const spanRingCap = 4096
+
+type spanRing struct {
+	mu   sync.Mutex
+	buf  []SpanRecord
+	next int
+	full bool
+}
+
+func (r *spanRing) add(s SpanRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		r.buf = make([]SpanRecord, spanRingCap)
+	}
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % spanRingCap
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// all returns the ring contents oldest-first.
+func (r *spanRing) all() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buf == nil {
+		return nil
+	}
+	if !r.full {
+		return append([]SpanRecord{}, r.buf[:r.next]...)
+	}
+	out := make([]SpanRecord, 0, spanRingCap)
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

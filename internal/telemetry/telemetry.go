@@ -1,0 +1,449 @@
+// Package telemetry is the dependency-free metrics core shared by all
+// three planes (store data plane, kvstore metadata plane, faas/colmena
+// task plane). It provides:
+//
+//   - Counter / Gauge: single atomic words. Gauges additionally track
+//     their high-water mark (Peak), so "peak parked waiters" style
+//     numbers survive into shutdown summaries.
+//   - Histogram: fixed-bucket (log2 octaves × 8 linear sub-buckets,
+//     ≲6% relative error) with lock-free Observe and mergeable
+//     snapshots. Durations are observed in nanoseconds.
+//   - Registry: a named get-or-create home for the above. Components
+//     own private registries (kvstore.Server, kvstore.Client,
+//     pstream.KVBroker, store.Store) so tests stay isolated; Default()
+//     is the process-global registry used for cross-plane spans and
+//     daemon-level introspection. Snapshots from several registries
+//     Merge into one view.
+//   - Spans (span.go): lightweight trace records whose IDs ride
+//     pstream event attrs (ot.trace / ot.span) across plane hops.
+//
+// Everything here is stdlib-only and safe for concurrent use; Observe
+// and Add on hot paths are one or two atomic operations.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that also remembers its
+// high-water mark.
+type Gauge struct {
+	v    atomic.Int64
+	peak atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	g.bump(v)
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	g.bump(g.v.Add(delta))
+}
+
+// Inc increases the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decreases the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Peak returns the highest value the gauge has reached.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+func (g *Gauge) bump(v int64) {
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// Histogram bucket layout: values 0..7 map to exact buckets, larger
+// values land in log2 octaves split into 8 linear sub-buckets. 64
+// octaves × 8 covers the full non-negative int64 range in 512 buckets
+// (4 KiB of counters) with ≤ ~6% relative quantile error.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits // 8
+	HistBuckets = 512
+)
+
+func bucketIdx(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histSub {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // >= histSubBits
+	sub := (u >> (uint(exp) - histSubBits)) & (histSub - 1)
+	return histSub*(exp-histSubBits+1) + int(sub)
+}
+
+// bucketBounds returns the half-open [lo, hi) value range of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i < histSub {
+		return float64(i), float64(i + 1)
+	}
+	exp := uint(i/histSub - 1 + histSubBits)
+	sub := uint64(i % histSub)
+	width := float64(uint64(1) << (exp - histSubBits))
+	lo = float64(uint64(1)<<exp) + float64(sub)*width
+	return lo, lo + width
+}
+
+// Histogram is a fixed-bucket histogram of non-negative int64 samples
+// (durations are recorded in nanoseconds). Observe is lock-free.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIdx(v)].Add(1)
+	h.sum.Add(uint64(v))
+	if h.count.Add(1) == 1 {
+		// First writer seeds min; racing writers fix it up below.
+		h.min.Store(v)
+	}
+	for {
+		m := h.min.Load()
+		if v >= m || h.min.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Since records the elapsed nanoseconds from t0 until now.
+func (h *Histogram) Since(t0 time.Time) { h.Observe(int64(time.Since(t0))) }
+
+// Snapshot returns a point-in-time copy. Concurrent Observes may be
+// partially included; the snapshot is internally consistent enough for
+// reporting (count/sum/buckets each read atomically).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram, mergeable with
+// snapshots of other histograms (same fixed bucket layout).
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Min     int64
+	Max     int64
+	Buckets [HistBuckets]uint64
+}
+
+// Merge returns the combination of two snapshots.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	out := s
+	out.Count += o.Count
+	out.Sum += o.Sum
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of the recorded samples.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the matching bucket, clamped to the observed
+// min/max.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(s.Min)
+	}
+	if q >= 1 {
+		return float64(s.Max)
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += float64(c)
+		if cum >= target {
+			lo, hi := bucketBounds(i)
+			frac := (target - (cum - float64(c))) / float64(c)
+			v := lo + frac*(hi-lo)
+			return math.Min(math.Max(v, float64(s.Min)), float64(s.Max))
+		}
+	}
+	return float64(s.Max)
+}
+
+// Registry is a named home for counters, gauges, histograms, and
+// finished spans. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    spanRing
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry. Cross-plane spans and
+// anything that should show up in a daemon's /metrics endpoint without
+// explicit wiring records here.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeSnapshot is the snapshotted state of one gauge.
+type GaugeSnapshot struct {
+	Value int64
+	Peak  int64
+}
+
+// Snapshot is a point-in-time, mergeable copy of a registry.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]GaugeSnapshot
+	Histograms map[string]HistSnapshot
+	Spans      []SpanRecord
+}
+
+// Snapshot copies every metric and the recent-span ring.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]GaugeSnapshot),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = GaugeSnapshot{Value: v.Value(), Peak: v.Peak()}
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	s.Spans = r.spans.all()
+	return s
+}
+
+// Merge combines two snapshots: counters add, gauges add (peaks take
+// the max), histograms merge bucket-wise, spans concatenate.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)+len(o.Counters)),
+		Gauges:     make(map[string]GaugeSnapshot, len(s.Gauges)+len(o.Gauges)),
+		Histograms: make(map[string]HistSnapshot, len(s.Histograms)+len(o.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range o.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range o.Gauges {
+		g := out.Gauges[k]
+		g.Value += v.Value
+		if v.Peak > g.Peak {
+			g.Peak = v.Peak
+		}
+		out.Gauges[k] = g
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = v
+	}
+	for k, v := range o.Histograms {
+		out.Histograms[k] = out.Histograms[k].Merge(v)
+	}
+	out.Spans = append(append([]SpanRecord{}, s.Spans...), o.Spans...)
+	return out
+}
+
+// Trace returns the snapshot's span records for one trace ID, ordered
+// by start time.
+func (s Snapshot) Trace(id string) []SpanRecord {
+	var out []SpanRecord
+	for _, sp := range s.Spans {
+		if sp.Trace == id {
+			out = append(out, sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Text renders the snapshot as sorted "name value" lines — the format
+// served at /metrics and returned by the kvstore INFO command.
+// Histograms expand to .count/.sum/.min/.max/.p50/.p95/.p99 lines;
+// gauges emit their value plus a .peak line.
+func (s Snapshot) Text() string {
+	lines := make([]string, 0, len(s.Counters)+2*len(s.Gauges)+7*len(s.Histograms))
+	for k, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v.Value))
+		lines = append(lines, fmt.Sprintf("%s.peak %d", k, v.Peak))
+	}
+	for k, v := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("%s.count %d", k, v.Count))
+		lines = append(lines, fmt.Sprintf("%s.sum %d", k, v.Sum))
+		lines = append(lines, fmt.Sprintf("%s.min %d", k, v.Min))
+		lines = append(lines, fmt.Sprintf("%s.max %d", k, v.Max))
+		lines = append(lines, fmt.Sprintf("%s.p50 %.0f", k, v.Quantile(0.50)))
+		lines = append(lines, fmt.Sprintf("%s.p95 %.0f", k, v.Quantile(0.95)))
+		lines = append(lines, fmt.Sprintf("%s.p99 %.0f", k, v.Quantile(0.99)))
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("g")
+	g.Add(3)
+	g.Add(4)
+	g.Add(-6)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %d, want 1", got)
+	}
+	if got := g.Peak(); got != 7 {
+		t.Fatalf("gauge peak = %d, want 7", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// Uniform 1..1000: quantiles should land within the bucket error
+	// bound (~6% relative plus one bucket width).
+	for i := 1; i <= 1000; i++ {
+		h.Observe(int64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("count/min/max = %d/%d/%d", s.Count, s.Min, s.Max)
+	}
+	check := func(q, want, tol float64) {
+		got := s.Quantile(q)
+		if got < want*(1-tol) || got > want*(1+tol) {
+			t.Fatalf("q%.2f = %.1f, want %.1f ±%.0f%%", q, got, want, tol*100)
+		}
+	}
+	check(0.50, 500, 0.10)
+	check(0.95, 950, 0.10)
+	check(0.99, 990, 0.10)
+	if got := s.Quantile(1); got != 1000 {
+		t.Fatalf("q1 = %.1f, want max", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %.1f, want min", got)
+	}
+	if mean := s.Mean(); mean < 480 || mean > 520 {
+		t.Fatalf("mean = %.1f, want ~500.5", mean)
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 8; i++ {
+		if got := bucketIdx(int64(i)); got != i {
+			t.Fatalf("bucketIdx(%d) = %d", i, got)
+		}
+	}
+	h.Observe(-5) // clamps to 0
+	s := h.Snapshot()
+	if s.Min != 0 || s.Buckets[0] != 1 {
+		t.Fatalf("negative sample not clamped: min=%d b0=%d", s.Min, s.Buckets[0])
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x").Add(2)
+	b.Counter("x").Add(3)
+	b.Counter("y").Inc()
+	a.Gauge("g").Set(5)
+	b.Gauge("g").Set(2)
+	a.Histogram("h").Observe(10)
+	b.Histogram("h").Observe(1000)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Counters["x"] != 5 || m.Counters["y"] != 1 {
+		t.Fatalf("merged counters = %v", m.Counters)
+	}
+	if g := m.Gauges["g"]; g.Value != 7 || g.Peak != 5 {
+		t.Fatalf("merged gauge = %+v", g)
+	}
+	h := m.Histograms["h"]
+	if h.Count != 2 || h.Min != 10 || h.Max != 1000 {
+		t.Fatalf("merged hist = count %d min %d max %d", h.Count, h.Min, h.Max)
+	}
+}
+
+// TestConcurrentWritersDuringSnapshot hammers counters, gauges, and
+// histograms from many goroutines while snapshots are taken — run with
+// -race, this is the registry's data-race proof.
+func TestConcurrentWritersDuringSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 5000
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot().Text()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Counter("ops").Inc()
+				r.Gauge("depth").Add(1)
+				r.Histogram("lat").Observe(int64(i % 1024))
+				r.Gauge("depth").Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-snapDone
+	s := r.Snapshot()
+	if s.Counters["ops"] != writers*perWriter {
+		t.Fatalf("ops = %d, want %d", s.Counters["ops"], writers*perWriter)
+	}
+	if s.Histograms["lat"].Count != writers*perWriter {
+		t.Fatalf("lat count = %d, want %d", s.Histograms["lat"].Count, writers*perWriter)
+	}
+	if s.Gauges["depth"].Value != 0 {
+		t.Fatalf("depth = %d, want 0", s.Gauges["depth"].Value)
+	}
+}
+
+func TestSpans(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("", "", "submit")
+	attrs := map[string]string{}
+	root.Inject(attrs)
+	if attrs[AttrTrace] != root.Trace || attrs[AttrSpan] != root.ID {
+		t.Fatalf("Inject wrote %v", attrs)
+	}
+	child := r.StartSpan(attrs[AttrTrace], attrs[AttrSpan], "publish")
+	child.End()
+	root.End()
+	var nilSpan *Span
+	nilSpan.End() // must not panic
+	nilSpan.Inject(attrs)
+
+	s := r.Snapshot()
+	tr := s.Trace(root.Trace)
+	if len(tr) != 2 {
+		t.Fatalf("trace has %d spans, want 2", len(tr))
+	}
+	if tr[0].Name != "submit" || tr[1].Name != "publish" {
+		t.Fatalf("span order: %s, %s", tr[0].Name, tr[1].Name)
+	}
+	if tr[1].Parent != root.ID {
+		t.Fatalf("child parent = %q, want %q", tr[1].Parent, root.ID)
+	}
+	if s.Histograms["span.submit"].Count != 1 {
+		t.Fatal("span duration histogram missing")
+	}
+}
+
+func TestSpanRingBounded(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < spanRingCap+10; i++ {
+		r.StartSpan("t", "", "s").End()
+	}
+	if n := len(r.Snapshot().Spans); n != spanRingCap {
+		t.Fatalf("ring holds %d, want %d", n, spanRingCap)
+	}
+}
+
+// TestHTTPEndpoint is the /metrics smoke test: known metric names must
+// appear in the text dump, and expvar/pprof must answer.
+func TestHTTPEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kv.commands").Add(7)
+	r.Histogram("kv.cmd.GET.ns").Observe(1500)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	body := get("/metrics")
+	for _, want := range []string{"kv.commands 7", "kv.cmd.GET.ns.count 1", "kv.cmd.GET.ns.p95"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(get("/debug/vars"), "memstats") {
+		t.Fatal("/debug/vars missing memstats")
+	}
+	if !strings.Contains(get("/debug/pprof/"), "goroutine") {
+		t.Fatal("/debug/pprof/ missing profile index")
+	}
+}
