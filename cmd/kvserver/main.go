@@ -16,6 +16,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6379", "listen address")
 	aof := flag.String("persist", "", "append-only persistence file (empty: memory only)")
+	replicaOf := flag.String("replica-of", "", "follow the primary at this address as a read-only replica (promoted on primary death or PROMOTE)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty: off)")
 	flag.Parse()
 
@@ -23,12 +24,19 @@ func main() {
 	if *aof != "" {
 		opts = append(opts, kvstore.WithPersistence(*aof))
 	}
+	if *replicaOf != "" {
+		opts = append(opts, kvstore.WithReplicaOf(*replicaOf))
+	}
 	srv, err := kvstore.NewServer(*addr, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kvserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("kvserver listening on %s\n", srv.Addr())
+	role := "primary"
+	if *replicaOf != "" {
+		role = "replica of " + *replicaOf
+	}
+	fmt.Printf("kvserver listening on %s (%s)\n", srv.Addr(), role)
 
 	if *metricsAddr != "" {
 		ms, err := telemetry.Serve(*metricsAddr, srv.Telemetry())

@@ -23,6 +23,25 @@
 //	                   members and measures conns-per-consumer (≤1 ⇔ the
 //	                   wait multiplexer shares one blocking-wait
 //	                   connection instead of pinning one per member)
+//	shard            — the sharded-tier profile: -topics concurrent
+//	                   producers publish metadata-only events against a
+//	                   durable in-process kv tier, once with 1 shard and
+//	                   once with -shards, and the rows' aggregate publish
+//	                   rates show what consistent-hash sharding buys when
+//	                   every publish must reach a shard's commit log
+//	                   before it is acknowledged. The commit device is
+//	                   modeled per shard (-commit, netsim style — real
+//	                   appends, modeled flush time) since co-located
+//	                   shards sharing one local disk would serialize on
+//	                   its journal and hide the scaling; -fsync swaps in
+//	                   real fsyncs for multi-disk hardware
+//
+// -kv pstream.NewKV's address — a single server or a cluster spec
+// ("host:port|replica,host:port" — shards by ",", replicas by "|") — runs
+// the kv-broker profiles against an external tier instead of an
+// in-process server, with the data plane on a local store. This is how CI
+// drives a publish/consume workload through a primary→replica failover:
+// point -kv at a primary|replica pair and kill the primary mid-run.
 //
 // The stream profile's delivery modes:
 //
@@ -57,16 +76,19 @@
 // -json writes the full result table as machine-readable JSON
 // (BENCH_pstream.json in CI) so runs can be tracked over time. -strict
 // exits non-zero if push delivery fails to beat the polling fallback on
-// kv-cmds/item in the event and group profiles, or — in the pipeline
-// profile — if pipelining fails to amortize round trips (cmds/rtt ≤ 1.02)
-// or parked group members fail to share the wait connection
-// (conns/consumer > 1).
+// kv-cmds/item in the event and group profiles; in the pipeline profile,
+// if pipelining fails to amortize round trips (cmds/rtt ≤ 1.02) or parked
+// group members fail to share the wait connection (conns/consumer > 1);
+// in the shard profile, if the sharded row's aggregate publish throughput
+// falls below 1.3× the single-shard row (a floor set well under the ~2×
+// a quiet machine shows, for loaded CI runners).
 //
 // Usage:
 //
-//	ps-streambench [-profile stream|tasks|multi|pipeline] [-items N] [-size BYTES]
+//	ps-streambench [-profile stream|tasks|multi|pipeline|shard] [-items N] [-size BYTES]
 //	               [-consumers N] [-window N] [-batch N] [-gap DUR]
-//	               [-broker mem|kv] [-groups] [-wan] [-json PATH] [-strict]
+//	               [-broker mem|kv] [-kv ADDR|SPEC] [-groups] [-wan] [-json PATH] [-strict]
+//	               [-shards N] [-topics N] [-commit DUR] [-fsync]
 package main
 
 import (
@@ -77,8 +99,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"proxystore/internal/connector"
@@ -129,16 +154,23 @@ type profile struct {
 
 // report is the -json document.
 type report struct {
-	Profile   string    `json:"profile"`
-	Items     int       `json:"items"`
-	Size      int       `json:"size_bytes"`
-	Consumers int       `json:"consumers"`
-	Window    int       `json:"window"`
-	Batch     int       `json:"batch"`
-	GapMS     float64   `json:"gap_ms"`
-	Broker    string    `json:"broker"`
-	WAN       bool      `json:"wan"`
-	Profiles  []profile `json:"profiles"`
+	Profile   string  `json:"profile"`
+	Items     int     `json:"items"`
+	Size      int     `json:"size_bytes"`
+	Consumers int     `json:"consumers"`
+	Window    int     `json:"window"`
+	Batch     int     `json:"batch"`
+	GapMS     float64 `json:"gap_ms"`
+	Broker    string  `json:"broker"`
+	WAN       bool    `json:"wan"`
+	// Shard-profile parameters: topic/shard counts and the commit-device
+	// model behind the pub-Nshard rows (commit_ms 0 with fsync true means
+	// real fsync per append).
+	Topics   int       `json:"topics,omitempty"`
+	Shards   int       `json:"shards,omitempty"`
+	CommitMS float64   `json:"commit_ms,omitempty"`
+	Fsync    bool      `json:"fsync,omitempty"`
+	Profiles []profile `json:"profiles"`
 }
 
 // latencies collects publish→deliver samples across consumer goroutines,
@@ -185,7 +217,7 @@ func nowAttr() map[string]string {
 }
 
 func main() {
-	profileKind := flag.String("profile", "stream", "benchmark profile: stream | tasks | multi | pipeline")
+	profileKind := flag.String("profile", "stream", "benchmark profile: stream | tasks | multi | pipeline | shard")
 	items := flag.Int("items", 256, "objects to stream (tasks with -profile tasks)")
 	size := flag.Int("size", 256<<10, "object size in bytes (task argument size with -profile tasks)")
 	consumers := flag.Int("consumers", 2, "consumer count (group members with -groups, endpoint workers with -profile tasks)")
@@ -193,6 +225,11 @@ func main() {
 	batch := flag.Int("batch", 32, "batchpub-mode SendBatch size")
 	gap := flag.Duration("gap", 2*time.Millisecond, "inter-send pacing for the event/group/tasks latency profiles")
 	brokerKind := flag.String("broker", "kv", "broker: mem | kv")
+	kvAddr := flag.String("kv", "", "external kvstore address or cluster spec (\"primary|replica\" / \"shard1,shard2\"; kv broker only — replaces the in-process server, data plane moves to a local store so the run measures the external tier)")
+	shards := flag.Int("shards", 2, "shard count for the sharded row of -profile shard")
+	topics := flag.Int("topics", 8, "independent topics for -profile shard")
+	commit := flag.Duration("commit", 2*time.Millisecond, "modeled per-shard commit-device latency for -profile shard (each shard owns its device, as in a real deployment; 0 disables the model)")
+	fsync := flag.Bool("fsync", false, "fsync every append in -profile shard instead of modeling the commit device (honest on multi-disk hardware; on one local disk the shards' flushes share the journal and mostly serialize)")
 	groups := flag.Bool("groups", false, "add the consumer-group work-queue profiles (stream profile)")
 	wan := flag.Bool("wan", false, "model WAN delays on the redis data plane (kv broker only)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this path")
@@ -216,6 +253,28 @@ func main() {
 			return st
 		}
 	case "kv":
+		if *kvAddr != "" {
+			// External tier (possibly sharded/replicated — the spec syntax
+			// is the cluster package's): the broker runs against it while
+			// the data plane stays in-process, so the run measures the
+			// external servers' metadata plane — including through a
+			// failover, which is what the CI kill-primary smoke drives.
+			mkBroker = func(push bool) pstream.Broker {
+				return pstream.NewKV(*kvAddr, pstream.WithKVPush(push))
+			}
+			mkStore = func(run string, gobSer bool) *store.Store {
+				sopts := []store.Option{store.WithCacheBytes(0)}
+				if !gobSer {
+					sopts = append(sopts, store.WithSerializer(serial.Raw()))
+				}
+				st, err := store.New("sb-"+run, local.New("sb-conn-"+run), sopts...)
+				if err != nil {
+					log.Fatal(err)
+				}
+				return st
+			}
+			break
+		}
 		var err error
 		srv, err = kvstore.NewServer("127.0.0.1:0")
 		if err != nil {
@@ -260,6 +319,13 @@ func main() {
 	case "pipeline":
 		fmt.Printf("transport profile: %d × %d KiB items over %q broker, local data plane (kv server carries broker traffic only)\n\n",
 			*items, *size>>10, *brokerKind)
+	case "shard":
+		durability := fmt.Sprintf("modeled %v commit device per shard", *commit)
+		if *fsync {
+			durability = "fsync per append"
+		}
+		fmt.Printf("shard profile: %d publishes across %d independent topics, 1 vs %d durable kv shards (%s)\n\n",
+			*items, *topics, *shards, durability)
 	default:
 		fmt.Printf("streaming %d × %d KiB to %d consumers over %q broker\n\n",
 			*items, *size>>10, *consumers, *brokerKind)
@@ -292,6 +358,25 @@ func main() {
 	// conns/consumer column; the pipe-group row overrides it to its
 	// (possibly widened) member count before calling run.
 	rowConsumers := *consumers
+	printRow := func(p profile) {
+		opt := func(v *float64) string {
+			if v == nil {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", *v)
+		}
+		cmdsCol := "-"
+		if p.KVCmdsPerItem != nil {
+			cmdsCol = fmt.Sprintf("%.1f", *p.KVCmdsPerItem)
+		}
+		rowExtra := ""
+		if *profileKind == "pipeline" {
+			rowExtra = fmt.Sprintf(" %9s %10s", opt(p.CmdsPerRTT), opt(p.ConnsPerConsumer))
+		}
+		fmt.Printf("%-11s %9.0f %8.1f %13d %13d %10s %8s %8s %8s%s\n",
+			p.Name, p.ItemsPerSec, p.MBPerSec, p.BrokerBytes, p.StoreBytes,
+			cmdsCol, opt(p.P50Ms), opt(p.P95Ms), opt(p.P99Ms), rowExtra)
+	}
 	// run executes one benchmark row. newStore builds the row's store
 	// (so the multi profile can swap connectors) and rowSize is the
 	// payload size behind the MB/s column.
@@ -339,23 +424,7 @@ func main() {
 		}
 		results[mode] = p
 		order = append(order, mode)
-		opt := func(v *float64) string {
-			if v == nil {
-				return "-"
-			}
-			return fmt.Sprintf("%.2f", *v)
-		}
-		cmdsCol := "-"
-		if p.KVCmdsPerItem != nil {
-			cmdsCol = fmt.Sprintf("%.1f", *p.KVCmdsPerItem)
-		}
-		rowExtra := ""
-		if *profileKind == "pipeline" {
-			rowExtra = fmt.Sprintf(" %9s %10s", opt(p.CmdsPerRTT), opt(p.ConnsPerConsumer))
-		}
-		fmt.Printf("%-11s %9.0f %8.1f %13d %13d %10s %8s %8s %8s%s\n",
-			mode, p.ItemsPerSec, p.MBPerSec, p.BrokerBytes, p.StoreBytes,
-			cmdsCol, opt(p.P50Ms), opt(p.P95Ms), opt(p.P99Ms), rowExtra)
+		printRow(p)
 	}
 	rawStore := func(run string) *store.Store { return mkStore(run, false) }
 	gobStore := func(run string) *store.Store { return mkStore(run, true) }
@@ -479,6 +548,70 @@ func main() {
 		run("pipe-group", true, localStore, *size, func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error {
 			return proxyStream(cb, st, payload, streamOpts{items: *items, consumers: pipeMembers, window: *window, gap: *gap, group: true}, lats)
 		})
+	case "shard":
+		// The shard profile measures what sharding actually buys: the
+		// metadata plane's write throughput when every publish must be
+		// committed to a shard's durable log before it is acknowledged.
+		// Each row brings up its own durable in-process tier (1 shard,
+		// then -shards), publishes -items events spread across -topics
+		// independent topics — topics hash to shards by their
+		// "ps:<topic>" placement prefix, so independent topics spread —
+		// and reports aggregate publish throughput. No payloads, no
+		// consumers: the per-shard commit log is the bottleneck under
+		// test, and it is the one resource that multiplies with shards.
+		// By default the commit device is modeled (-commit, netsim
+		// style: real appends, modeled flush time) because co-located
+		// shards sharing one disk would hide the scaling; -fsync swaps
+		// in the real thing for multi-disk hardware.
+		shardRow := func(name string, n int) {
+			dir, err := os.MkdirTemp("", "sb-shard-*")
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer os.RemoveAll(dir)
+			durOpt := kvstore.WithModeledCommitLatency(*commit)
+			if *fsync {
+				durOpt = kvstore.WithAOFSync()
+			}
+			var srvs []*kvstore.Server
+			var addrs []string
+			for i := 0; i < n; i++ {
+				s, err := kvstore.NewServer("127.0.0.1:0",
+					kvstore.WithPersistence(filepath.Join(dir, fmt.Sprintf("shard%d.aof", i))),
+					durOpt)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				defer s.Close()
+				srvs = append(srvs, s)
+				addrs = append(addrs, s.Addr())
+			}
+			cb := pstream.NewCounting(pstream.NewKV(strings.Join(addrs, ",")))
+			defer cb.Close()
+			lats := &latencies{}
+			start := time.Now()
+			if err := shardPublish(cb, *topics, *items, lats); err != nil {
+				fatalf("%s: %v", name, err)
+			}
+			elapsed := time.Since(start)
+			var cmds uint64
+			for _, s := range srvs {
+				cmds += s.Commands()
+			}
+			perItem := float64(cmds) / float64(*items)
+			p := profile{
+				Name:          name,
+				ItemsPerSec:   float64(*items) / elapsed.Seconds(),
+				BrokerBytes:   cb.BytesPublished() + cb.BytesDelivered(),
+				KVCmdsPerItem: &perItem,
+			}
+			p.P50Ms, p.P95Ms, p.P99Ms = lats.percentiles()
+			results[name] = p
+			order = append(order, name)
+			printRow(p)
+		}
+		shardRow("pub-1shard", 1)
+		shardRow(fmt.Sprintf("pub-%dshard", *shards), *shards)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profileKind)
 		os.Exit(2)
@@ -511,6 +644,18 @@ func main() {
 			pipeOK = false
 		}
 	}
+	shardOK := true
+	if one, ok := results["pub-1shard"]; ok && len(order) == 2 {
+		many := results[order[1]]
+		speedup := many.ItemsPerSec / one.ItemsPerSec
+		fmt.Printf("\n%s: %.2fx aggregate publish throughput vs one shard", many.Name, speedup)
+		// The strict floor is deliberately below the ~linear scaling a
+		// quiet machine shows: loaded CI runners share cores between the
+		// shard servers and the publishers.
+		if speedup < 1.3 {
+			shardOK = false
+		}
+	}
 	fmt.Println()
 
 	if *jsonPath != "" {
@@ -520,6 +665,12 @@ func main() {
 			Window: *window, Batch: *batch,
 			GapMS:  float64(*gap) / float64(time.Millisecond),
 			Broker: *brokerKind, WAN: *wan,
+		}
+		if *profileKind == "shard" {
+			rep.Topics, rep.Shards, rep.Fsync = *topics, *shards, *fsync
+			if !*fsync {
+				rep.CommitMS = float64(*commit) / float64(time.Millisecond)
+			}
 		}
 		for _, name := range order {
 			rep.Profiles = append(rep.Profiles, results[name])
@@ -539,6 +690,10 @@ func main() {
 	}
 	if *strict && !pipeOK {
 		fmt.Fprintln(os.Stderr, "strict: pipelining/mux transport gates failed (need cmds/rtt > 1.02 and conns/consumer ≤ 1)")
+		os.Exit(1)
+	}
+	if *strict && !shardOK {
+		fmt.Fprintln(os.Stderr, "strict: sharded publish throughput below 1.3x the single-shard row")
 		os.Exit(1)
 	}
 }
@@ -648,6 +803,42 @@ func inlineFanOut(b pstream.Broker, payload []byte, items, consumers int, lats *
 			}
 		}
 	}()
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// shardPublish drives the shard profile's workload: `topics` concurrent
+// producers publishing metadata-only events, each to its own topic, as
+// fast as the broker accepts them. The producers draw from one shared
+// budget of `items` publishes rather than fixed per-topic shares: topics
+// hash to shards, and with fixed shares an uneven topic→shard split would
+// leave the lighter shard idle at the tail, understating the tier's
+// aggregate rate. Topic names are fixed (each row gets fresh servers) so
+// the split is identical across rows and runs. Per-publish latency is
+// recorded directly (there are no consumers to observe delivery).
+func shardPublish(b pstream.Broker, topics, items int, lats *latencies) error {
+	ctx := context.Background()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, topics)
+	for t := 0; t < topics; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			topic := fmt.Sprintf("shard-bench-%d", t)
+			var seq uint64
+			for next.Add(1) <= int64(items) {
+				seq++
+				t0 := time.Now()
+				if err := b.Publish(ctx, topic, pstream.Event{Producer: "p", Seq: seq}); err != nil {
+					errs <- err
+					return
+				}
+				lats.record(time.Since(t0))
+			}
+		}(t)
+	}
 	wg.Wait()
 	close(errs)
 	return <-errs

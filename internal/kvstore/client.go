@@ -367,13 +367,35 @@ func (c *Client) do(ctx context.Context, name string, args ...[]byte) (value, er
 	return v, nil
 }
 
-// serverError converts a RESP error reply into a Go error, tagging
-// unknown-command replies so callers can errors.Is-detect old servers.
-func serverError(v value) error {
-	if strings.HasPrefix(v.str, "ERR unknown command") {
-		return fmt.Errorf("kvstore: server error: %s: %w", v.str, ErrUnknownCommand)
+// ReplyError is an error reply the server deliberately sent (RESP "-ERR
+// ..."), as opposed to a transport failure. The distinction drives
+// failover: a sharded client retries transport errors on a replica, but a
+// reply error means the server is alive and said no — retrying elsewhere
+// would be wrong.
+type ReplyError struct{ Msg string }
+
+func (e *ReplyError) Error() string { return "kvstore: server error: " + e.Msg }
+
+// Unwrap lets errors.Is(err, ErrUnknownCommand) keep detecting old
+// servers through the typed reply error.
+func (e *ReplyError) Unwrap() error {
+	if strings.HasPrefix(e.Msg, "ERR unknown command") {
+		return ErrUnknownCommand
 	}
-	return fmt.Errorf("kvstore: server error: %s", v.str)
+	return nil
+}
+
+// IsReplyError reports whether err is (or wraps) a server error reply.
+func IsReplyError(err error) bool {
+	var re *ReplyError
+	return errors.As(err, &re)
+}
+
+// serverError converts a RESP error reply into a Go error, typed so
+// callers can tell "the server answered with an error" apart from "the
+// server is unreachable".
+func serverError(v value) error {
+	return &ReplyError{Msg: v.str}
 }
 
 // waitSlack is how long past the server-side wait timeout the client waits
@@ -672,6 +694,17 @@ func (c *Client) FlushAll(ctx context.Context) error {
 	_, err := c.do(ctx, "FLUSHALL")
 	return err
 }
+
+// Promote tells a replica server to stop following its primary and start
+// accepting writes (see the package doc's Replication section). On a
+// server that is already standalone it is a no-op.
+func (c *Client) Promote(ctx context.Context) error {
+	_, err := c.do(ctx, "PROMOTE")
+	return err
+}
+
+// Addr returns the server address the client was built with.
+func (c *Client) Addr() string { return c.addr }
 
 // Info returns the server's introspection dump (see the package doc's
 // INFO section): "name value" lines covering uptime, key/connection

@@ -28,9 +28,15 @@ const pipelineWindow = 128
 // A Pipeline is not safe for concurrent use and is single-shot: discard it
 // after Exec.
 type Pipeline struct {
-	c    *Client
-	cmds []pipeCmd
-	reps []*PipeReply
+	c *Client
+	// pick, when set (see NewRoutedPipeline), resolves which client the
+	// batch goes to from the queued commands' keys at Exec time.
+	pick func(keys [][]byte) (*Client, error)
+	// onTransportErr, when set, observes Exec's transport failures (not
+	// per-command server errors) so a routing layer can fail over.
+	onTransportErr func(error)
+	cmds           []pipeCmd
+	reps           []*PipeReply
 }
 
 type pipeCmd struct {
@@ -71,6 +77,16 @@ func (r *PipeReply) Int() (int64, error) {
 // Pipeline returns an empty command pipeline.
 func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
 
+// NewRoutedPipeline returns a pipeline whose target server is resolved at
+// Exec time: pick receives the first-argument key of every queued command
+// and returns the client to use (erroring if the keys don't all live on
+// one server). onTransportErr, if non-nil, is called with any transport
+// error so the router can react (e.g. promote a replica); the error is
+// still returned to the caller, whose retry then lands on the new pick.
+func NewRoutedPipeline(pick func(keys [][]byte) (*Client, error), onTransportErr func(error)) *Pipeline {
+	return &Pipeline{pick: pick, onTransportErr: onTransportErr}
+}
+
 // Len reports how many commands are queued.
 func (p *Pipeline) Len() int { return len(p.cmds) }
 
@@ -106,6 +122,15 @@ func (p *Pipeline) CAS(key string, old, new []byte) *PipeReply {
 	return p.Do("CAS", []byte(key), old, new)
 }
 
+// transportErr reports a transport failure to the routing layer, if any.
+// Context cancellation is the caller abandoning the batch, not a sick
+// server — it never triggers failover.
+func (p *Pipeline) transportErr(ctx context.Context, err error) {
+	if p.onTransportErr != nil && ctx.Err() == nil {
+		p.onTransportErr(err)
+	}
+}
+
 // failFrom marks every not-yet-resolved reply (index i on) as failed with
 // err, so a transport error mid-pipeline leaves no reply silently
 // unresolved.
@@ -122,6 +147,20 @@ func (p *Pipeline) Exec(ctx context.Context) error {
 	if len(p.cmds) == 0 {
 		return nil
 	}
+	if p.pick != nil {
+		keys := make([][]byte, 0, len(p.cmds))
+		for _, cmd := range p.cmds {
+			if len(cmd.args) > 0 {
+				keys = append(keys, cmd.args[0])
+			}
+		}
+		c, err := p.pick(keys)
+		if err != nil {
+			p.failFrom(0, err)
+			return err
+		}
+		p.c = c
+	}
 	reqSize := 0
 	for _, cmd := range p.cmds {
 		reqSize += len(cmd.name)
@@ -135,6 +174,7 @@ func (p *Pipeline) Exec(ctx context.Context) error {
 	}
 	cc, err := p.c.acquire(ctx)
 	if err != nil {
+		p.transportErr(ctx, err)
 		p.failFrom(0, err)
 		return err
 	}
@@ -149,6 +189,7 @@ func (p *Pipeline) Exec(ctx context.Context) error {
 			if err := encodeCommand(cc.w, p.cmds[i].name, p.cmds[i].args...); err != nil {
 				p.c.release(cc, true)
 				err = fmt.Errorf("kvstore: sending pipelined %s: %w", p.cmds[i].name, err)
+				p.transportErr(ctx, err)
 				p.failFrom(base, err)
 				return err
 			}
@@ -157,6 +198,7 @@ func (p *Pipeline) Exec(ctx context.Context) error {
 		if err := cc.w.Flush(); err != nil {
 			p.c.release(cc, true)
 			err = fmt.Errorf("kvstore: sending pipeline: %w", err)
+			p.transportErr(ctx, err)
 			p.failFrom(base, err)
 			return err
 		}
@@ -166,6 +208,7 @@ func (p *Pipeline) Exec(ctx context.Context) error {
 			if err != nil {
 				p.c.release(cc, true)
 				err = fmt.Errorf("kvstore: reading pipelined %s reply: %w", p.cmds[i].name, err)
+				p.transportErr(ctx, err)
 				p.failFrom(i, err)
 				return err
 			}

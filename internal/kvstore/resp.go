@@ -82,6 +82,44 @@
 // Pipelining needs no fallback: it is plain RESP ordering that every
 // server build honors.
 //
+// # Replication (the AOF as the wire log)
+//
+// The append-only file doubles as the replication log. Every record is
+//
+//	op(1) keyLen(4 LE) valLen(4 LE) key val
+//
+// with ops aofSet (key gains val), aofDel (key removed), aofDelRange
+// (key holds the prefix, val holds two LE uint64s — the [start,end)
+// sequence window of one DELRANGE, a single record no matter how many
+// keys it covered) and aofFlush (FLUSHALL; key and val empty). Appends
+// happen inside the data mutex in apply order, so byte offset N names a
+// unique server state: whoever has replayed N bytes of the log IS the
+// primary as of that offset.
+//
+// A replica exploits that invariant over the ordinary RESP wire:
+//
+//	replica → REPLICATE <offset>       (its own AOF size: resume cursor)
+//	primary → +OK                      (or -ERR: no persistence, or the
+//	                                    offset outpaces the primary's log
+//	                                    — a mismatched lineage; the
+//	                                    replica then promotes standalone)
+//	primary → $<n>\r\n<records>\r\n    repeated: record-aligned AOF chunks
+//	replica → ACK <offset>             same connection, after each apply
+//
+// The replica appends each chunk to its own AOF verbatim and applies the
+// records under its data mutex, which keeps its file a byte-identical
+// prefix of the primary's — so its aofSize is always a valid resume
+// offset, replicas can chain, and a restarted replica resumes where its
+// file ends. ACKs let the primary's graceful Close drain live feeds
+// before hanging up, so a clean shutdown loses nothing.
+//
+// While following, a replica answers writes with "-ERR readonly replica"
+// (reads, waits and INFO work; INFO reports server.role, the offset and
+// feed counts). PROMOTE — or the feed breaking after a completed sync, or
+// a fatal handshake rejection — flips it standalone and writable. Clients
+// (the cluster router's failover, or any caller) treat that reply as the
+// cue to retry against the promoted side.
+//
 // # Introspection (INFO)
 //
 // INFO (no arguments) returns a bulk string of "name value" lines: a few

@@ -3,7 +3,6 @@ package kvstore
 import (
 	"bufio"
 	"bytes"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -25,6 +24,30 @@ type ServerOption func(*Server)
 // at startup — the hybrid memory/disk storage of the paper's Redis channel.
 func WithPersistence(path string) ServerOption {
 	return func(s *Server) { s.aofPath = path }
+}
+
+// WithAOFSync makes the server fsync the persistence file after every
+// append: a write is acknowledged only once it is durable on disk. This
+// turns each shard's append-only log into a true commit point — and makes
+// the log, not the CPU, the throughput bound, which is exactly the regime
+// where adding shards buys aggregate write throughput. No-op without
+// WithPersistence.
+func WithAOFSync() ServerOption {
+	return func(s *Server) { s.aofSync = true }
+}
+
+// WithModeledCommitLatency makes every local AOF append hold the log for d
+// before acknowledging, modeling a commit device with a fixed flush time —
+// in the spirit of the netsim package: the bytes, the file, and the
+// serialization are all real, only the device timing comes from the model.
+// Benchmarking a sharded tier on one machine needs this, because there the
+// shards' fsyncs share a single disk and journal and largely serialize,
+// hiding exactly the scaling that sharding exists to provide; in a real
+// deployment each shard owns its own commit device. Replicated applies are
+// not delayed (the replica replays an already-committed log). No-op
+// without WithPersistence.
+func WithModeledCommitLatency(d time.Duration) ServerOption {
+	return func(s *Server) { s.commitLatency = d }
 }
 
 // WithLogger routes server diagnostics; the default discards them.
@@ -58,11 +81,13 @@ func WithTelemetry(reg *telemetry.Registry) ServerOption {
 
 // Server is a RESP2 key-value server.
 type Server struct {
-	ln       net.Listener
-	aofPath  string
-	logger   *log.Logger
-	noWait   bool
-	noTagged bool
+	ln            net.Listener
+	aofPath       string
+	aofSync       bool
+	commitLatency time.Duration
+	logger        *log.Logger
+	noWait        bool
+	noTagged      bool
 
 	// notify parks blocked WAITGET/WAITPREFIX handlers and is poked by
 	// every mutation. It has its own lock: waiters never hold (or block
@@ -73,13 +98,39 @@ type Server struct {
 	mu   sync.RWMutex
 	data map[string][]byte
 
-	aofMu sync.Mutex
-	aof   *os.File
+	// aofMu guards the persistence file, its size (which doubles as the
+	// replication offset), and the latched append error. aofCond is
+	// broadcast on every append (and on close) to wake replication feeds
+	// tailing the log. Lock order: s.mu may be held when taking aofMu
+	// (mutations append while applying); never the reverse.
+	aofMu   sync.Mutex
+	aofCond *sync.Cond
+	aof     *os.File
+	aofSize int64
+	aofErr  error
 
-	// connMu guards conns, the set of open client connections, so Close
-	// can hang up on idle clients instead of waiting for them to leave.
+	// replicaOf, when set, makes the server start as a read-only replica
+	// pulling the AOF record stream from the named primary; standalone
+	// latches (PROMOTE command, or the stream breaking after a successful
+	// sync) when the replica is promoted to serve writes itself.
+	replicaOf  string
+	standalone atomic.Bool
+	synced     atomic.Bool
+	upMu       sync.Mutex
+	upstream   net.Conn
+
+	// feeds tracks attached downstream replicas (their acked offsets), so
+	// Close can drain the feed before hanging up — a gracefully stopped
+	// primary never strands an acked write.
+	feedMu sync.Mutex
+	feeds  map[*replFeed]struct{}
+
+	// connMu guards conns, the set of open client connections (value:
+	// whether the connection is a replication feed), so Close can hang up
+	// on idle clients instead of waiting for them to leave — and drain
+	// replica feeds before cutting them.
 	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]bool
 
 	closed   atomic.Bool
 	connWG   sync.WaitGroup
@@ -136,11 +187,13 @@ func (s *Server) observe(cmd command, start time.Time, reply value) {
 func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 	s := &Server{
 		data:    make(map[string][]byte),
-		conns:   make(map[net.Conn]struct{}),
+		conns:   make(map[net.Conn]bool),
+		feeds:   make(map[*replFeed]struct{}),
 		logger:  log.New(io.Discard, "", 0),
 		notify:  newNotifier(),
 		started: time.Now(),
 	}
+	s.aofCond = sync.NewCond(&s.aofMu)
 	for _, o := range opts {
 		o(s)
 	}
@@ -166,6 +219,10 @@ func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 	}
 	s.ln = ln
 	go s.acceptLoop()
+	if s.replicaOf != "" {
+		s.connWG.Add(1)
+		go s.replicateLoop()
+	}
 	return s, nil
 }
 
@@ -189,33 +246,80 @@ func (s *Server) InfoText() string {
 	s.connMu.Lock()
 	conns := len(s.conns)
 	s.connMu.Unlock()
-	return fmt.Sprintf("server.uptime_ns %d\nserver.keys %d\nserver.conns %d\nserver.commands %d\n%s",
+	s.aofMu.Lock()
+	broken := 0
+	if s.aofErr != nil {
+		broken = 1
+	}
+	offset := s.aofSize
+	s.aofMu.Unlock()
+	s.feedMu.Lock()
+	replicas := len(s.feeds)
+	s.feedMu.Unlock()
+	role := "primary"
+	if s.isReadonlyReplica() {
+		role = "replica"
+	}
+	return fmt.Sprintf("server.uptime_ns %d\nserver.keys %d\nserver.conns %d\nserver.commands %d\nserver.role %s\nserver.repl_offset %d\nserver.replicas %d\nserver.aof_broken %d\n%s",
 		time.Since(s.started).Nanoseconds(), keys, conns, s.commands.Load(),
+		role, offset, replicas, broken,
 		s.reg.Snapshot().Text())
+}
+
+// isReadonlyReplica reports whether the server is still a following
+// replica: configured with WithReplicaOf and not yet promoted. Write
+// commands are rejected in this state — the primary's record stream is
+// the only writer, so replica state can never diverge from the log.
+func (s *Server) isReadonlyReplica() bool {
+	return s.replicaOf != "" && !s.standalone.Load()
 }
 
 // Close stops accepting connections, hangs up on connected clients (idle
 // pooled clients would otherwise pin the server open forever), and waits
-// for handlers to finish.
+// for handlers to finish. Attached replica feeds are drained first —
+// client connections are cut, then the remaining log is streamed and
+// acked — so a graceful stop never strands a write that was acknowledged
+// to a client. A latched AOF append error surfaces in the returned error.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	err := s.ln.Close()
+	s.severUpstream()
 	// Wake parked WAITGET/WAITPREFIX handlers before waiting on them:
 	// their connections are about to be closed, and a blocked wait must
 	// not pin Close for its full timeout.
 	s.notify.close()
+	// Cut client connections first: no further writes can land, so the
+	// drain target below is final.
+	s.connMu.Lock()
+	for conn, isFeed := range s.conns {
+		if !isFeed {
+			conn.Close()
+		}
+	}
+	s.connMu.Unlock()
+	// Wake feeds parked at the log head so they observe the close, finish
+	// streaming, and exit once caught up; then wait for their acks.
+	s.aofMu.Lock()
+	s.aofCond.Broadcast()
+	s.aofMu.Unlock()
+	s.drainFeeds(replDrainTimeout)
 	s.connMu.Lock()
 	for conn := range s.conns {
 		conn.Close()
 	}
 	s.connMu.Unlock()
 	s.connWG.Wait()
+	var aofErr error
 	if s.aof != nil {
 		s.aofMu.Lock()
+		aofErr = s.aofErr
 		s.aof.Close()
 		s.aofMu.Unlock()
+	}
+	if aofErr != nil {
+		return errors.Join(err, fmt.Errorf("kvstore: append-only file broken (appends were dropped): %w", aofErr))
 	}
 	return err
 }
@@ -230,7 +334,7 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.connMu.Lock()
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = false
 		s.connMu.Unlock()
 		s.reg.Gauge("kv.conns").Inc()
 		s.connWG.Add(1)
@@ -284,6 +388,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		var reply value
 		if err != nil {
 			reply = errorValue("ERR " + err.Error())
+		} else if cmd.name == "REPLICATE" {
+			// The feed takes the connection over: from here on it carries
+			// only streamed record chunks downstream and ACK frames back.
+			s.commands.Add(1)
+			s.serveReplication(cmd, conn, r, write)
+			return
 		} else if handled, sync := s.startTaggedWait(cmd, write, connDone, &waitWG, &inflight); handled {
 			s.commands.Add(1)
 			if sync != nil {
@@ -387,6 +497,14 @@ func (s *Server) startTaggedWait(cmd command, write func(value) error, cancel <-
 }
 
 func (s *Server) execute(cmd command) value {
+	switch cmd.name {
+	case "SET", "MSET", "DEL", "INCR", "INCRBY", "CAS", "DELRANGE", "FLUSHALL":
+		if s.isReadonlyReplica() {
+			// A following replica's only writer is the primary's record
+			// stream; direct writes would fork its state from the log.
+			return errorValue("ERR readonly replica")
+		}
+	}
 	switch cmd.name {
 	case "PING":
 		if len(cmd.args) == 1 {
@@ -517,8 +635,15 @@ func (s *Server) execute(cmd command) value {
 	case "FLUSHALL":
 		s.mu.Lock()
 		s.data = make(map[string][]byte)
+		s.appendAOF(aofFlush, "", nil)
 		s.mu.Unlock()
 		s.notify.publishedAll()
+		return simpleString("OK")
+	case "PROMOTE":
+		// Stop following the primary (if any) and serve writes. Idempotent,
+		// and a harmless no-op on a server that never replicated — so a
+		// failover client can send it unconditionally.
+		s.promote("PROMOTE command")
 		return simpleString("OK")
 	case "WAITGET":
 		if s.noWait {
@@ -648,13 +773,16 @@ func (s *Server) waitPrefix(prefix string, after uint64, timeout time.Duration, 
 	return integerValue(int64(s.notify.currentSeq()))
 }
 
+// set stores the value and appends its AOF record while still holding the
+// data mutex: releasing first would let two writes of one key persist in
+// reversed order, replaying (or replicating) to the older value.
 func (s *Server) set(key string, val []byte) {
 	buf := make([]byte, len(val))
 	copy(buf, val)
 	s.mu.Lock()
 	s.data[key] = buf
-	s.mu.Unlock()
 	s.appendAOF(aofSet, key, buf)
+	s.mu.Unlock()
 }
 
 func (s *Server) get(key string) ([]byte, bool) {
@@ -736,96 +864,37 @@ func (s *Server) delRange(prefix string, start, end uint64) (int64, error) {
 		key := prefix + strconv.FormatUint(i, 10)
 		if _, ok := s.data[key]; ok {
 			delete(s.data, key)
-			s.appendAOF(aofDel, key, nil)
 			n++
 		}
+	}
+	// One range record for the whole sweep instead of one DEL record per
+	// key: the sweep holds the data mutex, and a thousand-key truncation
+	// must not pay a thousand file writes under it. Replaying the full
+	// range is equivalent — deleting an absent key is a no-op.
+	if n > 0 {
+		s.appendAOF(aofDelRange, prefix, delRangeVal(start, end))
 	}
 	return n, nil
 }
 
+// del removes the key, appending the AOF record inside the data mutex for
+// the same reason as set: a DEL racing a SET of the same key must persist
+// in the order it applied, or a restart resurrects (or loses) the key.
 func (s *Server) del(key string) bool {
 	s.mu.Lock()
 	_, ok := s.data[key]
 	delete(s.data, key)
-	s.mu.Unlock()
 	if ok {
 		s.appendAOF(aofDel, key, nil)
 	}
+	s.mu.Unlock()
 	return ok
 }
 
-// --- Append-only persistence ---------------------------------------------
-
-const (
-	aofSet byte = 1
-	aofDel byte = 2
-)
-
-// appendAOF writes one record: op, key length, key, value length, value.
-func (s *Server) appendAOF(op byte, key string, val []byte) {
-	if s.aof == nil {
-		return
-	}
+// AOFBroken reports whether a failed append latched the persistence file
+// broken (appends stopped, replication stalled at the last good offset).
+func (s *Server) AOFBroken() bool {
 	s.aofMu.Lock()
 	defer s.aofMu.Unlock()
-	var hdr [9]byte
-	hdr[0] = op
-	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(key)))
-	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(val)))
-	if _, err := s.aof.Write(hdr[:]); err != nil {
-		s.logger.Printf("kvstore: aof write: %v", err)
-		return
-	}
-	if _, err := s.aof.WriteString(key); err != nil {
-		s.logger.Printf("kvstore: aof write: %v", err)
-		return
-	}
-	if len(val) > 0 {
-		if _, err := s.aof.Write(val); err != nil {
-			s.logger.Printf("kvstore: aof write: %v", err)
-		}
-	}
-}
-
-func (s *Server) loadAOF() error {
-	f, err := os.Open(s.aofPath)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("kvstore: opening persistence file: %w", err)
-	}
-	defer f.Close()
-	r := bufio.NewReader(f)
-	for {
-		var hdr [9]byte
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			// A torn final record (crash mid-append) is tolerated.
-			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil
-			}
-			return fmt.Errorf("kvstore: reading persistence file: %w", err)
-		}
-		keyLen := binary.LittleEndian.Uint32(hdr[1:5])
-		valLen := binary.LittleEndian.Uint32(hdr[5:9])
-		key := make([]byte, keyLen)
-		if _, err := io.ReadFull(r, key); err != nil {
-			return nil // torn record
-		}
-		val := make([]byte, valLen)
-		if _, err := io.ReadFull(r, val); err != nil {
-			return nil // torn record
-		}
-		switch hdr[0] {
-		case aofSet:
-			s.data[string(key)] = val
-		case aofDel:
-			delete(s.data, string(key))
-		default:
-			return fmt.Errorf("kvstore: corrupt persistence record op=%d", hdr[0])
-		}
-	}
+	return s.aofErr != nil
 }

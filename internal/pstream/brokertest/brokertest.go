@@ -42,6 +42,15 @@ type Options struct {
 	// commands over a quiet window, instead of a poll per backoff tick.
 	// Leave nil for brokers with no command-counted backing service.
 	Commands func() uint64
+	// NewFailoverEnv builds a broker over a REPLICATED backing service
+	// plus a kill function that takes down the current primary (graceful
+	// close — the drain hands every client-acknowledged write to the
+	// replica before the box disappears). The battery then proves the
+	// consumer side: the group resumes on the promoted replica with no
+	// event lost and no duplicate group delivery. Each call builds an
+	// independent environment, so a primary can die once per subtest.
+	// nil skips the failover battery.
+	NewFailoverEnv func(t *testing.T) (b pstream.Broker, kill func() error)
 }
 
 // idleCommandBudget is the command allowance for a subscriber blocked in
@@ -951,6 +960,152 @@ func Run(t *testing.T, newBroker func(t *testing.T) pstream.Broker, opts Options
 				if lastSeq[name] != per {
 					t.Fatalf("producer %s delivered %d events, want %d", name, lastSeq[name], per)
 				}
+			}
+		})
+	}
+
+	// --- Primary failover -------------------------------------------------
+
+	if opts.NewFailoverEnv != nil {
+		// nextRetry is next with transport-failure tolerance: after the
+		// primary dies, pooled connections to it fail until the client
+		// fails over to the promoted replica.
+		nextRetry := func(t *testing.T, sub pstream.Subscription) pstream.Event {
+			t.Helper()
+			return retry(t, 50, "Next across failover", func() (pstream.Event, error) {
+				nctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+				defer cancel()
+				return sub.Next(nctx)
+			})
+		}
+
+		t.Run("FailoverMidStreamGroup", func(t *testing.T) {
+			// A consumer group is mid-stream when its primary dies: half the
+			// log consumed and acked, half not yet delivered. The group must
+			// finish the stream on the promoted replica with every offset
+			// delivered exactly once across the members — the replica holds
+			// the full log (drained on close), the committed claims, and the
+			// group floor.
+			fb, kill := opts.NewFailoverEnv(t)
+			t.Cleanup(func() { fb.Close() })
+			topic := freshTopic("failover")
+			const before, after = 8, 8
+
+			for i := 1; i <= before; i++ {
+				if err := fb.Publish(ctx, topic, ev("p", uint64(i))); err != nil {
+					t.Fatalf("Publish: %v", err)
+				}
+			}
+			subA, err := fb.SubscribeGroup(ctx, topic, "g", "a")
+			if err != nil {
+				t.Fatalf("SubscribeGroup: %v", err)
+			}
+			defer subA.Close()
+			subB, err := fb.SubscribeGroup(ctx, topic, "g", "b")
+			if err != nil {
+				t.Fatalf("SubscribeGroup: %v", err)
+			}
+			defer subB.Close()
+
+			got := make(map[uint64]string)
+			consume := func(t *testing.T, sub pstream.Subscription, who string) {
+				t.Helper()
+				e := nextRetry(t, sub)
+				if prev, dup := got[e.Offset]; dup {
+					t.Fatalf("offset %d delivered to both %s and %s", e.Offset, prev, who)
+				}
+				got[e.Offset] = who
+				retry(t, 50, "Ack across failover", func() (struct{}, error) {
+					_, err := sub.Ack(ctx, e)
+					return struct{}{}, err
+				})
+			}
+			// Consume half the pre-failover log, alternating members.
+			for i := 0; i < before/2; i++ {
+				sub, who := subA, "a"
+				if i%2 == 1 {
+					sub, who = subB, "b"
+				}
+				consume(t, sub, who)
+			}
+
+			if err := kill(); err != nil {
+				t.Fatalf("killing primary: %v", err)
+			}
+
+			// The producer keeps publishing; its first attempts fail over.
+			for i := before + 1; i <= before+after; i++ {
+				retry(t, 50, "Publish across failover", func() (struct{}, error) {
+					return struct{}{}, fb.Publish(ctx, topic, ev("p", uint64(i)))
+				})
+			}
+			// The group finishes the stream on the survivor.
+			for i := before / 2; i < before+after; i++ {
+				sub, who := subA, "a"
+				if i%2 == 1 {
+					sub, who = subB, "b"
+				}
+				consume(t, sub, who)
+			}
+			if len(got) != before+after {
+				t.Fatalf("group saw %d distinct offsets, want %d", len(got), before+after)
+			}
+			for off := uint64(0); off < before+after; off++ {
+				if _, ok := got[off]; !ok {
+					t.Fatalf("offset %d lost across failover", off)
+				}
+			}
+			// Fully drained: no replays surface after the exactly-once sweep.
+			for _, sub := range []pstream.Subscription{subA, subB} {
+				if _, ok, err := sub.Poll(ctx); err == nil && ok {
+					t.Fatal("drained group had residual work after failover")
+				}
+			}
+		})
+
+		t.Run("FailoverMidBlockedWait", func(t *testing.T) {
+			// A consumer is parked in a blocking wait on the primary when it
+			// dies. The severed wait errors; retrying Next must re-park
+			// against the promoted replica and be woken by the first
+			// post-failover publish.
+			fb, kill := opts.NewFailoverEnv(t)
+			t.Cleanup(func() { fb.Close() })
+			topic := freshTopic("failoverwait")
+			sub, err := fb.Subscribe(ctx, topic, "durable")
+			if err != nil {
+				t.Fatalf("Subscribe: %v", err)
+			}
+			defer sub.Close()
+			nctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			defer cancel()
+			got := make(chan pstream.Event, 1)
+			go func() {
+				for {
+					e, err := sub.Next(nctx)
+					if err == nil {
+						got <- e
+						return
+					}
+					if nctx.Err() != nil {
+						return
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+			}()
+			time.Sleep(100 * time.Millisecond) // park in the blocked wait
+			if err := kill(); err != nil {
+				t.Fatalf("killing primary: %v", err)
+			}
+			retry(t, 50, "Publish across failover", func() (struct{}, error) {
+				return struct{}{}, fb.Publish(ctx, topic, ev("p", 1))
+			})
+			select {
+			case e := <-got:
+				if e.Seq != 1 || e.Offset != 0 {
+					t.Fatalf("woken consumer got {Seq %d @%d}, want {1 @0}", e.Seq, e.Offset)
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatal("consumer never woke on the promoted replica")
 			}
 		})
 	}

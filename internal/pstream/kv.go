@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"proxystore/internal/kvstore"
+	"proxystore/internal/kvstore/cluster"
 	"proxystore/internal/telemetry"
 )
 
@@ -43,14 +44,20 @@ import (
 // slots with server-side CAS on the claim record, so an event can never
 // be leased to two members at once.
 type KVBroker struct {
-	addr   string
-	client *kvstore.Client
+	addr string
+	// client is the command path: a single-server *kvstore.Client, or a
+	// cluster.ShardedClient when addr is a cluster spec (shards separated
+	// by commas, replicas within a shard by pipes — see the cluster
+	// package doc). Every key the broker derives from one topic shares the
+	// topic's "ps:T" placement prefix, so sharding is invisible up here:
+	// appends, waits, acks, and truncation sweeps all stay shard-local.
+	client kvstore.KV
 	// waitClient carries only the blocking waits, each of which pins a
 	// pooled connection for up to a wait round. On a separate pool (sized
 	// waitPool), parked subscriptions can never starve the command path —
 	// with a shared pool, enough parked consumers would block the very
 	// Publish whose write is supposed to wake them.
-	waitClient *kvstore.Client
+	waitClient kvstore.KV
 	waitPool   int
 	// pollFloor/pollCap bound the polling-fallback backoff.
 	pollFloor, pollCap time.Duration
@@ -192,10 +199,24 @@ func NewKV(addr string, opts ...KVOption) *KVBroker {
 	b.mReclaims = b.reg.Counter("ps.kv.reclaims")
 	b.mTruncSweeps = b.reg.Counter("ps.kv.trunc.sweeps")
 	b.mTruncSlots = b.reg.Counter("ps.kv.trunc.slots")
-	b.client = kvstore.NewClient(addr, kvstore.WithClientTelemetry(b.reg))
-	b.waitClient = kvstore.NewClient(addr,
+	b.client = newKVClient(addr, kvstore.WithClientTelemetry(b.reg))
+	b.waitClient = newKVClient(addr,
 		kvstore.WithPoolSize(b.waitPool), kvstore.WithClientTelemetry(b.reg))
 	return b
+}
+
+// newKVClient builds the broker's client for addr: a sharded client when
+// addr is a cluster spec, a plain one otherwise. A malformed spec
+// degrades to a plain client on the raw string, whose first dial fails
+// with the offending spec in the error — NewKV has no error return to
+// surface it earlier.
+func newKVClient(addr string, opts ...kvstore.ClientOption) kvstore.KV {
+	if cluster.IsSpec(addr) {
+		if sc, err := cluster.New(addr, opts...); err == nil {
+			return sc
+		}
+	}
+	return kvstore.NewClient(addr, opts...)
 }
 
 // Telemetry returns the broker's metrics registry. It also carries the
