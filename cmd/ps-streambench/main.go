@@ -23,6 +23,18 @@
 //	                   members and measures conns-per-consumer (≤1 ⇔ the
 //	                   wait multiplexer shares one blocking-wait
 //	                   connection instead of pinning one per member)
+//	churn            — the fleet-lifecycle profile (kv broker only):
+//	                   -gens generations of ephemeral executors churn
+//	                   against one long-lived endpoint over a
+//	                   heartbeat-enabled broker. Even generations await
+//	                   every result and Close cleanly; odd generations
+//	                   crash (Kill) with results still in flight, stranding
+//	                   them on the shared per-endpoint result topic
+//	                   addressed to clients that no longer exist. The
+//	                   endpoint's heartbeat-driven sweeps must reclaim
+//	                   those orphans: the profile reports the server's
+//	                   settled key count and orphans swept alongside the
+//	                   usual submit→result latency columns
 //	shard            — the sharded-tier profile: -topics concurrent
 //	                   producers publish metadata-only events against a
 //	                   durable in-process kv tier, once with 1 shard and
@@ -81,14 +93,16 @@
 // group members fail to share the wait connection (conns/consumer > 1);
 // in the shard profile, if the sharded row's aggregate publish throughput
 // falls below 1.3× the single-shard row (a floor set well under the ~2×
-// a quiet machine shows, for loaded CI runners).
+// a quiet machine shows, for loaded CI runners); in the churn profile, if
+// the server fails to settle at ≤ 64 keys after the storm (orphan GC
+// leaked) or p95 submit→result exceeds 1 s (churn stalled the task plane).
 //
 // Usage:
 //
-//	ps-streambench [-profile stream|tasks|multi|pipeline|shard] [-items N] [-size BYTES]
+//	ps-streambench [-profile stream|tasks|multi|pipeline|shard|churn] [-items N] [-size BYTES]
 //	               [-consumers N] [-window N] [-batch N] [-gap DUR]
 //	               [-broker mem|kv] [-kv ADDR|SPEC] [-groups] [-wan] [-json PATH] [-strict]
-//	               [-shards N] [-topics N] [-commit DUR] [-fsync]
+//	               [-shards N] [-topics N] [-commit DUR] [-fsync] [-gens N]
 package main
 
 import (
@@ -124,6 +138,19 @@ import (
 // publish→deliver latency without shared clocks beyond the process's own.
 const attrT0 = "bench.t0"
 
+// Churn-profile timing and gates. The heartbeat TTL is short so crashed
+// executors are detected quickly (the settle loop waits it out); the lease
+// stays well above it so reclamation is heartbeat-driven, as in
+// production. The gates bound the server's settled key count (orphan GC
+// actually reclaims dead clients' results) and p95 submit→result latency
+// (membership churn does not stall the live task path).
+const (
+	churnHeartbeat = 150 * time.Millisecond
+	churnLease     = 2 * time.Second
+	churnKeyGate   = 64
+	churnP95GateMS = 1000
+)
+
 // profile is one benchmark row, printed as a table line and emitted to the
 // JSON report.
 type profile struct {
@@ -145,11 +172,17 @@ type profile struct {
 	// Dials / RoundTrips are the KVBroker's client transport totals for
 	// the row (kv broker only): TCP connections opened and request
 	// flushes, from the broker's telemetry-backed counters.
-	Dials      *uint64  `json:"dials,omitempty"`
-	RoundTrips *uint64  `json:"round_trips,omitempty"`
-	P50Ms      *float64 `json:"p50_ms,omitempty"`
-	P95Ms      *float64 `json:"p95_ms,omitempty"`
-	P99Ms      *float64 `json:"p99_ms,omitempty"`
+	Dials      *uint64 `json:"dials,omitempty"`
+	RoundTrips *uint64 `json:"round_trips,omitempty"`
+	// FinalKeys is the kv server's key count after the churn profile's
+	// settle loop — bounded by the strict gate when orphan GC holds.
+	FinalKeys *int64 `json:"final_keys,omitempty"`
+	// OrphansSwept counts dead clients' stranded results the endpoint's
+	// sweeps reclaimed during the churn profile.
+	OrphansSwept *uint64  `json:"orphans_swept,omitempty"`
+	P50Ms        *float64 `json:"p50_ms,omitempty"`
+	P95Ms        *float64 `json:"p95_ms,omitempty"`
+	P99Ms        *float64 `json:"p99_ms,omitempty"`
 }
 
 // report is the -json document.
@@ -166,10 +199,12 @@ type report struct {
 	// Shard-profile parameters: topic/shard counts and the commit-device
 	// model behind the pub-Nshard rows (commit_ms 0 with fsync true means
 	// real fsync per append).
-	Topics   int       `json:"topics,omitempty"`
-	Shards   int       `json:"shards,omitempty"`
-	CommitMS float64   `json:"commit_ms,omitempty"`
-	Fsync    bool      `json:"fsync,omitempty"`
+	Topics   int     `json:"topics,omitempty"`
+	Shards   int     `json:"shards,omitempty"`
+	CommitMS float64 `json:"commit_ms,omitempty"`
+	Fsync    bool    `json:"fsync,omitempty"`
+	// Gens is the churn profile's executor-generation count.
+	Gens     int       `json:"gens,omitempty"`
 	Profiles []profile `json:"profiles"`
 }
 
@@ -217,7 +252,7 @@ func nowAttr() map[string]string {
 }
 
 func main() {
-	profileKind := flag.String("profile", "stream", "benchmark profile: stream | tasks | multi | pipeline | shard")
+	profileKind := flag.String("profile", "stream", "benchmark profile: stream | tasks | multi | pipeline | shard | churn")
 	items := flag.Int("items", 256, "objects to stream (tasks with -profile tasks)")
 	size := flag.Int("size", 256<<10, "object size in bytes (task argument size with -profile tasks)")
 	consumers := flag.Int("consumers", 2, "consumer count (group members with -groups, endpoint workers with -profile tasks)")
@@ -230,6 +265,7 @@ func main() {
 	topics := flag.Int("topics", 8, "independent topics for -profile shard")
 	commit := flag.Duration("commit", 2*time.Millisecond, "modeled per-shard commit-device latency for -profile shard (each shard owns its device, as in a real deployment; 0 disables the model)")
 	fsync := flag.Bool("fsync", false, "fsync every append in -profile shard instead of modeling the commit device (honest on multi-disk hardware; on one local disk the shards' flushes share the journal and mostly serialize)")
+	gens := flag.Int("gens", 6, "executor generations for -profile churn (odd generations crash with work in flight)")
 	groups := flag.Bool("groups", false, "add the consumer-group work-queue profiles (stream profile)")
 	wan := flag.Bool("wan", false, "model WAN delays on the redis data plane (kv broker only)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this path")
@@ -306,13 +342,16 @@ func main() {
 	}
 
 	unit, rate := "it", "items/s"
-	if *profileKind == "tasks" {
+	if *profileKind == "tasks" || *profileKind == "churn" {
 		unit, rate = "task", "tasks/s"
 	}
 	switch *profileKind {
 	case "tasks":
 		fmt.Printf("%d tasks × %d KiB args to a %d-worker endpoint over %q broker (submit→execute→result)\n\n",
 			*items, *size>>10, *consumers, *brokerKind)
+	case "churn":
+		fmt.Printf("churn profile: %d executor generations × %d tasks (%d KiB args) against a %d-worker endpoint; odd generations crash with results in flight\n\n",
+			*gens, *items, *size>>10, *consumers)
 	case "multi":
 		fmt.Printf("streaming %d × {4 KiB, %d KiB} to %d consumers over %q broker via a multi-connector store\n\n",
 			*items, *size>>10, *consumers, *brokerKind)
@@ -612,6 +651,50 @@ func main() {
 		}
 		shardRow("pub-1shard", 1)
 		shardRow(fmt.Sprintf("pub-%dshard", *shards), *shards)
+	case "churn":
+		if srv == nil {
+			fmt.Fprintln(os.Stderr, "the churn profile requires -broker kv and the in-process server (no -kv)")
+			os.Exit(2)
+		}
+		// The data plane rides a local store so the kv server's key count
+		// — the thing the gate bounds — is pure broker + membership state.
+		churnStore, err := store.New("sb-churn", local.New("sb-conn-churn"), store.WithCacheBytes(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer churnStore.Close()
+		cli := kvstore.NewClient(srv.Addr())
+		defer cli.Close()
+		cb := pstream.NewCounting(pstream.NewKV(srv.Addr(),
+			pstream.WithKVPush(true),
+			pstream.WithKVHeartbeat(churnHeartbeat),
+			pstream.WithKVLease(churnLease),
+			pstream.WithKVTruncate(1)))
+		defer cb.Close()
+		lats := &latencies{}
+		cmds0 := srv.Commands()
+		res, err := churnFleet(cb, churnStore,
+			func() (int64, error) { return cli.DBSize(context.Background()) },
+			payload, *gens, *items, *consumers, *gap, lats)
+		if err != nil {
+			fatalf("churn: %v", err)
+		}
+		sm := churnStore.Metrics()
+		perItem := float64(srv.Commands()-cmds0) / float64(res.completed)
+		p := profile{
+			Name:          "churn",
+			ItemsPerSec:   float64(res.completed) / res.workDur.Seconds(),
+			MBPerSec:      float64(res.completed*(*size)) / 1e6 / res.workDur.Seconds(),
+			BrokerBytes:   cb.BytesPublished() + cb.BytesDelivered(),
+			StoreBytes:    sm.BytesPut + sm.BytesGot,
+			KVCmdsPerItem: &perItem,
+			FinalKeys:     &res.finalKeys,
+			OrphansSwept:  &res.swept,
+		}
+		p.P50Ms, p.P95Ms, p.P99Ms = lats.percentiles()
+		results["churn"] = p
+		order = append(order, "churn")
+		printRow(p)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profileKind)
 		os.Exit(2)
@@ -644,6 +727,17 @@ func main() {
 			pipeOK = false
 		}
 	}
+	churnOK := true
+	if p, ok := results["churn"]; ok && p.FinalKeys != nil {
+		fmt.Printf("\nchurn: %d orphaned results swept; server settled at %d keys (gate %d)",
+			*p.OrphansSwept, *p.FinalKeys, churnKeyGate)
+		if *p.FinalKeys > churnKeyGate {
+			churnOK = false
+		}
+		if p.P95Ms == nil || *p.P95Ms > churnP95GateMS {
+			churnOK = false
+		}
+	}
 	shardOK := true
 	if one, ok := results["pub-1shard"]; ok && len(order) == 2 {
 		many := results[order[1]]
@@ -672,6 +766,9 @@ func main() {
 				rep.CommitMS = float64(*commit) / float64(time.Millisecond)
 			}
 		}
+		if *profileKind == "churn" {
+			rep.Gens = *gens
+		}
 		for _, name := range order {
 			rep.Profiles = append(rep.Profiles, results[name])
 		}
@@ -694,6 +791,10 @@ func main() {
 	}
 	if *strict && !shardOK {
 		fmt.Fprintln(os.Stderr, "strict: sharded publish throughput below 1.3x the single-shard row")
+		os.Exit(1)
+	}
+	if *strict && !churnOK {
+		fmt.Fprintf(os.Stderr, "strict: churn gates failed (need ≤ %d settled keys and p95 submit→result ≤ %d ms)\n", churnKeyGate, churnP95GateMS)
 		os.Exit(1)
 	}
 }
@@ -756,6 +857,114 @@ func taskRoundTrips(b pstream.Broker, st *store.Store, payload []byte, tasks, wo
 	wg.Wait()
 	close(errs)
 	return <-errs
+}
+
+// churnResult is what churnFleet hands back to the churn profile's row.
+type churnResult struct {
+	completed int           // tasks submitted, executed, and awaited
+	workDur   time.Duration // the workload alone, excluding the settle loop
+	finalKeys int64         // server key count after the settle loop
+	swept     uint64        // orphaned results the endpoint reclaimed
+}
+
+// churnFleet drives the churn profile's workload: gens generations of
+// ephemeral StreamExecutors against one long-lived endpoint. Every
+// generation submits and awaits `tasks` tasks (the latency samples); even
+// generations then Close cleanly, odd generations submit two more tasks
+// and Kill — a crash with results in flight, stranding them on the shared
+// result topic addressed to a client whose heartbeat is about to expire.
+// After the last generation it waits out the heartbeat TTL and sweeps
+// until the server's key count settles, returning the settled count for
+// the strict gate.
+func churnFleet(b pstream.Broker, st *store.Store, dbsize func() (int64, error), payload []byte, gens, tasks, workers int, gap time.Duration, lats *latencies) (churnResult, error) {
+	benchFnOnce.Do(func() {
+		faas.RegisterFunction("bench-len", func(_ context.Context, args []any) (any, error) {
+			return len(args[0].([]byte)), nil
+		})
+	})
+	var res churnResult
+	ctx, cancel := context.WithTimeout(context.Background(),
+		2*time.Minute+2*time.Duration(gens*tasks)*gap)
+	defer cancel()
+	epName := "churn-" + connector.NewID()[:8]
+	ep := faas.StartStreamEndpoint(st, b, epName, workers)
+	defer ep.Close()
+
+	start := time.Now()
+	for g := 0; g < gens; g++ {
+		exec, err := faas.NewStreamExecutor(st, b, epName)
+		if err != nil {
+			return res, err
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, tasks)
+		for i := 0; i < tasks; i++ {
+			t0 := time.Now()
+			fut, err := exec.Submit(ctx, "bench-len", payload)
+			if err != nil {
+				return res, err
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, err := fut.Result(ctx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v.(int) != len(payload) {
+					errs <- fmt.Errorf("task saw %v bytes, want %d", v, len(payload))
+					return
+				}
+				lats.record(time.Since(t0))
+			}()
+			if gap > 0 {
+				time.Sleep(gap)
+			}
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return res, fmt.Errorf("generation %d: %w", g, err)
+		}
+		res.completed += tasks
+		if g%2 == 0 {
+			if err := exec.Close(); err != nil {
+				return res, fmt.Errorf("generation %d close: %w", g, err)
+			}
+			continue
+		}
+		// A crash with work in flight: these results will land on the
+		// shared result topic addressed to a client that no longer exists,
+		// and only the endpoint's heartbeat-driven sweeps can reclaim them.
+		for i := 0; i < 2; i++ {
+			if _, err := exec.Submit(ctx, "bench-len", payload); err != nil {
+				return res, err
+			}
+		}
+		exec.Kill()
+	}
+	res.workDur = time.Since(start)
+
+	// Settle: wait out the crashed executors' heartbeats, then sweep until
+	// the key count stops falling — the endpoint's janitor loop, compressed
+	// so the bench terminates promptly.
+	time.Sleep(2 * churnHeartbeat)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, err := ep.SweepResults(ctx); err != nil {
+			return res, fmt.Errorf("sweep: %w", err)
+		}
+		n, err := dbsize()
+		if err != nil {
+			return res, err
+		}
+		res.finalKeys, res.swept = n, ep.Swept()
+		if n <= churnKeyGate || time.Now().After(deadline) {
+			return res, nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
 }
 
 // inlineFanOut pushes payloads through the broker itself: the baseline

@@ -21,16 +21,25 @@ import (
 )
 
 // streamGroup is the consumer group StreamServer workers join on the task
-// topic: each task is claimed by exactly one live worker.
-const streamGroup = "workers"
+// topic: each task is claimed by exactly one live worker. thinkerGroup is
+// the membership group instances join on the shared result topic (KVBroker
+// with heartbeats only), backing the orphaned-result sweep.
+const (
+	streamGroup  = "workers"
+	thinkerGroup = "thinkers"
+)
 
 // attrStreamID carries the task ID on task and result events so the
-// results loop routes without resolving bulk payloads; attrStreamReply
-// carries the submitting instance's result topic on task events so a
-// worker can report a resolution failure without the payload.
+// results loop routes without resolving bulk payloads. attrStreamReply is
+// the routing tag: on task events the shared result topic, on result
+// events the submitting instance's ID — what each instance's result loop
+// filters on and the orphan sweep checks against the live set.
+// attrStreamInstance carries the submitting instance's ID on task events
+// so a worker can address a resolution-failure report without the payload.
 const (
-	attrStreamID    = "colmena.id"
-	attrStreamReply = "colmena.rt"
+	attrStreamID       = "colmena.id"
+	attrStreamReply    = "colmena.rt"
+	attrStreamInstance = "colmena.in"
 )
 
 // streamTask is the bulk payload of one submission.
@@ -40,10 +49,14 @@ type streamTask struct {
 	// Input is the gob-encoded input value (see encodeAny); empty for a
 	// nil input.
 	Input []byte
-	// ResultTopic is the submitting instance's private result topic.
-	// Tasks from several instances of one server name share the task
-	// topic (one worker group), but each instance's results flow home.
+	// ResultTopic is the server's shared result topic. Tasks from several
+	// instances of one server name share the task topic (one worker
+	// group) and the result topic; Instance tags whose pending map holds
+	// the submission, so results flow home by filtering, not by topic.
 	ResultTopic string
+	// Instance is the submitting instance's ID — echoed back as the
+	// result event's colmena.rt routing tag.
+	Instance string
 }
 
 // streamResult is the bulk payload of one completed task.
@@ -109,12 +122,21 @@ type pendingTask struct {
 // A StreamServer is safe for concurrent use.
 type StreamServer struct {
 	registry
-	st      *store.Store
-	b       pstream.Broker
-	name    string
-	reply   string // this instance's private result topic
-	results chan Result
-	prod    *pstream.Producer[streamTask]
+	st       *store.Store
+	b        pstream.Broker
+	name     string
+	instance string // this instance's ID: result routing tag + member-name suffix
+	reply    string // the server's shared result topic
+	results  chan Result
+	prod     *pstream.Producer[streamTask]
+	sem      chan struct{} // in-flight window; one slot per pending task
+	stop     chan struct{} // closed by Close; unblocks Submit waiters
+
+	// kb/hb/mem: KVBroker-only machinery — membership on the shared
+	// result topic and the orphaned-result sweep.
+	kb  *pstream.KVBroker
+	hb  *pstream.Heartbeat
+	mem *pstream.Membership
 
 	pmu     sync.Mutex
 	pending map[string]pendingTask
@@ -129,16 +151,47 @@ type StreamServer struct {
 }
 
 // taskTopic names the shared task stream for a server name; resultTopic
-// names one instance's private result stream — results must flow back to
-// the instance whose pending map holds the submission, not to whichever
-// same-named instance reads a shared topic first.
-func taskTopic(name string) string             { return "colmena.t." + name }
-func resultTopic(name, instance string) string { return "colmena.r." + name + "." + instance }
+// names its shared result stream. Every instance of the name reads the
+// result topic as an independent fan-out consumer and keeps only results
+// tagged with its own instance ID — one topic per server name, not one
+// per instance, so an instance churn leaves no private topics behind.
+func taskTopic(name string) string   { return "colmena.t." + name }
+func resultTopic(name string) string { return "colmena.r." + name }
+
+// defaultStreamInFlight bounds a StreamServer's pending submissions when
+// WithStreamMaxInFlight is not given.
+const defaultStreamInFlight = 4096
+
+// StreamServerOption configures a StreamServer.
+type StreamServerOption func(*streamServerConfig)
+
+type streamServerConfig struct {
+	maxInFlight int
+}
+
+// WithStreamMaxInFlight caps the server's in-flight window: Submit blocks
+// while that many submissions are pending (no result delivered yet), so a
+// steering loop that outruns its fleet backs off instead of flooding the
+// broker. n < 1 keeps the default.
+func WithStreamMaxInFlight(n int) StreamServerOption {
+	return func(c *streamServerConfig) {
+		if n >= 1 {
+			c.maxInFlight = n
+		}
+	}
+}
 
 // NewStreamServer starts a stream-backed task server with the given
 // worker-pool size. st stores task and result payloads (its serializer
 // must handle gob — the default does); b carries the O(100 B) events.
-func NewStreamServer(st *store.Store, b pstream.Broker, name string, workers, resultDepth int) (*StreamServer, error) {
+// When b unwraps to a KVBroker with heartbeats enabled, the instance
+// joins the result topic's "thinkers" membership group and sweeps the
+// topic for results addressed to dead instances.
+func NewStreamServer(st *store.Store, b pstream.Broker, name string, workers, resultDepth int, opts ...StreamServerOption) (*StreamServer, error) {
+	cfg := streamServerConfig{maxInFlight: defaultStreamInFlight}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if workers < 1 {
 		workers = 4
 	}
@@ -146,13 +199,14 @@ func NewStreamServer(st *store.Store, b pstream.Broker, name string, workers, re
 		resultDepth = 4096
 	}
 	// The instance ID keeps same-named server processes apart everywhere
-	// identity matters: the result topic (each instance's results flow
-	// only to it) and worker member names (a stale ack from one process
-	// must not settle a same-named peer's live claim).
-	instance := connector.NewID()[:8]
+	// identity matters: result routing (each instance keeps only results
+	// tagged with its ID), the result-topic consumer name, and worker
+	// member names (a stale ack from one process must not settle a
+	// same-named peer's live claim).
+	instance := connector.NewID()
 	ctx, cancel := context.WithCancel(context.Background())
-	reply := resultTopic(name, instance)
-	cons, err := pstream.NewConsumer[streamResult](ctx, b, reply, "thinker",
+	reply := resultTopic(name)
+	cons, err := pstream.NewConsumer[streamResult](ctx, b, reply, instance,
 		pstream.WithEndCount(0))
 	if err != nil {
 		cancel()
@@ -163,22 +217,92 @@ func NewStreamServer(st *store.Store, b pstream.Broker, name string, workers, re
 		st:       st,
 		b:        b,
 		name:     name,
+		instance: instance,
 		reply:    reply,
 		results:  make(chan Result, resultDepth),
 		// One logical consumer — the worker group — reads each task, so
 		// claim settlement reclaims the task payload from the store.
 		prod:           pstream.NewProducer[streamTask](st, b, taskTopic(name), pstream.WithEvictOnAck(1)),
+		sem:            make(chan struct{}, cfg.maxInFlight),
+		stop:           make(chan struct{}),
 		pending:        make(map[string]pendingTask),
 		resolveStrikes: pstream.NewStrikes(),
 		cancel:         cancel,
+	}
+	if kb, ok := pstream.AsKV(b); ok {
+		s.kb = kb
+		if kb.Heartbeats() {
+			s.mem = kb.Membership(reply, thinkerGroup)
+			hb, err := s.mem.Join(ctx, instance)
+			if err != nil {
+				cancel()
+				cons.Close()
+				return nil, err
+			}
+			s.hb = hb
+			s.wg.Add(1)
+			go s.janitor(ctx)
+		}
 	}
 	s.wg.Add(1)
 	go s.resultLoop(ctx, cons)
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
-		go s.worker(ctx, fmt.Sprintf("%s-%s-w%d", name, instance, i))
+		go s.worker(ctx, fmt.Sprintf("%s-%s-w%d", name, instance[:8], i))
 	}
 	return s, nil
+}
+
+// janitor periodically sweeps the shared result topic for results whose
+// submitting instance's heartbeat expired before it consumed them.
+func (s *StreamServer) janitor(ctx context.Context) {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.kb.HeartbeatTTL())
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			_, _ = s.SweepResults(ctx)
+		}
+	}
+}
+
+// SweepResults runs one orphan sweep over the server's shared result
+// topic: dead instances are reaped from the membership group, fully
+// consumed result slots are truncated, and results addressed to a dead
+// instance have their payloads — including any embedded ProxyResults
+// proxy target — evicted from the store. Returns the number of log slots
+// reclaimed. No-op on brokers without heartbeats.
+func (s *StreamServer) SweepResults(ctx context.Context) (int, error) {
+	if s.kb == nil || s.mem == nil {
+		return 0, nil
+	}
+	return s.kb.SweepTopic(ctx, s.reply, s.mem, func(ev pstream.Event, live map[string]bool) bool {
+		if live[ev.Attr(attrStreamReply)] {
+			return false // addressee is alive; it evicts its own payloads
+		}
+		pxy := new(proxy.Proxy[streamResult])
+		if err := pxy.UnmarshalBinary(ev.ProxyData); err != nil {
+			return false
+		}
+		// Resolve before evicting: a ProxyResults result embeds a second
+		// proxy whose policy-store payload would otherwise be orphaned
+		// with no remaining pointer to it.
+		if r, err := pxy.Value(ctx); err == nil {
+			if v, err := decodeAny(r.Value); err == nil {
+				if p, isProxy := v.(*proxy.Proxy[[]byte]); isProxy {
+					evictProxyTarget(ctx, p)
+				}
+			}
+		}
+		st, key, ok, err := store.KeyOf(pxy)
+		if err != nil || !ok {
+			return false
+		}
+		return st.Evict(context.WithoutCancel(ctx), key) == nil
+	})
 }
 
 // Results is the stream of completed tasks.
@@ -187,12 +311,23 @@ func (s *StreamServer) Results() <-chan Result { return s.results }
 // Submit publishes the task to the server's task topic. Large []byte
 // inputs are proxied into the method's registered policy store first, so
 // they land in the store the user chose for that task type; either way
-// the broker carries only the task event.
+// the broker carries only the task event. Submit blocks while the
+// in-flight window (WithStreamMaxInFlight) is full — backpressure instead
+// of an unbounded broker backlog — and errors if the server closes while
+// it waits.
 func (s *StreamServer) Submit(ctx context.Context, method string, input any, tag any) error {
 	_, policy, hasPolicy, ok := s.lookup(method)
 	if !ok {
 		return fmt.Errorf("colmena: method %q not registered", method)
 	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.stop:
+		return fmt.Errorf("colmena: stream server closed")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	release := func() { <-s.sem }
 	submitted := time.Now()
 
 	arg := input
@@ -212,6 +347,7 @@ func (s *StreamServer) Submit(ctx context.Context, method string, input any, tag
 	unproxy := func() { evictProxyTarget(ctx, proxied) }
 	inputGob, err := encodeAny(arg)
 	if err != nil {
+		release()
 		unproxy()
 		return err
 	}
@@ -220,22 +356,34 @@ func (s *StreamServer) Submit(ctx context.Context, method string, input any, tag
 	s.pmu.Lock()
 	if s.closed {
 		s.pmu.Unlock()
+		release()
 		unproxy()
 		return fmt.Errorf("colmena: stream server closed")
 	}
 	s.pending[id] = pendingTask{method: method, tag: tag, submitted: submitted}
 	s.pmu.Unlock()
 
-	tk := streamTask{ID: id, Method: method, Input: inputGob, ResultTopic: s.reply}
-	attrs := map[string]string{attrStreamID: id, attrStreamReply: s.reply}
+	tk := streamTask{ID: id, Method: method, Input: inputGob, ResultTopic: s.reply, Instance: s.instance}
+	attrs := map[string]string{attrStreamID: id, attrStreamReply: s.reply, attrStreamInstance: s.instance}
 	if err := s.prod.Send(ctx, tk, attrs); err != nil {
-		s.pmu.Lock()
-		delete(s.pending, id)
-		s.pmu.Unlock()
+		s.removePending(id)
 		unproxy()
 		return err
 	}
 	return nil
+}
+
+// removePending drops id's pending entry and frees its in-flight slot,
+// exactly once per submission (the entry is in the map exactly once).
+func (s *StreamServer) removePending(id string) bool {
+	s.pmu.Lock()
+	_, ok := s.pending[id]
+	delete(s.pending, id)
+	s.pmu.Unlock()
+	if ok {
+		<-s.sem
+	}
+	return ok
 }
 
 // worker claims tasks from the task topic, executes methods, and publishes
@@ -249,34 +397,37 @@ func (s *StreamServer) worker(ctx context.Context, member string) {
 	}, s.execute)
 }
 
-// replyProducer builds the producer for one task's result topic. Per-task
-// construction (producers are tiny stateless handles): tasks on one
-// shared task topic come from different submitting instances, each with
-// its own result topic. Exactly one consumer — the submitting instance's
-// thinker — reads it, so evict-on-ack reclaims result payloads.
+// replyProducer builds the producer for the shared result topic. Per-task
+// construction (producers are tiny stateless handles). No evict-on-ack:
+// every instance on the shared topic acks every result (including its
+// peers'), so an ack-count policy would let one instance's ack evict
+// another's unread payload — instead the addressee evicts its own
+// payloads as its result loop consumes them, and the orphan sweep
+// reclaims those whose addressee died.
 func (s *StreamServer) replyProducer(topic string) *pstream.Producer[streamResult] {
-	return pstream.NewProducer[streamResult](s.st, s.b, topic, pstream.WithEvictOnAck(1))
+	return pstream.NewProducer[streamResult](s.st, s.b, topic)
 }
 
 // failResolve handles a payload-resolution failure inside a claimed task
 // via the shared poison-task policy (pstream.SettleAfterStrikes): leases
 // retry transient failures, strikes bound the poison case. reply is the
-// task's result topic (from the event attrs when the payload itself is
-// what failed to resolve).
-func (s *StreamServer) failResolve(ctx context.Context, it *pstream.Item[streamTask], reply, id string, cause error) {
+// task's result topic and instance the addressee tag — both from the
+// event attrs, which exist precisely so a worker can report when the
+// payload itself is what failed to resolve.
+func (s *StreamServer) failResolve(ctx context.Context, it *pstream.Item[streamTask], reply, instance, id string, cause error) {
 	if reply == "" {
 		return
 	}
 	pstream.SettleAfterStrikes(ctx, s.resolveStrikes, it, pstream.DefaultSettleStrikes, func() error {
 		res := streamResult{ID: id, Err: fmt.Sprintf("resolving task payload: %v", cause)}
-		return s.replyProducer(reply).Send(ctx, res, map[string]string{attrStreamID: id})
+		return s.replyProducer(reply).Send(ctx, res, map[string]string{attrStreamID: id, attrStreamReply: instance})
 	})
 }
 
 func (s *StreamServer) execute(ctx context.Context, it *pstream.Item[streamTask]) {
 	tk, err := it.Value(ctx)
 	if err != nil {
-		s.failResolve(ctx, it, it.Event.Attr(attrStreamReply), it.Event.Attr(attrStreamID), err)
+		s.failResolve(ctx, it, it.Event.Attr(attrStreamReply), it.Event.Attr(attrStreamInstance), it.Event.Attr(attrStreamID), err)
 		return
 	}
 	res := streamResult{ID: tk.ID}
@@ -292,7 +443,7 @@ func (s *StreamServer) execute(ctx context.Context, it *pstream.Item[streamTask]
 		if p, isProxy := in.(*proxy.Proxy[[]byte]); isProxy {
 			data, err := p.Value(ctx)
 			if err != nil {
-				s.failResolve(ctx, it, tk.ResultTopic, tk.ID, err)
+				s.failResolve(ctx, it, tk.ResultTopic, tk.Instance, tk.ID, err)
 				return
 			}
 			in = data
@@ -327,7 +478,7 @@ func (s *StreamServer) execute(ctx context.Context, it *pstream.Item[streamTask]
 		evictProxyTarget(ctx, resultProxy)
 		resultProxy = nil
 	}
-	if err := s.replyProducer(tk.ResultTopic).Send(ctx, res, map[string]string{attrStreamID: res.ID}); err != nil {
+	if err := s.replyProducer(tk.ResultTopic).Send(ctx, res, map[string]string{attrStreamID: res.ID, attrStreamReply: tk.Instance}); err != nil {
 		// The result never shipped: the lease will re-run the task, which
 		// mints a fresh proxy — reclaim this one or it leaks.
 		evictProxyTarget(ctx, resultProxy)
@@ -346,10 +497,19 @@ func (s *StreamServer) resultLoop(ctx context.Context, cons *pstream.Consumer[st
 }
 
 // handleResult correlates one result item with its pending submission by
-// task ID and emits it on Results. Duplicate results (a worker died
-// between publish and claim settlement, and the task re-ran) are acked
-// and dropped.
+// task ID and emits it on Results. Events addressed to other instances
+// of the server name (the shared topic carries everyone's results) are
+// acked and skipped without touching their payloads. Duplicate results
+// (a worker died between publish and claim settlement, and the task
+// re-ran) are acked and dropped.
 func (s *StreamServer) handleResult(ctx context.Context, it *pstream.Item[streamResult]) {
+	if it.Event.Attr(attrStreamReply) != s.instance {
+		// A peer's result: ack so this consumer's offset advances (and
+		// truncation can compact the log), nothing else — evicting the
+		// payload here would race the addressee's own resolve.
+		_ = it.Ack(ctx)
+		return
+	}
 	id := it.Event.Attr(attrStreamID)
 	r, resolveErr := it.Value(ctx)
 	if resolveErr == nil {
@@ -357,10 +517,19 @@ func (s *StreamServer) handleResult(ctx context.Context, it *pstream.Item[stream
 	}
 	v, decErr := decodeAny(r.Value)
 	_ = it.Ack(ctx)
+	// This instance is the addressee and has extracted what it needs (or
+	// failed terminally): reclaim the result payload. The shared topic
+	// carries no evict-on-ack, so the addressee evicts explicitly.
+	if st, key, ok, err := store.KeyOf(it.Proxy); err == nil && ok {
+		_ = st.Evict(context.WithoutCancel(ctx), key)
+	}
 	s.pmu.Lock()
 	p, ok := s.pending[id]
 	delete(s.pending, id)
 	s.pmu.Unlock()
+	if ok {
+		<-s.sem // free the submission's in-flight slot
+	}
 	if !ok {
 		// A duplicate (the task re-ran after a worker died post-publish)
 		// or a stray: the Thinker never sees it, so an embedded
@@ -395,12 +564,49 @@ func (s *StreamServer) handleResult(ctx context.Context, it *pstream.Item[stream
 
 // Close stops the workers and the results loop. Tasks already claimed but
 // unsettled expire with their leases; submissions still pending never
-// complete (their producers should drain Results before Close).
+// complete (their producers should drain Results before Close). On a
+// KVBroker with heartbeats, Close also leaves the result topic's
+// membership group and forgets the instance's committed offset, so a
+// clean instance churn leaves no per-instance keys on the server.
 func (s *StreamServer) Close() error {
 	s.pmu.Lock()
+	already := s.closed
 	s.closed = true
 	s.pmu.Unlock()
+	if !already {
+		close(s.stop)
+	}
 	s.cancel()
 	s.wg.Wait()
-	return nil
+	ctx := context.Background()
+	var err error
+	if s.hb != nil {
+		err = s.hb.Leave(ctx)
+	}
+	if s.kb != nil {
+		if ferr := s.kb.ForgetConsumer(ctx, s.reply, s.instance); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// Kill simulates the instance's process dying: workers, result loop, and
+// heartbeat stop immediately with none of Close's cleanup — the committed
+// offset, membership entries, and unconsumed results stay on the server
+// until heartbeat expiry and a surviving instance's orphan sweep reclaim
+// them. Test and bench hook for churn scenarios.
+func (s *StreamServer) Kill() {
+	s.pmu.Lock()
+	already := s.closed
+	s.closed = true
+	s.pmu.Unlock()
+	if !already {
+		close(s.stop)
+	}
+	if s.hb != nil {
+		s.hb.Kill()
+	}
+	s.cancel()
+	s.wg.Wait()
 }

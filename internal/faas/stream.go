@@ -2,9 +2,14 @@ package faas
 
 // The stream-backed task plane: submissions are pstream events on a task
 // topic, claimed by endpoint worker pools as a consumer group; results
-// flow back on a per-client result topic. Bulk arguments and results ride
-// the store data plane, so the broker moves only O(100 B) of metadata per
-// task and there is no service payload limit to bypass.
+// flow back on a shared per-endpoint result topic, with each executor
+// filtering for its own results by the faas.rt routing attr. Bulk
+// arguments and results ride the store data plane, so the broker moves
+// only O(100 B) of metadata per task and there is no service payload
+// limit to bypass. Over a KVBroker with heartbeats enabled, executors
+// join the result topic's "clients" membership group, and the endpoint
+// periodically sweeps the result topic, reclaiming results whose
+// submitting client died before resolving them.
 
 import (
 	"context"
@@ -13,8 +18,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"proxystore/internal/connector"
+	"proxystore/internal/proxy"
 	"proxystore/internal/pstream"
 	"proxystore/internal/store"
 	"proxystore/internal/telemetry"
@@ -24,13 +31,24 @@ import (
 // worker pool claims task submissions.
 func TaskTopic(endpoint string) string { return "faas.t." + endpoint }
 
-// ResultTopic returns the topic a client's results flow back on.
-func ResultTopic(client string) string { return "faas.r." + client }
+// ResultTopic returns the shared topic the named endpoint's results flow
+// back on. Every executor of the endpoint reads it as an independent
+// fan-out consumer (named by its client ID) and keeps only the results
+// addressed to it by the faas.rt attr — one topic per endpoint, not one
+// per client, so a churn of short-lived executors leaves no per-client
+// topics behind.
+func ResultTopic(endpoint string) string { return "faas.r." + endpoint }
 
 // TaskGroup is the consumer group endpoint workers join on a task topic:
 // one group per endpoint, so each submission is executed by exactly one
 // live worker and a crashed worker's claims are reclaimed on lease expiry.
 const TaskGroup = "workers"
+
+// ClientGroup is the membership group executors join on their endpoint's
+// result topic (KVBroker with heartbeats only): its live set is what the
+// endpoint's orphan sweep trusts when deciding a result's addressee is
+// gone for good.
+const ClientGroup = "clients"
 
 // Event attributes carried on task and result events. They duplicate
 // fields of the stored payload so that dispatchers and observers can route
@@ -40,9 +58,14 @@ const (
 	AttrTaskID = "faas.id"
 	// AttrTaskFunction is the registered function name, on task events.
 	AttrTaskFunction = "faas.fn"
-	// AttrResultTopic is the submitting client's result topic, on task
-	// events.
+	// AttrResultTopic is the routing tag: on task events it names the
+	// endpoint's shared result topic; on result events it carries the
+	// submitting client's ID, which executors filter on and the orphan
+	// sweep checks against the live-client set.
 	AttrResultTopic = "faas.rt"
+	// AttrTaskClient is the submitting client's ID, on task events — what
+	// the executing worker echoes back as the result's faas.rt tag.
+	AttrTaskClient = "faas.cl"
 )
 
 // TaskRequest is the bulk payload of one submission, stored through the
@@ -55,8 +78,12 @@ type TaskRequest struct {
 	// Args is the gob-encoded argument list — the same codec as the
 	// classic executor, so proxies travel inside it unchanged.
 	Args []byte
-	// ResultTopic is where the executing worker publishes the TaskResult.
+	// ResultTopic is where the executing worker publishes the TaskResult
+	// (the endpoint's shared result topic).
 	ResultTopic string
+	// Client is the submitting executor's ID — the result event's faas.rt
+	// routing tag, so only the submitter keeps the result.
+	Client string
 }
 
 // TaskResult is the bulk payload of one completed task, published on the
@@ -79,18 +106,48 @@ func init() {
 // futures whose executor shuts down before their result arrives.
 var ErrExecutorClosed = errors.New("faas: stream executor closed")
 
+// DefaultMaxInFlight bounds an executor's unresolved submissions when
+// WithMaxInFlight is not given: generous enough that joins over large
+// fan-outs never notice it, small enough that a runaway submit loop hits
+// backpressure before flooding the broker log.
+const DefaultMaxInFlight = 4096
+
+// StreamExecutorOption configures a StreamExecutor.
+type StreamExecutorOption func(*streamExecutorConfig)
+
+type streamExecutorConfig struct {
+	maxInFlight int
+}
+
+// WithMaxInFlight caps the executor's in-flight window: Submit blocks
+// while maxInFlight submissions are pending (submitted, result not yet
+// consumed), so a producer that outruns the fleet backs off instead of
+// flooding the broker. n < 1 keeps the default.
+func WithMaxInFlight(n int) StreamExecutorOption {
+	return func(c *streamExecutorConfig) {
+		if n >= 1 {
+			c.maxInFlight = n
+		}
+	}
+}
+
 // StreamExecutor submits tasks as pstream events instead of routing them
 // through a Cloud. Each Submit stores a TaskRequest through the store
 // (bulk plane) and publishes a compact event on the endpoint's task topic
-// (metadata plane); a background dispatcher consumes the executor's result
-// topic and completes futures by task ID. There is no payload limit:
-// arguments of any size ride the store.
+// (metadata plane); a background dispatcher consumes the endpoint's
+// shared result topic — keeping only events whose faas.rt tag matches
+// this executor — and completes futures by task ID. There is no payload
+// limit: arguments of any size ride the store.
 //
 // A StreamExecutor is safe for concurrent use.
 type StreamExecutor struct {
 	id    string
-	topic string // result topic
+	topic string // the endpoint's shared result topic
 	prod  *pstream.Producer[TaskRequest]
+	sem   chan struct{} // in-flight window; one slot per pending task
+
+	kb *pstream.KVBroker  // non-nil when b unwraps to a KVBroker
+	hb *pstream.Heartbeat // non-nil when heartbeats are on
 
 	mu      sync.Mutex
 	pending map[string]*pendingResult
@@ -124,16 +181,23 @@ func evictResult(ctx context.Context, it *pstream.Item[TaskResult]) {
 // NewStreamExecutor returns an executor submitting to the named endpoint's
 // task topic, storing payloads in st and events through b. The store must
 // use a serializer that can encode TaskRequest/TaskResult (the default gob
-// serializer does). The executor owns a consumer on its private result
-// topic until Close.
-func NewStreamExecutor(st *store.Store, b pstream.Broker, endpoint string) (*StreamExecutor, error) {
+// serializer does). The executor owns a fan-out consumer (named by its
+// client ID) on the endpoint's shared result topic until Close. When b
+// unwraps to a KVBroker with heartbeats enabled (pstream.WithKVHeartbeat),
+// the executor also joins the result topic's "clients" membership group,
+// so the endpoint's orphan sweep can tell a slow client from a dead one.
+func NewStreamExecutor(st *store.Store, b pstream.Broker, endpoint string, opts ...StreamExecutorOption) (*StreamExecutor, error) {
+	cfg := streamExecutorConfig{maxInFlight: DefaultMaxInFlight}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	id := connector.NewID()
-	topic := ResultTopic(id)
+	topic := ResultTopic(endpoint)
 	ctx, cancel := context.WithCancel(context.Background())
 	// Window 1: prefetch would eagerly batch-resolve bulk result payloads
 	// into executor memory; result bytes must move only when a future's
 	// Result asks for them.
-	cons, err := pstream.NewConsumer[TaskResult](ctx, b, topic, "client",
+	cons, err := pstream.NewConsumer[TaskResult](ctx, b, topic, id,
 		pstream.WithEndCount(0), pstream.WithWindow(1))
 	if err != nil {
 		cancel()
@@ -142,12 +206,25 @@ func NewStreamExecutor(st *store.Store, b pstream.Broker, endpoint string) (*Str
 	e := &StreamExecutor{
 		id:    id,
 		topic: topic,
-		// Exactly one consumer (this executor) reads each result, so its
-		// ack reclaims the result payload from the store.
+		// Exactly one consumer (the claiming worker's group) reads each
+		// task, so its ack reclaims the request payload from the store.
 		prod:    pstream.NewProducer[TaskRequest](st, b, TaskTopic(endpoint), pstream.WithEvictOnAck(1)),
+		sem:     make(chan struct{}, cfg.maxInFlight),
 		pending: make(map[string]*pendingResult),
 		cancel:  cancel,
 		done:    make(chan struct{}),
+	}
+	if kb, ok := pstream.AsKV(b); ok {
+		e.kb = kb
+		if kb.Heartbeats() {
+			hb, err := kb.Membership(topic, ClientGroup).Join(ctx, id)
+			if err != nil {
+				cancel()
+				cons.Close()
+				return nil, err
+			}
+			e.hb = hb
+		}
 	}
 	go e.dispatch(ctx, cons)
 	return e, nil
@@ -173,16 +250,23 @@ func (e *StreamExecutor) dispatch(ctx context.Context, cons *pstream.Consumer[Ta
 }
 
 func (e *StreamExecutor) handleResult(ctx context.Context, it *pstream.Item[TaskResult]) {
+	// Ack here, on the goroutine that owns the subscription: it commits
+	// the offset so KVBroker truncation can compact the result log, and —
+	// result producers setting no evict-on-ack — has no payload side
+	// effect (addressees evict payloads themselves as they consume).
+	_ = it.Ack(ctx)
+	// The result topic is shared by every executor of the endpoint; the
+	// faas.rt tag names the addressee. Events for other clients are acked
+	// (so this consumer's offset keeps advancing) and otherwise untouched —
+	// evicting a peer's payload here would race its own resolve.
+	if it.Event.Attr(AttrResultTopic) != e.id {
+		return
+	}
 	// "deliver" closes the trace the submit opened: the result event is
 	// back on the submitting client, about to complete its future.
 	if trace := it.Event.Attr(telemetry.AttrTrace); trace != "" {
 		defer telemetry.Default().StartSpan(trace, it.Event.Attr(telemetry.AttrSpan), "deliver").End()
 	}
-	// Ack here, on the goroutine that owns the subscription: it commits
-	// the offset so KVBroker truncation can compact the result log, and —
-	// result producers setting no evict-on-ack — has no payload side
-	// effect (futures evict payloads themselves as they consume).
-	_ = it.Ack(ctx)
 	id := it.Event.Attr(AttrTaskID)
 	e.mu.Lock()
 	p := e.pending[id]
@@ -196,25 +280,50 @@ func (e *StreamExecutor) handleResult(ctx context.Context, it *pstream.Item[Task
 	p.ch <- it // buffered; exactly one delivery per ID
 }
 
+// removePending drops id's pending entry and frees its in-flight slot.
+// The slot is released exactly once per submission because the entry is
+// in the map exactly once; entries bulk-cleared by Close release nothing
+// (the executor is closed, so no Submit is waiting).
+func (e *StreamExecutor) removePending(id string) {
+	e.mu.Lock()
+	_, ok := e.pending[id]
+	delete(e.pending, id)
+	e.mu.Unlock()
+	if ok {
+		<-e.sem
+	}
+}
+
 // Submit publishes the task to the endpoint's topic. Unlike the classic
 // executor there is no service payload limit: serialized arguments of any
-// size ride the data plane, and the broker carries O(100 B).
+// size ride the data plane, and the broker carries O(100 B). Submit
+// blocks while the executor's in-flight window (WithMaxInFlight) is full
+// — backpressure instead of an unbounded broker backlog — and fails with
+// ErrExecutorClosed if the executor closes while it waits.
 func (e *StreamExecutor) Submit(ctx context.Context, function string, args ...any) (*Future, error) {
 	payload, err := encodeArgs(args)
 	if err != nil {
 		return nil, err
+	}
+	select {
+	case e.sem <- struct{}{}:
+	case <-e.done:
+		return nil, ErrExecutorClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 	id := connector.NewID()
 	pr := &pendingResult{ch: make(chan *pstream.Item[TaskResult], 1)}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		<-e.sem
 		return nil, ErrExecutorClosed
 	}
 	e.pending[id] = pr
 	e.mu.Unlock()
 
-	req := TaskRequest{ID: id, Function: function, Args: payload, ResultTopic: e.topic}
+	req := TaskRequest{ID: id, Function: function, Args: payload, ResultTopic: e.topic, Client: e.id}
 	// Every submission roots a trace. The span context rides the task
 	// event's attrs, so each later hop — producer publish, endpoint
 	// execute, result delivery — continues the same trace.
@@ -223,28 +332,23 @@ func (e *StreamExecutor) Submit(ctx context.Context, function string, args ...an
 		AttrTaskID:       id,
 		AttrTaskFunction: function,
 		AttrResultTopic:  e.topic,
+		AttrTaskClient:   e.id,
 	}
 	sp.Inject(attrs)
 	err = e.prod.Send(ctx, req, attrs)
 	sp.End()
 	if err != nil {
-		e.mu.Lock()
-		delete(e.pending, id)
-		e.mu.Unlock()
+		e.removePending(id)
 		return nil, err
 	}
 	e.submitted.Add(1)
 	// resolve runs on the CALLER's goroutine, so it must never touch the
 	// dispatcher's subscription (Subscriptions are single-goroutine; a
-	// concurrent Ack races Next). The result topic is private to this
-	// executor and never resumed, so the only thing a broker ack would
-	// buy is evict-on-ack — evicting the payload directly through the
-	// store achieves that without the subscription.
+	// concurrent Ack races Next) — the dispatcher already acked the event,
+	// so all that is left here is the payload, which the addressee owns.
 	resolve := func(ctx context.Context, it *pstream.Item[TaskResult]) (any, error) {
 		res, err := it.Value(ctx)
-		e.mu.Lock()
-		delete(e.pending, id)
-		e.mu.Unlock()
+		e.removePending(id)
 		// Reclaim the payload either way: on success it has been copied
 		// out; on failure Result caches the error, so the value is
 		// unreachable regardless (evictResult detaches from ctx, which
@@ -291,9 +395,13 @@ func (e *StreamExecutor) Submit(ctx context.Context, function string, args ...an
 // delivered still resolve it after Close. Delivered-but-unconsumed
 // results — abandoned futures, Result calls whose context expired — are
 // resolved into their proxies here and their stored payloads evicted, so
-// nothing leaks either way. Close does not close the store or broker,
-// which the executor borrows, and publishes no End on the task topic —
-// the endpoint is long-lived and may serve other executors.
+// nothing leaks either way. On a KVBroker, Close also deletes the
+// executor's footprint on the server: it leaves the result topic's
+// membership group (heartbeat + roster entry) and forgets its committed
+// offset, so a clean churn of executors leaves the server's key count at
+// its baseline. Close does not close the store or broker, which the
+// executor borrows, and publishes no End on the task topic — the endpoint
+// is long-lived and may serve other executors.
 func (e *StreamExecutor) Close() error {
 	e.mu.Lock()
 	e.closed = true
@@ -317,7 +425,32 @@ func (e *StreamExecutor) Close() error {
 		default:
 		}
 	}
-	return nil
+	var err error
+	if e.hb != nil {
+		err = e.hb.Leave(ctx)
+	}
+	if e.kb != nil {
+		if ferr := e.kb.ForgetConsumer(ctx, e.topic, e.id); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// Kill simulates the executor's process dying: the dispatcher and
+// heartbeat stop immediately, with none of Close's cleanup — the
+// committed offset, membership entries, and unconsumed results stay on
+// the server until heartbeat expiry and the endpoint's orphan sweep
+// reclaim them. Test and bench hook for churn scenarios.
+func (e *StreamExecutor) Kill() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	if e.hb != nil {
+		e.hb.Kill()
+	}
+	e.cancel()
+	<-e.done
 }
 
 // StreamEndpoint is a compute endpoint whose workers claim tasks from the
@@ -333,6 +466,11 @@ type StreamEndpoint struct {
 	b    pstream.Broker
 	name string
 
+	// kb/mem drive the orphaned-result sweep (KVBroker with heartbeats
+	// only): mem is the result topic's client membership domain.
+	kb  *pstream.KVBroker
+	mem *pstream.Membership
+
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
@@ -342,6 +480,7 @@ type StreamEndpoint struct {
 	resolveStrikes *pstream.Strikes
 
 	executed atomic.Uint64
+	swept    atomic.Uint64
 }
 
 // StartStreamEndpoint subscribes a pool of workers to the named endpoint's
@@ -367,8 +506,68 @@ func StartStreamEndpoint(st *store.Store, b pstream.Broker, name string, workers
 		ep.wg.Add(1)
 		go ep.worker(ctx, fmt.Sprintf("%s-%s-w%d", name, instance, i))
 	}
+	if kb, ok := pstream.AsKV(b); ok && kb.Heartbeats() {
+		ep.kb = kb
+		ep.mem = kb.Membership(ResultTopic(name), ClientGroup)
+		ep.wg.Add(1)
+		go ep.janitor(ctx)
+	}
 	return ep
 }
+
+// janitor periodically sweeps the endpoint's result topic, reclaiming
+// results whose submitting client's heartbeat expired before it resolved
+// them. Cadence is one heartbeat TTL: a dead client is detected within
+// one TTL, so its orphans linger at most ~two.
+func (ep *StreamEndpoint) janitor(ctx context.Context) {
+	defer ep.wg.Done()
+	tick := time.NewTicker(ep.kb.HeartbeatTTL())
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			_, _ = ep.SweepResults(ctx)
+		}
+	}
+}
+
+// SweepResults runs one orphan sweep over the endpoint's result topic:
+// dead clients (expired heartbeats) are reaped from the membership group
+// and their committed offsets deleted, result events every live client
+// has consumed are truncated from the log, and among them any result
+// addressed to a dead client has its stored payload evicted — the
+// heartbeat-driven GC of results nobody will ever resolve. Returns the
+// number of log slots reclaimed. Safe to call directly (tests, benches);
+// the endpoint also runs it on a heartbeat-TTL cadence.
+func (ep *StreamEndpoint) SweepResults(ctx context.Context) (int, error) {
+	if ep.kb == nil {
+		return 0, nil
+	}
+	n, err := ep.kb.SweepTopic(ctx, ResultTopic(ep.name), ep.mem, func(ev pstream.Event, live map[string]bool) bool {
+		if live[ev.Attr(AttrResultTopic)] {
+			return false // addressee is alive; it evicts its own payloads
+		}
+		pxy := new(proxy.Proxy[TaskResult])
+		if err := pxy.UnmarshalBinary(ev.ProxyData); err != nil {
+			return false
+		}
+		st, key, ok, err := store.KeyOf(pxy)
+		if err != nil || !ok {
+			return false
+		}
+		return st.Evict(context.WithoutCancel(ctx), key) == nil
+	})
+	if err == nil {
+		ep.swept.Add(uint64(n))
+	}
+	return n, err
+}
+
+// Swept returns the cumulative number of result-log slots reclaimed by
+// the endpoint's orphan sweeps.
+func (ep *StreamEndpoint) Swept() uint64 { return ep.swept.Load() }
 
 // Executed returns the number of tasks whose function this endpoint ran,
 // like the classic Endpoint's counter. A task whose result publish fails
@@ -384,13 +583,13 @@ func (ep *StreamEndpoint) Close() error {
 	return nil
 }
 
-// producer builds a producer for a client's result topic. Producers are
-// tiny stateless handles, so one per task beats caching them: a
-// long-lived endpoint serving a churn of short-lived executors (each
-// with its own UUID result topic) must not accumulate per-topic state.
-// No evict-on-ack: the submitting executor evicts result payloads
-// directly as its futures consume them (its subscription is pure-read,
-// so futures resolving concurrently never share broker state).
+// producer builds a producer for the shared result topic. Producers are
+// tiny stateless handles, so one per task beats caching them. No
+// evict-on-ack: every executor on the shared topic acks every result
+// (including its peers'), so an ack-count policy would let one client's
+// ack evict another's unread payload — instead the addressee evicts its
+// own payloads as futures consume them, and the endpoint's orphan sweep
+// reclaims those whose addressee died.
 func (ep *StreamEndpoint) producer(topic string) *pstream.Producer[TaskResult] {
 	return pstream.NewProducer[TaskResult](ep.st, ep.b, topic)
 }
@@ -420,12 +619,13 @@ func (ep *StreamEndpoint) execute(ctx context.Context, it *pstream.Item[TaskRequ
 		// routed via the event attrs (which exist precisely so a worker
 		// can report without the payload).
 		id, rt := it.Event.Attr(AttrTaskID), it.Event.Attr(AttrResultTopic)
+		cl := it.Event.Attr(AttrTaskClient)
 		if rt == "" {
 			return // nowhere to report; keep the lease cadence
 		}
 		pstream.SettleAfterStrikes(ctx, ep.resolveStrikes, it, pstream.DefaultSettleStrikes, func() error {
 			res := TaskResult{ID: id, Err: fmt.Sprintf("resolving task payload: %v", err)}
-			return ep.producer(rt).Send(ctx, res, map[string]string{AttrTaskID: id})
+			return ep.producer(rt).Send(ctx, res, map[string]string{AttrTaskID: id, AttrResultTopic: cl})
 		})
 		return
 	}
@@ -454,7 +654,10 @@ func (ep *StreamEndpoint) execute(ctx context.Context, it *pstream.Item[TaskRequ
 	// futures legitimately expect Executed to cover their tasks.
 	ep.executed.Add(1)
 	prod := ep.producer(req.ResultTopic)
-	resAttrs := map[string]string{AttrTaskID: res.ID}
+	// faas.rt on a result event is the addressee tag: the submitting
+	// client's ID, which its dispatcher filters on and the orphan sweep
+	// checks against the live set.
+	resAttrs := map[string]string{AttrTaskID: res.ID, AttrResultTopic: req.Client}
 	sp.Inject(resAttrs)
 	err = prod.Send(ctx, res, resAttrs)
 	sp.End()

@@ -349,9 +349,11 @@ func TestStreamDuplicateResultDropped(t *testing.T) {
 		t.Fatalf("Result: %v", err)
 	}
 
-	// Forge a duplicate/unknown result on the executor's result topic.
-	stray := pstream.NewProducer[TaskResult](st, b, ResultTopic(exec.ID()))
-	if err := stray.Send(ctx, TaskResult{ID: "stray"}, map[string]string{AttrTaskID: "stray"}); err != nil {
+	// Forge a duplicate/unknown result on the shared result topic,
+	// addressed to this executor by the faas.rt routing tag.
+	stray := pstream.NewProducer[TaskResult](st, b, ResultTopic(epName))
+	strayAttrs := map[string]string{AttrTaskID: "stray", AttrResultTopic: exec.ID()}
+	if err := stray.Send(ctx, TaskResult{ID: "stray"}, strayAttrs); err != nil {
 		t.Fatalf("stray Send: %v", err)
 	}
 
@@ -365,5 +367,88 @@ func TestStreamDuplicateResultDropped(t *testing.T) {
 	}
 	if v.(int) != 2 {
 		t.Fatalf("Result = %v, want 2", v)
+	}
+}
+
+func TestStreamExecutorCloseReturnsServerKeysToBaseline(t *testing.T) {
+	// Regression: executors used to leave their result-topic keys (log
+	// slots, committed offset) on the kv server forever — each
+	// Close-without-cleanup grew the key count by O(results). Now the
+	// result topic is shared per endpoint, Close forgets the executor's
+	// offset and leaves the membership group, and the endpoint's sweep
+	// truncates consumed slots — so a churn of executors must hold the
+	// server's key count at a fixed baseline.
+	srv, err := kvstore.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	b := pstream.NewKV(srv.Addr(),
+		pstream.WithKVTruncate(1),
+		pstream.WithKVLease(2*time.Second),
+		pstream.WithKVHeartbeat(200*time.Millisecond))
+	t.Cleanup(func() { b.Close() })
+
+	id := connector.NewID()[:8]
+	st, err := store.New("faas-leak-"+id, local.New("faas-leak-conn-"+id))
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	t.Cleanup(func() { store.Unregister("faas-leak-" + id) })
+	epName := "leak-ep-" + id
+	ep := StartStreamEndpoint(st, b, epName, 2)
+	t.Cleanup(func() { ep.Close() })
+
+	ctx := context.Background()
+	cli := kvstore.NewClient(srv.Addr())
+	t.Cleanup(func() { cli.Close() })
+
+	// Two generations of executors: each submits and resolves a batch,
+	// then closes cleanly. After a sweep, the server must be back at the
+	// same key count both times — no per-executor growth. The count is
+	// polled briefly: the workers' own floor sweep collects the last
+	// task's claim record on their next scan, an instant after its ack.
+	generation := func(ceiling int64) int64 {
+		exec, err := NewStreamExecutor(st, b, epName)
+		if err != nil {
+			t.Fatalf("NewStreamExecutor: %v", err)
+		}
+		for i := 0; i < 8; i++ {
+			fut, err := exec.Submit(ctx, "echo", i)
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			if _, err := fut.Result(ctx); err != nil {
+				t.Fatalf("Result: %v", err)
+			}
+		}
+		if err := exec.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		var n int64
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if _, err := ep.SweepResults(ctx); err != nil {
+				t.Fatalf("SweepResults: %v", err)
+			}
+			if n, err = cli.DBSize(ctx); err != nil {
+				t.Fatalf("DBSize: %v", err)
+			}
+			if n <= ceiling || time.Now().After(deadline) {
+				return n
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	// The absolute baseline is a fixed handful: topic counters, trunc
+	// floors, the group's floor, rosters and live worker heartbeats —
+	// independent of how many tasks or executors have been through.
+	first := generation(24)
+	second := generation(first)
+	if second > first {
+		t.Fatalf("server keys grew across executor generations: %d -> %d", first, second)
+	}
+	if first > 24 {
+		t.Fatalf("baseline server key count = %d, want <= 24", first)
 	}
 }

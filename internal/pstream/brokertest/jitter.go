@@ -69,6 +69,10 @@ func (j *JitterBroker) SubscribeGroup(ctx context.Context, topic, group, member 
 	return &jitterSub{Subscription: sub, j: j}, nil
 }
 
+// Unwrap returns the wrapped broker, so pstream.AsKV sees through the
+// jitter layer.
+func (j *JitterBroker) Unwrap() pstream.Broker { return j.inner }
+
 // Close implements pstream.Broker.
 func (j *JitterBroker) Close() error { return j.inner.Close() }
 

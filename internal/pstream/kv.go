@@ -73,6 +73,11 @@ type KVBroker struct {
 	// lease bounds how long a group member may hold a claimed event
 	// before other members reclaim it.
 	lease time.Duration
+	// hbTTL, when positive, enables the membership layer for group
+	// subscriptions: members heartbeat under this liveness window, and an
+	// expired heartbeat lets peers reclaim a dead member's claims early —
+	// in O(hbTTL) instead of O(lease). See WithKVHeartbeat.
+	hbTTL time.Duration
 	// truncAfter, when positive, is the distinct-consumer ack count at
 	// which a log slot is considered fully consumed; contiguous fully
 	// consumed prefixes are garbage-collected from the server.
@@ -92,6 +97,8 @@ type KVBroker struct {
 	mReclaims    *telemetry.Counter   // ps.kv.reclaims: expired-lease takeovers
 	mTruncSweeps *telemetry.Counter   // ps.kv.trunc.sweeps
 	mTruncSlots  *telemetry.Counter   // ps.kv.trunc.slots collected
+	mMembers     *telemetry.Gauge     // ps.members: live members, latest read
+	mOrphanGC    *telemetry.Counter   // ps.orphan_gc: orphaned payloads collected
 }
 
 // KVOption configures a KVBroker.
@@ -153,6 +160,24 @@ func WithKVLease(d time.Duration) KVOption {
 	}
 }
 
+// WithKVHeartbeat enables the liveness/membership layer for this broker's
+// group subscriptions: every member SubscribeGroup creates joins the
+// (topic, group) membership domain and heartbeats under ttl (0 means
+// DefaultHeartbeatTTL). The payoff is early lease reclamation — group
+// scans treat a claim whose holder's heartbeat expired as reclaimable
+// immediately, so a crashed member's work is stolen in O(ttl) instead of
+// O(lease) — at the cost of one small write per member per ttl/3 while
+// idle. A member whose own heartbeat cannot be refreshed self-fences and
+// stops claiming new work until refreshes recover (see Heartbeat.Fenced).
+func WithKVHeartbeat(ttl time.Duration) KVOption {
+	return func(b *KVBroker) {
+		if ttl <= 0 {
+			ttl = DefaultHeartbeatTTL
+		}
+		b.hbTTL = ttl
+	}
+}
+
 // WithKVTelemetry makes the broker record its metrics (publish latency,
 // publish→deliver histogram, claims, lease reclaims, truncation sweeps)
 // into reg instead of a private registry.
@@ -199,6 +224,8 @@ func NewKV(addr string, opts ...KVOption) *KVBroker {
 	b.mReclaims = b.reg.Counter("ps.kv.reclaims")
 	b.mTruncSweeps = b.reg.Counter("ps.kv.trunc.sweeps")
 	b.mTruncSlots = b.reg.Counter("ps.kv.trunc.slots")
+	b.mMembers = b.reg.Gauge("ps.members")
+	b.mOrphanGC = b.reg.Counter("ps.orphan_gc")
 	b.client = newKVClient(addr, kvstore.WithClientTelemetry(b.reg))
 	b.waitClient = newKVClient(addr,
 		kvstore.WithPoolSize(b.waitPool), kvstore.WithClientTelemetry(b.reg))
@@ -224,6 +251,40 @@ func newKVClient(addr string, opts ...kvstore.ClientOption) kvstore.KV {
 // answers both "what did the broker do" and "what did it cost on the
 // wire".
 func (b *KVBroker) Telemetry() *telemetry.Registry { return b.reg }
+
+// HeartbeatTTL reports the liveness window this broker's membership
+// domains use: the WithKVHeartbeat ttl, or DefaultHeartbeatTTL when the
+// option was not given (Membership handles work either way; the option
+// additionally turns on per-group-member heartbeats and early
+// reclamation).
+func (b *KVBroker) HeartbeatTTL() time.Duration {
+	if b.hbTTL > 0 {
+		return b.hbTTL
+	}
+	return DefaultHeartbeatTTL
+}
+
+// Heartbeats reports whether WithKVHeartbeat was given — whether group
+// members heartbeat and scans reclaim on heartbeat expiry.
+func (b *KVBroker) Heartbeats() bool { return b.hbTTL > 0 }
+
+// AsKV unwraps b to its underlying *KVBroker, walking wrapper brokers
+// (CountingBroker, test wrappers) via their Unwrap method. The task planes
+// use it to reach kv-only machinery — membership, orphan sweeps — through
+// whatever instrumentation the caller layered on top.
+func AsKV(b Broker) (*KVBroker, bool) {
+	for b != nil {
+		if kb, ok := b.(*KVBroker); ok {
+			return kb, true
+		}
+		u, ok := b.(interface{ Unwrap() Broker })
+		if !ok {
+			return nil, false
+		}
+		b = u.Unwrap()
+	}
+	return nil, false
+}
 
 // observeDeliver records the publish→deliver latency for a delivered
 // event when its producer stamped a publish timestamp (the ot.pub attr
@@ -397,7 +458,15 @@ func (b *KVBroker) SubscribeGroup(ctx context.Context, topic, group, member stri
 	if err != nil {
 		return nil, err
 	}
-	return &kvGroupSub{b: b, topic: topic, group: group, member: member, endCursor: floor}, nil
+	s := &kvGroupSub{b: b, topic: topic, group: group, member: member, endCursor: floor}
+	if b.hbTTL > 0 {
+		hb, err := b.Membership(topic, group).Join(ctx, member)
+		if err != nil {
+			return nil, err
+		}
+		s.hb = hb
+	}
+	return s, nil
 }
 
 func (b *KVBroker) committedOffset(ctx context.Context, topic, consumer string) (uint64, error) {
@@ -839,6 +908,134 @@ func (b *KVBroker) truncatePass(ctx context.Context, topic string) bool {
 	return true
 }
 
+// --- Fleet GC -------------------------------------------------------------
+
+// ForgetConsumer deletes a fan-out consumer's committed offset — the one
+// key Subscribe leaves per consumer name. Ephemeral consumers (task-plane
+// clients with UUID identities) call it on clean shutdown; crashed ones
+// are covered by SweepTopic's dead-consumer cleanup.
+func (b *KVBroker) ForgetConsumer(ctx context.Context, topic, consumer string) error {
+	_, err := b.client.Del(ctx, kvOffsetKey(topic, consumer))
+	return err
+}
+
+// SweepTopic garbage-collects a topic consumed by a churning fan-out
+// population whose consumers are members of m — the task planes' shared
+// result topics, where one log serves every ephemeral client and a static
+// WithKVTruncate threshold cannot exist. One sweep: reap m's dead members
+// (expired heartbeats) and delete their committed-offset keys, then
+// advance the topic's truncation floor to the minimum committed offset of
+// the live members and collect the covered log slots and ack counters
+// with ranged DELs. Every collected payload event is offered to orphan
+// (when non-nil) together with the live-member set, so the caller can
+// reclaim data-plane payloads addressed to dead consumers (counted in
+// ps.orphan_gc when orphan reports true). With no live members the whole
+// log is collected, End markers excepted. Returns collected slots.
+//
+// Safety against joiners: the log length is read before the roster, so a
+// client that registers with m before its first publish-triggering
+// request (as the task planes do) can never have a result swept out from
+// under it — its results land at offsets at or past that length, and a
+// client already registered at the roster read bounds the floor with its
+// own offset (absent reads as 0).
+func (b *KVBroker) SweepTopic(ctx context.Context, topic string, m *Membership, orphan func(ev Event, live map[string]bool) (evicted bool)) (int, error) {
+	length, err := b.counter(ctx, kvLenKey(topic))
+	if err != nil {
+		return 0, err
+	}
+	live, dead, err := m.cull(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if len(dead) > 0 {
+		keys := make([]string, len(dead))
+		for i, d := range dead {
+			keys[i] = kvOffsetKey(topic, d)
+		}
+		if _, err := b.client.Del(ctx, keys...); err != nil {
+			return 0, err
+		}
+	}
+	limit := length
+	liveSet := make(map[string]bool, len(live))
+	if len(live) > 0 {
+		keys := make([]string, len(live))
+		for i, c := range live {
+			liveSet[c] = true
+			keys[i] = kvOffsetKey(topic, c)
+		}
+		raws, err := b.client.MGet(ctx, keys...)
+		if err != nil {
+			return 0, err
+		}
+		for _, raw := range raws {
+			var off uint64
+			if raw != nil {
+				off, _ = strconv.ParseUint(string(raw), 10, 64)
+			}
+			if off < limit {
+				limit = off
+			}
+		}
+	}
+	collected := 0
+	for {
+		n, more, err := b.sweepPass(ctx, topic, limit, liveSet, orphan)
+		collected += n
+		if err != nil || !more {
+			return collected, err
+		}
+	}
+}
+
+// sweepPass advances the truncation floor toward limit by up to
+// truncChunk slots, reporting whether a further pass is needed. Unlike
+// truncatePass it does not require ack thresholds — the limit already
+// proves every live consumer is past these slots — but End markers still
+// stop it, for the same rejoin reasons.
+func (b *KVBroker) sweepPass(ctx context.Context, topic string, limit uint64, live map[string]bool, orphan func(Event, map[string]bool) bool) (int, bool, error) {
+	floor, err := b.counter(ctx, kvTruncKey(topic))
+	if err != nil {
+		return 0, false, err
+	}
+	if floor >= limit {
+		return 0, false, nil
+	}
+	evWin := kvWindow{b: b, key: func(i uint64) string { return kvEventKey(topic, i) }}
+	f := floor
+	for f < limit && f-floor < truncChunk {
+		ev, ok, err := evWin.event(ctx, f)
+		if err != nil {
+			return 0, false, err
+		}
+		if ok && ev.End {
+			break
+		}
+		if ok && !ev.isGap() && orphan != nil {
+			if orphan(ev, live) {
+				b.mOrphanGC.Inc()
+			}
+		}
+		f++
+	}
+	if f == floor {
+		return 0, false, nil
+	}
+	var old []byte
+	if floor > 0 {
+		old = []byte(strconv.FormatUint(floor, 10))
+	}
+	ok, err := b.client.CAS(ctx, kvTruncKey(topic), old, []byte(strconv.FormatUint(f, 10)))
+	if err != nil || !ok {
+		return 0, false, nil // another sweeper or truncator won; let it work
+	}
+	b.deleteRange(ctx, kvEventPrefix(topic), floor, f)
+	b.deleteRange(ctx, kvAckPrefix(topic), floor, f)
+	b.mTruncSweeps.Inc()
+	b.mTruncSlots.Add(f - floor)
+	return int(f - floor), f-floor == truncChunk && f < limit, nil
+}
+
 // --- Consumer groups ------------------------------------------------------
 
 // claimAcked is the claim-record value of a settled (group-acked) slot.
@@ -897,6 +1094,15 @@ type kvGroupSub struct {
 	// before the retry loses the count — the unavoidable window of a
 	// two-step settle on a plain kv server.)
 	pendingIncr []uint64
+	// hb is this member's membership heartbeat under WithKVHeartbeat (nil
+	// otherwise): Close leaves cleanly, and tryClaim consults its fence
+	// before taking new work.
+	hb *Heartbeat
+	// hbSeen caches peer heartbeat deadlines read while judging live
+	// claims: a deadline still in the future vouches for the member
+	// without a re-read, and an apparently dead member is always re-read
+	// fresh before its claims are stolen.
+	hbSeen map[string]time.Time
 }
 
 // flushPendingIncr retries owed ack-counter increments, all in one
@@ -925,12 +1131,58 @@ func (s *kvGroupSub) flushPendingIncr(ctx context.Context) error {
 	return nil
 }
 
-// trackLease records a live claim deadline so Next can cap its blocking
-// wait at the earliest one.
-func (s *kvGroupSub) trackLease(raw []byte, now time.Time) {
-	if _, deadline, ok := parseClaim(raw); ok && deadline.After(now) {
-		s.trackLeaseDeadline(deadline)
+// hbAlive reports the claim-holding member's liveness under the
+// membership layer: alive (true), dead — heartbeat stamped but expired —
+// (false), or unknown, reported as alive, when heartbeats are off, the
+// member is this subscription, or the member has no heartbeat key (it may
+// predate the layer, or run a broker without WithKVHeartbeat; stealing its
+// live-leased claims on absence of evidence would break exactly-once).
+// Live verdicts are cached until the seen deadline passes; a dead verdict
+// is always confirmed with a fresh read, so a member is never declared
+// dead off a stale cache.
+func (s *kvGroupSub) hbAlive(ctx context.Context, member string, now time.Time) bool {
+	if s.b.hbTTL <= 0 || member == s.member {
+		return true
 	}
+	if cached, ok := s.hbSeen[member]; ok && cached.After(now) {
+		return true
+	}
+	raw, ok, err := s.b.client.Get(ctx, kvHeartbeatKey(s.topic, s.group, member))
+	if err != nil || !ok {
+		return true // unknown: fall back to lease timing
+	}
+	deadline, ok := parseDeadline(raw)
+	if !ok {
+		return true
+	}
+	if s.hbSeen == nil {
+		s.hbSeen = make(map[string]time.Time)
+	}
+	s.hbSeen[member] = deadline
+	return deadline.After(now)
+}
+
+// trackLease records a live claim deadline so Next can cap its blocking
+// wait at the earliest one. Under the membership layer the effective
+// deadline is the earlier of the lease and the holder's heartbeat
+// deadline: a parked member then wakes in O(heartbeat) when a peer dies,
+// not O(lease).
+func (s *kvGroupSub) trackLease(ctx context.Context, raw []byte, now time.Time) {
+	member, deadline, ok := parseClaim(raw)
+	if !ok || !deadline.After(now) {
+		return
+	}
+	if s.b.hbTTL > 0 && member != s.member {
+		if hbDl, seen := s.hbSeen[member]; seen && hbDl.Before(deadline) {
+			if hbDl.Before(now) {
+				// Holder looks dead already; rescan almost immediately to
+				// confirm and reclaim.
+				hbDl = now.Add(time.Millisecond)
+			}
+			deadline = hbDl
+		}
+	}
+	s.trackLeaseDeadline(deadline)
 }
 
 func (s *kvGroupSub) trackLeaseDeadline(deadline time.Time) {
@@ -1013,7 +1265,7 @@ func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
 			}
 			if !held || string(raw) != claimAcked {
 				if held {
-					s.trackLease(raw, time.Now())
+					s.trackLease(ctx, raw, time.Now())
 				}
 				break
 			}
@@ -1100,14 +1352,21 @@ func (s *kvGroupSub) scan(ctx context.Context) (Event, bool, error) {
 }
 
 // tryClaim attempts to lease payload slot i: SETNX-CAS for a fresh claim,
-// exact-record CAS to reclaim an expired lease, and the floor guard
-// against resurrecting a settled slot — if the slot was acked and its
-// record GC'd between the read and the CAS, a fresh claim would redeliver
-// an event whose payload may already be evicted. The floor cannot pass a
-// live claim, so if it is still at or below i it stays there until we ack
-// or our lease expires; if it already moved past, the claim is undone.
-// Live peer leases observed along the way feed nextLease.
+// exact-record CAS to reclaim an expired lease — or, under the membership
+// layer, a live lease whose holder's heartbeat has expired (the crashed
+// member's work is stolen in O(heartbeat), not O(lease)) — and the floor
+// guard against resurrecting a settled slot — if the slot was acked and
+// its record GC'd between the read and the CAS, a fresh claim would
+// redeliver an event whose payload may already be evicted. The floor
+// cannot pass a live claim, so if it is still at or below i it stays
+// there until we ack or our lease expires; if it already moved past, the
+// claim is undone. Live peer leases observed along the way feed
+// nextLease. A self-fenced member — its own heartbeat unrefreshable, so
+// peers may already be stealing its claims — takes no new work at all.
 func (s *kvGroupSub) tryClaim(ctx context.Context, i uint64) (bool, error) {
+	if s.hb != nil && s.hb.Fenced() {
+		return false, nil
+	}
 	key := kvClaimKey(s.topic, s.group, i)
 	raw, held, err := s.b.client.Get(ctx, key)
 	if err != nil {
@@ -1128,26 +1387,34 @@ func (s *kvGroupSub) tryClaim(ctx context.Context, i uint64) (bool, error) {
 		if string(raw) == claimAcked {
 			return false, nil
 		}
-		if _, deadline, ok := parseClaim(raw); ok && now.After(deadline) {
-			// Expired lease: reclaim. CAS against the exact stale record,
+		member, deadline, ok := parseClaim(raw)
+		if ok && (now.After(deadline) || !s.hbAlive(ctx, member, now)) {
+			// Expired lease, or a live lease whose holder's heartbeat has
+			// expired (hbAlive re-reads the heartbeat fresh before the dead
+			// verdict). Reclaim with a CAS against the exact stale record,
 			// so two reclaimers can never both win.
 			if win, err = s.b.client.CAS(ctx, key, raw, record); err != nil {
 				return false, err
 			}
 			reclaimed = win
 		} else {
-			s.trackLease(raw, now)
+			s.trackLease(ctx, raw, now)
 		}
 	}
 	if !win {
 		return false, nil
 	}
-	cur, err := s.b.counter(ctx, kvGroupFloorKey(s.topic, s.group))
+	// The claim record is on the server now; the floor guard and its undo
+	// must run even if the caller's context just expired (a Next deadline
+	// dying between the CAS and here), or a fresh claim on an already-
+	// swept slot is stranded below the floor where no sweep revisits it.
+	guardCtx := context.WithoutCancel(ctx)
+	cur, err := s.b.counter(guardCtx, kvGroupFloorKey(s.topic, s.group))
 	if err != nil {
 		return false, err
 	}
 	if i < cur {
-		s.b.client.Del(ctx, key)
+		s.b.client.Del(guardCtx, key)
 		return false, nil
 	}
 	if reclaimed {
@@ -1326,5 +1593,24 @@ func (s *kvGroupSub) Ack(ctx context.Context, ev Event) (int, error) {
 }
 
 // Close implements Subscription. Unacked claims are left to expire, so
-// other members reclaim this member's unfinished work.
-func (s *kvGroupSub) Close() error { return nil }
+// other members reclaim this member's unfinished work (with a clean
+// membership leave under WithKVHeartbeat, peers fall back to lease timing
+// for them — the heartbeat key is gone, which proves nothing about a
+// crash; only an expired heartbeat does).
+func (s *kvGroupSub) Close() error {
+	if s.hb != nil {
+		return s.hb.Leave(context.Background())
+	}
+	return nil
+}
+
+// GroupHeartbeat returns the membership heartbeat a KVBroker group
+// subscription runs under WithKVHeartbeat, or nil for other subscriptions.
+// Callers use it to observe self-fencing (Fenced) — and tests use its Kill
+// hook to simulate member crashes without killing processes.
+func GroupHeartbeat(sub Subscription) *Heartbeat {
+	if s, ok := sub.(*kvGroupSub); ok {
+		return s.hb
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package pstream
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -62,25 +63,38 @@ func SettleAfterStrikes[T any](ctx context.Context, strikes *Strikes, it *Item[T
 	_ = it.Ack(ctx)
 }
 
+// loopBackoffCap bounds ConsumeLoop's exponential backoff at this many
+// multiples of the base retry interval (50 ms base → 1.6 s cap).
+const loopBackoffCap = 32
+
 // ConsumeLoop drives a long-lived consumer until ctx is canceled: it
-// retries subscribe (every retry interval, default 50 ms) until it
-// succeeds — brokers over external services can fail transiently at
-// startup — then delivers every item to handle, backing off on transient
-// Next errors. It returns when ctx is canceled or the stream ends
-// (ErrEnd). It is the shared worker loop behind the stream-backed task
-// plane: faas endpoint workers, colmena workers, and result dispatchers
-// all run it.
+// retries subscribe until it succeeds — brokers over external services
+// can fail transiently at startup — then delivers every item to handle,
+// backing off on transient Next errors. Retries use capped exponential
+// backoff with jitter starting at retry (default 50 ms): consecutive
+// failures double the pause up to 32× the base, each pause is jittered
+// over [½, 1½]× so a fleet of restarting workers doesn't thundering-herd
+// a recovering broker, and any success resets the pause to the base. It
+// returns when ctx is canceled or the stream ends (ErrEnd). It is the
+// shared worker loop behind the stream-backed task plane: faas endpoint
+// workers, colmena workers, and result dispatchers all run it.
 //
 // handle owns each item's lifecycle (resolve, ack); the loop never acks.
 func ConsumeLoop[T any](ctx context.Context, retry time.Duration, subscribe func() (*Consumer[T], error), handle func(context.Context, *Item[T])) {
 	if retry <= 0 {
 		retry = 50 * time.Millisecond
 	}
+	delay := retry
 	pause := func() bool {
+		// Jitter over [½, 1½]× delay, then double for the next failure.
+		d := delay/2 + time.Duration(rand.Int63n(int64(delay)))
+		if delay < loopBackoffCap*retry {
+			delay *= 2
+		}
 		select {
 		case <-ctx.Done():
 			return false
-		case <-time.After(retry):
+		case <-time.After(d):
 			return true
 		}
 	}
@@ -94,6 +108,7 @@ func ConsumeLoop[T any](ctx context.Context, retry time.Duration, subscribe func
 		}
 	}
 	defer cons.Close()
+	delay = retry
 	for {
 		it, err := cons.Next(ctx)
 		if err != nil {
@@ -102,6 +117,7 @@ func ConsumeLoop[T any](ctx context.Context, retry time.Duration, subscribe func
 			}
 			continue
 		}
+		delay = retry
 		handle(ctx, it)
 	}
 }

@@ -190,6 +190,9 @@ type CountingBroker struct {
 // NewCounting wraps b.
 func NewCounting(b Broker) *CountingBroker { return &CountingBroker{Broker: b} }
 
+// Unwrap returns the wrapped broker, so AsKV can see through the counter.
+func (c *CountingBroker) Unwrap() Broker { return c.Broker }
+
 // BytesPublished returns total encoded bytes of published events.
 func (c *CountingBroker) BytesPublished() uint64 { return c.published.Load() }
 
