@@ -35,6 +35,17 @@
 //	                   those orphans: the profile reports the server's
 //	                   settled key count and orphans swept alongside the
 //	                   usual submit→result latency columns
+//	replay           — trace-driven load (kv broker only): -trace replays a
+//	                   wire trace recorded with -record against a fresh
+//	                   in-process kv server. -speed 1 is the deterministic
+//	                   mode (ops issue in recorded dependency order; service
+//	                   times should match the recording); -speed N > 1
+//	                   compresses the recorded schedule N× into a load
+//	                   generator. The row reports replayed kv-cmds/item
+//	                   (which must land within ±10% of the recorded run
+//	                   under -strict) and replayed op latencies; the JSON
+//	                   report takes the recorded run's profile and row name
+//	                   so ps-benchdiff can diff replay against live.
 //	shard            — the sharded-tier profile: -topics concurrent
 //	                   producers publish metadata-only events against a
 //	                   durable in-process kv tier, once with 1 shard and
@@ -99,10 +110,17 @@
 //
 // Usage:
 //
-//	ps-streambench [-profile stream|tasks|multi|pipeline|shard|churn] [-items N] [-size BYTES]
+//	ps-streambench [-profile stream|tasks|multi|pipeline|shard|churn|replay] [-items N] [-size BYTES]
 //	               [-consumers N] [-window N] [-batch N] [-gap DUR]
 //	               [-broker mem|kv] [-kv ADDR|SPEC] [-groups] [-wan] [-json PATH] [-strict]
 //	               [-shards N] [-topics N] [-commit DUR] [-fsync] [-gens N]
+//	               [-mode ROW] [-record FILE] [-trace FILE] [-speed N]
+//
+// -record (with -mode selecting exactly one row) taps the kv broker's
+// client and writes every command, reply and timestamp to a wiretap trace;
+// the data plane moves to a local store so the trace accounts for every
+// server command. The trace file is written atomically (.partial, then
+// rename) and partial files are removed on fatal exits.
 package main
 
 import (
@@ -132,6 +150,7 @@ import (
 	"proxystore/internal/serial"
 	"proxystore/internal/store"
 	"proxystore/internal/telemetry"
+	"proxystore/internal/wiretap"
 )
 
 // attrT0 carries the publish timestamp (UnixNano) so consumers can measure
@@ -269,8 +288,28 @@ func main() {
 	groups := flag.Bool("groups", false, "add the consumer-group work-queue profiles (stream profile)")
 	wan := flag.Bool("wan", false, "model WAN delays on the redis data plane (kv broker only)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this path")
-	strict := flag.Bool("strict", false, "exit non-zero unless push delivery beats polling on kv-cmds/item (pipeline profile: cmds/rtt and conns/consumer gates)")
+	strict := flag.Bool("strict", false, "exit non-zero unless push delivery beats polling on kv-cmds/item (pipeline profile: cmds/rtt and conns/consumer gates; replay profile: replayed-vs-recorded kv-cmds and op-p95 gates)")
+	modeFilter := flag.String("mode", "", "run only the named benchmark row (e.g. \"group\"; required with -record, which needs exactly one row)")
+	recordPath := flag.String("record", "", "record the row's broker wire traffic to this trace file (in-process kv broker only; forces a local data plane so the trace holds every server command)")
+	tracePath := flag.String("trace", "", "trace file to drive -profile replay")
+	speed := flag.Float64("speed", 1, "replay speedup: 1 = deterministic per-dependency replay, >1 = time-compressed load (gaps and wait timeouts divided by this)")
 	flag.Parse()
+
+	recording := *recordPath != ""
+	if recording {
+		if *profileKind == "replay" {
+			fmt.Fprintln(os.Stderr, "-record records a live run; it cannot be combined with -profile replay")
+			os.Exit(2)
+		}
+		if *brokerKind != "kv" || *kvAddr != "" {
+			fmt.Fprintln(os.Stderr, "-record requires -broker kv with the in-process server (no -kv): the trace's kv-cmds meta comes from the server's own counter")
+			os.Exit(2)
+		}
+	}
+	var rec *wiretap.Recorder
+	if recording {
+		rec = wiretap.NewRecorder()
+	}
 
 	var srv *kvstore.Server
 	var mkBroker func(push bool) pstream.Broker
@@ -323,14 +362,26 @@ func main() {
 			opts = append(opts, redisc.WithSites(netsim.SiteEdge, netsim.SiteCloud))
 		}
 		mkBroker = func(push bool) pstream.Broker {
-			return pstream.NewKV(srv.Addr(), pstream.WithKVPush(push))
+			kvOpts := []pstream.KVOption{pstream.WithKVPush(push)}
+			if rec != nil {
+				kvOpts = append(kvOpts, pstream.WithKVWrap(rec.WrapKV))
+			}
+			return pstream.NewKV(srv.Addr(), kvOpts...)
 		}
 		mkStore = func(run string, gobSer bool) *store.Store {
 			sopts := []store.Option{store.WithCacheBytes(0)}
 			if !gobSer {
 				sopts = append(sopts, store.WithSerializer(serial.Raw()))
 			}
-			st, err := store.New("sb-"+run, redisc.New(srv.Addr(), opts...), sopts...)
+			// Recording forces the data plane off the kv server: the redis
+			// connector's commands would land in the server's counter but
+			// not in the trace, so a replay could never match the recorded
+			// kv-cmds/item.
+			conn := connector.Connector(redisc.New(srv.Addr(), opts...))
+			if recording {
+				conn = local.New("sb-conn-" + run)
+			}
+			st, err := store.New("sb-"+run, conn, sopts...)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -346,6 +397,8 @@ func main() {
 		unit, rate = "task", "tasks/s"
 	}
 	switch *profileKind {
+	case "replay":
+		fmt.Printf("replay profile: %s at %gx against a fresh in-process kv server\n\n", *tracePath, *speed)
 	case "tasks":
 		fmt.Printf("%d tasks × %d KiB args to a %d-worker endpoint over %q broker (submit→execute→result)\n\n",
 			*items, *size>>10, *consumers, *brokerKind)
@@ -378,14 +431,25 @@ func main() {
 
 	results := make(map[string]profile)
 	var order []string
+	// reportProfile is the -json document's profile field; the replay
+	// profile overrides it with the recorded run's profile so ps-benchdiff
+	// can compare the replay report against the live one.
+	reportProfile := *profileKind
+	replayOK := true
 	// The multi profile spools its file-connector child into temp dirs;
 	// fatalf removes them before exiting, because log.Fatal bypasses
 	// defers and would otherwise strand items×size bytes in /tmp on
 	// every failed run.
 	var multiDirs []string
+	// recPartial is the in-progress trace file; a fatal exit mid-record
+	// must not strand a half-written (and unloadable) trace on disk.
+	var recPartial string
 	rmMultiDirs := func() {
 		for _, d := range multiDirs {
 			os.RemoveAll(d)
+		}
+		if recPartial != "" {
+			os.Remove(recPartial)
 		}
 	}
 	defer rmMultiDirs()
@@ -420,6 +484,9 @@ func main() {
 	// (so the multi profile can swap connectors) and rowSize is the
 	// payload size behind the MB/s column.
 	run := func(mode string, push bool, newStore func(run string) *store.Store, rowSize int, f func(cb *pstream.CountingBroker, st *store.Store, lats *latencies) error) {
+		if *modeFilter != "" && mode != *modeFilter {
+			return
+		}
 		st := newStore(mode)
 		defer st.Close()
 		cb := pstream.NewCounting(mkBroker(push))
@@ -695,9 +762,133 @@ func main() {
 		results["churn"] = p
 		order = append(order, "churn")
 		printRow(p)
+	case "replay":
+		if srv == nil {
+			fmt.Fprintln(os.Stderr, "the replay profile requires -broker kv and the in-process server (no -kv)")
+			os.Exit(2)
+		}
+		if *tracePath == "" {
+			fmt.Fprintln(os.Stderr, "the replay profile requires -trace <file> (record one with -record)")
+			os.Exit(2)
+		}
+		tr, err := wiretap.Load(*tracePath)
+		if err != nil {
+			fatalf("loading trace: %v", err)
+		}
+		recItems, _ := strconv.Atoi(tr.Meta["items"])
+		if recItems <= 0 {
+			fatalf("trace %s carries no items meta; was it recorded with -record?", *tracePath)
+		}
+		rowName := tr.Meta["mode"]
+		if rowName == "" {
+			rowName = "replay"
+		}
+		if p := tr.Meta["profile"]; p != "" {
+			// The JSON report takes the recorded profile so ps-benchdiff
+			// matches the replay row against the live run's report.
+			reportProfile = p
+		}
+		// Recorded comparators: kv-cmds/item from the recording's meta,
+		// op-duration percentiles recomputed from the trace itself.
+		// Blocking waits are excluded on both sides: their durations are
+		// park time (and scale with -speed), not command service time.
+		recCmdsPerItem, _ := strconv.ParseFloat(tr.Meta["kv_cmds_per_item"], 64)
+		recLats := &latencies{}
+		for i := range tr.Ops {
+			if op := &tr.Ops[i]; !op.Blocking {
+				recLats.record(time.Duration(op.End - op.Start))
+			}
+		}
+		_, recP95, _ := recLats.percentiles()
+
+		lats := &latencies{}
+		cli := kvstore.NewClient(srv.Addr())
+		defer cli.Close()
+		// A timing tap under the replayer measures each re-issued op, so
+		// the row's latency columns are replayed op durations — directly
+		// comparable to the recorded ops' own durations.
+		target := kvstore.NewTap(cli, func(_ string, _ [][]byte, blocking bool) kvstore.TapDone {
+			if blocking {
+				return func([][]byte, error) {}
+			}
+			t0 := time.Now()
+			return func([][]byte, error) { lats.record(time.Since(t0)) }
+		})
+		rep := wiretap.NewReplayer(wiretap.WithKVTarget(target), wiretap.WithSpeed(*speed))
+		cmds0 := srv.Commands()
+		rr, err := rep.Run(context.Background(), tr)
+		if err != nil {
+			fatalf("replay: %v", err)
+		}
+		perItem := float64(srv.Commands()-cmds0) / float64(recItems)
+		p := profile{
+			Name:          rowName,
+			ItemsPerSec:   float64(recItems) / rr.Duration.Seconds(),
+			KVCmdsPerItem: &perItem,
+		}
+		p.P50Ms, p.P95Ms, p.P99Ms = lats.percentiles()
+		printRow(p)
+		if *speed > 1 {
+			// Time compression deliberately overloads the target — the
+			// printed latency columns are the load measurement, not a
+			// fidelity signal, so they stay out of the JSON report (and
+			// out of ps-benchdiff's p95 gate).
+			p.P50Ms, p.P95Ms, p.P99Ms = nil, nil, nil
+		}
+		results[rowName] = p
+		order = append(order, rowName)
+		fmt.Printf("\nreplayed %d ops at %gx in %v: %d divergences, %d stragglers, %d stall releases",
+			rr.Ops, *speed, rr.Duration.Round(time.Millisecond), rr.Divergences, rr.Stragglers, rr.StallReleases)
+		if rr.Stragglers > 0 {
+			replayOK = false
+		}
+		if recCmdsPerItem > 0 {
+			ratio := perItem / recCmdsPerItem
+			fmt.Printf("\nreplay: %.1f kv-cmds/item vs %.1f recorded (%+.0f%%; gate ±10%%)",
+				perItem, recCmdsPerItem, (ratio-1)*100)
+			// Two-sided: a replay that issues meaningfully fewer commands
+			// than the recording is as unfaithful as one issuing more.
+			if ratio > 1.10 || ratio < 0.90 {
+				replayOK = false
+			}
+		}
+		if recP95 != nil && p.P95Ms != nil && *speed <= 1 {
+			// Only 1× replay promises recorded-shaped service times.
+			fmt.Printf("\nreplay: op p95 %.2f ms vs %.2f ms recorded (gate ≤ 2x + 5 ms)", *p.P95Ms, *recP95)
+			if *p.P95Ms > *recP95*2+5 {
+				replayOK = false
+			}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profileKind)
 		os.Exit(2)
+	}
+
+	if recording {
+		if len(order) != 1 {
+			fatalf("-record needs exactly one benchmark row in the run (select one with -mode); this run produced %d", len(order))
+		}
+		row := results[order[0]]
+		rec.SetMeta("profile", *profileKind)
+		rec.SetMeta("mode", order[0])
+		rec.SetMeta("items", strconv.Itoa(*items))
+		rec.SetMeta("consumers", strconv.Itoa(*consumers))
+		if row.KVCmdsPerItem != nil {
+			rec.SetMeta("kv_cmds_per_item", strconv.FormatFloat(*row.KVCmdsPerItem, 'f', -1, 64))
+		}
+		tr := rec.Trace()
+		// Write-then-rename: a crash mid-write leaves only the .partial
+		// (removed by fatalf), never a torn file under the final name —
+		// the trace codec would refuse a torn file anyway, loudly.
+		recPartial = *recordPath + ".partial"
+		if err := tr.Save(recPartial); err != nil {
+			fatalf("recording trace: %v", err)
+		}
+		if err := os.Rename(recPartial, *recordPath); err != nil {
+			fatalf("recording trace: %v", err)
+		}
+		recPartial = ""
+		fmt.Printf("recorded %d ops to %s\n", len(tr.Ops), *recordPath)
 	}
 
 	pushWins := true
@@ -754,7 +945,7 @@ func main() {
 
 	if *jsonPath != "" {
 		rep := report{
-			Profile: *profileKind,
+			Profile: reportProfile,
 			Items:   *items, Size: *size, Consumers: *consumers,
 			Window: *window, Batch: *batch,
 			GapMS:  float64(*gap) / float64(time.Millisecond),
@@ -795,6 +986,10 @@ func main() {
 	}
 	if *strict && !churnOK {
 		fmt.Fprintf(os.Stderr, "strict: churn gates failed (need ≤ %d settled keys and p95 submit→result ≤ %d ms)\n", churnKeyGate, churnP95GateMS)
+		os.Exit(1)
+	}
+	if *strict && !replayOK {
+		fmt.Fprintln(os.Stderr, "strict: replay gates failed (need kv-cmds/item within ±10% of recorded, op p95 ≤ 2x recorded + 5 ms, no stragglers)")
 		os.Exit(1)
 	}
 }

@@ -50,6 +50,16 @@ func WithDialTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.dialTimeout = d }
 }
 
+// WithDialFunc replaces the client's dialer: every connection the client
+// establishes — pooled request connections, the wait multiplexer's shared
+// connection, and every reconnect after a broken one — flows through fn
+// instead of a net.Dialer. The dial timeout is applied as a deadline on
+// ctx, which fn should honor. This is the interposition point for
+// connection-level taps and in-process transports; no TCP proxy needed.
+func WithDialFunc(fn func(ctx context.Context, network, addr string) (net.Conn, error)) ClientOption {
+	return func(c *Client) { c.dialFunc = fn }
+}
+
 // WithClientTelemetry makes the client record its metrics (RTTs, pool
 // waits, mux fallbacks, pipeline depth) into reg instead of a private
 // registry.
@@ -65,6 +75,7 @@ type Client struct {
 	addr        string
 	poolSize    int
 	dialTimeout time.Duration
+	dialFunc    func(ctx context.Context, network, addr string) (net.Conn, error)
 
 	net        *netsim.Network
 	clientSite string
@@ -301,8 +312,16 @@ func (c *Client) Dials() uint64 { return c.dials.Load() }
 func (c *Client) RoundTrips() uint64 { return c.roundTrips.Load() }
 
 func (c *Client) dial(ctx context.Context) (*clientConn, error) {
-	d := net.Dialer{Timeout: c.dialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	var conn net.Conn
+	var err error
+	if c.dialFunc != nil {
+		dctx, cancel := context.WithTimeout(ctx, c.dialTimeout)
+		conn, err = c.dialFunc(dctx, "tcp", c.addr)
+		cancel()
+	} else {
+		d := net.Dialer{Timeout: c.dialTimeout}
+		conn, err = d.DialContext(ctx, "tcp", c.addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: dialing %s: %w", c.addr, err)
 	}

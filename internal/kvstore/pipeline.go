@@ -35,8 +35,11 @@ type Pipeline struct {
 	// onTransportErr, when set, observes Exec's transport failures (not
 	// per-command server errors) so a routing layer can fail over.
 	onTransportErr func(error)
-	cmds           []pipeCmd
-	reps           []*PipeReply
+	// tap, when set (see TapKV.Pipeline), reports Exec as one "PIPELINE"
+	// operation carrying every queued command and reply.
+	tap  TapFunc
+	cmds []pipeCmd
+	reps []*PipeReply
 }
 
 type pipeCmd struct {
@@ -147,6 +150,16 @@ func (p *Pipeline) Exec(ctx context.Context) error {
 	if len(p.cmds) == 0 {
 		return nil
 	}
+	if p.tap != nil {
+		done := p.tap("PIPELINE", pipeArgs(p.cmds), false)
+		err := p.exec(ctx)
+		done(pipeReplies(p.reps), err)
+		return err
+	}
+	return p.exec(ctx)
+}
+
+func (p *Pipeline) exec(ctx context.Context) error {
 	if p.pick != nil {
 		keys := make([][]byte, 0, len(p.cmds))
 		for _, cmd := range p.cmds {

@@ -148,6 +148,8 @@ func (s *Server) serveConn(conn net.Conn) {
 type Client struct {
 	addr        string
 	dialTimeout time.Duration
+	dialFunc    func(ctx context.Context, network, addr string) (net.Conn, error)
+	tap         TapFunc
 
 	net        *netsim.Network
 	clientSite string
@@ -166,6 +168,28 @@ type poolConn struct {
 
 // ClientOption configures a Client.
 type ClientOption func(*Client)
+
+// TapDone completes one tapped request with the reply payload (marker
+// byte stripped) and error.
+type TapDone func(resp []byte, err error)
+
+// TapFunc observes the start of one request frame and returns the
+// callback that completes it — the msgnet half of the record/replay wire
+// tap (see internal/wiretap and the kvstore package's TapFunc).
+type TapFunc func(req []byte) TapDone
+
+// WithTap reports every Request to tap: the raw request frame at send,
+// the reply payload (or error) at completion.
+func WithTap(tap TapFunc) ClientOption {
+	return func(c *Client) { c.tap = tap }
+}
+
+// WithDialFunc replaces the client's dialer: every connection — including
+// reconnects after broken pooled connections — flows through fn. The dial
+// timeout is applied as a deadline on ctx, which fn should honor.
+func WithDialFunc(fn func(ctx context.Context, network, addr string) (net.Conn, error)) ClientOption {
+	return func(c *Client) { c.dialFunc = fn }
+}
 
 // WithClientNetwork attaches a netsim model; requests pay modeled transfer
 // time each way.
@@ -211,8 +235,16 @@ func (c *Client) acquire(ctx context.Context) (*poolConn, error) {
 		return pc, nil
 	}
 	c.mu.Unlock()
-	d := net.Dialer{Timeout: c.dialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	var conn net.Conn
+	var err error
+	if c.dialFunc != nil {
+		dctx, cancel := context.WithTimeout(ctx, c.dialTimeout)
+		conn, err = c.dialFunc(dctx, "tcp", c.addr)
+		cancel()
+	} else {
+		d := net.Dialer{Timeout: c.dialTimeout}
+		conn, err = d.DialContext(ctx, "tcp", c.addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("msgnet: dialing %s: %w", c.addr, err)
 	}
@@ -243,6 +275,16 @@ func (c *Client) delay(ctx context.Context, size int) error {
 // Request sends req and returns the server's reply. Handler errors surface
 // as errors with the server's message.
 func (c *Client) Request(ctx context.Context, req []byte) ([]byte, error) {
+	if c.tap != nil {
+		done := c.tap(req)
+		resp, err := c.request(ctx, req)
+		done(resp, err)
+		return resp, err
+	}
+	return c.request(ctx, req)
+}
+
+func (c *Client) request(ctx context.Context, req []byte) ([]byte, error) {
 	if err := c.delay(ctx, len(req)); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,147 @@
+package msgnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tapRecord collects tapped requests for assertions.
+type tapRecord struct {
+	mu   sync.Mutex
+	reqs [][]byte
+	rsps [][]byte
+	errs []error
+}
+
+func (r *tapRecord) fn(req []byte) TapDone {
+	reqCopy := append([]byte(nil), req...)
+	return func(resp []byte, err error) {
+		r.mu.Lock()
+		r.reqs = append(r.reqs, reqCopy)
+		r.rsps = append(r.rsps, append([]byte(nil), resp...))
+		r.errs = append(r.errs, err)
+		r.mu.Unlock()
+	}
+}
+
+// TestTapObservesRequests: every Request — success or handler error —
+// reports its frame and outcome to the tap.
+func TestTapObservesRequests(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func(_ context.Context, req []byte) ([]byte, error) {
+		if bytes.HasPrefix(req, []byte("x")) {
+			return nil, errors.New("rejected")
+		}
+		return append([]byte("echo:"), req...), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rec := &tapRecord{}
+	cli := NewClient(srv.Addr(), WithTap(rec.fn))
+	defer cli.Close()
+	ctx := context.Background()
+
+	if resp, err := cli.Request(ctx, []byte("hello")); err != nil || string(resp) != "echo:hello" {
+		t.Fatalf("Request = %q, %v", resp, err)
+	}
+	if _, err := cli.Request(ctx, []byte("xbad")); err == nil {
+		t.Fatal("handler error did not surface")
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.reqs) != 2 {
+		t.Fatalf("tap saw %d requests, want 2", len(rec.reqs))
+	}
+	if string(rec.reqs[0]) != "hello" || string(rec.rsps[0]) != "echo:hello" || rec.errs[0] != nil {
+		t.Fatalf("tapped success = %q → %q, %v", rec.reqs[0], rec.rsps[0], rec.errs[0])
+	}
+	if string(rec.reqs[1]) != "xbad" || rec.errs[1] == nil {
+		t.Fatalf("tapped failure = %q → %q, %v", rec.reqs[1], rec.rsps[1], rec.errs[1])
+	}
+}
+
+// TestDialFuncCarriesConnectionsAndReconnects: pooled connections and
+// the replacements dialed after broken ones all flow through the hook.
+func TestDialFuncCarriesConnectionsAndReconnects(t *testing.T) {
+	srv := echoServer(t)
+	var mu sync.Mutex
+	var conns []net.Conn
+	cli := NewClient(srv.Addr(), WithDialFunc(func(ctx context.Context, network, addr string) (net.Conn, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		conns = append(conns, conn)
+		mu.Unlock()
+		return conn, nil
+	}))
+	defer cli.Close()
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Request(ctx, []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	before := len(conns)
+	mu.Unlock()
+	if before != 1 {
+		t.Fatalf("3 sequential requests dialed %d connections, want 1 pooled", before)
+	}
+
+	// Kill the pooled connection; the client must recover by re-dialing
+	// through the hook.
+	mu.Lock()
+	for _, c := range conns {
+		c.Close()
+	}
+	mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if resp, err := cli.Request(ctx, []byte("b")); err == nil && string(resp) == "b" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered from a killed pooled connection")
+		}
+	}
+	mu.Lock()
+	after := len(conns)
+	mu.Unlock()
+	if after <= before {
+		t.Fatalf("reconnect bypassed the dial hook: %d dials before, %d after", before, after)
+	}
+}
+
+// TestDialFuncHonorsDialTimeout: the dial timeout arrives as a context
+// deadline on the hook and bounds a black-holed connection attempt.
+func TestDialFuncHonorsDialTimeout(t *testing.T) {
+	cli := NewClient("203.0.113.1:1", WithDialFunc(func(ctx context.Context, network, addr string) (net.Conn, error) {
+		if _, ok := ctx.Deadline(); !ok {
+			t.Error("dial hook received no deadline")
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}))
+	cli.dialTimeout = 50 * time.Millisecond
+	defer cli.Close()
+
+	start := time.Now()
+	if _, err := cli.Request(context.Background(), []byte("r")); err == nil {
+		t.Fatal("Request succeeded through a black-holed dial")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("stuck dial took %v to fail, dial timeout is 50ms", elapsed)
+	}
+}

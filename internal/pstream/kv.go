@@ -59,6 +59,9 @@ type KVBroker struct {
 	// Publish whose write is supposed to wake them.
 	waitClient kvstore.KV
 	waitPool   int
+	// wrap, when set, interposes on both clients at construction (see
+	// WithKVWrap) — the record/replay tap's entry point into the broker.
+	wrap func(kvstore.KV) kvstore.KV
 	// pollFloor/pollCap bound the polling-fallback backoff.
 	pollFloor, pollCap time.Duration
 	// waitRound bounds one server-side blocking wait; blocked consumers
@@ -229,7 +232,22 @@ func NewKV(addr string, opts ...KVOption) *KVBroker {
 	b.client = newKVClient(addr, kvstore.WithClientTelemetry(b.reg))
 	b.waitClient = newKVClient(addr,
 		kvstore.WithPoolSize(b.waitPool), kvstore.WithClientTelemetry(b.reg))
+	if b.wrap != nil {
+		b.client = b.wrap(b.client)
+		b.waitClient = b.wrap(b.waitClient)
+	}
 	return b
+}
+
+// WithKVWrap interposes wrap on the broker's kvstore clients at
+// construction — once for the command client, once for the blocking-wait
+// client — so a wire tap (kvstore.NewTap over a wiretap recorder) can
+// record every command the broker issues without a TCP proxy. The wrapper
+// sees the KV interface above pooling, pipelining and sharded routing;
+// taps compose with the broker's own wrappers the way CountingBroker and
+// JitterBroker compose with AsKV.
+func WithKVWrap(wrap func(kvstore.KV) kvstore.KV) KVOption {
+	return func(b *KVBroker) { b.wrap = wrap }
 }
 
 // newKVClient builds the broker's client for addr: a sharded client when
